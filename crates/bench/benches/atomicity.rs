@@ -1,0 +1,65 @@
+//! Criterion bench backing experiment E6: the cost of executing the
+//! crash-failure scenario under the baseline (Nolan) and under AC3WN, and a
+//! correctness assertion embedded in the bench (the baseline must violate
+//! atomicity, AC3WN must not) so regressions show up even in bench runs.
+
+use ac3_core::scenario::{two_party_scenario, ScenarioConfig};
+use ac3_core::{Ac3wn, Nolan, ProtocolConfig};
+use ac3_sim::CrashWindow;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn protocol_cfg() -> ProtocolConfig {
+    ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() }
+}
+
+fn crashed_scenario() -> ac3_core::Scenario {
+    let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+    s.participants
+        .get_mut("bob")
+        .unwrap()
+        .schedule_crash(CrashWindow { from: 9_000, until: 10_000_000 });
+    s
+}
+
+fn bench_crash_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crash_failure");
+    group.sample_size(10);
+    group.bench_function("nolan_crash_violation", |b| {
+        b.iter_batched(
+            crashed_scenario,
+            |mut s| {
+                let report = Nolan::new(protocol_cfg()).execute(&mut s).unwrap();
+                assert!(!report.is_atomic(), "Nolan must lose atomicity here");
+                std::hint::black_box(report.latency_ms())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("ac3wn_crash_atomic", |b| {
+        b.iter_batched(
+            crashed_scenario,
+            |mut s| {
+                let report = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+                assert!(report.is_atomic(), "AC3WN must stay atomic here");
+                std::hint::black_box(report.latency_ms())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_crash_scenarios
+}
+criterion_main!(benches);

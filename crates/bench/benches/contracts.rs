@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the contract runtime: deploying and calling
+//! the paper's contract algorithms through the `SwapVm`.
+
+use ac3_chain::{Address, CallContext, ChainId, ContractId, ContractVm, DeployContext};
+use ac3_contracts::{
+    CentralizedCall, CentralizedSpec, ContractCall, ContractSpec, HtlcCall, HtlcSpec, SwapVm,
+};
+use ac3_crypto::{Hash256, Hashlock, KeyPair, SignatureLock, WitnessDecision};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn addr(seed: &[u8]) -> Address {
+    Address::from(KeyPair::from_seed(seed).public())
+}
+
+fn deploy_ctx(sender: Address, value: u64) -> DeployContext {
+    DeployContext {
+        chain: ChainId(0),
+        sender,
+        value,
+        contract: ContractId(Hash256::digest(b"sc")),
+        height: 1,
+        now: 0,
+    }
+}
+
+fn call_ctx(sender: Address) -> CallContext {
+    CallContext { chain: ChainId(0), sender, contract: ContractId(Hash256::digest(b"sc")), height: 2, now: 500 }
+}
+
+fn bench_htlc(c: &mut Criterion) {
+    let vm = SwapVm::new();
+    let alice = addr(b"alice");
+    let bob = addr(b"bob");
+    let spec = ContractSpec::Htlc(HtlcSpec {
+        recipient: bob,
+        hashlock: Hashlock::from_secret(b"s").lock,
+        timelock: 1_000_000,
+    });
+    let payload = spec.to_payload();
+    c.bench_function("contracts/htlc_deploy", |b| {
+        b.iter(|| std::hint::black_box(vm.deploy(&deploy_ctx(alice, 100), &payload).unwrap()))
+    });
+    let state = vm.deploy(&deploy_ctx(alice, 100), &payload).unwrap();
+    let redeem = ContractCall::Htlc(HtlcCall::Redeem { preimage: b"s".to_vec() }).to_payload();
+    c.bench_function("contracts/htlc_redeem", |b| {
+        b.iter(|| std::hint::black_box(vm.call(&call_ctx(bob), &state, &redeem).unwrap()))
+    });
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let vm = SwapVm::new();
+    let alice = addr(b"alice");
+    let trent = KeyPair::from_seed(b"trent");
+    let graph = Hash256::digest(b"ms(D)");
+    let spec = ContractSpec::Centralized(CentralizedSpec {
+        recipient: addr(b"bob"),
+        graph_digest: graph,
+        witness_key: trent.public(),
+    });
+    let state = vm.deploy(&deploy_ctx(alice, 100), &spec.to_payload()).unwrap();
+    let sig = trent.sign(&SignatureLock::signed_message(&graph, WitnessDecision::Redeem));
+    let call = ContractCall::Centralized(CentralizedCall::Redeem { signature: sig }).to_payload();
+    c.bench_function("contracts/centralized_redeem", |b| {
+        b.iter(|| std::hint::black_box(vm.call(&call_ctx(addr(b"bob")), &state, &call).unwrap()))
+    });
+}
+
+fn bench_state_tag(c: &mut Criterion) {
+    let vm = SwapVm::new();
+    let spec = ContractSpec::Htlc(HtlcSpec {
+        recipient: addr(b"bob"),
+        hashlock: Hashlock::from_secret(b"s").lock,
+        timelock: 10,
+    });
+    let state = vm.deploy(&deploy_ctx(addr(b"alice"), 100), &spec.to_payload()).unwrap();
+    c.bench_function("contracts/state_tag_decode", |b| {
+        b.iter(|| std::hint::black_box(vm.state_tag(&state)))
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_htlc, bench_centralized, bench_state_tag
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the cryptographic substrate: hashing,
+//! signing/verification, Merkle proofs and the graph multisignature.
+
+use ac3_crypto::{GraphMultisig, Hashlock, KeyPair, MerkleTree, Sha256};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| {
+                let mut h = Sha256::new();
+                h.update(std::hint::black_box(&data));
+                std::hint::black_box(h.finalize())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(b"bench");
+    let msg = b"transfer X bitcoins from Alice to Bob";
+    let sig = kp.sign(msg);
+    c.bench_function("schnorr/sign", |b| b.iter(|| std::hint::black_box(kp.sign(msg))));
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| std::hint::black_box(kp.public().verifies(msg, &sig)))
+    });
+}
+
+fn bench_hashlock(c: &mut Criterion) {
+    let lock = Hashlock::from_secret(b"the secret");
+    c.bench_function("hashlock/verify", |b| {
+        b.iter(|| {
+            use ac3_crypto::CommitmentScheme;
+            std::hint::black_box(lock.verify(&b"the secret".to_vec()))
+        })
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [16usize, 256, 1024] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("tx-{i}").into_bytes()).collect();
+        group.bench_function(format!("build/{n}"), |b| {
+            b.iter(|| std::hint::black_box(MerkleTree::from_leaves(&leaves)))
+        });
+        let tree = MerkleTree::from_leaves(&leaves);
+        let proof = tree.prove(n / 2).unwrap();
+        group.bench_function(format!("verify_proof/{n}"), |b| {
+            b.iter(|| std::hint::black_box(proof.verify(&tree.root(), &leaves[n / 2])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multisig(c: &mut Criterion) {
+    let keys: Vec<KeyPair> = (0..8).map(|i| KeyPair::from_seed(format!("p{i}").as_bytes())).collect();
+    let expected: Vec<_> = keys.iter().map(|k| k.public()).collect();
+    c.bench_function("multisig/sign_and_verify_8_parties", |b| {
+        b.iter_batched(
+            || GraphMultisig::new(b"(D, t)".to_vec()),
+            |mut ms| {
+                for k in &keys {
+                    ms.sign_with(k).unwrap();
+                }
+                std::hint::black_box(ms.verify(&expected).is_ok())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_sha256, bench_schnorr, bench_hashlock, bench_merkle, bench_multisig
+}
+criterion_main!(benches);

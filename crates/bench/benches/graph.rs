@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the AC2T graph layer: canonical encoding,
+//! diameter computation (the quantity Figure 10 sweeps), leader selection
+//! for the baselines (single-leader feasibility and the multi-leader
+//! feedback vertex set) and the Keccak-256 hash added for Ethereum-style
+//! identities.
+
+use ac3_chain::{Address, ChainId};
+use ac3_core::graph::{ring_graph, SwapGraph};
+use ac3_core::{Herlihy, HerlihyMulti};
+use ac3_crypto::{keccak256, sha256, KeyPair};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn participants(n: usize) -> Vec<Address> {
+    (0..n).map(|i| Address::from(KeyPair::from_seed(format!("p{i}").as_bytes()).public())).collect()
+}
+
+fn ring(n: usize) -> SwapGraph {
+    let ps = participants(n);
+    let chains: Vec<ChainId> = (0..n as u32).map(ChainId).collect();
+    ring_graph(&ps, &chains, 10)
+}
+
+fn bench_graph_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    for n in [4usize, 16, 64] {
+        let g = ring(n);
+        group.bench_function(format!("diameter/ring-{n}"), |b| {
+            b.iter(|| std::hint::black_box(g.diameter()))
+        });
+        group.bench_function(format!("canonical_bytes/ring-{n}"), |b| {
+            b.iter(|| std::hint::black_box(g.canonical_bytes()))
+        });
+        group.bench_function(format!("digest/ring-{n}"), |b| {
+            b.iter(|| std::hint::black_box(g.digest()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_leader_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leader_selection");
+    for n in [4usize, 16, 64] {
+        let g = ring(n);
+        group.bench_function(format!("single_leader_feasibility/ring-{n}"), |b| {
+            b.iter(|| std::hint::black_box(Herlihy::supports_graph(&g).is_ok()))
+        });
+        group.bench_function(format!("feedback_vertex_set/ring-{n}"), |b| {
+            b.iter(|| std::hint::black_box(g.feedback_vertex_set().len()))
+        });
+        group.bench_function(format!("multi_leader_feasibility/ring-{n}"), |b| {
+            b.iter(|| std::hint::black_box(HerlihyMulti::supports_graph(&g).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multisign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_multisign");
+    for n in [2usize, 8, 16] {
+        let ps = participants(n);
+        let chains: Vec<ChainId> = (0..n as u32).map(ChainId).collect();
+        let g = ring_graph(&ps, &chains, 10);
+        let keypairs: Vec<KeyPair> =
+            (0..n).map(|i| KeyPair::from_seed(format!("p{i}").as_bytes())).collect();
+        group.bench_function(format!("ms(D)/{n}-parties"), |b| {
+            b.iter(|| std::hint::black_box(g.multisign(&keypairs).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_keccak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keccak256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| std::hint::black_box(keccak256(std::hint::black_box(&data))))
+        });
+        group.bench_function(format!("sha256_reference/{size}B"), |b| {
+            b.iter(|| std::hint::black_box(sha256(std::hint::black_box(&data))))
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_graph_structure, bench_leader_selection, bench_multisign, bench_keccak
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench backing Figure 10 (experiment E1): end-to-end swap
+//! execution, Herlihy vs AC3WN, at two graph diameters. The measured
+//! quantity here is wall-clock simulation cost; the figure itself (latency
+//! in Δ units) is produced by the `fig10_latency` binary — this bench keeps
+//! the protocol drivers honest about their own overhead and provides a
+//! regression guard.
+
+use ac3_core::scenario::{ring_scenario, ScenarioConfig};
+use ac3_core::{Ac3wn, Herlihy, ProtocolConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn protocol_cfg() -> ProtocolConfig {
+    ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() }
+}
+
+fn bench_swap_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swap_execution");
+    group.sample_size(10);
+    for diameter in [2usize, 4] {
+        group.bench_function(format!("herlihy/diam{diameter}"), |b| {
+            b.iter_batched(
+                || ring_scenario(diameter, 10, &ScenarioConfig::default()),
+                |mut s| {
+                    let report = Herlihy::new(protocol_cfg()).execute(&mut s).unwrap();
+                    assert!(report.is_atomic());
+                    std::hint::black_box(report.latency_in_deltas())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("ac3wn/diam{diameter}"), |b| {
+            b.iter_batched(
+                || ring_scenario(diameter, 10, &ScenarioConfig::default()),
+                |mut s| {
+                    let report = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+                    assert!(report.is_atomic());
+                    std::hint::black_box(report.latency_in_deltas())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_swap_execution
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench backing Table 1 / Section 6.4 and the Section 4.3
+//! ablation: per-chain block production at the Table 1 throughput caps, and
+//! the relative cost of the three cross-chain validation strategies.
+
+use ac3_chain::{Address, ChainParams, TxBuilder};
+use ac3_core::{validate_tx, ValidationStrategy};
+use ac3_crypto::KeyPair;
+use ac3_sim::World;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn addr(seed: &[u8]) -> Address {
+    Address::from(KeyPair::from_seed(seed).public())
+}
+
+fn bench_block_production(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_block_production");
+    group.sample_size(10);
+    for params in ChainParams::table1() {
+        let name = params.name.clone();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut p = params.clone();
+                    p.block_interval_ms = 10_000; // scaled-down interval, same per-block budget
+                    let alice = addr(b"alice");
+                    let mut world = World::new();
+                    let chain = world.add_chain(p, &[(alice, 10_000_000)]);
+                    (world, chain)
+                },
+                |(mut world, _chain)| {
+                    world.advance(60_000);
+                    std::hint::black_box(world.now())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation_strategies(c: &mut Criterion) {
+    // One world, one buried payment; benchmark each Section 4.3 strategy.
+    let alice = addr(b"alice");
+    let bob = addr(b"bob");
+    let mut world = World::new();
+    let mut params = ChainParams::test("validated");
+    params.block_interval_ms = 1_000;
+    params.stable_depth = 6;
+    let chain = world.add_chain(params, &[(alice, 1_000)]);
+    let anchor = world.anchor(chain).unwrap();
+    let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+    let (inputs, outputs) = world.chain(chain).unwrap().plan_payment(&alice, &bob, 10, 1).unwrap();
+    let txid = world.submit(chain, builder.transfer(inputs, outputs, 1)).unwrap();
+    world.advance(30_000);
+
+    let mut group = c.benchmark_group("sec43_validation");
+    group.sample_size(15);
+    for strategy in ValidationStrategy::all() {
+        group.bench_function(strategy.to_string(), |b| {
+            b.iter(|| {
+                let report = validate_tx(&world, strategy, chain, txid, &anchor, 6).unwrap();
+                assert!(report.valid);
+                std::hint::black_box(report.cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_block_production, bench_validation_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figures 8 and 9: per-phase timelines of one AC2T under Herlihy's
+//! protocol (sequential deploy then sequential redeem — Figure 8) and under
+//! AC3WN (four constant-length phases — Figure 9). Event times are printed
+//! in Δ units relative to the start of the swap.
+
+use ac3_bench::{f2, print_json_rows, print_table};
+use ac3_core::scenario::{ring_scenario, ScenarioConfig};
+use ac3_core::{Ac3wn, Herlihy, ProtocolConfig, SwapReport};
+use ac3_sim::EventKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TimelineRow {
+    protocol: String,
+    event: String,
+    at_delta: f64,
+}
+
+fn describe(kind: &EventKind) -> String {
+    match kind {
+        EventKind::GraphSigned => "graph multisigned".to_string(),
+        EventKind::WitnessRegistered => "witness contract SC_w registered".to_string(),
+        EventKind::ContractSubmitted { chain, .. } => format!("contract submitted on {chain}"),
+        EventKind::ContractPublished { chain, .. } => format!("contract published on {chain}"),
+        EventKind::DecisionReached { commit } => {
+            format!("decision reached: {}", if *commit { "commit (RDauth)" } else { "abort (RFauth)" })
+        }
+        EventKind::ContractRedeemed { chain, .. } => format!("contract redeemed on {chain}"),
+        EventKind::ContractRefunded { chain, .. } => format!("contract refunded on {chain}"),
+        EventKind::Note(n) => n.clone(),
+    }
+}
+
+fn rows_for(report: &SwapReport, label: &str) -> Vec<TimelineRow> {
+    report
+        .timeline
+        .events()
+        .iter()
+        .map(|e| TimelineRow {
+            protocol: label.to_string(),
+            event: describe(&e.kind),
+            at_delta: (e.at.saturating_sub(report.started_at)) as f64 / report.delta_ms as f64,
+        })
+        .collect()
+}
+
+fn main() {
+    let participants: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let cfg = ScenarioConfig::default();
+    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+
+    let mut herlihy_scenario = ring_scenario(participants, 10, &cfg);
+    let herlihy = Herlihy::new(protocol_cfg.clone()).execute(&mut herlihy_scenario).expect("herlihy");
+
+    let mut ac3wn_scenario = ring_scenario(participants, 10, &cfg);
+    let ac3wn = Ac3wn::new(protocol_cfg).execute(&mut ac3wn_scenario).expect("ac3wn");
+
+    let mut rows = rows_for(&herlihy, "Herlihy (Figure 8)");
+    rows.extend(rows_for(&ac3wn, "AC3WN (Figure 9)"));
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.protocol.clone(), f2(r.at_delta), r.event.clone()])
+        .collect();
+    print_table(
+        &format!("Figures 8 & 9: phase timeline for a {participants}-contract AC2T (times in Δ)"),
+        &["protocol", "t (Δ)", "event"],
+        &table,
+    );
+    println!(
+        "\nHerlihy total: {:.2}Δ (sequential waves); AC3WN total: {:.2}Δ (four parallel phases).",
+        herlihy.latency_in_deltas(),
+        ac3wn.latency_in_deltas()
+    );
+    print_json_rows("fig8_9_timeline", &rows);
+}

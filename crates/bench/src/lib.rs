@@ -1,0 +1,91 @@
+//! # ac3-bench
+//!
+//! The evaluation harness: one binary per table/figure of the paper (run
+//! with `cargo run -p ac3-bench --bin <name> --release`) plus Criterion
+//! micro-benchmarks of the substrates (`cargo bench -p ac3-bench`).
+//!
+//! Every binary prints a human-readable table and, after a `--- json ---`
+//! separator, one JSON object per row so EXPERIMENTS.md can be regenerated
+//! mechanically.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig10_latency` | Figure 10 — swap latency vs graph diameter (model + measured) |
+//! | `fig8_9_timeline` | Figures 8 & 9 — per-phase timelines of Herlihy vs AC3WN |
+//! | `sec62_cost` | Section 6.2 — monetary cost overhead vs number of contracts |
+//! | `sec63_witness_choice` | Section 6.3 — required burial depth vs asset value |
+//! | `sec63_attack` | Section 6.3 — the 51% fork attack, executed against the simulator |
+//! | `table1_throughput` | Table 1 + Section 6.4 — AC2T throughput bounded by the slowest chain |
+//! | `atomicity_failures` | Section 1 / Lemma 5.1 — atomicity under crash faults (E6) |
+//! | `fig7_complex_graphs` | Figure 7 / Section 5.3 — cyclic & disconnected graphs (E7) |
+//! | `sec52_scalability` | Section 5.2 — concurrent AC2Ts vs number of witness networks (E8) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Print a row-oriented text table with a title and aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{h:<width$}", width = widths[i])).collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Emit one JSON object per row after a `--- json ---` marker.
+pub fn print_json_rows<T: Serialize>(experiment: &str, rows: &[T]) {
+    println!("\n--- json ---");
+    for row in rows {
+        let mut value = serde_json::to_value(row).expect("rows serialize");
+        if let Some(obj) = value.as_object_mut() {
+            obj.insert("experiment".to_string(), serde_json::Value::String(experiment.to_string()));
+        }
+        println!("{}", serde_json::to_string(&value).expect("rows serialize"));
+    }
+}
+
+/// Format a float with two decimals (keeps tables tidy).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        a: u64,
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table("t", &["col1", "c2"], &[vec!["1".into(), "long cell".into()]]);
+        print_json_rows("unit-test", &[Row { a: 1 }]);
+    }
+
+    #[test]
+    fn f2_formats_two_decimals() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f2(4.0), "4.00");
+    }
+}

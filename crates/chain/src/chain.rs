@@ -1,0 +1,820 @@
+//! The `Blockchain` façade: one simulated permissionless blockchain.
+//!
+//! Ties together the block store (fork tree + longest-chain rule), the
+//! mempool, the UTXO set, the contract VM and the chain parameters. Mining a
+//! block drains the mempool (up to the tps-derived budget), executes the
+//! transactions, seals the block and appends it; receiving a block from the
+//! network validates and inserts it, re-deriving the canonical state if the
+//! fork choice changed.
+//!
+//! State is always derived by replaying the canonical chain from genesis.
+//! Simulated chains are short (thousands of blocks at most), so replaying on
+//! reorg is simple and obviously correct — an intentional simplification over
+//! production chains, documented in DESIGN.md.
+
+use crate::block::{Block, BlockHeader};
+use crate::contracts::{CallContext, ContractRecord, DeployContext, VmError, VmHandle};
+use crate::mempool::{Mempool, MempoolError};
+use crate::params::{ChainParams, SealPolicy};
+use crate::store::{BlockStore, StoreError};
+use crate::transaction::{coinbase, Transaction, TxKind, TxOutput};
+use crate::types::{
+    Address, Amount, BlockHash, BlockHeight, ChainId, ContractId, OutPoint, Timestamp, TxId,
+};
+use crate::utxo::{UtxoError, UtxoSet};
+use ac3_crypto::MerkleProof;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced by chain operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// UTXO-level validation failed.
+    Utxo(UtxoError),
+    /// Contract execution failed.
+    Vm(VmError),
+    /// Structural block validation failed.
+    Store(StoreError),
+    /// Mempool admission failed.
+    Mempool(MempoolError),
+    /// A contract call tried to pay out more than the contract holds.
+    OverdrawnContract {
+        /// The offending contract.
+        contract: ContractId,
+        /// Value still locked.
+        locked: Amount,
+        /// Value the call attempted to release.
+        requested: Amount,
+    },
+    /// The referenced parent block is unknown (for fork mining).
+    UnknownBlock(BlockHash),
+    /// Proof-of-work sealing gave up before finding a valid nonce.
+    SealFailed,
+    /// The block references the wrong chain id.
+    WrongChain {
+        /// Expected chain id.
+        expected: ChainId,
+        /// Chain id found in the block.
+        got: ChainId,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Utxo(e) => write!(f, "utxo error: {e}"),
+            ChainError::Vm(e) => write!(f, "vm error: {e}"),
+            ChainError::Store(e) => write!(f, "store error: {e}"),
+            ChainError::Mempool(e) => write!(f, "mempool error: {e}"),
+            ChainError::OverdrawnContract { contract, locked, requested } => {
+                write!(f, "contract {contract} overdrawn: locked {locked}, requested {requested}")
+            }
+            ChainError::UnknownBlock(h) => write!(f, "unknown block {h}"),
+            ChainError::SealFailed => write!(f, "failed to seal block"),
+            ChainError::WrongChain { expected, got } => {
+                write!(f, "block for {got} submitted to {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<UtxoError> for ChainError {
+    fn from(e: UtxoError) -> Self {
+        ChainError::Utxo(e)
+    }
+}
+impl From<VmError> for ChainError {
+    fn from(e: VmError) -> Self {
+        ChainError::Vm(e)
+    }
+}
+impl From<StoreError> for ChainError {
+    fn from(e: StoreError) -> Self {
+        ChainError::Store(e)
+    }
+}
+impl From<MempoolError> for ChainError {
+    fn from(e: MempoolError) -> Self {
+        ChainError::Mempool(e)
+    }
+}
+
+/// The state derived from executing the canonical chain.
+#[derive(Debug, Clone, Default)]
+pub struct ChainState {
+    /// The unspent output set.
+    pub utxos: UtxoSet,
+    /// All deployed contracts.
+    pub contracts: BTreeMap<ContractId, ContractRecord>,
+    /// Total fees collected by miners so far.
+    pub fees_collected: Amount,
+}
+
+/// Evidence that a transaction is included in a specific block: the header
+/// plus a Merkle inclusion proof — the raw material of the Section 4.3
+/// light-client evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxInclusion {
+    /// Header of the block containing the transaction.
+    pub header: BlockHeader,
+    /// Merkle proof of the transaction's canonical bytes under
+    /// `header.tx_root`.
+    pub proof: MerkleProof,
+    /// How deep the block is buried under the current canonical tip.
+    pub depth: u64,
+}
+
+/// One simulated permissionless blockchain.
+pub struct Blockchain {
+    id: ChainId,
+    params: ChainParams,
+    vm: VmHandle,
+    store: BlockStore,
+    mempool: Mempool,
+    state: ChainState,
+}
+
+impl fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Blockchain")
+            .field("id", &self.id)
+            .field("name", &self.params.name)
+            .field("height", &self.store.best_height())
+            .field("mempool", &self.mempool.len())
+            .finish()
+    }
+}
+
+impl Blockchain {
+    /// Create a chain with a genesis block containing the given initial
+    /// asset allocations ("new bitcoins are generated and registered in the
+    /// blockchain through mining"; genesis allocations model pre-existing
+    /// balances).
+    pub fn new(
+        id: ChainId,
+        params: ChainParams,
+        vm: VmHandle,
+        genesis_allocations: &[(Address, Amount)],
+    ) -> Self {
+        let genesis_txs: Vec<Transaction> = genesis_allocations
+            .iter()
+            .enumerate()
+            .map(|(i, (addr, amount))| coinbase(*addr, *amount, i as u64))
+            .collect();
+        let header = BlockHeader {
+            chain: id,
+            parent: BlockHash::GENESIS_PARENT,
+            tx_root: Block::compute_tx_root(&genesis_txs),
+            height: 0,
+            timestamp: 0,
+            target: params.target(),
+            nonce: 0,
+        };
+        let genesis = Block { header, transactions: genesis_txs };
+        let mut chain = Blockchain {
+            id,
+            params,
+            vm,
+            store: BlockStore::new(),
+            mempool: Mempool::new(),
+            state: ChainState::default(),
+        };
+        let sealed = chain.seal(genesis).expect("genesis seals");
+        chain.store.insert(sealed).expect("genesis inserts");
+        chain.recompute_state();
+        chain
+    }
+
+    /// The chain id.
+    pub fn id(&self) -> ChainId {
+        self.id
+    }
+
+    /// The chain parameters.
+    pub fn params(&self) -> &ChainParams {
+        &self.params
+    }
+
+    /// The contract VM handle.
+    pub fn vm(&self) -> &VmHandle {
+        &self.vm
+    }
+
+    /// Height of the canonical tip.
+    pub fn height(&self) -> BlockHeight {
+        self.store.best_height().unwrap_or(0)
+    }
+
+    /// Hash of the canonical tip.
+    pub fn tip(&self) -> BlockHash {
+        self.store.best_tip().expect("chain always has a genesis")
+    }
+
+    /// Header of the canonical tip.
+    pub fn tip_header(&self) -> BlockHeader {
+        self.store.header(&self.tip()).expect("tip exists")
+    }
+
+    /// The underlying block store (read-only).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// The currently derived canonical state (read-only).
+    pub fn state(&self) -> &ChainState {
+        &self.state
+    }
+
+    /// Number of pending transactions.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Balance of an address on the canonical chain.
+    pub fn balance_of(&self, address: &Address) -> Amount {
+        self.state.utxos.balance_of(address)
+    }
+
+    /// Select unspent outputs of `address` covering `amount`.
+    pub fn select_inputs(&self, address: &Address, amount: Amount) -> Option<(Vec<OutPoint>, Amount)> {
+        self.state.utxos.select_inputs(address, amount)
+    }
+
+    /// Submit a transaction to the mempool.
+    pub fn submit(&mut self, tx: Transaction) -> Result<TxId, ChainError> {
+        Ok(self.mempool.submit(tx)?)
+    }
+
+    /// Look up a deployed contract on the canonical chain.
+    pub fn contract(&self, id: &ContractId) -> Option<&ContractRecord> {
+        self.state.contracts.get(id)
+    }
+
+    /// The VM state tag of a contract plus the burial depth of its last
+    /// state change — exactly what [`ac3_crypto::StateLock`] verification
+    /// needs.
+    pub fn contract_state_with_depth(&self, id: &ContractId) -> Option<(String, u64)> {
+        let record = self.contract(id)?;
+        let tag = self.vm.state_tag(&record.state)?;
+        let depth = self.height().saturating_sub(record.last_update);
+        Some((tag, depth))
+    }
+
+    /// Confirmations of a transaction: depth of its containing block, or
+    /// `None` if it is not on the canonical chain.
+    pub fn tx_depth(&self, txid: &TxId) -> Option<u64> {
+        let (block_hash, _) = self.store.find_canonical_tx(txid)?;
+        self.store.depth_of(&block_hash)
+    }
+
+    /// Whether a transaction is buried under the chain's stable depth.
+    pub fn tx_is_stable(&self, txid: &TxId) -> bool {
+        self.tx_depth(txid).is_some_and(|d| d >= self.params.stable_depth)
+    }
+
+    /// Produce SPV inclusion evidence for a canonical transaction.
+    pub fn tx_inclusion(&self, txid: &TxId) -> Option<TxInclusion> {
+        let (block_hash, index) = self.store.find_canonical_tx(txid)?;
+        let block = self.store.get(&block_hash)?;
+        let proof = block.tx_tree().prove(index)?;
+        let depth = self.store.depth_of(&block_hash)?;
+        Some(TxInclusion { header: block.header, proof, depth })
+    }
+
+    /// Canonical headers strictly after the given block, oldest first
+    /// (Section 4.3 header-relay evidence).
+    pub fn headers_since(&self, from: &BlockHash) -> Option<Vec<BlockHeader>> {
+        self.store.headers_since(from)
+    }
+
+    /// The canonical block currently buried under at least the chain's
+    /// stable depth (the "stable block" a validator contract stores,
+    /// Section 4.3).
+    pub fn stable_block_hash(&self) -> BlockHash {
+        let height = self.height().saturating_sub(self.params.stable_depth);
+        self.store
+            .canonical_block_at_height(height)
+            .expect("stable height always exists")
+    }
+
+    // ------------------------------------------------------------------
+    // Mining
+    // ------------------------------------------------------------------
+
+    /// Mine a block on the canonical tip at simulated time `now`, draining
+    /// the mempool up to the per-block budget. Invalid pending transactions
+    /// are dropped silently (as real miners do).
+    pub fn mine_block(&mut self, miner: Address, now: Timestamp) -> Result<Block, ChainError> {
+        let tip = self.tip();
+        self.mine_block_on(tip, miner, now)
+    }
+
+    /// Mine a block on an explicit parent — used to create forks
+    /// deliberately (fault injection, Section 6.3 attack experiments).
+    pub fn mine_block_on(
+        &mut self,
+        parent: BlockHash,
+        miner: Address,
+        now: Timestamp,
+    ) -> Result<Block, ChainError> {
+        let parent_header = self.store.header(&parent).ok_or(ChainError::UnknownBlock(parent))?;
+        let height = parent_header.height + 1;
+
+        // Execute candidate transactions against the state as of `parent`.
+        let mut scratch = self.state_at(&parent)?;
+        let budget = self.params.max_txs_per_block();
+        let mut included = Vec::new();
+        let mut fees: Amount = 0;
+        for tx in self.mempool.select(budget * 2) {
+            if included.len() >= budget {
+                break;
+            }
+            match Self::execute_tx(&self.vm, self.id, &mut scratch, &tx, height, now) {
+                Ok(()) => {
+                    fees += tx.fee;
+                    included.push(tx);
+                }
+                Err(_) => {
+                    // Leave it in the mempool: it may become valid later
+                    // (e.g. the funding transaction has not been mined yet).
+                }
+            }
+        }
+
+        let mut transactions = vec![coinbase(miner, self.params.block_reward + fees, height)];
+        transactions.extend(included);
+
+        let header = BlockHeader {
+            chain: self.id,
+            parent,
+            tx_root: Block::compute_tx_root(&transactions),
+            height,
+            timestamp: now,
+            target: self.params.target(),
+            nonce: 0,
+        };
+        let block = self.seal(Block { header, transactions })?;
+        self.accept_block(block.clone())?;
+        Ok(block)
+    }
+
+    /// Seal a block according to the chain's seal policy.
+    fn seal(&self, mut block: Block) -> Result<Block, ChainError> {
+        match self.params.seal {
+            SealPolicy::Instant => Ok(block),
+            SealPolicy::ProofOfWork { .. } => {
+                // Bounded nonce search; difficulties used in tests/benches
+                // are small enough that this always succeeds quickly.
+                const MAX_ITERS: u64 = 50_000_000;
+                for nonce in 0..MAX_ITERS {
+                    block.header.nonce = nonce;
+                    if block.header.meets_target() {
+                        return Ok(block);
+                    }
+                }
+                Err(ChainError::SealFailed)
+            }
+        }
+    }
+
+    /// Accept a block produced locally or received from the network:
+    /// validate it statefully, insert it and update the canonical state.
+    pub fn accept_block(&mut self, block: Block) -> Result<BlockHash, ChainError> {
+        if block.header.chain != self.id {
+            return Err(ChainError::WrongChain { expected: self.id, got: block.header.chain });
+        }
+        // Stateful validation against the parent's state; genesis blocks are
+        // only produced by the constructor.
+        let mut scratch = self.state_at(&block.header.parent)?;
+        for tx in &block.transactions {
+            Self::execute_tx(
+                &self.vm,
+                self.id,
+                &mut scratch,
+                tx,
+                block.header.height,
+                block.header.timestamp,
+            )?;
+        }
+        let hash = self.store.insert(block.clone())?;
+        self.mempool.remove_all(block.transactions.iter());
+        self.recompute_state();
+        Ok(hash)
+    }
+
+    // ------------------------------------------------------------------
+    // State derivation
+    // ------------------------------------------------------------------
+
+    /// Recompute the canonical state by replaying the canonical chain.
+    fn recompute_state(&mut self) {
+        let mut state = ChainState::default();
+        let blocks: Vec<Block> = self.store.canonical_blocks().cloned().collect();
+        for block in blocks {
+            for tx in &block.transactions {
+                // Canonical blocks were validated on acceptance; execution
+                // here cannot fail. If it somehow does, the chain state is
+                // the replay prefix — an internal invariant violation we
+                // surface loudly in debug builds.
+                let result = Self::execute_tx(
+                    &self.vm,
+                    self.id,
+                    &mut state,
+                    tx,
+                    block.header.height,
+                    block.header.timestamp,
+                );
+                debug_assert!(result.is_ok(), "canonical replay failed: {result:?}");
+            }
+        }
+        self.state = state;
+    }
+
+    /// Derive the state as of (and including) the block `at` by replaying
+    /// the branch from genesis to `at`.
+    fn state_at(&self, at: &BlockHash) -> Result<ChainState, ChainError> {
+        // Collect the branch from `at` back to genesis.
+        let mut branch = Vec::new();
+        let mut cursor = *at;
+        loop {
+            let block = self.store.get(&cursor).ok_or(ChainError::UnknownBlock(cursor))?;
+            branch.push(block.clone());
+            if block.header.is_genesis() {
+                break;
+            }
+            cursor = block.header.parent;
+        }
+        branch.reverse();
+
+        let mut state = ChainState::default();
+        for block in &branch {
+            for tx in &block.transactions {
+                Self::execute_tx(
+                    &self.vm,
+                    self.id,
+                    &mut state,
+                    tx,
+                    block.header.height,
+                    block.header.timestamp,
+                )?;
+            }
+        }
+        Ok(state)
+    }
+
+    /// Execute one transaction against `state`.
+    fn execute_tx(
+        vm: &VmHandle,
+        chain: ChainId,
+        state: &mut ChainState,
+        tx: &Transaction,
+        height: BlockHeight,
+        now: Timestamp,
+    ) -> Result<(), ChainError> {
+        if !tx.signature_valid() {
+            return Err(ChainError::Utxo(UtxoError::MissingSender));
+        }
+        match &tx.kind {
+            TxKind::Transfer { .. } | TxKind::Coinbase { .. } => {
+                state.utxos.apply(tx)?;
+            }
+            TxKind::Deploy { locked_value, payload, .. } => {
+                state.utxos.apply(tx)?;
+                let sender = tx.sender.expect("deploy has sender");
+                let contract_id = ContractId(tx.id().0);
+                let ctx = DeployContext {
+                    chain,
+                    sender,
+                    value: *locked_value,
+                    contract: contract_id,
+                    height,
+                    now,
+                };
+                let initial_state = vm.deploy(&ctx, payload)?;
+                state.contracts.insert(
+                    contract_id,
+                    ContractRecord {
+                        id: contract_id,
+                        owner: sender,
+                        state: initial_state,
+                        locked_value: *locked_value,
+                        deployed_at: height,
+                        last_update: height,
+                    },
+                );
+            }
+            TxKind::Call { contract, payload } => {
+                state.utxos.apply(tx)?;
+                let sender = tx.sender.expect("call has sender");
+                let record = state
+                    .contracts
+                    .get(contract)
+                    .ok_or(ChainError::Vm(VmError::UnknownContract(*contract)))?
+                    .clone();
+                let ctx = CallContext { chain, sender, contract: *contract, height, now };
+                let outcome = vm.call(&ctx, &record.state, payload)?;
+
+                let requested: Amount = outcome.payouts.iter().map(|p| p.amount).sum();
+                if requested > record.locked_value {
+                    return Err(ChainError::OverdrawnContract {
+                        contract: *contract,
+                        locked: record.locked_value,
+                        requested,
+                    });
+                }
+                let call_txid = tx.id();
+                for (seq, payout) in outcome.payouts.iter().enumerate() {
+                    state.utxos.credit_contract_payout(call_txid, seq as u32, payout.to, payout.amount);
+                }
+                let updated = ContractRecord {
+                    state: outcome.new_state,
+                    locked_value: record.locked_value - requested,
+                    last_update: height,
+                    ..record
+                };
+                state.contracts.insert(*contract, updated);
+            }
+        }
+        state.fees_collected += tx.fee;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience transaction constructors used by the simulation layer
+    // ------------------------------------------------------------------
+
+    /// Build the outputs of a simple payment of `amount` from funds owned by
+    /// `from`, returning `(inputs, outputs)` including change, or `None` if
+    /// the balance is insufficient to also cover `fee`.
+    pub fn plan_payment(
+        &self,
+        from: &Address,
+        to: &Address,
+        amount: Amount,
+        fee: Amount,
+    ) -> Option<(Vec<OutPoint>, Vec<TxOutput>)> {
+        let (inputs, total) = self.state.utxos.select_inputs(from, amount + fee)?;
+        let mut outputs = vec![TxOutput::new(*to, amount)];
+        let change = total - amount - fee;
+        if change > 0 {
+            outputs.push(TxOutput::new(*from, change));
+        }
+        Some((inputs, outputs))
+    }
+
+    /// Plan the funding side of a contract deployment that locks
+    /// `locked_value`, returning `(inputs, change_outputs)`.
+    pub fn plan_deploy(
+        &self,
+        from: &Address,
+        locked_value: Amount,
+        fee: Amount,
+    ) -> Option<(Vec<OutPoint>, Vec<TxOutput>)> {
+        let (inputs, total) = self.state.utxos.select_inputs(from, locked_value + fee)?;
+        let change = total - locked_value - fee;
+        let change_outputs =
+            if change > 0 { vec![TxOutput::new(*from, change)] } else { Vec::new() };
+        Some((inputs, change_outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contracts::EchoVm;
+    use crate::transaction::TxBuilder;
+    use ac3_crypto::KeyPair;
+    use std::sync::Arc;
+
+    fn addr(seed: &[u8]) -> Address {
+        Address::from(KeyPair::from_seed(seed).public())
+    }
+
+    fn test_chain(allocs: &[(Address, Amount)]) -> Blockchain {
+        Blockchain::new(ChainId(0), ChainParams::test("test"), Arc::new(EchoVm), allocs)
+    }
+
+    #[test]
+    fn genesis_allocations_are_spendable() {
+        let alice = addr(b"alice");
+        let chain = test_chain(&[(alice, 100)]);
+        assert_eq!(chain.balance_of(&alice), 100);
+        assert_eq!(chain.height(), 0);
+    }
+
+    #[test]
+    fn mine_transfer_and_check_balances() {
+        let alice = addr(b"alice");
+        let bob = addr(b"bob");
+        let miner = addr(b"miner");
+        let mut chain = test_chain(&[(alice, 100)]);
+
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) = chain.plan_payment(&alice, &bob, 40, 1).unwrap();
+        chain.submit(builder.transfer(inputs, outputs, 1)).unwrap();
+        chain.mine_block(miner, 1_000).unwrap();
+
+        assert_eq!(chain.balance_of(&bob), 40);
+        assert_eq!(chain.balance_of(&alice), 59);
+        // Miner gets the block reward plus the fee.
+        assert_eq!(chain.balance_of(&miner), chain.params().block_reward + 1);
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.mempool_len(), 0);
+    }
+
+    #[test]
+    fn insufficiently_funded_tx_stays_pending() {
+        let alice = addr(b"alice");
+        let bob = addr(b"bob");
+        let miner = addr(b"miner");
+        let mut chain = test_chain(&[(alice, 10)]);
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        // Manually craft a transfer spending an output that does not exist.
+        let fake_input = OutPoint::new(TxId(ac3_crypto::Hash256::digest(b"nope")), 0);
+        let tx = builder.transfer(vec![fake_input], vec![TxOutput::new(bob, 5)], 0);
+        chain.submit(tx).unwrap();
+        chain.mine_block(miner, 1_000).unwrap();
+        assert_eq!(chain.balance_of(&bob), 0);
+        assert_eq!(chain.mempool_len(), 1, "invalid tx left pending");
+    }
+
+    #[test]
+    fn deploy_and_call_contract_with_payout() {
+        let alice = addr(b"alice");
+        let bob = addr(b"bob");
+        let miner = addr(b"miner");
+        let mut chain = test_chain(&[(alice, 100), (bob, 10)]);
+        let mut alice_b = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let mut bob_b = TxBuilder::new(KeyPair::from_seed(b"bob"), 0);
+
+        // Alice deploys a contract locking 60.
+        let (inputs, change) = chain.plan_deploy(&alice, 60, 2).unwrap();
+        let deploy = alice_b.deploy(inputs, 60, change, b"locked".to_vec(), 2);
+        let contract_id = ContractId(deploy.id().0);
+        chain.submit(deploy).unwrap();
+        chain.mine_block(miner, 1_000).unwrap();
+
+        let record = chain.contract(&contract_id).expect("deployed");
+        assert_eq!(record.locked_value, 60);
+        assert_eq!(chain.balance_of(&alice), 100 - 60 - 2);
+        assert_eq!(chain.contract_state_with_depth(&contract_id).unwrap().0, "locked");
+
+        // Bob calls the contract to receive the payout.
+        let call = bob_b.call(contract_id, b"payout:60".to_vec(), 1);
+        chain.submit(call).unwrap();
+        chain.mine_block(miner, 2_000).unwrap();
+
+        // Contract-call transactions consume no UTXO inputs, so their fee is
+        // notional (tracked for the Section 6.2 cost model, not deducted
+        // from the caller's balance).
+        assert_eq!(chain.balance_of(&bob), 10 + 60);
+        assert_eq!(chain.contract(&contract_id).unwrap().locked_value, 0);
+        let (tag, depth) = chain.contract_state_with_depth(&contract_id).unwrap();
+        assert_eq!(tag, "spent");
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn contract_overdraw_is_rejected_and_tx_not_mined() {
+        let alice = addr(b"alice");
+        let miner = addr(b"miner");
+        let mut chain = test_chain(&[(alice, 100)]);
+        let mut alice_b = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+
+        let (inputs, change) = chain.plan_deploy(&alice, 10, 2).unwrap();
+        let deploy = alice_b.deploy(inputs, 10, change, b"locked".to_vec(), 2);
+        let contract_id = ContractId(deploy.id().0);
+        chain.submit(deploy).unwrap();
+        chain.mine_block(miner, 1_000).unwrap();
+
+        let call = alice_b.call(contract_id, b"payout:999".to_vec(), 1);
+        chain.submit(call).unwrap();
+        chain.mine_block(miner, 2_000).unwrap();
+        // The overdrawn call is not included; contract unchanged.
+        assert_eq!(chain.contract(&contract_id).unwrap().locked_value, 10);
+    }
+
+    #[test]
+    fn contract_depth_grows_with_blocks() {
+        let alice = addr(b"alice");
+        let miner = addr(b"miner");
+        let mut chain = test_chain(&[(alice, 100)]);
+        let mut alice_b = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, change) = chain.plan_deploy(&alice, 5, 2).unwrap();
+        let deploy = alice_b.deploy(inputs, 5, change, b"state0".to_vec(), 2);
+        let contract_id = ContractId(deploy.id().0);
+        chain.submit(deploy).unwrap();
+        chain.mine_block(miner, 1_000).unwrap();
+        for i in 0..4 {
+            chain.mine_block(miner, 2_000 + i).unwrap();
+        }
+        let (_, depth) = chain.contract_state_with_depth(&contract_id).unwrap();
+        assert_eq!(depth, 4);
+    }
+
+    #[test]
+    fn tx_inclusion_proof_verifies() {
+        let alice = addr(b"alice");
+        let bob = addr(b"bob");
+        let miner = addr(b"miner");
+        let mut chain = test_chain(&[(alice, 100)]);
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) = chain.plan_payment(&alice, &bob, 10, 1).unwrap();
+        let tx = builder.transfer(inputs, outputs, 1);
+        let txid = tx.id();
+        chain.submit(tx.clone()).unwrap();
+        chain.mine_block(miner, 1_000).unwrap();
+        chain.mine_block(miner, 2_000).unwrap();
+
+        let inclusion = chain.tx_inclusion(&txid).unwrap();
+        assert!(inclusion.proof.verify(&inclusion.header.tx_root, &tx.canonical_bytes()));
+        assert_eq!(inclusion.depth, 1);
+        assert_eq!(chain.tx_depth(&txid), Some(1));
+        assert!(!chain.tx_is_stable(&txid), "needs 6 confirmations");
+    }
+
+    #[test]
+    fn fork_and_reorg_switch_canonical_state() {
+        let alice = addr(b"alice");
+        let bob = addr(b"bob");
+        let miner = addr(b"miner");
+        let mut chain = test_chain(&[(alice, 100)]);
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+
+        // Height 1 on the main branch contains Alice's payment to Bob.
+        let (inputs, outputs) = chain.plan_payment(&alice, &bob, 30, 1).unwrap();
+        chain.submit(builder.transfer(inputs, outputs, 1)).unwrap();
+        let genesis = chain.tip();
+        chain.mine_block(miner, 1_000).unwrap();
+        assert_eq!(chain.balance_of(&bob), 30);
+
+        // Build a longer empty fork from genesis: the payment is reorged out.
+        chain.mine_block_on(genesis, miner, 1_500).unwrap();
+        let fork_tip = chain.tip_header();
+        // The fork of equal length may or may not win the tie; extend it so
+        // it is strictly longer and must win.
+        let fork_hash = if chain.balance_of(&bob) == 30 {
+            // main branch still canonical; find the fork tip among tips
+            chain
+                .store()
+                .tips()
+                .into_iter()
+                .find(|t| *t != chain.tip())
+                .unwrap_or_else(|| fork_tip.hash())
+        } else {
+            chain.tip()
+        };
+        chain.mine_block_on(fork_hash, miner, 2_000).unwrap();
+        assert_eq!(chain.height(), 2);
+        assert_eq!(chain.balance_of(&bob), 0, "payment reorged out");
+        assert_eq!(chain.balance_of(&alice), 100);
+    }
+
+    #[test]
+    fn wrong_chain_block_rejected() {
+        let alice = addr(b"alice");
+        let mut chain_a = test_chain(&[(alice, 100)]);
+        let chain_b = Blockchain::new(
+            ChainId(1),
+            ChainParams::test("other"),
+            Arc::new(EchoVm),
+            &[(alice, 100)],
+        );
+        let foreign_genesis = chain_b.store().get(&chain_b.tip()).unwrap().clone();
+        assert!(matches!(
+            chain_a.accept_block(foreign_genesis).unwrap_err(),
+            ChainError::WrongChain { .. }
+        ));
+    }
+
+    #[test]
+    fn headers_since_and_stable_block() {
+        let alice = addr(b"alice");
+        let miner = addr(b"miner");
+        let mut chain = test_chain(&[(alice, 100)]);
+        let genesis = chain.tip();
+        for i in 0..10u64 {
+            chain.mine_block(miner, 1_000 * (i + 1)).unwrap();
+        }
+        let headers = chain.headers_since(&genesis).unwrap();
+        assert_eq!(headers.len(), 10);
+        assert_eq!(headers.first().unwrap().height, 1);
+        // Stable block is 6 (stable_depth) behind the tip at height 10.
+        let stable = chain.stable_block_hash();
+        assert_eq!(chain.store().get(&stable).unwrap().header.height, 4);
+    }
+
+    #[test]
+    fn pow_sealing_produces_valid_blocks() {
+        let alice = addr(b"alice");
+        let miner = addr(b"miner");
+        let mut params = ChainParams::test("pow");
+        params.seal = SealPolicy::ProofOfWork { difficulty_bits: 8 };
+        let mut chain = Blockchain::new(ChainId(3), params, Arc::new(EchoVm), &[(alice, 10)]);
+        let block = chain.mine_block(miner, 1_000).unwrap();
+        assert!(block.header.meets_target());
+        assert!(block.hash().0.leading_zero_bits() >= 8);
+    }
+}

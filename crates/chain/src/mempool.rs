@@ -1,0 +1,254 @@
+//! The mempool: pending transactions waiting to be mined.
+//!
+//! End users "multicast their transaction messages to mining nodes" (Section
+//! 2.1); the mempool is where those messages wait. Miners drain it in fee
+//! order (highest first, FIFO within equal fees) up to the per-block
+//! transaction budget derived from the chain's tps cap.
+
+use crate::transaction::Transaction;
+use crate::types::{OutPoint, TxId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Reasons a transaction is refused admission to the mempool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MempoolError {
+    /// The transaction's signature is missing or invalid.
+    InvalidSignature(TxId),
+    /// The same transaction is already pending.
+    AlreadyPending(TxId),
+    /// Another pending transaction already spends one of the same inputs.
+    ConflictingInput(OutPoint),
+    /// Coinbase transactions cannot be submitted by users.
+    CoinbaseNotAllowed,
+}
+
+impl std::fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MempoolError::InvalidSignature(id) => write!(f, "invalid signature on {id}"),
+            MempoolError::AlreadyPending(id) => write!(f, "{id} already pending"),
+            MempoolError::ConflictingInput(op) => write!(f, "input {op} already spent by a pending tx"),
+            MempoolError::CoinbaseNotAllowed => write!(f, "coinbase transactions cannot be submitted"),
+        }
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+/// Priority key: higher fee first, then submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PriorityKey {
+    /// Negative fee so that the natural ascending order of the BTreeSet
+    /// yields the highest fee first.
+    neg_fee: i128,
+    seq: u64,
+}
+
+/// A pool of pending transactions.
+#[derive(Debug, Default)]
+pub struct Mempool {
+    txs: HashMap<TxId, Transaction>,
+    order: BTreeSet<(PriorityKey, TxId)>,
+    keys: HashMap<TxId, PriorityKey>,
+    /// Inputs claimed by pending transactions, to reject obvious
+    /// double-spends before they reach a block.
+    claimed_inputs: HashSet<OutPoint>,
+    next_seq: u64,
+}
+
+impl Mempool {
+    /// An empty mempool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Whether `txid` is pending.
+    pub fn contains(&self, txid: &TxId) -> bool {
+        self.txs.contains_key(txid)
+    }
+
+    /// Submit a transaction to the pool.
+    pub fn submit(&mut self, tx: Transaction) -> Result<TxId, MempoolError> {
+        if tx.is_coinbase() {
+            return Err(MempoolError::CoinbaseNotAllowed);
+        }
+        let txid = tx.id();
+        if !tx.signature_valid() {
+            return Err(MempoolError::InvalidSignature(txid));
+        }
+        if self.txs.contains_key(&txid) {
+            return Err(MempoolError::AlreadyPending(txid));
+        }
+        for input in tx.consumed_inputs() {
+            if self.claimed_inputs.contains(input) {
+                return Err(MempoolError::ConflictingInput(*input));
+            }
+        }
+        for input in tx.consumed_inputs() {
+            self.claimed_inputs.insert(*input);
+        }
+        let key = PriorityKey { neg_fee: -(tx.fee as i128), seq: self.next_seq };
+        self.next_seq += 1;
+        self.order.insert((key, txid));
+        self.keys.insert(txid, key);
+        self.txs.insert(txid, tx);
+        Ok(txid)
+    }
+
+    /// The highest-priority `limit` transactions, without removing them.
+    pub fn select(&self, limit: usize) -> Vec<Transaction> {
+        self.order
+            .iter()
+            .take(limit)
+            .map(|(_, txid)| self.txs[txid].clone())
+            .collect()
+    }
+
+    /// Remove a transaction (because it was mined or became invalid).
+    pub fn remove(&mut self, txid: &TxId) -> Option<Transaction> {
+        let tx = self.txs.remove(txid)?;
+        if let Some(key) = self.keys.remove(txid) {
+            self.order.remove(&(key, *txid));
+        }
+        for input in tx.consumed_inputs() {
+            self.claimed_inputs.remove(input);
+        }
+        Some(tx)
+    }
+
+    /// Remove every transaction included in a mined block.
+    pub fn remove_all<'a, I: IntoIterator<Item = &'a Transaction>>(&mut self, mined: I) {
+        for tx in mined {
+            self.remove(&tx.id());
+        }
+    }
+
+    /// Iterate all pending transactions in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.order.iter().map(move |(_, txid)| &self.txs[txid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{coinbase, TxBuilder, TxOutput};
+    use crate::types::{Address, OutPoint, TxId};
+    use ac3_crypto::{Hash256, KeyPair};
+
+    fn builder(seed: &[u8]) -> TxBuilder {
+        TxBuilder::new(KeyPair::from_seed(seed), 0)
+    }
+
+    fn outpoint(tag: u8) -> OutPoint {
+        OutPoint::new(TxId(Hash256::digest(&[tag])), 0)
+    }
+
+    #[test]
+    fn submit_and_select_by_fee() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        let bob = builder(b"bob").address();
+        let low = alice.transfer(vec![outpoint(1)], vec![TxOutput::new(bob, 1)], 1);
+        let high = alice.transfer(vec![outpoint(2)], vec![TxOutput::new(bob, 1)], 10);
+        let mid = alice.transfer(vec![outpoint(3)], vec![TxOutput::new(bob, 1)], 5);
+        pool.submit(low.clone()).unwrap();
+        pool.submit(high.clone()).unwrap();
+        pool.submit(mid.clone()).unwrap();
+
+        let selected = pool.select(2);
+        assert_eq!(selected[0].id(), high.id());
+        assert_eq!(selected[1].id(), mid.id());
+        assert_eq!(pool.len(), 3, "select does not remove");
+    }
+
+    #[test]
+    fn equal_fee_is_fifo() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        let first = alice.transfer(vec![outpoint(1)], vec![], 2);
+        let second = alice.transfer(vec![outpoint(2)], vec![], 2);
+        pool.submit(first.clone()).unwrap();
+        pool.submit(second.clone()).unwrap();
+        let selected = pool.select(10);
+        assert_eq!(selected[0].id(), first.id());
+        assert_eq!(selected[1].id(), second.id());
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        let tx = alice.transfer(vec![outpoint(1)], vec![], 1);
+        pool.submit(tx.clone()).unwrap();
+        assert_eq!(pool.submit(tx.clone()).unwrap_err(), MempoolError::AlreadyPending(tx.id()));
+    }
+
+    #[test]
+    fn conflicting_input_rejected() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        let tx1 = alice.transfer(vec![outpoint(1)], vec![], 1);
+        let tx2 = alice.transfer(vec![outpoint(1)], vec![], 9);
+        pool.submit(tx1).unwrap();
+        assert_eq!(
+            pool.submit(tx2).unwrap_err(),
+            MempoolError::ConflictingInput(outpoint(1))
+        );
+    }
+
+    #[test]
+    fn invalid_signature_rejected() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        let mut tx = alice.transfer(vec![outpoint(1)], vec![], 1);
+        tx.fee = 99; // breaks the signature
+        assert!(matches!(pool.submit(tx).unwrap_err(), MempoolError::InvalidSignature(_)));
+    }
+
+    #[test]
+    fn coinbase_rejected() {
+        let mut pool = Mempool::new();
+        let miner = Address::from(KeyPair::from_seed(b"miner").public());
+        assert_eq!(
+            pool.submit(coinbase(miner, 50, 0)).unwrap_err(),
+            MempoolError::CoinbaseNotAllowed
+        );
+    }
+
+    #[test]
+    fn remove_frees_claimed_inputs() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        let tx1 = alice.transfer(vec![outpoint(1)], vec![], 1);
+        let id1 = pool.submit(tx1.clone()).unwrap();
+        pool.remove(&id1).unwrap();
+        assert!(pool.is_empty());
+        // The input is free again.
+        let tx2 = alice.transfer(vec![outpoint(1)], vec![], 1);
+        assert!(pool.submit(tx2).is_ok());
+    }
+
+    #[test]
+    fn remove_all_clears_mined_transactions() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        let tx1 = alice.transfer(vec![outpoint(1)], vec![], 1);
+        let tx2 = alice.transfer(vec![outpoint(2)], vec![], 1);
+        pool.submit(tx1.clone()).unwrap();
+        pool.submit(tx2.clone()).unwrap();
+        pool.remove_all([&tx1]);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.contains(&tx2.id()));
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-chain configuration parameters.
+//!
+//! The paper's evaluation (Section 6) characterises each permissionless
+//! blockchain by a handful of numbers: its throughput in transactions per
+//! second (Table 1), its block interval (`dh` blocks per hour in Section
+//! 6.3), its fee schedule (`fd`, `ffc` in Section 6.2) and the confirmation
+//! depth `d` after which forks are considered negligible. [`ChainParams`]
+//! bundles exactly those knobs, with presets mirroring the paper's Table 1
+//! cryptocurrencies.
+
+use crate::types::Amount;
+use ac3_crypto::Hash256;
+use serde::{Deserialize, Serialize};
+
+/// How blocks are sealed by the simulated miners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SealPolicy {
+    /// Perform a bounded nonce search against the difficulty target, like a
+    /// real proof-of-work miner (used by PoW-focused tests and benches).
+    ProofOfWork {
+        /// Number of leading zero bits the block hash must have.
+        difficulty_bits: u32,
+    },
+    /// Seal instantly without searching. Block production timing is governed
+    /// entirely by the simulated block interval; used for protocol-level
+    /// simulations where PoW cycles are irrelevant.
+    Instant,
+}
+
+impl SealPolicy {
+    /// The proof-of-work target corresponding to this policy.
+    pub fn target(&self) -> Hash256 {
+        match self {
+            SealPolicy::Instant => Hash256::MAX,
+            SealPolicy::ProofOfWork { difficulty_bits } => {
+                let mut bytes = [0xffu8; 32];
+                let full_bytes = (*difficulty_bits / 8) as usize;
+                let rem_bits = *difficulty_bits % 8;
+                for b in bytes.iter_mut().take(full_bytes.min(32)) {
+                    *b = 0;
+                }
+                if full_bytes < 32 && rem_bits > 0 {
+                    bytes[full_bytes] = 0xff >> rem_bits;
+                }
+                Hash256::from_bytes(bytes)
+            }
+        }
+    }
+}
+
+/// Configuration of one simulated blockchain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainParams {
+    /// Human-readable name ("Bitcoin", "Ethereum", "Witness", ...).
+    pub name: String,
+    /// Average block interval in simulated milliseconds.
+    pub block_interval_ms: u64,
+    /// Maximum sustained throughput in transactions per second (Table 1).
+    /// Together with the block interval this caps the number of
+    /// transactions per block.
+    pub tps: u64,
+    /// Smart-contract deployment fee `fd` (Section 6.2), in asset units.
+    pub deploy_fee: Amount,
+    /// Smart-contract function-call fee `ffc` (Section 6.2), in asset units.
+    pub call_fee: Amount,
+    /// Plain transfer fee.
+    pub transfer_fee: Amount,
+    /// Block reward paid to the miner via the coinbase transaction.
+    pub block_reward: Amount,
+    /// The number of confirmations after which a block is considered stable
+    /// (`d`; e.g. 6 for Bitcoin, Section 4.2/6.3).
+    pub stable_depth: u64,
+    /// How blocks are sealed.
+    pub seal: SealPolicy,
+}
+
+impl ChainParams {
+    /// Maximum number of non-coinbase transactions allowed per block,
+    /// derived from the tps cap and the block interval.
+    pub fn max_txs_per_block(&self) -> usize {
+        let per_block = (self.tps as u128 * self.block_interval_ms as u128) / 1000;
+        (per_block.max(1)) as usize
+    }
+
+    /// Expected blocks per hour (`dh` in the Section 6.3 inequality).
+    pub fn blocks_per_hour(&self) -> f64 {
+        3_600_000.0 / self.block_interval_ms as f64
+    }
+
+    /// The PoW target for this chain.
+    pub fn target(&self) -> Hash256 {
+        self.seal.target()
+    }
+
+    /// A generic test chain: instant sealing, generous throughput.
+    pub fn test(name: &str) -> Self {
+        ChainParams {
+            name: name.to_string(),
+            block_interval_ms: 1_000,
+            tps: 1_000,
+            deploy_fee: 4,
+            call_fee: 2,
+            transfer_fee: 1,
+            block_reward: 50,
+            stable_depth: 6,
+            seal: SealPolicy::Instant,
+        }
+    }
+
+    /// Bitcoin-like parameters (Table 1: 7 tps; 6 blocks/hour; d = 6).
+    pub fn bitcoin_like() -> Self {
+        ChainParams {
+            name: "Bitcoin".to_string(),
+            block_interval_ms: 600_000,
+            tps: 7,
+            deploy_fee: 4,
+            call_fee: 2,
+            transfer_fee: 1,
+            block_reward: 625,
+            stable_depth: 6,
+            seal: SealPolicy::Instant,
+        }
+    }
+
+    /// Ethereum-like parameters (Table 1: 25 tps).
+    pub fn ethereum_like() -> Self {
+        ChainParams {
+            name: "Ethereum".to_string(),
+            block_interval_ms: 15_000,
+            tps: 25,
+            deploy_fee: 4,
+            call_fee: 2,
+            transfer_fee: 1,
+            block_reward: 2,
+            stable_depth: 12,
+            seal: SealPolicy::Instant,
+        }
+    }
+
+    /// Litecoin-like parameters (Table 1: 56 tps).
+    pub fn litecoin_like() -> Self {
+        ChainParams {
+            name: "Litecoin".to_string(),
+            block_interval_ms: 150_000,
+            tps: 56,
+            deploy_fee: 4,
+            call_fee: 2,
+            transfer_fee: 1,
+            block_reward: 12,
+            stable_depth: 6,
+            seal: SealPolicy::Instant,
+        }
+    }
+
+    /// Bitcoin-Cash-like parameters (Table 1: 61 tps).
+    pub fn bitcoin_cash_like() -> Self {
+        ChainParams {
+            name: "BitcoinCash".to_string(),
+            block_interval_ms: 600_000,
+            tps: 61,
+            deploy_fee: 4,
+            call_fee: 2,
+            transfer_fee: 1,
+            block_reward: 625,
+            stable_depth: 6,
+            seal: SealPolicy::Instant,
+        }
+    }
+
+    /// The paper's Table 1, in market-cap order.
+    pub fn table1() -> Vec<ChainParams> {
+        vec![
+            Self::bitcoin_like(),
+            Self::ethereum_like(),
+            Self::litecoin_like(),
+            Self::bitcoin_cash_like(),
+        ]
+    }
+}
+
+impl Default for ChainParams {
+    fn default() -> Self {
+        Self::test("test-chain")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_txs_per_block_respects_tps() {
+        let btc = ChainParams::bitcoin_like();
+        // 7 tps * 600 s = 4200 txs per block.
+        assert_eq!(btc.max_txs_per_block(), 4200);
+        let eth = ChainParams::ethereum_like();
+        // 25 tps * 15 s = 375 txs per block.
+        assert_eq!(eth.max_txs_per_block(), 375);
+    }
+
+    #[test]
+    fn max_txs_never_zero() {
+        let mut p = ChainParams::test("tiny");
+        p.tps = 1;
+        p.block_interval_ms = 1;
+        assert!(p.max_txs_per_block() >= 1);
+    }
+
+    #[test]
+    fn blocks_per_hour_matches_paper_bitcoin() {
+        let btc = ChainParams::bitcoin_like();
+        assert!((btc.blocks_per_hour() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_matches_paper_throughputs() {
+        let tps: Vec<u64> = ChainParams::table1().iter().map(|c| c.tps).collect();
+        assert_eq!(tps, vec![7, 25, 56, 61]);
+    }
+
+    #[test]
+    fn pow_target_has_requested_leading_zeros() {
+        let t = SealPolicy::ProofOfWork { difficulty_bits: 12 }.target();
+        assert_eq!(t.leading_zero_bits(), 12);
+        let instant = SealPolicy::Instant.target();
+        assert_eq!(instant, Hash256::MAX);
+    }
+
+    #[test]
+    fn pow_target_handles_byte_aligned_difficulty() {
+        let t = SealPolicy::ProofOfWork { difficulty_bits: 16 }.target();
+        assert_eq!(t.leading_zero_bits(), 16);
+    }
+}

@@ -1,0 +1,462 @@
+//! The block store: a tree of blocks with longest-chain fork choice.
+//!
+//! Permissionless chains fork; the paper's correctness argument (Lemma 5.3)
+//! and the depth parameter `d` both hinge on how forks are created and
+//! resolved. The store therefore keeps *every* block it has seen — not just
+//! the canonical chain — tracks all tips, and resolves forks with the
+//! longest-chain rule (ties broken by lowest hash, deterministically).
+
+use crate::block::{Block, BlockHeader};
+use crate::types::{BlockHash, BlockHeight, TxId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Errors raised when inserting blocks into the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The parent of the inserted block is unknown.
+    UnknownParent(BlockHash),
+    /// The block's height is not parent height + 1.
+    BadHeight {
+        /// The height carried by the block.
+        got: BlockHeight,
+        /// The height it should have had.
+        expected: BlockHeight,
+    },
+    /// A different block with the same hash is already stored.
+    DuplicateBlock(BlockHash),
+    /// The block's Merkle root does not match its transactions.
+    BadTxRoot(BlockHash),
+    /// The block header does not satisfy its proof-of-work target.
+    InsufficientWork(BlockHash),
+    /// A genesis block was inserted into a store that already has one.
+    DuplicateGenesis,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownParent(h) => write!(f, "unknown parent {h}"),
+            StoreError::BadHeight { got, expected } => {
+                write!(f, "bad height {got}, expected {expected}")
+            }
+            StoreError::DuplicateBlock(h) => write!(f, "duplicate block {h}"),
+            StoreError::BadTxRoot(h) => write!(f, "bad tx root in {h}"),
+            StoreError::InsufficientWork(h) => write!(f, "insufficient proof of work in {h}"),
+            StoreError::DuplicateGenesis => write!(f, "store already has a genesis block"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Summary information about one stored block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BlockEntry {
+    block: Block,
+    /// Cumulative chain length (number of blocks from genesis, inclusive).
+    chain_len: u64,
+}
+
+/// A tree of blocks with longest-chain fork choice.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    blocks: HashMap<BlockHash, BlockEntry>,
+    /// Children of each block, used to enumerate forks.
+    children: HashMap<BlockHash, Vec<BlockHash>>,
+    /// All current tips (blocks without children), kept sorted for
+    /// deterministic iteration.
+    tips: BTreeMap<BlockHash, ()>,
+    genesis: Option<BlockHash>,
+    /// The current canonical tip under the fork-choice rule.
+    best_tip: Option<BlockHash>,
+}
+
+impl BlockStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blocks stored (across all forks).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The genesis block hash, if a genesis has been inserted.
+    pub fn genesis(&self) -> Option<BlockHash> {
+        self.genesis
+    }
+
+    /// The canonical tip.
+    pub fn best_tip(&self) -> Option<BlockHash> {
+        self.best_tip
+    }
+
+    /// Height of the canonical tip.
+    pub fn best_height(&self) -> Option<BlockHeight> {
+        self.best_tip.and_then(|h| self.blocks.get(&h)).map(|e| e.block.header.height)
+    }
+
+    /// All current tips (canonical and fork tips).
+    pub fn tips(&self) -> Vec<BlockHash> {
+        self.tips.keys().copied().collect()
+    }
+
+    /// Fetch a block by hash.
+    pub fn get(&self, hash: &BlockHash) -> Option<&Block> {
+        self.blocks.get(hash).map(|e| &e.block)
+    }
+
+    /// Fetch a header by hash.
+    pub fn header(&self, hash: &BlockHash) -> Option<BlockHeader> {
+        self.get(hash).map(|b| b.header)
+    }
+
+    /// Whether `hash` is stored.
+    pub fn contains(&self, hash: &BlockHash) -> bool {
+        self.blocks.contains_key(hash)
+    }
+
+    /// Insert a block, performing structural validation (parent link,
+    /// height, Merkle root, proof of work). Stateful validation (UTXO and
+    /// contract execution) is the responsibility of
+    /// [`crate::chain::Blockchain`].
+    pub fn insert(&mut self, block: Block) -> Result<BlockHash, StoreError> {
+        let hash = block.hash();
+        if let Some(existing) = self.blocks.get(&hash) {
+            if existing.block == block {
+                return Ok(hash); // idempotent re-insert
+            }
+            return Err(StoreError::DuplicateBlock(hash));
+        }
+        if !block.tx_root_valid() {
+            return Err(StoreError::BadTxRoot(hash));
+        }
+        if !block.header.meets_target() {
+            return Err(StoreError::InsufficientWork(hash));
+        }
+
+        let chain_len = if block.header.is_genesis() {
+            if self.genesis.is_some() {
+                return Err(StoreError::DuplicateGenesis);
+            }
+            1
+        } else {
+            let parent = self
+                .blocks
+                .get(&block.header.parent)
+                .ok_or(StoreError::UnknownParent(block.header.parent))?;
+            let expected = parent.block.header.height + 1;
+            if block.header.height != expected {
+                return Err(StoreError::BadHeight { got: block.header.height, expected });
+            }
+            parent.chain_len + 1
+        };
+
+        if block.header.is_genesis() {
+            self.genesis = Some(hash);
+        } else {
+            self.children.entry(block.header.parent).or_default().push(hash);
+            self.tips.remove(&block.header.parent);
+        }
+        self.tips.insert(hash, ());
+        self.blocks.insert(hash, BlockEntry { block, chain_len });
+        self.update_best_tip();
+        Ok(hash)
+    }
+
+    /// Recompute the canonical tip: longest chain wins, ties broken by the
+    /// numerically smallest tip hash so every node converges on the same
+    /// choice.
+    fn update_best_tip(&mut self) {
+        self.best_tip = self
+            .tips
+            .keys()
+            .max_by(|a, b| {
+                let la = self.blocks[*a].chain_len;
+                let lb = self.blocks[*b].chain_len;
+                // Longest first; on equal length prefer the smaller hash
+                // (max_by keeps the "greater", so invert the hash ordering).
+                la.cmp(&lb).then_with(|| b.cmp(a))
+            })
+            .copied();
+    }
+
+    /// The canonical chain from genesis to the best tip (inclusive).
+    pub fn canonical_chain(&self) -> Vec<BlockHash> {
+        let mut chain = Vec::new();
+        let mut cursor = self.best_tip;
+        while let Some(hash) = cursor {
+            chain.push(hash);
+            let entry = &self.blocks[&hash];
+            cursor = if entry.block.header.is_genesis() {
+                None
+            } else {
+                Some(entry.block.header.parent)
+            };
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Whether `hash` lies on the canonical chain.
+    pub fn is_canonical(&self, hash: &BlockHash) -> bool {
+        let Some(entry) = self.blocks.get(hash) else { return false };
+        let height = entry.block.header.height;
+        self.canonical_block_at_height(height) == Some(*hash)
+    }
+
+    /// The canonical block at a given height, if the chain is that long.
+    pub fn canonical_block_at_height(&self, height: BlockHeight) -> Option<BlockHash> {
+        let best_height = self.best_height()?;
+        if height > best_height {
+            return None;
+        }
+        // Walk back from the tip; chains in the simulation are short enough
+        // that an index is unnecessary.
+        let mut cursor = self.best_tip?;
+        loop {
+            let entry = &self.blocks[&cursor];
+            if entry.block.header.height == height {
+                return Some(cursor);
+            }
+            if entry.block.header.is_genesis() {
+                return None;
+            }
+            cursor = entry.block.header.parent;
+        }
+    }
+
+    /// Number of blocks burying `hash` on the canonical chain: 0 for the
+    /// tip, `None` if the block is not canonical.
+    ///
+    /// This is the paper's depth `d`: a block "buried under d blocks".
+    pub fn depth_of(&self, hash: &BlockHash) -> Option<u64> {
+        if !self.is_canonical(hash) {
+            return None;
+        }
+        let height = self.blocks.get(hash)?.block.header.height;
+        Some(self.best_height()? - height)
+    }
+
+    /// Locate the canonical block containing `txid`, returning the block
+    /// hash and the transaction's index within the block.
+    pub fn find_canonical_tx(&self, txid: &TxId) -> Option<(BlockHash, usize)> {
+        for hash in self.canonical_chain() {
+            if let Some(idx) = self.blocks[&hash].block.find_tx(txid) {
+                return Some((hash, idx));
+            }
+        }
+        None
+    }
+
+    /// The canonical headers from (and excluding) `from` up to the tip, in
+    /// ascending height order. Returns `None` if `from` is not canonical.
+    /// This is the evidence payload of Section 4.3: "the headers of all the
+    /// blocks that follow the stored stable block".
+    pub fn headers_since(&self, from: &BlockHash) -> Option<Vec<BlockHeader>> {
+        if !self.is_canonical(from) {
+            return None;
+        }
+        let from_height = self.blocks.get(from)?.block.header.height;
+        let headers = self
+            .canonical_chain()
+            .into_iter()
+            .filter_map(|h| {
+                let header = self.blocks[&h].block.header;
+                (header.height > from_height).then_some(header)
+            })
+            .collect();
+        Some(headers)
+    }
+
+    /// Iterate canonical blocks in ascending height order.
+    pub fn canonical_blocks(&self) -> impl Iterator<Item = &Block> {
+        self.canonical_chain()
+            .into_iter()
+            .map(move |h| &self.blocks[&h].block)
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockHeader};
+    use crate::transaction::{coinbase, Transaction};
+    use crate::types::{Address, ChainId};
+    use ac3_crypto::{Hash256, KeyPair};
+
+    fn miner() -> Address {
+        Address::from(KeyPair::from_seed(b"miner").public())
+    }
+
+    fn make_block(parent: Option<&Block>, tag: u64, txs: Vec<Transaction>) -> Block {
+        let (parent_hash, height) = match parent {
+            Some(p) => (p.hash(), p.header.height + 1),
+            None => (BlockHash::GENESIS_PARENT, 0),
+        };
+        let mut transactions = vec![coinbase(miner(), 50, tag)];
+        transactions.extend(txs);
+        let header = BlockHeader {
+            chain: ChainId(0),
+            parent: parent_hash,
+            tx_root: Block::compute_tx_root(&transactions),
+            height,
+            timestamp: tag,
+            target: Hash256::MAX,
+            nonce: tag,
+        };
+        Block { header, transactions }
+    }
+
+    fn chain_of(len: usize) -> (BlockStore, Vec<Block>) {
+        let mut store = BlockStore::new();
+        let mut blocks = Vec::new();
+        for i in 0..len {
+            let block = make_block(blocks.last(), i as u64, vec![]);
+            store.insert(block.clone()).unwrap();
+            blocks.push(block);
+        }
+        (store, blocks)
+    }
+
+    #[test]
+    fn linear_chain_is_canonical() {
+        let (store, blocks) = chain_of(5);
+        assert_eq!(store.best_height(), Some(4));
+        assert_eq!(store.canonical_chain().len(), 5);
+        for b in &blocks {
+            assert!(store.is_canonical(&b.hash()));
+        }
+        assert_eq!(store.depth_of(&blocks[0].hash()), Some(4));
+        assert_eq!(store.depth_of(&blocks[4].hash()), Some(0));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut store = BlockStore::new();
+        let genesis = make_block(None, 0, vec![]);
+        let orphan = make_block(Some(&genesis), 1, vec![]);
+        assert_eq!(
+            store.insert(orphan).unwrap_err(),
+            StoreError::UnknownParent(genesis.hash())
+        );
+    }
+
+    #[test]
+    fn bad_height_rejected() {
+        let (mut store, blocks) = chain_of(2);
+        let mut bad = make_block(Some(&blocks[1]), 99, vec![]);
+        bad.header.height = 7;
+        bad.header.tx_root = Block::compute_tx_root(&bad.transactions);
+        assert_eq!(
+            store.insert(bad).unwrap_err(),
+            StoreError::BadHeight { got: 7, expected: 2 }
+        );
+    }
+
+    #[test]
+    fn bad_tx_root_rejected() {
+        let (mut store, blocks) = chain_of(1);
+        let mut bad = make_block(Some(&blocks[0]), 1, vec![]);
+        bad.header.tx_root = Hash256::digest(b"wrong");
+        assert_eq!(store.insert(bad.clone()).unwrap_err(), StoreError::BadTxRoot(bad.hash()));
+    }
+
+    #[test]
+    fn second_genesis_rejected() {
+        let (mut store, _) = chain_of(1);
+        let other_genesis = make_block(None, 42, vec![]);
+        assert_eq!(store.insert(other_genesis).unwrap_err(), StoreError::DuplicateGenesis);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let (mut store, blocks) = chain_of(3);
+        let len = store.len();
+        store.insert(blocks[1].clone()).unwrap();
+        assert_eq!(store.len(), len);
+    }
+
+    #[test]
+    fn longest_fork_wins() {
+        let (mut store, blocks) = chain_of(3);
+        // Fork from height 1: build a longer competing branch.
+        let f2 = make_block(Some(&blocks[1]), 100, vec![]);
+        let f3 = make_block(Some(&f2), 101, vec![]);
+        let f4 = make_block(Some(&f3), 102, vec![]);
+        store.insert(f2.clone()).unwrap();
+        assert_eq!(store.best_tip(), Some(blocks[2].hash()), "tie keeps deterministic choice");
+        store.insert(f3.clone()).unwrap();
+        store.insert(f4.clone()).unwrap();
+        assert_eq!(store.best_tip(), Some(f4.hash()));
+        assert!(store.is_canonical(&f2.hash()));
+        assert!(!store.is_canonical(&blocks[2].hash()));
+        // The abandoned block is no longer canonical so it has no depth.
+        assert_eq!(store.depth_of(&blocks[2].hash()), None);
+    }
+
+    #[test]
+    fn equal_length_fork_resolves_deterministically() {
+        let (mut store, blocks) = chain_of(2);
+        let a = make_block(Some(&blocks[1]), 7, vec![]);
+        let b = make_block(Some(&blocks[1]), 8, vec![]);
+        store.insert(a.clone()).unwrap();
+        store.insert(b.clone()).unwrap();
+        let expected = if a.hash() < b.hash() { a.hash() } else { b.hash() };
+        assert_eq!(store.best_tip(), Some(expected));
+        assert_eq!(store.tips().len(), 2);
+    }
+
+    #[test]
+    fn canonical_block_at_height_walks_best_branch() {
+        let (mut store, blocks) = chain_of(3);
+        let f2 = make_block(Some(&blocks[1]), 100, vec![]);
+        let f3 = make_block(Some(&f2), 101, vec![]);
+        store.insert(f2.clone()).unwrap();
+        store.insert(f3.clone()).unwrap();
+        assert_eq!(store.canonical_block_at_height(2), Some(f2.hash()));
+        assert_eq!(store.canonical_block_at_height(3), Some(f3.hash()));
+        assert_eq!(store.canonical_block_at_height(9), None);
+    }
+
+    #[test]
+    fn headers_since_returns_suffix() {
+        let (store, blocks) = chain_of(5);
+        let headers = store.headers_since(&blocks[1].hash()).unwrap();
+        assert_eq!(headers.len(), 3);
+        assert_eq!(headers[0].height, 2);
+        assert_eq!(headers[2].height, 4);
+        // Non-canonical / unknown start -> None.
+        assert!(store.headers_since(&BlockHash(Hash256::digest(b"nope"))).is_none());
+    }
+
+    #[test]
+    fn find_canonical_tx_locates_transactions() {
+        let (store, blocks) = chain_of(4);
+        let target = blocks[2].transactions[0].id();
+        let (hash, idx) = store.find_canonical_tx(&target).unwrap();
+        assert_eq!(hash, blocks[2].hash());
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn insufficient_work_rejected() {
+        let mut store = BlockStore::new();
+        let mut genesis = make_block(None, 0, vec![]);
+        genesis.header.target = Hash256::ZERO;
+        assert!(matches!(
+            store.insert(genesis).unwrap_err(),
+            StoreError::InsufficientWork(_)
+        ));
+    }
+}

@@ -1,0 +1,134 @@
+//! End-user wallets: a named identity (key pair) plus balance queries
+//! against the simulated multi-chain world.
+//!
+//! In the paper's system model (Section 2), end users "have identities,
+//! defined by their public keys, and signatures, generated using their
+//! private keys". A [`Wallet`] is that identity from the application's point
+//! of view: it derives the same deterministic key pair the simulation layer
+//! uses for a participant of the same name, so a wallet named `"alice"`
+//! controls the funds the scenario builders granted to the participant
+//! `"alice"`.
+
+use crate::negotiation::{SignatureShare, SwapProposal};
+use ac3_chain::{Address, Amount, ChainId};
+use ac3_crypto::{KeyPair, PublicKey};
+use ac3_sim::World;
+use std::collections::BTreeMap;
+
+/// A named end-user identity.
+#[derive(Debug, Clone)]
+pub struct Wallet {
+    name: String,
+    keypair: KeyPair,
+}
+
+impl Wallet {
+    /// Create a wallet whose key pair is derived deterministically from its
+    /// name — matching [`ac3_sim::Participant`]'s derivation, so the wallet
+    /// and the simulated participant of the same name are the same identity.
+    pub fn new(name: &str) -> Self {
+        Wallet { name: name.to_string(), keypair: KeyPair::from_seed(name.as_bytes()) }
+    }
+
+    /// Create a wallet from an explicit seed (for identities that are not
+    /// scenario participants, e.g. an exchange or an attacker).
+    pub fn from_seed(name: &str, seed: &[u8]) -> Self {
+        Wallet { name: name.to_string(), keypair: KeyPair::from_seed(seed) }
+    }
+
+    /// The wallet's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wallet's key pair.
+    pub fn keypair(&self) -> KeyPair {
+        self.keypair
+    }
+
+    /// The wallet's public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public()
+    }
+
+    /// The wallet's address (the same on every chain; identities are public
+    /// keys, Section 2.2).
+    pub fn address(&self) -> Address {
+        Address::from(self.keypair.public())
+    }
+
+    /// Contribute this wallet's signature share to a swap proposal (the
+    /// per-participant half of assembling `ms(D)`).
+    pub fn sign_proposal(&self, proposal: &SwapProposal) -> SignatureShare {
+        SignatureShare {
+            signer: self.public_key(),
+            signature: self.keypair.sign(&proposal.message()),
+        }
+    }
+
+    /// The wallet's balance on one chain.
+    pub fn balance_on(&self, world: &World, chain: ChainId) -> Amount {
+        world.chain(chain).map(|c| c.balance_of(&self.address())).unwrap_or(0)
+    }
+
+    /// The wallet's balances across the given chains.
+    pub fn balances(&self, world: &World, chains: &[ChainId]) -> BTreeMap<ChainId, Amount> {
+        chains.iter().map(|c| (*c, self.balance_on(world, *c))).collect()
+    }
+
+    /// The wallet's total balance over every chain in the world.
+    pub fn total_balance(&self, world: &World) -> Amount {
+        world.chain_ids().iter().map(|c| self.balance_on(world, *c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac3_core::scenario::{two_party_scenario, ScenarioConfig};
+
+    #[test]
+    fn wallet_matches_scenario_participant_identity() {
+        let s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let wallet = Wallet::new("alice");
+        let participant = s.participants.get("alice").unwrap();
+        assert_eq!(wallet.address(), participant.address());
+        assert_eq!(wallet.name(), "alice");
+    }
+
+    #[test]
+    fn balances_reflect_genesis_funding() {
+        let s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let wallet = Wallet::new("alice");
+        // Funded with 1 000 on every chain (2 asset chains + witness chain).
+        assert_eq!(wallet.balance_on(&s.world, s.asset_chains[0]), 1_000);
+        assert_eq!(wallet.total_balance(&s.world), 3_000);
+        let per_chain = wallet.balances(&s.world, &s.asset_chains);
+        assert_eq!(per_chain.len(), 2);
+        assert!(per_chain.values().all(|b| *b == 1_000));
+    }
+
+    #[test]
+    fn unknown_chain_reads_as_zero() {
+        let s = two_party_scenario(1, 1, &ScenarioConfig::default());
+        let wallet = Wallet::new("alice");
+        assert_eq!(wallet.balance_on(&s.world, ChainId(999)), 0);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_identities() {
+        let a = Wallet::new("alice");
+        let b = Wallet::from_seed("alice-backup", b"completely different entropy");
+        assert_ne!(a.address(), b.address());
+    }
+
+    #[test]
+    fn signature_share_verifies_against_the_proposal() {
+        let s = two_party_scenario(5, 6, &ScenarioConfig::default());
+        let proposal = SwapProposal::new(s.graph.clone());
+        let wallet = Wallet::new("alice");
+        let share = wallet.sign_proposal(&proposal);
+        assert_eq!(share.signer, wallet.public_key());
+        assert!(share.signer.verifies(&proposal.message(), &share.signature));
+    }
+}

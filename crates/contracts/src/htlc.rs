@@ -1,0 +1,233 @@
+//! Hashed timelock contracts (HTLCs) — the building block of Nolan's and
+//! Herlihy's atomic-swap protocols (Section 1 of the paper).
+//!
+//! An HTLC locks an asset behind two conditions:
+//!
+//! * **hashlock** — the recipient may redeem by presenting the preimage `s`
+//!   of the published hash `h = H(s)`;
+//! * **timelock** — once the timelock `t` expires, the sender may refund.
+//!
+//! The paper's critique of these protocols is precisely that the timelock
+//! couples liveness to safety: if the rightful redeemer crashes past `t`,
+//! the sender refunds and atomicity is violated. The simulation reproduces
+//! that behaviour faithfully (experiment E6).
+
+use crate::swap::{SwapCore, SwapPhase};
+use ac3_chain::{Address, Amount, Payout, Timestamp, VmError};
+use ac3_crypto::{CommitmentScheme, Hash256, Hashlock};
+use serde::{Deserialize, Serialize};
+
+/// Constructor payload for an HTLC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HtlcSpec {
+    /// The recipient allowed to redeem with the preimage.
+    pub recipient: Address,
+    /// The hashlock `h = H(s)`.
+    pub hashlock: Hash256,
+    /// The timelock: simulated time after which the sender may refund.
+    pub timelock: Timestamp,
+}
+
+/// Function-call payloads accepted by an HTLC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HtlcCall {
+    /// Redeem by revealing the hashlock preimage.
+    Redeem {
+        /// The claimed preimage `s`.
+        preimage: Vec<u8>,
+    },
+    /// Refund after the timelock expired.
+    Refund,
+}
+
+/// The on-chain state of an HTLC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HtlcState {
+    /// Shared template fields (sender, recipient, amount, phase).
+    pub core: SwapCore,
+    /// The hashlock.
+    pub hashlock: Hash256,
+    /// The timelock.
+    pub timelock: Timestamp,
+    /// The revealed preimage, if the contract has been redeemed. Crucial for
+    /// Nolan/Herlihy: redeeming on one chain reveals `s` to the counterparty
+    /// on the other chain.
+    pub revealed_preimage: Option<Vec<u8>>,
+}
+
+impl HtlcState {
+    /// Deploy (Algorithm 1 constructor specialised with a hashlock and a
+    /// timelock).
+    pub fn publish(sender: Address, amount: Amount, spec: &HtlcSpec) -> Self {
+        HtlcState {
+            core: SwapCore::publish(sender, spec.recipient, amount),
+            hashlock: spec.hashlock,
+            timelock: spec.timelock,
+            revealed_preimage: None,
+        }
+    }
+
+    /// `IsRedeemable`: the preimage must open the hashlock.
+    pub fn is_redeemable(&self, preimage: &[u8]) -> bool {
+        Hashlock::from_lock(self.hashlock).verify(&preimage.to_vec())
+    }
+
+    /// `IsRefundable`: the timelock must have expired.
+    pub fn is_refundable(&self, now: Timestamp) -> bool {
+        now >= self.timelock
+    }
+
+    /// Execute a redeem call from `caller` at simulated time `now`.
+    ///
+    /// Only the designated recipient may redeem (the paper's SC1 "transfer X
+    /// bitcoins *to Bob* if Bob provides s").
+    pub fn redeem(&mut self, caller: Address, preimage: Vec<u8>) -> Result<Payout, VmError> {
+        if caller != self.core.recipient {
+            return Err(VmError::Unauthorized(format!(
+                "only the recipient may redeem, caller {caller} is not {}",
+                self.core.recipient
+            )));
+        }
+        let ok = self.is_redeemable(&preimage);
+        let payout = self.core.redeem(ok)?;
+        self.revealed_preimage = Some(preimage);
+        Ok(payout)
+    }
+
+    /// Execute a refund call from `caller` at simulated time `now`.
+    ///
+    /// Only the original sender may refund, and only after the timelock.
+    pub fn refund(&mut self, caller: Address, now: Timestamp) -> Result<Payout, VmError> {
+        if caller != self.core.sender {
+            return Err(VmError::Unauthorized(format!(
+                "only the sender may refund, caller {caller} is not {}",
+                self.core.sender
+            )));
+        }
+        if !self.is_refundable(now) {
+            return Err(VmError::RequirementFailed(format!(
+                "timelock {} has not expired at time {now}",
+                self.timelock
+            )));
+        }
+        self.core.refund(true)
+    }
+
+    /// The contract phase.
+    pub fn phase(&self) -> SwapPhase {
+        self.core.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac3_crypto::KeyPair;
+    use proptest::prelude::*;
+
+    fn addr(seed: &[u8]) -> Address {
+        Address::from(KeyPair::from_seed(seed).public())
+    }
+
+    fn htlc(secret: &[u8], timelock: Timestamp) -> HtlcState {
+        let spec = HtlcSpec {
+            recipient: addr(b"bob"),
+            hashlock: Hashlock::from_secret(secret).lock,
+            timelock,
+        };
+        HtlcState::publish(addr(b"alice"), 100, &spec)
+    }
+
+    #[test]
+    fn recipient_redeems_with_correct_preimage() {
+        let mut c = htlc(b"secret", 10_000);
+        let payout = c.redeem(addr(b"bob"), b"secret".to_vec()).unwrap();
+        assert_eq!(payout.to, addr(b"bob"));
+        assert_eq!(payout.amount, 100);
+        assert_eq!(c.phase(), SwapPhase::Redeemed);
+        assert_eq!(c.revealed_preimage.as_deref(), Some(b"secret".as_slice()));
+    }
+
+    #[test]
+    fn wrong_preimage_rejected() {
+        let mut c = htlc(b"secret", 10_000);
+        assert!(c.redeem(addr(b"bob"), b"guess".to_vec()).is_err());
+        assert_eq!(c.phase(), SwapPhase::Published);
+        assert!(c.revealed_preimage.is_none());
+    }
+
+    #[test]
+    fn only_recipient_may_redeem() {
+        let mut c = htlc(b"secret", 10_000);
+        assert!(matches!(
+            c.redeem(addr(b"mallory"), b"secret".to_vec()).unwrap_err(),
+            VmError::Unauthorized(_)
+        ));
+    }
+
+    #[test]
+    fn refund_only_after_timelock() {
+        let mut c = htlc(b"secret", 10_000);
+        assert!(c.refund(addr(b"alice"), 9_999).is_err());
+        let payout = c.refund(addr(b"alice"), 10_000).unwrap();
+        assert_eq!(payout.to, addr(b"alice"));
+        assert_eq!(c.phase(), SwapPhase::Refunded);
+    }
+
+    #[test]
+    fn only_sender_may_refund() {
+        let mut c = htlc(b"secret", 10_000);
+        assert!(matches!(
+            c.refund(addr(b"bob"), 20_000).unwrap_err(),
+            VmError::Unauthorized(_)
+        ));
+    }
+
+    #[test]
+    fn refund_after_redeem_impossible_and_vice_versa() {
+        let mut c = htlc(b"secret", 10_000);
+        c.redeem(addr(b"bob"), b"secret".to_vec()).unwrap();
+        assert!(c.refund(addr(b"alice"), 20_000).is_err());
+
+        let mut c2 = htlc(b"secret", 10_000);
+        c2.refund(addr(b"alice"), 20_000).unwrap();
+        assert!(c2.redeem(addr(b"bob"), b"secret".to_vec()).is_err());
+    }
+
+    #[test]
+    fn the_papers_crash_scenario_is_possible_with_htlcs() {
+        // Bob learned the secret but crashed; Alice refunds after t1 even
+        // though Bob was entitled to redeem — the atomicity violation the
+        // paper opens with.
+        let mut sc1 = htlc(b"alice-secret", 10_000);
+        // Bob never calls redeem (crashed). Time passes the timelock.
+        let payout = sc1.refund(addr(b"alice"), 10_001).unwrap();
+        assert_eq!(payout.to, addr(b"alice"));
+        // Bob's later attempt fails: he lost the asset.
+        assert!(sc1.redeem(addr(b"bob"), b"alice-secret".to_vec()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_refundable_iff_past_timelock(timelock in 0u64..100_000, now in 0u64..200_000) {
+            let c = htlc(b"s", timelock);
+            prop_assert_eq!(c.is_refundable(now), now >= timelock);
+        }
+
+        #[test]
+        fn prop_only_exact_preimage_redeems(secret in proptest::collection::vec(any::<u8>(), 1..32),
+                                            guess in proptest::collection::vec(any::<u8>(), 1..32)) {
+            let mut c = HtlcState::publish(
+                addr(b"alice"),
+                5,
+                &HtlcSpec {
+                    recipient: addr(b"bob"),
+                    hashlock: Hashlock::from_secret(&secret).lock,
+                    timelock: 1_000,
+                },
+            );
+            let result = c.redeem(addr(b"bob"), guess.clone());
+            prop_assert_eq!(result.is_ok(), guess == secret);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # ac3-contracts
+//!
+//! The smart-contract layer of the AC3WN reproduction: Rust implementations
+//! of the paper's Algorithms 1–4 plus the HTLC used by the Nolan/Herlihy
+//! baselines, executed on simulated chains through the [`runtime::SwapVm`]
+//! (which implements [`ac3_chain::ContractVm`]).
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Algorithm 1 — atomic swap smart contract template | [`swap`] |
+//! | Algorithm 2 — smart contract for centralized AC3 (AC3TW) | [`centralized`] |
+//! | Algorithm 3 — witness network smart contract `SC_w` | [`witness`] |
+//! | Algorithm 4 — smart contract for permissionless AC3 (AC3WN) | [`permissionless`] |
+//! | Nolan/Herlihy hashlock + timelock contracts | [`htlc`] |
+//! | Herlihy multi-leader multi-hashlock contracts | [`multihtlc`] |
+//! | Section 4.3 cross-chain evidence | [`evidence`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod codec;
+pub mod evidence;
+pub mod htlc;
+pub mod multihtlc;
+pub mod permissionless;
+pub mod runtime;
+pub mod swap;
+pub mod witness;
+
+pub use centralized::{CentralizedCall, CentralizedSpec, CentralizedState};
+pub use evidence::{
+    verify_deployment, ChainAnchor, ExpectedContract, TxInclusionEvidence, WitnessStateEvidence,
+};
+pub use htlc::{HtlcCall, HtlcSpec, HtlcState};
+pub use multihtlc::{MultiHtlcCall, MultiHtlcSpec, MultiHtlcState};
+pub use permissionless::{PermissionlessCall, PermissionlessSpec, PermissionlessState};
+pub use runtime::{ContractCall, ContractSpec, ContractState, SwapVm};
+pub use swap::{SwapCore, SwapPhase};
+pub use witness::{WitnessCall, WitnessContractState, WitnessSpec};

@@ -1,0 +1,173 @@
+//! The atomic-swap smart-contract template (Algorithm 1 of the paper).
+//!
+//! Every asset-transferring contract in an AC2T — whatever commitment scheme
+//! it uses — shares the same skeleton: a sender `s`, a recipient `r`, an
+//! asset `a`, and a state that starts at `Published (P)` and moves exactly
+//! once to either `Redeemed (RD)` (asset goes to `r`) or `Refunded (RF)`
+//! (asset goes back to `s`). The concrete subclasses (Algorithms 2 and 4,
+//! plus the HTLC baseline) differ only in how `IsRedeemable` /
+//! `IsRefundable` are decided; they reuse [`SwapCore`] for everything else.
+
+use ac3_chain::{Address, Amount, Payout, VmError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The state of an atomic-swap smart contract (Algorithm 1, line 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwapPhase {
+    /// Published (`P`): deployed, asset locked, no decision yet.
+    Published,
+    /// Redeemed (`RD`): the asset was transferred to the recipient.
+    Redeemed,
+    /// Refunded (`RF`): the asset was returned to the sender.
+    Refunded,
+}
+
+impl SwapPhase {
+    /// The short tag used by cross-chain state queries and metrics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SwapPhase::Published => "P",
+            SwapPhase::Redeemed => "RD",
+            SwapPhase::Refunded => "RF",
+        }
+    }
+}
+
+impl fmt::Display for SwapPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.tag())
+    }
+}
+
+/// The shared fields and transition logic of every atomic-swap contract
+/// (Algorithm 1, lines 2–22).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapCore {
+    /// The sender `s` (the participant who locked the asset).
+    pub sender: Address,
+    /// The recipient `r`.
+    pub recipient: Address,
+    /// The locked asset value `a`.
+    pub amount: Amount,
+    /// The contract state.
+    pub phase: SwapPhase,
+}
+
+impl SwapCore {
+    /// The constructor (Algorithm 1, lines 7–12): record sender, recipient
+    /// and locked value, and set the state to `P`.
+    pub fn publish(sender: Address, recipient: Address, amount: Amount) -> Self {
+        SwapCore { sender, recipient, amount, phase: SwapPhase::Published }
+    }
+
+    /// The `redeem` transition (Algorithm 1, lines 13–17). The caller has
+    /// already evaluated `IsRedeemable`; this enforces the `state == P`
+    /// requirement, performs the transfer to the recipient and flips the
+    /// state to `RD`.
+    pub fn redeem(&mut self, redeemable: bool) -> Result<Payout, VmError> {
+        if self.phase != SwapPhase::Published {
+            return Err(VmError::RequirementFailed(format!(
+                "redeem requires state P, contract is {}",
+                self.phase
+            )));
+        }
+        if !redeemable {
+            return Err(VmError::RequirementFailed(
+                "redemption commitment scheme secret is invalid".to_string(),
+            ));
+        }
+        self.phase = SwapPhase::Redeemed;
+        Ok(Payout { to: self.recipient, amount: self.amount })
+    }
+
+    /// The `refund` transition (Algorithm 1, lines 18–22): requires state
+    /// `P` and a valid refund secret, returns the asset to the sender and
+    /// flips the state to `RF`.
+    pub fn refund(&mut self, refundable: bool) -> Result<Payout, VmError> {
+        if self.phase != SwapPhase::Published {
+            return Err(VmError::RequirementFailed(format!(
+                "refund requires state P, contract is {}",
+                self.phase
+            )));
+        }
+        if !refundable {
+            return Err(VmError::RequirementFailed(
+                "refund commitment scheme secret is invalid".to_string(),
+            ));
+        }
+        self.phase = SwapPhase::Refunded;
+        Ok(Payout { to: self.sender, amount: self.amount })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac3_crypto::KeyPair;
+
+    fn addr(seed: &[u8]) -> Address {
+        Address::from(KeyPair::from_seed(seed).public())
+    }
+
+    fn core() -> SwapCore {
+        SwapCore::publish(addr(b"alice"), addr(b"bob"), 100)
+    }
+
+    #[test]
+    fn publish_starts_in_p() {
+        let c = core();
+        assert_eq!(c.phase, SwapPhase::Published);
+        assert_eq!(c.phase.tag(), "P");
+    }
+
+    #[test]
+    fn redeem_pays_recipient_and_moves_to_rd() {
+        let mut c = core();
+        let payout = c.redeem(true).unwrap();
+        assert_eq!(payout.to, addr(b"bob"));
+        assert_eq!(payout.amount, 100);
+        assert_eq!(c.phase, SwapPhase::Redeemed);
+    }
+
+    #[test]
+    fn refund_pays_sender_and_moves_to_rf() {
+        let mut c = core();
+        let payout = c.refund(true).unwrap();
+        assert_eq!(payout.to, addr(b"alice"));
+        assert_eq!(payout.amount, 100);
+        assert_eq!(c.phase, SwapPhase::Refunded);
+    }
+
+    #[test]
+    fn invalid_secret_rejected_without_state_change() {
+        let mut c = core();
+        assert!(c.redeem(false).is_err());
+        assert!(c.refund(false).is_err());
+        assert_eq!(c.phase, SwapPhase::Published);
+    }
+
+    #[test]
+    fn redeem_then_refund_impossible() {
+        let mut c = core();
+        c.redeem(true).unwrap();
+        assert!(c.refund(true).is_err());
+        assert!(c.redeem(true).is_err(), "double redeem also impossible");
+        assert_eq!(c.phase, SwapPhase::Redeemed);
+    }
+
+    #[test]
+    fn refund_then_redeem_impossible() {
+        let mut c = core();
+        c.refund(true).unwrap();
+        assert!(c.redeem(true).is_err());
+        assert_eq!(c.phase, SwapPhase::Refunded);
+    }
+
+    #[test]
+    fn phase_tags_are_papers_names() {
+        assert_eq!(SwapPhase::Published.to_string(), "P");
+        assert_eq!(SwapPhase::Redeemed.to_string(), "RD");
+        assert_eq!(SwapPhase::Refunded.to_string(), "RF");
+    }
+}

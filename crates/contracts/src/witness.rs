@@ -1,0 +1,210 @@
+//! The witness-network coordination contract `SC_w` (Algorithm 3).
+//!
+//! For every AC2T the participants deploy one witness contract on a
+//! permissionless witness blockchain. The contract records the multisigned
+//! transaction graph, starts in state `Published (P)` and accepts exactly
+//! one of two transitions:
+//!
+//! * `AuthorizeRedeem` — only if evidence shows that *every* asset contract
+//!   in the AC2T is deployed and correct (`VerifyContracts`); moves the
+//!   state to `Redeem_Authorized (RDauth)`: the commit decision.
+//! * `AuthorizeRefund` — only requires the state to still be `P`; moves the
+//!   state to `Refund_Authorized (RFauth)`: the abort decision.
+//!
+//! No other transition exists, which is what makes the redemption and refund
+//! commitment-scheme instances of the asset contracts mutually exclusive
+//! (Lemma 5.1).
+
+use crate::evidence::{verify_deployment, ExpectedContract, TxInclusionEvidence};
+use ac3_chain::{Address, ChainId, ContractId, VmError};
+use ac3_crypto::{Hash256, WitnessState};
+use serde::{Deserialize, Serialize};
+
+/// Constructor payload for the witness contract (Algorithm 3, lines 5–9).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessSpec {
+    /// Addresses (public keys) of all participants in the AC2T.
+    pub participants: Vec<Address>,
+    /// Digest of the multisigned graph `ms(D)`.
+    pub graph_digest: Hash256,
+    /// One expected asset contract per edge of the graph, in edge order.
+    pub expected_contracts: Vec<ExpectedContract>,
+}
+
+/// Function-call payloads accepted by the witness contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WitnessCall {
+    /// Request the commit decision, carrying deployment evidence for every
+    /// edge of the AC2T (Algorithm 3, lines 10–13).
+    AuthorizeRedeem {
+        /// One evidence entry per expected contract, in the same order.
+        deployments: Vec<TxInclusionEvidence>,
+    },
+    /// Request the abort decision (Algorithm 3, lines 14–17).
+    AuthorizeRefund,
+}
+
+/// The on-chain state of the witness contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessContractState {
+    /// The registered specification.
+    pub spec: WitnessSpec,
+    /// The coordination state (`P`, `RDauth` or `RFauth`).
+    pub state: WitnessState,
+}
+
+impl WitnessContractState {
+    /// Deploy: register the graph and start in `P`.
+    pub fn publish(spec: WitnessSpec) -> Result<Self, VmError> {
+        if spec.participants.is_empty() {
+            return Err(VmError::RequirementFailed("no participants".to_string()));
+        }
+        if spec.expected_contracts.is_empty() {
+            return Err(VmError::RequirementFailed("no contracts to coordinate".to_string()));
+        }
+        Ok(WitnessContractState { spec, state: WitnessState::Published })
+    }
+
+    /// `VerifyContracts` (Algorithm 3, lines 18–23): every expected contract
+    /// must be matched by valid deployment evidence.
+    pub fn verify_contracts(
+        &self,
+        deployments: &[TxInclusionEvidence],
+        own_chain: ChainId,
+        own_id: ContractId,
+    ) -> Result<(), VmError> {
+        if deployments.len() != self.spec.expected_contracts.len() {
+            return Err(VmError::RequirementFailed(format!(
+                "expected {} deployment proofs, got {}",
+                self.spec.expected_contracts.len(),
+                deployments.len()
+            )));
+        }
+        for (expected, evidence) in self.spec.expected_contracts.iter().zip(deployments) {
+            verify_deployment(expected, evidence, own_chain, own_id)?;
+        }
+        Ok(())
+    }
+
+    /// `AuthorizeRedeem` (Algorithm 3, lines 10–13): requires state `P` and
+    /// `VerifyContracts(e)`; transitions to `RDauth`.
+    pub fn authorize_redeem(
+        &mut self,
+        deployments: &[TxInclusionEvidence],
+        own_chain: ChainId,
+        own_id: ContractId,
+    ) -> Result<(), VmError> {
+        if self.state != WitnessState::Published {
+            return Err(VmError::RequirementFailed(format!(
+                "authorize_redeem requires state P, contract is {:?}",
+                self.state
+            )));
+        }
+        self.verify_contracts(deployments, own_chain, own_id)?;
+        self.state = WitnessState::RedeemAuthorized;
+        Ok(())
+    }
+
+    /// `AuthorizeRefund` (Algorithm 3, lines 14–17): requires state `P`;
+    /// transitions to `RFauth`.
+    pub fn authorize_refund(&mut self) -> Result<(), VmError> {
+        if self.state != WitnessState::Published {
+            return Err(VmError::RequirementFailed(format!(
+                "authorize_refund requires state P, contract is {:?}",
+                self.state
+            )));
+        }
+        self.state = WitnessState::RefundAuthorized;
+        Ok(())
+    }
+
+    /// The short state tag ("P", "RDauth", "RFauth") used in cross-chain
+    /// queries and metrics.
+    pub fn state_tag(&self) -> &'static str {
+        match self.state {
+            WitnessState::Published => "P",
+            WitnessState::RedeemAuthorized => "RDauth",
+            WitnessState::RefundAuthorized => "RFauth",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::ChainAnchor;
+    use ac3_chain::BlockHash;
+    use ac3_crypto::KeyPair;
+
+    fn addr(seed: &[u8]) -> Address {
+        Address::from(KeyPair::from_seed(seed).public())
+    }
+
+    fn spec() -> WitnessSpec {
+        let anchor = ChainAnchor { chain: ChainId(1), hash: BlockHash::GENESIS_PARENT, height: 0 };
+        WitnessSpec {
+            participants: vec![addr(b"alice"), addr(b"bob")],
+            graph_digest: Hash256::digest(b"ms(D)"),
+            expected_contracts: vec![ExpectedContract {
+                chain: ChainId(1),
+                sender: addr(b"alice"),
+                recipient: addr(b"bob"),
+                amount: 10,
+                anchor,
+                required_depth: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn publish_starts_in_p() {
+        let sc = WitnessContractState::publish(spec()).unwrap();
+        assert_eq!(sc.state, WitnessState::Published);
+        assert_eq!(sc.state_tag(), "P");
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let mut s = spec();
+        s.participants.clear();
+        assert!(WitnessContractState::publish(s).is_err());
+        let mut s = spec();
+        s.expected_contracts.clear();
+        assert!(WitnessContractState::publish(s).is_err());
+    }
+
+    #[test]
+    fn authorize_refund_from_p_succeeds_once() {
+        let mut sc = WitnessContractState::publish(spec()).unwrap();
+        sc.authorize_refund().unwrap();
+        assert_eq!(sc.state, WitnessState::RefundAuthorized);
+        assert_eq!(sc.state_tag(), "RFauth");
+        // No further transition is possible.
+        assert!(sc.authorize_refund().is_err());
+        assert!(sc
+            .authorize_redeem(&[], ChainId(0), ContractId(Hash256::ZERO))
+            .is_err());
+    }
+
+    #[test]
+    fn authorize_redeem_requires_matching_evidence_count() {
+        let mut sc = WitnessContractState::publish(spec()).unwrap();
+        // Zero proofs for one expected contract: rejected, state unchanged.
+        let err = sc
+            .authorize_redeem(&[], ChainId(0), ContractId(Hash256::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, VmError::RequirementFailed(_)));
+        assert_eq!(sc.state, WitnessState::Published);
+    }
+
+    #[test]
+    fn states_are_mutually_exclusive() {
+        // Whatever sequence of calls is attempted, the contract never
+        // reaches RDauth after RFauth or vice versa.
+        let mut sc = WitnessContractState::publish(spec()).unwrap();
+        sc.authorize_refund().unwrap();
+        let before = sc.state;
+        let _ = sc.authorize_redeem(&[], ChainId(0), ContractId(Hash256::ZERO));
+        assert_eq!(sc.state, before);
+    }
+}

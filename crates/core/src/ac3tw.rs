@@ -1,0 +1,476 @@
+//! The AC3TW protocol (Section 4.1): atomic cross-chain commitment
+//! coordinated by a *centralized trusted witness* ("Trent").
+//!
+//! Trent keeps a key/value store from registered graph multisignatures
+//! `ms(D)` to the decision signature he has issued (if any). Because he
+//! issues at most one of `T(ms(D), RD)` / `T(ms(D), RF)` per registered
+//! graph, the redemption and refund commitment schemes of the asset
+//! contracts (Algorithm 2) are mutually exclusive and the protocol is
+//! atomic — *provided Trent is trusted, available and honest*, which is
+//! exactly the assumption AC3WN removes.
+
+use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::protocol::{
+    EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
+};
+use crate::scenario::Scenario;
+use ac3_chain::{ContractId, TxId};
+use ac3_contracts::{CentralizedCall, CentralizedSpec, ContractCall, ContractSpec};
+use ac3_crypto::{Hash256, KeyPair, Signature, SignatureLock, WitnessDecision};
+use ac3_sim::EventKind;
+use std::collections::BTreeMap;
+
+/// Errors returned by Trent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrentError {
+    /// The graph multisignature is already registered.
+    AlreadyRegistered,
+    /// The graph multisignature is not registered.
+    NotRegistered,
+    /// A decision has already been issued for this graph.
+    AlreadyDecided(WitnessDecision),
+    /// Trent refuses the redemption because not every contract is deployed
+    /// and correct.
+    VerificationFailed(String),
+    /// Trent is unavailable (crashed or under denial-of-service) — the
+    /// single-point-of-failure the paper warns about.
+    Unavailable,
+}
+
+impl std::fmt::Display for TrentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrentError::AlreadyRegistered => write!(f, "graph already registered"),
+            TrentError::NotRegistered => write!(f, "graph not registered"),
+            TrentError::AlreadyDecided(d) => write!(f, "already decided: {d:?}"),
+            TrentError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+            TrentError::Unavailable => write!(f, "trusted witness unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for TrentError {}
+
+/// The centralized trusted witness.
+#[derive(Debug)]
+pub struct Trent {
+    keypair: KeyPair,
+    /// `ms(D)` digest → issued decision (if any).
+    registry: BTreeMap<Hash256, Option<WitnessDecision>>,
+    /// Availability flag: when `false`, every request fails (models the DoS
+    /// / crash vulnerability of a centralized coordinator).
+    pub available: bool,
+}
+
+impl Default for Trent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trent {
+    /// Create a fresh witness with a deterministic key.
+    pub fn new() -> Self {
+        Trent { keypair: KeyPair::from_seed(b"trent-the-trusted-witness"), registry: BTreeMap::new(), available: true }
+    }
+
+    /// Trent's public key `PK_T`, embedded in every Algorithm 2 contract.
+    pub fn public_key(&self) -> ac3_crypto::PublicKey {
+        self.keypair.public()
+    }
+
+    /// Register a graph multisignature (protocol step 2).
+    pub fn register(&mut self, graph_digest: Hash256) -> Result<(), TrentError> {
+        if !self.available {
+            return Err(TrentError::Unavailable);
+        }
+        if self.registry.contains_key(&graph_digest) {
+            return Err(TrentError::AlreadyRegistered);
+        }
+        self.registry.insert(graph_digest, None);
+        Ok(())
+    }
+
+    /// Request the redemption signature. `all_contracts_published` is the
+    /// result of Trent's own verification that every contract in the AC2T is
+    /// deployed, in state `P`, and conditioned on `(ms(D), PK_T)` — as a
+    /// trusted full node he checks this directly against the chains.
+    pub fn request_redeem(
+        &mut self,
+        graph_digest: Hash256,
+        all_contracts_published: bool,
+    ) -> Result<Signature, TrentError> {
+        if !self.available {
+            return Err(TrentError::Unavailable);
+        }
+        match self.registry.get(&graph_digest) {
+            None => Err(TrentError::NotRegistered),
+            Some(Some(decision)) => {
+                if *decision == WitnessDecision::Redeem {
+                    Ok(self.sign(graph_digest, WitnessDecision::Redeem))
+                } else {
+                    Err(TrentError::AlreadyDecided(*decision))
+                }
+            }
+            Some(None) => {
+                if !all_contracts_published {
+                    return Err(TrentError::VerificationFailed(
+                        "not all contracts in the AC2T are published and correct".to_string(),
+                    ));
+                }
+                self.registry.insert(graph_digest, Some(WitnessDecision::Redeem));
+                Ok(self.sign(graph_digest, WitnessDecision::Redeem))
+            }
+        }
+    }
+
+    /// Request the refund signature.
+    pub fn request_refund(&mut self, graph_digest: Hash256) -> Result<Signature, TrentError> {
+        if !self.available {
+            return Err(TrentError::Unavailable);
+        }
+        match self.registry.get(&graph_digest) {
+            None => Err(TrentError::NotRegistered),
+            Some(Some(decision)) => {
+                if *decision == WitnessDecision::Refund {
+                    Ok(self.sign(graph_digest, WitnessDecision::Refund))
+                } else {
+                    Err(TrentError::AlreadyDecided(*decision))
+                }
+            }
+            Some(None) => {
+                self.registry.insert(graph_digest, Some(WitnessDecision::Refund));
+                Ok(self.sign(graph_digest, WitnessDecision::Refund))
+            }
+        }
+    }
+
+    fn sign(&self, graph_digest: Hash256, decision: WitnessDecision) -> Signature {
+        self.keypair.sign(&SignatureLock::signed_message(&graph_digest, decision))
+    }
+}
+
+/// The AC3TW protocol driver.
+#[derive(Debug, Clone, Default)]
+pub struct Ac3tw {
+    /// Driver configuration.
+    pub config: ProtocolConfig,
+    /// Whether Trent is available during the run (set to `false` to model
+    /// the centralized witness being down).
+    pub trent_available: bool,
+}
+
+impl Ac3tw {
+    /// Create a driver with an available Trent.
+    pub fn new(config: ProtocolConfig) -> Self {
+        Ac3tw { config, trent_available: true }
+    }
+
+    /// Execute the AC2T described by the scenario's graph.
+    pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
+        let cfg = &self.config;
+        let delta = scenario.world.delta_ms();
+        let wait_cap = delta * cfg.wait_cap_deltas;
+        let started_at = scenario.world.now();
+        let mut trent = Trent::new();
+        trent.available = self.trent_available;
+        let mut deployments = 0u64;
+        let mut calls = 0u64;
+        let mut fees = 0u64;
+
+        // Step 1: multisign the graph and register it with Trent.
+        let keypairs: Vec<KeyPair> = scenario
+            .graph
+            .participants()
+            .iter()
+            .filter_map(|a| scenario.participants.by_address(a).map(|p| p.keypair()))
+            .collect();
+        let ms = scenario.graph.multisign(&keypairs)?;
+        let graph_digest = ms.digest();
+        scenario.world.timeline.record(started_at, EventKind::GraphSigned);
+        let registered = trent.register(graph_digest).is_ok();
+        if registered {
+            scenario.world.timeline.record(scenario.world.now(), EventKind::WitnessRegistered);
+        }
+
+        // Step 2: all participants deploy their Algorithm 2 contracts in
+        // parallel (AC3TW also allows concurrent publication).
+        let edges: Vec<_> = scenario.graph.edges().to_vec();
+        let mut edge_deploys: Vec<Option<(TxId, ContractId)>> = Vec::with_capacity(edges.len());
+        for e in &edges {
+            let spec = ContractSpec::Centralized(CentralizedSpec {
+                recipient: e.to,
+                graph_digest,
+                witness_key: trent.public_key(),
+            });
+            let deployed = deploy_contract(
+                &mut scenario.world,
+                &mut scenario.participants,
+                &e.from,
+                e.chain,
+                &spec,
+                e.amount,
+            )?;
+            if let Some((_, contract)) = &deployed {
+                deployments += 1;
+                fees += scenario.world.chain(e.chain)?.params().deploy_fee;
+                scenario.world.timeline.record(
+                    scenario.world.now(),
+                    EventKind::ContractSubmitted { chain: e.chain, contract: *contract },
+                );
+            }
+            edge_deploys.push(deployed);
+        }
+
+        let all_submitted = edge_deploys.iter().all(Option::is_some);
+        let stable = if all_submitted {
+            let deploys = edge_deploys.clone();
+            let edges_for_wait = edges.clone();
+            let depth = cfg.deployment_depth;
+            scenario
+                .world
+                .advance_until("contract deployments to stabilise", wait_cap, move |w| {
+                    deploys.iter().zip(&edges_for_wait).all(|(d, e)| match d {
+                        Some((txid, _)) => w
+                            .chain(e.chain)
+                            .ok()
+                            .and_then(|c| c.tx_depth(txid))
+                            .is_some_and(|got| got >= depth),
+                        None => false,
+                    })
+                })
+                .is_ok()
+        } else {
+            scenario.world.advance(cfg.abort_after_deltas * delta);
+            false
+        };
+
+        // Step 3: ask Trent for a decision. He verifies the deployments
+        // himself (as a trusted observer of all chains).
+        let all_published = stable
+            && edge_deploys.iter().zip(&edges).all(|(d, e)| {
+                d.is_some_and(|(_, contract)| {
+                    scenario
+                        .world
+                        .contract_state(e.chain, contract)
+                        .is_some_and(|(tag, _)| tag == "P")
+                })
+            });
+        let (decision_commit, decision_sig) = if !registered {
+            (None, None)
+        } else if all_published {
+            match trent.request_redeem(graph_digest, true) {
+                Ok(sig) => (Some(true), Some(sig)),
+                Err(_) => (None, None),
+            }
+        } else {
+            match trent.request_refund(graph_digest) {
+                Ok(sig) => (Some(false), Some(sig)),
+                Err(_) => (None, None),
+            }
+        };
+        if let Some(commit) = decision_commit {
+            scenario.world.timeline.record(scenario.world.now(), EventKind::DecisionReached { commit });
+        }
+
+        // Step 4: settle every published contract with Trent's signature.
+        let mut finished_at = scenario.world.now();
+        if let (Some(commit), Some(sig)) = (decision_commit, decision_sig) {
+            let mut settlements: Vec<Option<(ac3_chain::ChainId, TxId)>> = vec![None; edges.len()];
+            for (i, e) in edges.iter().enumerate() {
+                let Some((_, contract)) = edge_deploys[i] else { continue };
+                let (actor, call) = if commit {
+                    (e.to, ContractCall::Centralized(CentralizedCall::Redeem { signature: sig }))
+                } else {
+                    (e.from, ContractCall::Centralized(CentralizedCall::Refund { signature: sig }))
+                };
+                if let Some(txid) = call_contract(
+                    &mut scenario.world,
+                    &mut scenario.participants,
+                    &actor,
+                    e.chain,
+                    contract,
+                    &call,
+                )? {
+                    calls += 1;
+                    fees += scenario.world.chain(e.chain)?.params().call_fee;
+                    settlements[i] = Some((e.chain, txid));
+                }
+            }
+            let pending = settlements.clone();
+            let _ = scenario.world.advance_until("settlements to stabilise", wait_cap, move |w| {
+                pending.iter().flatten().all(|(chain, txid)| {
+                    w.chain(*chain)
+                        .ok()
+                        .and_then(|c| c.tx_depth(txid))
+                        .is_some_and(|d| {
+                            d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
+                        })
+                })
+            });
+            finished_at = scenario.world.now();
+
+            // Recovery pass, as in AC3WN: Trent's signature has no expiry,
+            // so recovered participants settle late without losing assets.
+            if cfg.allow_recovery_redemption {
+                for _ in 0..cfg.wait_cap_deltas {
+                    let unsettled: Vec<usize> = (0..edges.len())
+                        .filter(|i| {
+                            edge_deploys[*i].is_some()
+                                && edge_disposition(
+                                    &scenario.world,
+                                    edges[*i].chain,
+                                    edge_deploys[*i].map(|(_, c)| c),
+                                ) == EdgeDisposition::Locked
+                        })
+                        .collect();
+                    if unsettled.is_empty() {
+                        break;
+                    }
+                    scenario.world.advance(delta);
+                    for i in unsettled {
+                        let e = &edges[i];
+                        let Some((_, contract)) = edge_deploys[i] else { continue };
+                        let (actor, call) = if commit {
+                            (e.to, ContractCall::Centralized(CentralizedCall::Redeem { signature: sig }))
+                        } else {
+                            (e.from, ContractCall::Centralized(CentralizedCall::Refund { signature: sig }))
+                        };
+                        if let Some(txid) = call_contract(
+                            &mut scenario.world,
+                            &mut scenario.participants,
+                            &actor,
+                            e.chain,
+                            contract,
+                            &call,
+                        )? {
+                            calls += 1;
+                            fees += scenario.world.chain(e.chain)?.params().call_fee;
+                            let _ = scenario.world.wait_for_inclusion(e.chain, txid, delta * 2);
+                        }
+                    }
+                }
+            }
+        }
+
+        let outcomes: Vec<EdgeOutcome> = edges
+            .iter()
+            .zip(&edge_deploys)
+            .map(|(e, d)| {
+                let contract = d.map(|(_, c)| c);
+                EdgeOutcome {
+                    edge: *e,
+                    contract,
+                    disposition: edge_disposition(&scenario.world, e.chain, contract),
+                }
+            })
+            .collect();
+
+        Ok(SwapReport {
+            protocol: ProtocolKind::Ac3Tw,
+            decision: decision_commit,
+            edges: outcomes,
+            started_at,
+            finished_at,
+            delta_ms: delta,
+            deployments,
+            calls,
+            fees_paid: fees,
+            timeline: scenario.world.timeline.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AtomicityVerdict;
+    use crate::scenario::{two_party_scenario, ScenarioConfig};
+    use ac3_sim::CrashWindow;
+
+    #[test]
+    fn trent_issues_at_most_one_decision() {
+        let mut trent = Trent::new();
+        let g = Hash256::digest(b"ms(D)");
+        trent.register(g).unwrap();
+        assert_eq!(trent.register(g).unwrap_err(), TrentError::AlreadyRegistered);
+
+        let sig = trent.request_redeem(g, true).unwrap();
+        // Redeem again: same decision, fine. Refund: refused.
+        assert!(trent.request_redeem(g, true).is_ok());
+        assert_eq!(
+            trent.request_refund(g).unwrap_err(),
+            TrentError::AlreadyDecided(WitnessDecision::Redeem)
+        );
+        // The signature verifies under Trent's public key.
+        let lock = SignatureLock::new(g, trent.public_key(), WitnessDecision::Redeem);
+        assert!(ac3_crypto::CommitmentScheme::verify(&lock, &sig));
+    }
+
+    #[test]
+    fn trent_refuses_redeem_without_verification() {
+        let mut trent = Trent::new();
+        let g = Hash256::digest(b"ms(D)");
+        trent.register(g).unwrap();
+        assert!(matches!(
+            trent.request_redeem(g, false).unwrap_err(),
+            TrentError::VerificationFailed(_)
+        ));
+        // The failed request does not consume the decision.
+        assert!(trent.request_refund(g).is_ok());
+    }
+
+    #[test]
+    fn trent_rejects_unregistered_and_unavailable() {
+        let mut trent = Trent::new();
+        let g = Hash256::digest(b"ms(D)");
+        assert_eq!(trent.request_refund(g).unwrap_err(), TrentError::NotRegistered);
+        trent.available = false;
+        assert_eq!(trent.register(g).unwrap_err(), TrentError::Unavailable);
+    }
+
+    #[test]
+    fn two_party_swap_commits_atomically() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let report = Ac3tw::new(ProtocolConfig::default()).execute(&mut s).unwrap();
+        assert_eq!(report.decision, Some(true));
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+        // N deployments and N redeem calls; no witness contract on a chain.
+        assert_eq!(report.deployments, 2);
+        assert_eq!(report.calls, 2);
+    }
+
+    #[test]
+    fn missing_deployment_aborts_atomically() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        s.participants.get_mut("bob").unwrap().schedule_crash(CrashWindow::permanent(0));
+        let report = Ac3tw::new(ProtocolConfig::default()).execute(&mut s).unwrap();
+        assert_eq!(report.decision, Some(false));
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRefunded);
+    }
+
+    #[test]
+    fn unavailable_trent_blocks_the_swap_entirely() {
+        // The centralized witness's weakness: if Trent is down, no decision
+        // can ever be produced and all assets stay locked (no violation,
+        // but no progress either).
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let mut driver = Ac3tw::new(ProtocolConfig::default());
+        driver.trent_available = false;
+        let report = driver.execute(&mut s).unwrap();
+        assert_eq!(report.decision, None);
+        assert!(matches!(report.verdict(), AtomicityVerdict::Incomplete { .. }));
+    }
+
+    #[test]
+    fn crash_during_redemption_recovers_without_loss() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        s.participants
+            .get_mut("bob")
+            .unwrap()
+            .schedule_crash(CrashWindow { from: 8_000, until: 60_000 });
+        let report = Ac3tw::new(ProtocolConfig::default()).execute(&mut s).unwrap();
+        assert_eq!(report.decision, Some(true));
+        assert!(report.is_atomic());
+    }
+}

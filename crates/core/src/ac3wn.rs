@@ -1,0 +1,533 @@
+//! The AC3WN protocol (Section 4.2): atomic cross-chain commitment
+//! coordinated by a permissionless witness network.
+//!
+//! The driver executes the paper's protocol steps over a simulated
+//! [`Scenario`]:
+//!
+//! 1. all participants multisign the AC2T graph `(D, t)`;
+//! 2. one participant registers `ms(D)` in a witness contract `SC_w`
+//!    (Algorithm 3) on the witness chain and waits for the registration to
+//!    be publicly recognised;
+//! 3. **all participants deploy their asset contracts in parallel**
+//!    (Algorithm 4 contracts conditioned on `SC_w`) — the key difference
+//!    from the sequential baselines;
+//! 4. once every deployment is stable, any participant submits
+//!    `AuthorizeRedeem` with deployment evidence (or `AuthorizeRefund` if
+//!    deployments are missing after a timeout) and waits until the decision
+//!    block is buried under `d` blocks;
+//! 5. all participants redeem (or refund) in parallel, presenting evidence
+//!    of the witness decision.
+//!
+//! A final *recovery pass* lets participants who were crashed during step 5
+//! complete their redemption later — the commitment property: once decided,
+//! the outcome eventually takes effect, with no timelock to race against.
+
+use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::graph::GraphError;
+use crate::protocol::{
+    EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
+};
+use crate::scenario::Scenario;
+use ac3_chain::{Address, ChainId, ContractId, TxId};
+use ac3_contracts::{
+    ContractCall, ContractSpec, ExpectedContract, PermissionlessCall, PermissionlessSpec,
+    WitnessCall, WitnessSpec, WitnessStateEvidence,
+};
+use ac3_crypto::{KeyPair, WitnessState};
+use ac3_sim::EventKind;
+
+impl From<GraphError> for ProtocolError {
+    fn from(e: GraphError) -> Self {
+        ProtocolError::UnsupportedGraph(e.to_string())
+    }
+}
+
+/// The AC3WN protocol driver.
+#[derive(Debug, Clone, Default)]
+pub struct Ac3wn {
+    /// Driver configuration (depths, timeouts).
+    pub config: ProtocolConfig,
+}
+
+impl Ac3wn {
+    /// Create a driver with the given configuration.
+    pub fn new(config: ProtocolConfig) -> Self {
+        Ac3wn { config }
+    }
+
+    /// Execute the AC2T described by the scenario's graph.
+    pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
+        let cfg = &self.config;
+        let delta = scenario.world.delta_ms();
+        let wait_cap = delta * cfg.wait_cap_deltas;
+        let witness_chain = scenario.witness_chain;
+        let started_at = scenario.world.now();
+        let mut deployments = 0u64;
+        let mut calls = 0u64;
+        let mut fees = 0u64;
+
+        // ------------------------------------------------------------------
+        // Step 1: multisign the graph.
+        // ------------------------------------------------------------------
+        let keypairs: Vec<KeyPair> = scenario
+            .graph
+            .participants()
+            .iter()
+            .filter_map(|a| scenario.participants.by_address(a).map(|p| p.keypair()))
+            .collect();
+        let ms = scenario.graph.multisign(&keypairs)?;
+        scenario.world.timeline.record(started_at, EventKind::GraphSigned);
+
+        // ------------------------------------------------------------------
+        // Step 2: register ms(D) in SC_w on the witness chain.
+        // ------------------------------------------------------------------
+        let mut expected = Vec::with_capacity(scenario.graph.contract_count());
+        for e in scenario.graph.edges() {
+            expected.push(ExpectedContract {
+                chain: e.chain,
+                sender: e.from,
+                recipient: e.to,
+                amount: e.amount,
+                anchor: scenario.world.anchor(e.chain)?,
+                required_depth: cfg.deployment_depth,
+            });
+        }
+        let witness_spec = ContractSpec::Witness(WitnessSpec {
+            participants: scenario.graph.participants().to_vec(),
+            graph_digest: ms.digest(),
+            expected_contracts: expected.clone(),
+        });
+
+        let Some(registrant) = self.first_available(scenario) else {
+            return Ok(self.report(scenario, started_at, scenario.world.now(), None, &[], delta, 0, 0, 0));
+        };
+        let Some((reg_txid, scw)) = deploy_contract(
+            &mut scenario.world,
+            &mut scenario.participants,
+            &registrant,
+            witness_chain,
+            &witness_spec,
+            0,
+        )?
+        else {
+            return Ok(self.report(scenario, started_at, scenario.world.now(), None, &[], delta, 0, 0, 0));
+        };
+        deployments += 1;
+        fees += scenario.world.chain(witness_chain)?.params().deploy_fee;
+        scenario
+            .world
+            .wait_for_depth(witness_chain, reg_txid, cfg.witness_depth, wait_cap)?;
+        let registered_at = scenario.world.now();
+        scenario.world.timeline.record(registered_at, EventKind::WitnessRegistered);
+
+        // The stable witness-chain block every asset contract stores as its
+        // evidence anchor. It precedes the authorize call by construction.
+        let witness_anchor = scenario.world.anchor(witness_chain)?;
+
+        // ------------------------------------------------------------------
+        // Step 3: deploy all asset contracts in parallel.
+        // ------------------------------------------------------------------
+        let edges: Vec<_> = scenario.graph.edges().to_vec();
+        let mut edge_deploys: Vec<Option<(TxId, ContractId)>> = Vec::with_capacity(edges.len());
+        for e in &edges {
+            let spec = ContractSpec::Permissionless(PermissionlessSpec {
+                recipient: e.to,
+                witness_chain,
+                witness_contract: scw,
+                min_depth: cfg.witness_depth,
+                witness_anchor,
+            });
+            let deployed = deploy_contract(
+                &mut scenario.world,
+                &mut scenario.participants,
+                &e.from,
+                e.chain,
+                &spec,
+                e.amount,
+            )?;
+            if let Some((_, contract)) = &deployed {
+                deployments += 1;
+                fees += scenario.world.chain(e.chain)?.params().deploy_fee;
+                scenario.world.timeline.record(
+                    scenario.world.now(),
+                    EventKind::ContractSubmitted { chain: e.chain, contract: *contract },
+                );
+            }
+            edge_deploys.push(deployed);
+        }
+
+        // Wait for every submitted deployment to reach the required depth.
+        let all_submitted = edge_deploys.iter().all(Option::is_some);
+        let commit = if all_submitted {
+            let deploys = edge_deploys.clone();
+            let edges_for_wait = edges.clone();
+            let depth = cfg.deployment_depth;
+            scenario
+                .world
+                .advance_until("asset contract deployments to stabilise", wait_cap, move |w| {
+                    deploys.iter().zip(&edges_for_wait).all(|(d, e)| match d {
+                        Some((txid, _)) => w
+                            .chain(e.chain)
+                            .ok()
+                            .and_then(|c| c.tx_depth(txid))
+                            .is_some_and(|got| got >= depth),
+                        None => false,
+                    })
+                })
+                .is_ok()
+        } else {
+            // Someone declined or crashed before publishing: give the
+            // configured grace period, then abort.
+            scenario.world.advance(cfg.abort_after_deltas * delta);
+            false
+        };
+        for (deployed, e) in edge_deploys.iter().zip(&edges) {
+            if let Some((_, contract)) = deployed {
+                scenario.world.timeline.record(
+                    scenario.world.now(),
+                    EventKind::ContractPublished { chain: e.chain, contract: *contract },
+                );
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Step 4: change SC_w's state (the commit / abort decision).
+        // ------------------------------------------------------------------
+        let authorize_call = if commit {
+            let mut evidence = Vec::with_capacity(edges.len());
+            for (i, e) in edges.iter().enumerate() {
+                let (txid, _) = edge_deploys[i].expect("commit implies all deployed");
+                evidence.push(scenario.world.tx_evidence_since(e.chain, &expected[i].anchor, txid)?);
+            }
+            ContractCall::Witness(WitnessCall::AuthorizeRedeem { deployments: evidence })
+        } else {
+            ContractCall::Witness(WitnessCall::AuthorizeRefund)
+        };
+
+        let authorize_txid = self.submit_from_any(scenario, witness_chain, scw, &authorize_call)?;
+        let Some(authorize_txid) = authorize_txid else {
+            // Nobody could reach the witness chain at all; the swap stays
+            // locked (assets recoverable once someone can submit a refund
+            // authorization later — outside this run).
+            let outcomes = self.collect_outcomes(scenario, &edges, &edge_deploys);
+            let finished = scenario.world.now();
+            return Ok(self.report(
+                scenario, started_at, finished, None, &outcomes, delta, deployments, calls, fees,
+            ));
+        };
+        calls += 1;
+        fees += scenario.world.chain(witness_chain)?.params().call_fee;
+        scenario
+            .world
+            .wait_for_depth(witness_chain, authorize_txid, cfg.witness_depth, wait_cap)?;
+        scenario
+            .world
+            .timeline
+            .record(scenario.world.now(), EventKind::DecisionReached { commit });
+
+        // ------------------------------------------------------------------
+        // Step 5: redeem / refund all asset contracts in parallel.
+        // ------------------------------------------------------------------
+        let witness_evidence = WitnessStateEvidence {
+            claimed: if commit { WitnessState::RedeemAuthorized } else { WitnessState::RefundAuthorized },
+            inclusion: scenario.world.tx_evidence_since(witness_chain, &witness_anchor, authorize_txid)?,
+        };
+
+        let mut settlements: Vec<Option<(ChainId, TxId)>> = vec![None; edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let Some((_, contract)) = edge_deploys[i] else { continue };
+            let (actor, call) = self.settlement_action(commit, e.from, e.to, &witness_evidence);
+            if let Some(txid) = call_contract(
+                &mut scenario.world,
+                &mut scenario.participants,
+                &actor,
+                e.chain,
+                contract,
+                &call,
+            )? {
+                calls += 1;
+                fees += scenario.world.chain(e.chain)?.params().call_fee;
+                settlements[i] = Some((e.chain, txid));
+            }
+        }
+        // Wait for every submitted settlement to stabilise; failures (e.g.
+        // evidence rejected after a fork attack) simply leave the edge
+        // locked and are reflected in the outcome audit.
+        let pending = settlements.clone();
+        let _ = scenario.world.advance_until("settlements to stabilise", wait_cap, move |w| {
+            pending.iter().flatten().all(|(chain, txid)| {
+                w.chain(*chain)
+                    .ok()
+                    .and_then(|c| c.tx_depth(txid))
+                    .is_some_and(|d| d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0))
+            })
+        });
+        for (i, e) in edges.iter().enumerate() {
+            if let Some((_, contract)) = edge_deploys[i] {
+                let kind = if commit {
+                    EventKind::ContractRedeemed { chain: e.chain, contract }
+                } else {
+                    EventKind::ContractRefunded { chain: e.chain, contract }
+                };
+                if settlements[i].is_some() {
+                    scenario.world.timeline.record(scenario.world.now(), kind);
+                }
+            }
+        }
+        let finished_at = scenario.world.now();
+
+        // ------------------------------------------------------------------
+        // Recovery pass: crashed participants eventually settle (commitment).
+        // ------------------------------------------------------------------
+        if cfg.allow_recovery_redemption {
+            for _ in 0..cfg.wait_cap_deltas {
+                let unsettled: Vec<usize> = (0..edges.len())
+                    .filter(|i| {
+                        edge_deploys[*i].is_some()
+                            && edge_disposition(
+                                &scenario.world,
+                                edges[*i].chain,
+                                edge_deploys[*i].map(|(_, c)| c),
+                            ) == EdgeDisposition::Locked
+                    })
+                    .collect();
+                if unsettled.is_empty() {
+                    break;
+                }
+                scenario.world.advance(delta);
+                for i in unsettled {
+                    let e = &edges[i];
+                    let Some((_, contract)) = edge_deploys[i] else { continue };
+                    let (actor, call) = self.settlement_action(commit, e.from, e.to, &witness_evidence);
+                    if let Some(txid) = call_contract(
+                        &mut scenario.world,
+                        &mut scenario.participants,
+                        &actor,
+                        e.chain,
+                        contract,
+                        &call,
+                    )? {
+                        calls += 1;
+                        fees += scenario.world.chain(e.chain)?.params().call_fee;
+                        let _ = scenario.world.wait_for_inclusion(e.chain, txid, delta * 2);
+                    }
+                }
+            }
+        }
+
+        let outcomes = self.collect_outcomes(scenario, &edges, &edge_deploys);
+        Ok(self.report(
+            scenario,
+            started_at,
+            finished_at,
+            Some(commit),
+            &outcomes,
+            delta,
+            deployments,
+            calls,
+            fees,
+        ))
+    }
+
+    /// Choose the settlement action for one edge: the recipient redeems on
+    /// commit, the sender refunds on abort.
+    fn settlement_action(
+        &self,
+        commit: bool,
+        sender: Address,
+        recipient: Address,
+        evidence: &WitnessStateEvidence,
+    ) -> (Address, ContractCall) {
+        if commit {
+            (
+                recipient,
+                ContractCall::Permissionless(PermissionlessCall::Redeem { evidence: evidence.clone() }),
+            )
+        } else {
+            (
+                sender,
+                ContractCall::Permissionless(PermissionlessCall::Refund { evidence: evidence.clone() }),
+            )
+        }
+    }
+
+    /// The first participant of the graph that is currently available.
+    fn first_available(&self, scenario: &Scenario) -> Option<Address> {
+        let now = scenario.world.now();
+        scenario
+            .graph
+            .participants()
+            .iter()
+            .copied()
+            .find(|a| scenario.participants.by_address(a).is_some_and(|p| p.is_available(now)))
+    }
+
+    /// Submit a call from whichever participant is first able to do so.
+    fn submit_from_any(
+        &self,
+        scenario: &mut Scenario,
+        chain: ChainId,
+        contract: ContractId,
+        call: &ContractCall,
+    ) -> Result<Option<TxId>, ProtocolError> {
+        for addr in scenario.graph.participants().to_vec() {
+            if let Some(txid) = call_contract(
+                &mut scenario.world,
+                &mut scenario.participants,
+                &addr,
+                chain,
+                contract,
+                call,
+            )? {
+                return Ok(Some(txid));
+            }
+        }
+        Ok(None)
+    }
+
+    fn collect_outcomes(
+        &self,
+        scenario: &Scenario,
+        edges: &[crate::graph::SwapEdge],
+        deploys: &[Option<(TxId, ContractId)>],
+    ) -> Vec<EdgeOutcome> {
+        edges
+            .iter()
+            .zip(deploys)
+            .map(|(e, d)| {
+                let contract = d.map(|(_, c)| c);
+                EdgeOutcome {
+                    edge: *e,
+                    contract,
+                    disposition: edge_disposition(&scenario.world, e.chain, contract),
+                }
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        scenario: &Scenario,
+        started_at: u64,
+        finished_at: u64,
+        decision: Option<bool>,
+        outcomes: &[EdgeOutcome],
+        delta: u64,
+        deployments: u64,
+        calls: u64,
+        fees: u64,
+    ) -> SwapReport {
+        SwapReport {
+            protocol: ProtocolKind::Ac3Wn,
+            decision,
+            edges: outcomes.to_vec(),
+            started_at,
+            finished_at,
+            delta_ms: delta,
+            deployments,
+            calls,
+            fees_paid: fees,
+            timeline: scenario.world.timeline.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AtomicityVerdict;
+    use crate::scenario::{figure7a_scenario, figure7b_scenario, ring_scenario, two_party_scenario, ScenarioConfig};
+    use ac3_sim::CrashWindow;
+
+    fn default_driver() -> Ac3wn {
+        Ac3wn::new(ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() })
+    }
+
+    #[test]
+    fn two_party_swap_commits_atomically() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let alice = s.participants.get("alice").unwrap().address();
+        let bob = s.participants.get("bob").unwrap().address();
+        let chain_a = s.asset_chains[0];
+        let chain_b = s.asset_chains[1];
+
+        let report = default_driver().execute(&mut s).unwrap();
+        assert_eq!(report.decision, Some(true));
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+        // Assets changed hands: Bob received 50 on chain A, Alice 80 on B.
+        assert!(s.world.chain(chain_a).unwrap().balance_of(&bob) >= 1_000 + 50 - 10);
+        assert!(s.world.chain(chain_b).unwrap().balance_of(&alice) >= 1_000 + 80 - 10);
+        // N+1 deployments (2 asset contracts + SC_w), N+1 calls (2 redeems +
+        // authorize).
+        assert_eq!(report.deployments, 3);
+        assert_eq!(report.calls, 3);
+        assert!(report.is_atomic());
+    }
+
+    #[test]
+    fn declined_deployment_leads_to_atomic_abort() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        // Bob crashes before deploying and never recovers.
+        s.participants.get_mut("bob").unwrap().schedule_crash(CrashWindow::permanent(0));
+        // Only the available participants matter for signing in this driver,
+        // but the multisign helper requires all keypairs, which it has.
+        let report = default_driver().execute(&mut s).unwrap();
+        assert_eq!(report.decision, Some(false));
+        // Alice's contract is refunded, Bob's was never published: atomic.
+        assert!(report.is_atomic());
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRefunded);
+    }
+
+    #[test]
+    fn crash_during_redemption_does_not_violate_atomicity() {
+        // The paper's motivating failure: the redeemer crashes after the
+        // decision. Under AC3WN there is no timelock to race; Bob redeems
+        // after recovery.
+        let cfg = ScenarioConfig::default();
+        let mut s = two_party_scenario(50, 80, &cfg);
+        // Crash Bob from just before the decision until well afterwards.
+        s.participants
+            .get_mut("bob")
+            .unwrap()
+            .schedule_crash(CrashWindow { from: 20_000, until: 90_000 });
+        let report = default_driver().execute(&mut s).unwrap();
+        assert_eq!(report.decision, Some(true));
+        assert!(report.is_atomic(), "verdict: {}", report.verdict());
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+    }
+
+    #[test]
+    fn cyclic_graph_commits() {
+        let mut s = figure7a_scenario(&ScenarioConfig::default());
+        let report = default_driver().execute(&mut s).unwrap();
+        assert_eq!(report.decision, Some(true));
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+        assert_eq!(report.deployments, 4); // 3 edges + SC_w
+    }
+
+    #[test]
+    fn disconnected_graph_commits() {
+        let mut s = figure7b_scenario(&ScenarioConfig::default());
+        let report = default_driver().execute(&mut s).unwrap();
+        assert_eq!(report.decision, Some(true));
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+        assert_eq!(report.deployments, 5); // 4 edges + SC_w
+    }
+
+    #[test]
+    fn latency_is_independent_of_graph_diameter() {
+        // The headline claim: latency stays ~4Δ as the diameter grows.
+        let mut latencies = Vec::new();
+        for n in [2usize, 4, 6] {
+            let mut s = ring_scenario(n, 10, &ScenarioConfig::default());
+            let report = default_driver().execute(&mut s).unwrap();
+            assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "ring of {n}");
+            latencies.push(report.latency_in_deltas());
+        }
+        let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = latencies.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max - min <= 1.0, "latency grew with diameter: {latencies:?}");
+        assert!(max <= 6.0, "latency should stay near 4Δ, got {latencies:?}");
+    }
+}

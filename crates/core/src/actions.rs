@@ -1,0 +1,178 @@
+//! Low-level participant actions shared by all protocol drivers: deploying a
+//! swap contract, calling a contract function, and reading back an edge's
+//! disposition. Every action respects the fault model — a crashed
+//! participant or an unreachable chain makes the action silently fail (the
+//! action returns `Ok(None)`), exactly like a real participant who cannot
+//! reach their blockchain.
+
+use crate::protocol::{EdgeDisposition, ProtocolError};
+use ac3_chain::{Address, Amount, ChainId, ContractId, TxId};
+use ac3_contracts::{ContractCall, ContractSpec};
+use ac3_sim::{ParticipantSet, World};
+
+/// Attempt to deploy a contract as `owner`, locking `lock` and paying the
+/// chain's deployment fee.
+///
+/// Returns `Ok(None)` when the owner is crashed or the chain is unreachable
+/// — the caller decides what that means for the protocol (usually "this
+/// participant declined/failed to publish").
+pub fn deploy_contract(
+    world: &mut World,
+    participants: &mut ParticipantSet,
+    owner: &Address,
+    chain: ChainId,
+    spec: &ContractSpec,
+    lock: Amount,
+) -> Result<Option<(TxId, ContractId)>, ProtocolError> {
+    let now = world.now();
+    let Some(participant) = participants.by_address_mut(owner) else {
+        return Err(ProtocolError::UnknownParticipant(format!("{owner}")));
+    };
+    if !participant.is_available(now) || !world.is_reachable(chain) {
+        return Ok(None);
+    }
+    let fee = world.chain(chain)?.params().deploy_fee;
+    let Some((inputs, change)) = world.chain(chain)?.plan_deploy(owner, lock, fee) else {
+        return Err(ProtocolError::InsufficientFunds {
+            who: participant.name.clone(),
+            chain,
+        });
+    };
+    let tx = participant.builder(chain).deploy(inputs, lock, change, spec.to_payload(), fee);
+    let txid = tx.id();
+    let contract = ContractId(txid.0);
+    world.submit(chain, tx)?;
+    Ok(Some((txid, contract)))
+}
+
+/// Attempt a contract function call as `caller`, paying the chain's call
+/// fee. Returns `Ok(None)` when the caller is crashed or the chain is
+/// unreachable.
+pub fn call_contract(
+    world: &mut World,
+    participants: &mut ParticipantSet,
+    caller: &Address,
+    chain: ChainId,
+    contract: ContractId,
+    call: &ContractCall,
+) -> Result<Option<TxId>, ProtocolError> {
+    let now = world.now();
+    let Some(participant) = participants.by_address_mut(caller) else {
+        return Err(ProtocolError::UnknownParticipant(format!("{caller}")));
+    };
+    if !participant.is_available(now) || !world.is_reachable(chain) {
+        return Ok(None);
+    }
+    let fee = world.chain(chain)?.params().call_fee;
+    let tx = participant.builder(chain).call(contract, call.to_payload(), fee);
+    let txid = tx.id();
+    world.submit(chain, tx)?;
+    Ok(Some(txid))
+}
+
+/// Read the disposition of an edge's contract from the chain.
+pub fn edge_disposition(world: &World, chain: ChainId, contract: Option<ContractId>) -> EdgeDisposition {
+    match contract {
+        None => EdgeDisposition::Unpublished,
+        Some(id) => match world.contract_state(chain, id) {
+            Some((tag, _)) => {
+                EdgeDisposition::from_tag(&tag).unwrap_or(EdgeDisposition::Unpublished)
+            }
+            None => EdgeDisposition::Unpublished,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{two_party_scenario, ScenarioConfig};
+    use ac3_contracts::HtlcSpec;
+    use ac3_crypto::Hashlock;
+    use ac3_sim::CrashWindow;
+
+    fn htlc_spec(recipient: Address) -> ContractSpec {
+        ContractSpec::Htlc(HtlcSpec {
+            recipient,
+            hashlock: Hashlock::from_secret(b"s").lock,
+            timelock: 1_000_000,
+        })
+    }
+
+    #[test]
+    fn deploy_and_read_disposition() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let alice = s.participants.get("alice").unwrap().address();
+        let bob = s.participants.get("bob").unwrap().address();
+        let chain = s.asset_chains[0];
+
+        let (txid, contract) = deploy_contract(
+            &mut s.world,
+            &mut s.participants,
+            &alice,
+            chain,
+            &htlc_spec(bob),
+            50,
+        )
+        .unwrap()
+        .expect("alice is available");
+        s.world.wait_for_inclusion(chain, txid, 60_000).unwrap();
+        assert_eq!(
+            edge_disposition(&s.world, chain, Some(contract)),
+            EdgeDisposition::Locked
+        );
+        assert_eq!(edge_disposition(&s.world, chain, None), EdgeDisposition::Unpublished);
+    }
+
+    #[test]
+    fn crashed_participant_cannot_deploy() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let alice = s.participants.get("alice").unwrap().address();
+        let bob = s.participants.get("bob").unwrap().address();
+        s.participants.get_mut("alice").unwrap().schedule_crash(CrashWindow::permanent(0));
+        let result = deploy_contract(
+            &mut s.world,
+            &mut s.participants,
+            &alice,
+            s.asset_chains[0],
+            &htlc_spec(bob),
+            50,
+        )
+        .unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn insufficient_funds_is_an_error() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let alice = s.participants.get("alice").unwrap().address();
+        let bob = s.participants.get("bob").unwrap().address();
+        let err = deploy_contract(
+            &mut s.world,
+            &mut s.participants,
+            &alice,
+            s.asset_chains[0],
+            &htlc_spec(bob),
+            10_000_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::InsufficientFunds { .. }));
+    }
+
+    #[test]
+    fn unknown_participant_is_an_error() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let stranger = Address::from(ac3_crypto::KeyPair::from_seed(b"stranger").public());
+        let bob = s.participants.get("bob").unwrap().address();
+        let err = deploy_contract(
+            &mut s.world,
+            &mut s.participants,
+            &stranger,
+            s.asset_chains[0],
+            &htlc_spec(bob),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::UnknownParticipant(_)));
+    }
+}

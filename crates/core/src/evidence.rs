@@ -1,0 +1,278 @@
+//! The three cross-chain evidence validation strategies of Section 4.3,
+//! implemented side by side so they can be compared (experiment E8's
+//! ablation and the discussion in the paper):
+//!
+//! 1. **Full replication** — every validator keeps a complete copy of the
+//!    validated chain and simply looks the transaction up. Trivial to
+//!    verify, but the storage/processing cost grows with the whole chain.
+//! 2. **Light nodes** — validators keep only the header chain and verify an
+//!    SPV inclusion proof. Cheaper, but still requires following every
+//!    other blockchain continuously.
+//! 3. **In-contract validation (the paper's proposal)** — the validator
+//!    stores a single stable anchor header and verifies a self-contained
+//!    evidence payload (headers since the anchor + inclusion proof). No
+//!    continuous following at all; the cost is proportional to the evidence
+//!    length only.
+
+use ac3_chain::{Blockchain, ChainId, LightClient, TxId};
+use ac3_contracts::{ChainAnchor, TxInclusionEvidence};
+use ac3_sim::{World, WorldError};
+use serde::{Deserialize, Serialize};
+
+/// Which validation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationStrategy {
+    /// Maintain a full copy of the validated chain.
+    FullReplication,
+    /// Maintain a light (header-only) node of the validated chain.
+    LightNode,
+    /// Verify self-contained evidence inside the validator contract.
+    ContractBased,
+}
+
+impl ValidationStrategy {
+    /// All strategies, for sweeps.
+    pub fn all() -> [ValidationStrategy; 3] {
+        [
+            ValidationStrategy::FullReplication,
+            ValidationStrategy::LightNode,
+            ValidationStrategy::ContractBased,
+        ]
+    }
+}
+
+impl std::fmt::Display for ValidationStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ValidationStrategy::FullReplication => "full-replication",
+            ValidationStrategy::LightNode => "light-node",
+            ValidationStrategy::ContractBased => "contract-based",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The resource cost of one validation, in the units the paper argues about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationCost {
+    /// Blocks the validator must store persistently.
+    pub blocks_stored: u64,
+    /// Headers transferred/verified for this validation.
+    pub headers_verified: u64,
+    /// Full transactions the validator had to inspect.
+    pub transactions_inspected: u64,
+}
+
+/// The result of validating "transaction `txid` is final on `chain`".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// The strategy used.
+    pub strategy: ValidationStrategy,
+    /// Whether the claim was accepted.
+    pub valid: bool,
+    /// What it cost.
+    pub cost: ValidationCost,
+}
+
+/// Validate that `txid` is included and buried under `min_depth` blocks on
+/// `chain`, using the requested strategy. The `anchor` is only used by the
+/// contract-based strategy (it is what the validator contract stored at
+/// deployment time).
+pub fn validate_tx(
+    world: &World,
+    strategy: ValidationStrategy,
+    chain: ChainId,
+    txid: TxId,
+    anchor: &ChainAnchor,
+    min_depth: u64,
+) -> Result<ValidationReport, WorldError> {
+    let chain_ref: &Blockchain = world.chain(chain)?;
+    match strategy {
+        ValidationStrategy::FullReplication => {
+            let valid = chain_ref.tx_depth(&txid).is_some_and(|d| d >= min_depth);
+            let blocks = chain_ref.height() + 1;
+            // A full replica inspects every transaction it stores.
+            let txs: u64 = chain_ref
+                .store()
+                .canonical_blocks()
+                .map(|b| b.transactions.len() as u64)
+                .sum();
+            Ok(ValidationReport {
+                strategy,
+                valid,
+                cost: ValidationCost {
+                    blocks_stored: blocks,
+                    headers_verified: blocks,
+                    transactions_inspected: txs,
+                },
+            })
+        }
+        ValidationStrategy::LightNode => {
+            // Build the light client from genesis (the cost a continuously
+            // synchronised light node has paid over the chain's lifetime).
+            let genesis_hash = chain_ref
+                .store()
+                .canonical_block_at_height(0)
+                .ok_or_else(|| WorldError::EvidenceUnavailable("no genesis".to_string()))?;
+            let genesis = chain_ref
+                .store()
+                .header(&genesis_hash)
+                .ok_or_else(|| WorldError::EvidenceUnavailable("no genesis header".to_string()))?;
+            let mut lc = LightClient::new(genesis)
+                .map_err(|e| WorldError::EvidenceUnavailable(e.to_string()))?;
+            let headers = chain_ref
+                .headers_since(&genesis_hash)
+                .ok_or_else(|| WorldError::EvidenceUnavailable("no headers".to_string()))?;
+            lc.extend(&headers)
+                .map_err(|e| WorldError::EvidenceUnavailable(e.to_string()))?;
+
+            let valid = match chain_ref.tx_inclusion(&txid) {
+                Some(inclusion) => {
+                    // Re-derive the transaction bytes from the block the
+                    // inclusion points at.
+                    let block_hash = chain_ref
+                        .store()
+                        .canonical_block_at_height(inclusion.header.height)
+                        .ok_or_else(|| WorldError::EvidenceUnavailable("missing block".to_string()))?;
+                    let block = chain_ref
+                        .store()
+                        .get(&block_hash)
+                        .ok_or_else(|| WorldError::EvidenceUnavailable("missing block".to_string()))?;
+                    block
+                        .find_tx(&txid)
+                        .map(|idx| {
+                            lc.verify_inclusion(
+                                inclusion.header.height,
+                                &inclusion.proof,
+                                &block.transactions[idx].canonical_bytes(),
+                                min_depth,
+                            )
+                            .is_ok()
+                        })
+                        .unwrap_or(false)
+                }
+                None => false,
+            };
+            Ok(ValidationReport {
+                strategy,
+                valid,
+                cost: ValidationCost {
+                    blocks_stored: 0,
+                    headers_verified: lc.len() as u64,
+                    transactions_inspected: 1,
+                },
+            })
+        }
+        ValidationStrategy::ContractBased => {
+            let evidence: TxInclusionEvidence = match world.tx_evidence_since(chain, anchor, txid) {
+                Ok(e) => e,
+                Err(_) => {
+                    return Ok(ValidationReport {
+                        strategy,
+                        valid: false,
+                        cost: ValidationCost::default(),
+                    })
+                }
+            };
+            let valid = evidence.verify(anchor, min_depth).is_ok();
+            Ok(ValidationReport {
+                strategy,
+                valid,
+                cost: ValidationCost {
+                    blocks_stored: 1, // the stored anchor
+                    headers_verified: evidence.headers.len() as u64,
+                    transactions_inspected: 1,
+                },
+            })
+        }
+    }
+}
+
+/// Validate with every strategy and return the three reports (used by the
+/// ablation bench to compare costs on identical claims).
+pub fn validate_with_all(
+    world: &World,
+    chain: ChainId,
+    txid: TxId,
+    anchor: &ChainAnchor,
+    min_depth: u64,
+) -> Result<Vec<ValidationReport>, WorldError> {
+    ValidationStrategy::all()
+        .into_iter()
+        .map(|s| validate_tx(world, s, chain, txid, anchor, min_depth))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac3_chain::{Address, ChainParams, TxBuilder};
+    use ac3_crypto::{Hash256, KeyPair};
+
+    fn addr(seed: &[u8]) -> Address {
+        Address::from(KeyPair::from_seed(seed).public())
+    }
+
+    /// A world with one chain, a payment from alice to bob mined and buried.
+    fn world_with_payment(extra_blocks: u64) -> (World, ChainId, TxId, ChainAnchor) {
+        let alice = addr(b"alice");
+        let bob = addr(b"bob");
+        let mut world = World::new();
+        let mut params = ChainParams::test("validated");
+        params.block_interval_ms = 1_000;
+        params.stable_depth = 3;
+        let chain = world.add_chain(params, &[(alice, 100)]);
+        let anchor = world.anchor(chain).unwrap();
+
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) = world.chain(chain).unwrap().plan_payment(&alice, &bob, 10, 1).unwrap();
+        let txid = world.submit(chain, builder.transfer(inputs, outputs, 1)).unwrap();
+        world.advance(1_000 * (extra_blocks + 1));
+        (world, chain, txid, anchor)
+    }
+
+    #[test]
+    fn all_strategies_accept_a_buried_transaction() {
+        let (world, chain, txid, anchor) = world_with_payment(6);
+        for report in validate_with_all(&world, chain, txid, &anchor, 3).unwrap() {
+            assert!(report.valid, "{} rejected a valid claim", report.strategy);
+        }
+    }
+
+    #[test]
+    fn all_strategies_reject_a_missing_transaction() {
+        let (world, chain, _txid, anchor) = world_with_payment(6);
+        let missing = TxId(Hash256::digest(b"never happened"));
+        for report in validate_with_all(&world, chain, missing, &anchor, 0).unwrap() {
+            assert!(!report.valid, "{} accepted a bogus claim", report.strategy);
+        }
+    }
+
+    #[test]
+    fn all_strategies_enforce_depth() {
+        let (world, chain, txid, anchor) = world_with_payment(1);
+        for report in validate_with_all(&world, chain, txid, &anchor, 5).unwrap() {
+            assert!(!report.valid, "{} ignored the depth requirement", report.strategy);
+        }
+    }
+
+    #[test]
+    fn contract_based_validation_is_cheapest_in_storage() {
+        let (world, chain, txid, anchor) = world_with_payment(10);
+        let reports = validate_with_all(&world, chain, txid, &anchor, 3).unwrap();
+        let full = &reports[0];
+        let light = &reports[1];
+        let contract = &reports[2];
+        assert!(full.cost.blocks_stored > light.cost.blocks_stored);
+        assert!(light.cost.headers_verified >= contract.cost.headers_verified);
+        assert_eq!(contract.cost.blocks_stored, 1);
+        assert!(full.cost.transactions_inspected >= contract.cost.transactions_inspected);
+    }
+
+    #[test]
+    fn strategy_display_names() {
+        assert_eq!(ValidationStrategy::FullReplication.to_string(), "full-replication");
+        assert_eq!(ValidationStrategy::ContractBased.to_string(), "contract-based");
+        assert_eq!(ValidationStrategy::all().len(), 3);
+    }
+}

@@ -1,0 +1,505 @@
+//! Herlihy's single-leader atomic cross-chain swap protocol \[16\] — the
+//! state-of-the-art baseline the paper compares against.
+//!
+//! The protocol uses hashlocked, timelocked contracts (HTLCs):
+//!
+//! * a swap **leader** creates the secret `s` and the hashlock `h = H(s)`;
+//! * contracts are deployed **sequentially** in waves following the graph
+//!   from the leader (a contract is only published once the contracts that
+//!   protect its sender are already public), each wave taking Δ;
+//! * redemption also proceeds **sequentially** in the reverse order — the
+//!   leader redeems first (revealing `s` on chain), and the revealed secret
+//!   lets the remaining participants redeem wave by wave;
+//! * each contract carries a timelock; earlier-deployed contracts carry
+//!   *later* timelocks (`t1 > t2` in the paper's two-party walkthrough) so
+//!   every participant nominally has time to redeem after learning `s`.
+//!
+//! The sequential phases make the end-to-end latency `2·Δ·Diam(D)`
+//! (Section 6.1, Figure 8), and the timelocks couple safety to liveness:
+//! a participant who cannot redeem before their counterparty's timelock
+//! expires loses their asset (experiment E6 reproduces this violation).
+//! Disconnected graphs (Figure 7b) are not executable at all.
+
+use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::graph::{SwapEdge, SwapGraph};
+use crate::protocol::{
+    EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
+};
+use crate::scenario::Scenario;
+use ac3_chain::{Address, ContractId, Timestamp, TxId};
+use ac3_contracts::{ContractCall, ContractSpec, HtlcCall, HtlcSpec};
+use ac3_crypto::{Hashlock, Sha256};
+use ac3_sim::EventKind;
+
+/// The Herlihy single-leader protocol driver.
+#[derive(Debug, Clone, Default)]
+pub struct Herlihy {
+    /// Driver configuration.
+    pub config: ProtocolConfig,
+    /// Report the run under this protocol name (lets the Nolan wrapper
+    /// reuse the driver).
+    pub kind: Option<ProtocolKind>,
+    /// Preferred swap leader. When unset the driver picks the first
+    /// participant that satisfies the leader conditions.
+    pub leader: Option<Address>,
+}
+
+/// Per-edge bookkeeping during a run.
+#[derive(Debug, Clone)]
+struct EdgeSlot {
+    edge: SwapEdge,
+    wave: usize,
+    timelock: Timestamp,
+    deploy: Option<(TxId, ContractId)>,
+}
+
+impl Herlihy {
+    /// Create a driver with the given configuration.
+    pub fn new(config: ProtocolConfig) -> Self {
+        Herlihy { config, kind: None, leader: None }
+    }
+
+    /// Create a driver with an explicit swap leader.
+    pub fn with_leader(config: ProtocolConfig, leader: Address) -> Self {
+        Herlihy { config, kind: None, leader: Some(leader) }
+    }
+
+    /// Check whether this protocol can execute `graph` and pick the swap
+    /// leader: the graph must be weakly connected, every edge must be
+    /// reachable from the leader, and removing the leader must leave an
+    /// acyclic graph (Section 5.3).
+    pub fn supports_graph(graph: &SwapGraph) -> Result<Address, ProtocolError> {
+        if !graph.is_connected() {
+            return Err(ProtocolError::UnsupportedGraph(
+                "single-leader swaps cannot execute disconnected graphs (Figure 7b)".to_string(),
+            ));
+        }
+        for candidate in graph.participants() {
+            let waves = graph.waves_from(candidate);
+            let covered: usize = waves.iter().map(|w| w.len()).sum();
+            let all_reachable = covered == graph.contract_count()
+                && waves.iter().all(|w| !w.is_empty());
+            // The last synthetic wave holds unreachable edges; reject those.
+            let reachable_only = waves
+                .iter()
+                .flat_map(|w| w.iter())
+                .all(|e| graph.waves_from(candidate).iter().flatten().any(|x| x == e));
+            if all_reachable && reachable_only && graph.acyclic_without(candidate) {
+                return Ok(*candidate);
+            }
+        }
+        Err(ProtocolError::UnsupportedGraph(
+            "no leader exists whose removal makes the graph acyclic".to_string(),
+        ))
+    }
+
+    /// Execute the AC2T described by the scenario's graph.
+    pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
+        let cfg = &self.config;
+        let delta = scenario.world.delta_ms();
+        let wait_cap = delta * cfg.wait_cap_deltas;
+        let started_at = scenario.world.now();
+        let kind = self.kind.unwrap_or(ProtocolKind::Herlihy);
+        let mut calls = 0u64;
+        let mut deployments = 0u64;
+        let mut fees = 0u64;
+
+        let leader = match self.leader {
+            Some(leader) => {
+                // Validate the caller's choice against the same conditions.
+                Self::supports_graph(&scenario.graph)?;
+                if !scenario.graph.participants().contains(&leader) {
+                    return Err(ProtocolError::UnknownParticipant(format!("{leader}")));
+                }
+                leader
+            }
+            None => Self::supports_graph(&scenario.graph)?,
+        };
+        scenario.world.timeline.record(started_at, EventKind::GraphSigned);
+
+        // The leader's secret and hashlock. Deterministic per graph so runs
+        // are reproducible.
+        let secret = {
+            let mut h = Sha256::new();
+            h.update(b"herlihy/leader-secret");
+            h.update(scenario.graph.digest().as_bytes());
+            h.finalize().to_vec()
+        };
+        let hashlock = Hashlock::from_secret(&secret).lock;
+
+        // Wave structure and timelocks: wave k deploys at ~k·Δ and is
+        // redeemed at ~(2W - k)·Δ; its timelock is set two Δ after that, so
+        // earlier waves get strictly later timelocks (t1 > t2).
+        let waves = scenario.graph.waves_from(&leader);
+        let wave_count = waves.len() as u64;
+        let mut slots: Vec<EdgeSlot> = Vec::with_capacity(scenario.graph.contract_count());
+        for (k, wave) in waves.iter().enumerate() {
+            for e in wave {
+                slots.push(EdgeSlot {
+                    edge: *e,
+                    wave: k,
+                    timelock: started_at + delta * (2 * wave_count - k as u64 + 2),
+                    deploy: None,
+                });
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase A: sequential deployment, wave by wave.
+        // ------------------------------------------------------------------
+        let mut deployment_failed = false;
+        'waves: for k in 0..waves.len() {
+            let mut wave_deploys: Vec<(usize, TxId)> = Vec::new();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.wave != k {
+                    continue;
+                }
+                let spec = ContractSpec::Htlc(HtlcSpec {
+                    recipient: slot.edge.to,
+                    hashlock,
+                    timelock: slot.timelock,
+                });
+                match deploy_contract(
+                    &mut scenario.world,
+                    &mut scenario.participants,
+                    &slot.edge.from,
+                    slot.edge.chain,
+                    &spec,
+                    slot.edge.amount,
+                )? {
+                    Some((txid, contract)) => {
+                        slot.deploy = Some((txid, contract));
+                        deployments += 1;
+                        fees += scenario.world.chain(slot.edge.chain)?.params().deploy_fee;
+                        wave_deploys.push((i, txid));
+                        scenario.world.timeline.record(
+                            scenario.world.now(),
+                            EventKind::ContractSubmitted { chain: slot.edge.chain, contract },
+                        );
+                    }
+                    None => {
+                        // A participant declined or crashed: later waves do
+                        // not deploy (their senders are no longer protected).
+                        deployment_failed = true;
+                        break 'waves;
+                    }
+                }
+            }
+            // Sequentiality: the next wave only starts once this one is
+            // publicly recognised.
+            let depth = cfg.deployment_depth;
+            let wave_txs: Vec<(ac3_chain::ChainId, TxId)> = wave_deploys
+                .iter()
+                .map(|(i, txid)| (slots[*i].edge.chain, *txid))
+                .collect();
+            if scenario
+                .world
+                .advance_until("wave deployments to stabilise", wait_cap, move |w| {
+                    wave_txs.iter().all(|(chain, txid)| {
+                        w.chain(*chain)
+                            .ok()
+                            .and_then(|c| c.tx_depth(txid))
+                            .is_some_and(|d| d >= depth)
+                    })
+                })
+                .is_err()
+            {
+                deployment_failed = true;
+                break;
+            }
+        }
+        for slot in &slots {
+            if let Some((_, contract)) = slot.deploy {
+                scenario.world.timeline.record(
+                    scenario.world.now(),
+                    EventKind::ContractPublished { chain: slot.edge.chain, contract },
+                );
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase B: sequential redemption in reverse wave order (only when
+        // every contract is published — otherwise everyone waits for their
+        // timelock and refunds).
+        // ------------------------------------------------------------------
+        let mut secret_revealed = false;
+        let mut finished_at = scenario.world.now();
+        if !deployment_failed {
+            for k in (0..waves.len()).rev() {
+                // Settle any contract whose timelock has already expired
+                // (rational senders refund as soon as they can).
+                self.refund_expired(scenario, &mut slots, &mut calls, &mut fees)?;
+
+                let mut wave_redeems: Vec<(ac3_chain::ChainId, TxId)> = Vec::new();
+                for slot in slots.iter().filter(|s| s.wave == k) {
+                    let Some((_, contract)) = slot.deploy else { continue };
+                    // Only the leader knows the secret until it appears on
+                    // some chain.
+                    if slot.edge.to != leader && !secret_revealed {
+                        continue;
+                    }
+                    if scenario.world.now() >= slot.timelock {
+                        continue; // too late to redeem safely
+                    }
+                    let call = ContractCall::Htlc(HtlcCall::Redeem { preimage: secret.clone() });
+                    if let Some(txid) = call_contract(
+                        &mut scenario.world,
+                        &mut scenario.participants,
+                        &slot.edge.to,
+                        slot.edge.chain,
+                        contract,
+                        &call,
+                    )? {
+                        calls += 1;
+                        fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
+                        wave_redeems.push((slot.edge.chain, txid));
+                        scenario.world.timeline.record(
+                            scenario.world.now(),
+                            EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
+                        );
+                    }
+                }
+                if !wave_redeems.is_empty() {
+                    secret_revealed = true;
+                    let pending = wave_redeems.clone();
+                    let _ = scenario.world.advance_until("wave redemptions to stabilise", wait_cap, move |w| {
+                        pending.iter().all(|(chain, txid)| {
+                            w.chain(*chain)
+                                .ok()
+                                .and_then(|c| c.tx_depth(txid))
+                                .is_some_and(|d| {
+                                    d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
+                                })
+                        })
+                    });
+                } else if slots.iter().any(|s| s.wave == k && s.deploy.is_some()) {
+                    // Nobody in this wave could redeem (crashed or the secret
+                    // is not yet public); give them one Δ before moving on.
+                    scenario.world.advance(delta);
+                }
+            }
+            finished_at = scenario.world.now();
+        }
+
+        // ------------------------------------------------------------------
+        // Phase C: timelock cleanup. Crashed redeemers may recover in time;
+        // once a timelock expires the sender refunds — this is where the
+        // atomicity violation of the baselines materialises.
+        // ------------------------------------------------------------------
+        let max_timelock = slots.iter().map(|s| s.timelock).max().unwrap_or(started_at);
+        while scenario.world.now() < max_timelock + 2 * delta {
+            let all_settled = slots.iter().all(|s| {
+                edge_disposition(&scenario.world, s.edge.chain, s.deploy.map(|(_, c)| c))
+                    != EdgeDisposition::Locked
+            });
+            if all_settled {
+                break;
+            }
+            // Recovered redeemers still within their window redeem...
+            for slot in slots.clone() {
+                let Some((_, contract)) = slot.deploy else { continue };
+                if edge_disposition(&scenario.world, slot.edge.chain, Some(contract))
+                    != EdgeDisposition::Locked
+                {
+                    continue;
+                }
+                let knows_secret = slot.edge.to == leader || secret_revealed;
+                if knows_secret && scenario.world.now() < slot.timelock {
+                    let call = ContractCall::Htlc(HtlcCall::Redeem { preimage: secret.clone() });
+                    if let Some(txid) = call_contract(
+                        &mut scenario.world,
+                        &mut scenario.participants,
+                        &slot.edge.to,
+                        slot.edge.chain,
+                        contract,
+                        &call,
+                    )? {
+                        calls += 1;
+                        fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
+                        secret_revealed = true;
+                        let _ = scenario.world.wait_for_inclusion(slot.edge.chain, txid, delta);
+                        scenario.world.timeline.record(
+                            scenario.world.now(),
+                            EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
+                        );
+                    }
+                }
+            }
+            // ...and expired contracts get refunded by their senders.
+            self.refund_expired(scenario, &mut slots, &mut calls, &mut fees)?;
+            scenario.world.advance(delta);
+        }
+        if deployment_failed {
+            finished_at = scenario.world.now();
+        }
+
+        let outcomes: Vec<EdgeOutcome> = slots
+            .iter()
+            .map(|s| {
+                let contract = s.deploy.map(|(_, c)| c);
+                EdgeOutcome {
+                    edge: s.edge,
+                    contract,
+                    disposition: edge_disposition(&scenario.world, s.edge.chain, contract),
+                }
+            })
+            .collect();
+
+        Ok(SwapReport {
+            protocol: kind,
+            decision: None,
+            edges: outcomes,
+            started_at,
+            finished_at,
+            delta_ms: delta,
+            deployments,
+            calls,
+            fees_paid: fees,
+            timeline: scenario.world.timeline.clone(),
+        })
+    }
+
+    /// Refund every published contract whose timelock has expired, on behalf
+    /// of whichever senders are currently available.
+    fn refund_expired(
+        &self,
+        scenario: &mut Scenario,
+        slots: &mut [EdgeSlot],
+        calls: &mut u64,
+        fees: &mut u64,
+    ) -> Result<(), ProtocolError> {
+        let now = scenario.world.now();
+        for slot in slots.iter() {
+            let Some((_, contract)) = slot.deploy else { continue };
+            if now < slot.timelock {
+                continue;
+            }
+            if edge_disposition(&scenario.world, slot.edge.chain, Some(contract))
+                != EdgeDisposition::Locked
+            {
+                continue;
+            }
+            let call = ContractCall::Htlc(HtlcCall::Refund);
+            if let Some(txid) = call_contract(
+                &mut scenario.world,
+                &mut scenario.participants,
+                &slot.edge.from,
+                slot.edge.chain,
+                contract,
+                &call,
+            )? {
+                *calls += 1;
+                *fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
+                let _ = scenario.world.wait_for_inclusion(slot.edge.chain, txid, scenario.world.delta_ms());
+                scenario.world.timeline.record(
+                    scenario.world.now(),
+                    EventKind::ContractRefunded { chain: slot.edge.chain, contract },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AtomicityVerdict;
+    use crate::scenario::{figure7b_scenario, ring_scenario, two_party_scenario, ScenarioConfig};
+    use ac3_sim::CrashWindow;
+
+    fn driver() -> Herlihy {
+        Herlihy::new(ProtocolConfig { deployment_depth: 3, ..Default::default() })
+    }
+
+    #[test]
+    fn two_party_swap_commits() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let report = driver().execute(&mut s).unwrap();
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "{}", report.summary());
+        assert_eq!(report.deployments, 2);
+        assert_eq!(report.calls, 2);
+    }
+
+    #[test]
+    fn ring_of_four_commits_but_latency_grows_with_diameter() {
+        let mut lat2 = 0.0;
+        let mut lat4 = 0.0;
+        for (n, lat) in [(2usize, &mut lat2), (4usize, &mut lat4)] {
+            let mut s = ring_scenario(n, 10, &ScenarioConfig::default());
+            let report = driver().execute(&mut s).unwrap();
+            assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "ring {n}: {}", report.summary());
+            *lat = report.latency_in_deltas();
+        }
+        assert!(
+            lat4 > lat2 + 1.0,
+            "Herlihy latency should grow with diameter (2: {lat2}, 4: {lat4})"
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_is_unsupported() {
+        let mut s = figure7b_scenario(&ScenarioConfig::default());
+        let err = driver().execute(&mut s).unwrap_err();
+        assert!(matches!(err, ProtocolError::UnsupportedGraph(_)));
+    }
+
+    #[test]
+    fn missing_counterparty_leads_to_refund_not_loss() {
+        // Bob never deploys (crashed from the start): Alice's contract is
+        // eventually refunded once its timelock expires — atomic abort.
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let alice = s.participants.get("alice").unwrap().address();
+        s.participants.get_mut("bob").unwrap().schedule_crash(CrashWindow::permanent(0));
+        let mut d = driver();
+        d.leader = Some(alice);
+        let report = d.execute(&mut s).unwrap();
+        assert!(report.is_atomic(), "{}", report.verdict());
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRefunded);
+    }
+
+    #[test]
+    fn crash_past_timelock_violates_atomicity() {
+        // The paper's motivating failure, reproduced: the leader redeems the
+        // counterparty's contract (revealing s), the counterparty crashes
+        // until after its own contract's timelock, and the leader refunds it
+        // — the crashed participant ends up losing its asset.
+        let cfg = ScenarioConfig::default();
+        let mut s = two_party_scenario(50, 80, &cfg);
+        let alice = s.participants.get("alice").unwrap().address();
+        // Δ = 4s; with two waves the timelocks are at 2·Δ·2 + ... ≈ tens of
+        // seconds. Crash Bob (who must redeem last) from just after the
+        // leader's redemption until far past every timelock.
+        s.participants
+            .get_mut("bob")
+            .unwrap()
+            .schedule_crash(CrashWindow { from: 9_000, until: 600_000 });
+        let mut d = driver();
+        d.leader = Some(alice);
+        let report = d.execute(&mut s).unwrap();
+        assert!(
+            !report.is_atomic(),
+            "expected an atomicity violation, got {} ({})",
+            report.verdict(),
+            report.summary()
+        );
+        // Specifically: Alice redeemed Bob's contract while Bob's entitled
+        // redemption never happened (his asset was refunded to Alice).
+        assert!(matches!(report.verdict(), AtomicityVerdict::Violated { .. }));
+    }
+
+    #[test]
+    fn leader_selection_rejects_graphs_without_valid_leader() {
+        // Two disjoint 2-cycles (Figure 7b) — already covered — plus a graph
+        // where every removal leaves a cycle.
+        let names = ["a", "b", "c", "d"];
+        let mut s = crate::scenario::custom_scenario(
+            &names,
+            &[(0, 1, 1), (1, 0, 1), (2, 3, 1), (3, 2, 1)],
+            &ScenarioConfig::default(),
+        );
+        assert!(Herlihy::supports_graph(&s.graph).is_err());
+        let err = driver().execute(&mut s).unwrap_err();
+        assert!(matches!(err, ProtocolError::UnsupportedGraph(_)));
+    }
+}

@@ -1,0 +1,522 @@
+//! Herlihy's *multi-leader* atomic cross-chain swap protocol — the variant
+//! of \[16\] that Section 5.3 of the paper credits with handling **cyclic**
+//! AC2T graphs (which the single-leader protocol cannot), while still being
+//! unable to express **disconnected** graphs (Figure 7b).
+//!
+//! The protocol generalises the single-leader construction:
+//!
+//! * the leader set `L` is a *feedback vertex set* of the AC2T graph —
+//!   removing the leaders leaves the graph acyclic;
+//! * every leader `l ∈ L` generates its own secret `s_l`; every contract is
+//!   locked behind **all** the leaders' hashlocks (a
+//!   [`ac3_contracts::MultiHtlcSpec`]) and can only be redeemed by
+//!   presenting every preimage;
+//! * deployment proceeds **sequentially** in waves of increasing directed
+//!   distance from the leader set, and redemption proceeds sequentially in
+//!   the reverse order, so the latency remains proportional to the depth of
+//!   the wave structure (the same `O(Diam(D))` behaviour as the
+//!   single-leader protocol — AC3WN's constant `4·Δ` is the contrast);
+//! * timelocks still couple liveness to safety: a redeemer that crashes past
+//!   its timelock loses the asset, exactly the violation the paper's
+//!   Section 1 describes.
+//!
+//! **Modelling note.** In Herlihy's construction the leaders coordinate the
+//! release of their secrets through an extra leader-level exchange. We model
+//! that exchange as an off-chain step at the start of the redemption phase:
+//! if every leader is available (not crashed) the secret set becomes known
+//! to all leaders; the first on-chain redemption then reveals every preimage
+//! to the remaining participants, as in the single-leader protocol. If any
+//! leader is unavailable the exchange fails, redemption stalls, and the
+//! timelock/refund path takes over. This preserves the properties the paper
+//! measures (latency shape, graph coverage, crash-failure behaviour) without
+//! reproducing the full leader-subprotocol message flow.
+
+use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::graph::{SwapEdge, SwapGraph};
+use crate::protocol::{
+    EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
+};
+use crate::scenario::Scenario;
+use ac3_chain::{Address, ContractId, Timestamp, TxId};
+use ac3_contracts::{ContractCall, ContractSpec, MultiHtlcCall, MultiHtlcSpec};
+use ac3_crypto::{Hash256, Hashlock, Sha256};
+use ac3_sim::EventKind;
+
+/// The Herlihy multi-leader protocol driver.
+#[derive(Debug, Clone, Default)]
+pub struct HerlihyMulti {
+    /// Driver configuration.
+    pub config: ProtocolConfig,
+}
+
+/// Per-edge bookkeeping during a run.
+#[derive(Debug, Clone)]
+struct EdgeSlot {
+    edge: SwapEdge,
+    wave: usize,
+    timelock: Timestamp,
+    deploy: Option<(TxId, ContractId)>,
+}
+
+impl HerlihyMulti {
+    /// Create a driver with the given configuration.
+    pub fn new(config: ProtocolConfig) -> Self {
+        HerlihyMulti { config }
+    }
+
+    /// Check whether the multi-leader protocol can execute `graph` and
+    /// return the leader set. Cyclic graphs are fine (that is the point of
+    /// the variant); disconnected graphs are still rejected because no
+    /// leader set can order contracts across unrelated components.
+    pub fn supports_graph(graph: &SwapGraph) -> Result<Vec<Address>, ProtocolError> {
+        if !graph.is_connected() {
+            return Err(ProtocolError::UnsupportedGraph(
+                "multi-leader swaps cannot execute disconnected graphs (Figure 7b)".to_string(),
+            ));
+        }
+        let mut leaders = graph.feedback_vertex_set();
+        if leaders.is_empty() {
+            // Acyclic graph: degenerate to a single leader — any source of
+            // an edge works; pick the first for determinism.
+            leaders.push(graph.edges()[0].from);
+        }
+        // Every edge must be reachable from the leader set, otherwise the
+        // wave ordering does not protect its sender.
+        let waves = graph.waves_from_set(&leaders);
+        let covered: usize = waves.iter().map(|w| w.len()).sum();
+        if covered != graph.contract_count() {
+            return Err(ProtocolError::UnsupportedGraph(
+                "some edges are unreachable from the leader set".to_string(),
+            ));
+        }
+        Ok(leaders)
+    }
+
+    /// The per-leader secret: deterministic per (graph, leader) so runs are
+    /// reproducible.
+    fn leader_secret(graph_digest: &Hash256, leader: &Address) -> Vec<u8> {
+        let mut h = Sha256::new();
+        h.update(b"herlihy-multi/leader-secret");
+        h.update(graph_digest.as_bytes());
+        h.update(&leader.to_bytes());
+        h.finalize().to_vec()
+    }
+
+    /// Execute the AC2T described by the scenario's graph.
+    pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
+        let cfg = &self.config;
+        let delta = scenario.world.delta_ms();
+        let wait_cap = delta * cfg.wait_cap_deltas;
+        let started_at = scenario.world.now();
+        let mut calls = 0u64;
+        let mut deployments = 0u64;
+        let mut fees = 0u64;
+
+        let leaders = Self::supports_graph(&scenario.graph)?;
+        scenario.world.timeline.record(started_at, EventKind::GraphSigned);
+
+        let graph_digest = scenario.graph.digest();
+        let secrets: Vec<Vec<u8>> =
+            leaders.iter().map(|l| Self::leader_secret(&graph_digest, l)).collect();
+        let hashlocks: Vec<Hash256> =
+            secrets.iter().map(|s| Hashlock::from_secret(s).lock).collect();
+
+        // Wave structure and timelocks mirror the single-leader driver: wave
+        // k deploys at ~k·Δ and redeems at ~(2W - k)·Δ, so earlier waves get
+        // strictly later timelocks.
+        let waves = scenario.graph.waves_from_set(&leaders);
+        let wave_count = waves.len() as u64;
+        let mut slots: Vec<EdgeSlot> = Vec::with_capacity(scenario.graph.contract_count());
+        for (k, wave) in waves.iter().enumerate() {
+            for e in wave {
+                slots.push(EdgeSlot {
+                    edge: *e,
+                    wave: k,
+                    timelock: started_at + delta * (2 * wave_count - k as u64 + 2),
+                    deploy: None,
+                });
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase A: sequential deployment, wave by wave.
+        // ------------------------------------------------------------------
+        let mut deployment_failed = false;
+        'waves: for k in 0..waves.len() {
+            let mut wave_deploys: Vec<(usize, TxId)> = Vec::new();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.wave != k {
+                    continue;
+                }
+                let spec = ContractSpec::MultiHtlc(MultiHtlcSpec {
+                    recipient: slot.edge.to,
+                    hashlocks: hashlocks.clone(),
+                    timelock: slot.timelock,
+                });
+                match deploy_contract(
+                    &mut scenario.world,
+                    &mut scenario.participants,
+                    &slot.edge.from,
+                    slot.edge.chain,
+                    &spec,
+                    slot.edge.amount,
+                )? {
+                    Some((txid, contract)) => {
+                        slot.deploy = Some((txid, contract));
+                        deployments += 1;
+                        fees += scenario.world.chain(slot.edge.chain)?.params().deploy_fee;
+                        wave_deploys.push((i, txid));
+                        scenario.world.timeline.record(
+                            scenario.world.now(),
+                            EventKind::ContractSubmitted { chain: slot.edge.chain, contract },
+                        );
+                    }
+                    None => {
+                        deployment_failed = true;
+                        break 'waves;
+                    }
+                }
+            }
+            let depth = cfg.deployment_depth;
+            let wave_txs: Vec<(ac3_chain::ChainId, TxId)> = wave_deploys
+                .iter()
+                .map(|(i, txid)| (slots[*i].edge.chain, *txid))
+                .collect();
+            if scenario
+                .world
+                .advance_until("wave deployments to stabilise", wait_cap, move |w| {
+                    wave_txs.iter().all(|(chain, txid)| {
+                        w.chain(*chain)
+                            .ok()
+                            .and_then(|c| c.tx_depth(txid))
+                            .is_some_and(|d| d >= depth)
+                    })
+                })
+                .is_err()
+            {
+                deployment_failed = true;
+                break;
+            }
+        }
+        for slot in &slots {
+            if let Some((_, contract)) = slot.deploy {
+                scenario.world.timeline.record(
+                    scenario.world.now(),
+                    EventKind::ContractPublished { chain: slot.edge.chain, contract },
+                );
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase B: the off-chain leader secret exchange, then sequential
+        // redemption in reverse wave order.
+        // ------------------------------------------------------------------
+        let now = scenario.world.now();
+        let exchange_succeeded = !deployment_failed
+            && leaders.iter().all(|l| {
+                scenario.participants.by_address(l).is_some_and(|p| p.is_available(now))
+            });
+        let mut secrets_public = false;
+        let mut finished_at = scenario.world.now();
+        if !deployment_failed {
+            for k in (0..waves.len()).rev() {
+                self.refund_expired(scenario, &mut slots, &mut calls, &mut fees)?;
+
+                let mut wave_redeems: Vec<(ac3_chain::ChainId, TxId)> = Vec::new();
+                for slot in slots.iter().filter(|s| s.wave == k) {
+                    let Some((_, contract)) = slot.deploy else { continue };
+                    // A redeemer knows all the secrets if it is a leader
+                    // after a successful exchange, or once the preimages are
+                    // public on some chain.
+                    let knows_secrets = (exchange_succeeded && leaders.contains(&slot.edge.to))
+                        || secrets_public;
+                    if !knows_secrets {
+                        continue;
+                    }
+                    if scenario.world.now() >= slot.timelock {
+                        continue; // too late to redeem safely
+                    }
+                    let call =
+                        ContractCall::MultiHtlc(MultiHtlcCall::Redeem { preimages: secrets.clone() });
+                    if let Some(txid) = call_contract(
+                        &mut scenario.world,
+                        &mut scenario.participants,
+                        &slot.edge.to,
+                        slot.edge.chain,
+                        contract,
+                        &call,
+                    )? {
+                        calls += 1;
+                        fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
+                        wave_redeems.push((slot.edge.chain, txid));
+                        scenario.world.timeline.record(
+                            scenario.world.now(),
+                            EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
+                        );
+                    }
+                }
+                if !wave_redeems.is_empty() {
+                    secrets_public = true;
+                    let pending = wave_redeems.clone();
+                    let _ = scenario.world.advance_until(
+                        "wave redemptions to stabilise",
+                        wait_cap,
+                        move |w| {
+                            pending.iter().all(|(chain, txid)| {
+                                w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(|d| {
+                                    d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
+                                })
+                            })
+                        },
+                    );
+                } else if slots.iter().any(|s| s.wave == k && s.deploy.is_some()) {
+                    scenario.world.advance(delta);
+                }
+            }
+            finished_at = scenario.world.now();
+        }
+
+        // ------------------------------------------------------------------
+        // Phase C: timelock cleanup, identical in spirit to the single-leader
+        // driver — recovered redeemers may still make their window, expired
+        // contracts are refunded by their senders.
+        // ------------------------------------------------------------------
+        let max_timelock = slots.iter().map(|s| s.timelock).max().unwrap_or(started_at);
+        while scenario.world.now() < max_timelock + 2 * delta {
+            let all_settled = slots.iter().all(|s| {
+                edge_disposition(&scenario.world, s.edge.chain, s.deploy.map(|(_, c)| c))
+                    != EdgeDisposition::Locked
+            });
+            if all_settled {
+                break;
+            }
+            for slot in slots.clone() {
+                let Some((_, contract)) = slot.deploy else { continue };
+                if edge_disposition(&scenario.world, slot.edge.chain, Some(contract))
+                    != EdgeDisposition::Locked
+                {
+                    continue;
+                }
+                let knows_secrets = (exchange_succeeded && leaders.contains(&slot.edge.to))
+                    || secrets_public;
+                if knows_secrets && scenario.world.now() < slot.timelock {
+                    let call =
+                        ContractCall::MultiHtlc(MultiHtlcCall::Redeem { preimages: secrets.clone() });
+                    if let Some(txid) = call_contract(
+                        &mut scenario.world,
+                        &mut scenario.participants,
+                        &slot.edge.to,
+                        slot.edge.chain,
+                        contract,
+                        &call,
+                    )? {
+                        calls += 1;
+                        fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
+                        secrets_public = true;
+                        let _ = scenario.world.wait_for_inclusion(slot.edge.chain, txid, delta);
+                        scenario.world.timeline.record(
+                            scenario.world.now(),
+                            EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
+                        );
+                    }
+                }
+            }
+            self.refund_expired(scenario, &mut slots, &mut calls, &mut fees)?;
+            scenario.world.advance(delta);
+        }
+        if deployment_failed {
+            finished_at = scenario.world.now();
+        }
+
+        let outcomes: Vec<EdgeOutcome> = slots
+            .iter()
+            .map(|s| {
+                let contract = s.deploy.map(|(_, c)| c);
+                EdgeOutcome {
+                    edge: s.edge,
+                    contract,
+                    disposition: edge_disposition(&scenario.world, s.edge.chain, contract),
+                }
+            })
+            .collect();
+
+        Ok(SwapReport {
+            protocol: ProtocolKind::HerlihyMulti,
+            decision: None,
+            edges: outcomes,
+            started_at,
+            finished_at,
+            delta_ms: delta,
+            deployments,
+            calls,
+            fees_paid: fees,
+            timeline: scenario.world.timeline.clone(),
+        })
+    }
+
+    /// Refund every published contract whose timelock has expired, on behalf
+    /// of whichever senders are currently available.
+    fn refund_expired(
+        &self,
+        scenario: &mut Scenario,
+        slots: &mut [EdgeSlot],
+        calls: &mut u64,
+        fees: &mut u64,
+    ) -> Result<(), ProtocolError> {
+        let now = scenario.world.now();
+        for slot in slots.iter() {
+            let Some((_, contract)) = slot.deploy else { continue };
+            if now < slot.timelock {
+                continue;
+            }
+            if edge_disposition(&scenario.world, slot.edge.chain, Some(contract))
+                != EdgeDisposition::Locked
+            {
+                continue;
+            }
+            let call = ContractCall::MultiHtlc(MultiHtlcCall::Refund);
+            if let Some(txid) = call_contract(
+                &mut scenario.world,
+                &mut scenario.participants,
+                &slot.edge.from,
+                slot.edge.chain,
+                contract,
+                &call,
+            )? {
+                *calls += 1;
+                *fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
+                let _ = scenario
+                    .world
+                    .wait_for_inclusion(slot.edge.chain, txid, scenario.world.delta_ms());
+                scenario.world.timeline.record(
+                    scenario.world.now(),
+                    EventKind::ContractRefunded { chain: slot.edge.chain, contract },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AtomicityVerdict;
+    use crate::scenario::{
+        custom_scenario, figure7a_scenario, figure7b_scenario, ring_scenario, two_party_scenario,
+        ScenarioConfig,
+    };
+    use ac3_sim::CrashWindow;
+
+    fn driver() -> HerlihyMulti {
+        HerlihyMulti::new(ProtocolConfig { deployment_depth: 3, ..Default::default() })
+    }
+
+    #[test]
+    fn two_party_swap_commits() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let report = driver().execute(&mut s).unwrap();
+        assert_eq!(report.protocol, ProtocolKind::HerlihyMulti);
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "{}", report.summary());
+        assert_eq!(report.deployments, 2);
+        assert_eq!(report.calls, 2);
+    }
+
+    #[test]
+    fn cyclic_figure7a_commits_under_multi_leader() {
+        // The single-leader protocol can also execute a plain 3-cycle, but
+        // the multi-leader variant is the one the paper credits with cyclic
+        // graphs in general; check it works here.
+        let mut s = figure7a_scenario(&ScenarioConfig::default());
+        let report = driver().execute(&mut s).unwrap();
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "{}", report.summary());
+    }
+
+    #[test]
+    fn cyclic_graph_without_single_leader_commits() {
+        // A graph where removing any single vertex leaves a residual cycle —
+        // the single-leader protocol rejects it, the multi-leader one
+        // executes it. Two vertex-disjoint 2-cycles joined by a bridge edge:
+        // A⇄B, C⇄D, plus B→C to connect them.
+        let names = ["a", "b", "c", "d"];
+        let edges = [(0, 1, 10), (1, 0, 20), (2, 3, 30), (3, 2, 40), (1, 2, 50)];
+        let mut s = custom_scenario(&names, &edges, &ScenarioConfig::default());
+        assert!(
+            crate::herlihy::Herlihy::supports_graph(&s.graph).is_err(),
+            "single-leader should reject this graph"
+        );
+        let report = driver().execute(&mut s).unwrap();
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "{}", report.summary());
+        assert_eq!(report.edges.len(), 5);
+    }
+
+    #[test]
+    fn disconnected_graph_is_still_unsupported() {
+        let mut s = figure7b_scenario(&ScenarioConfig::default());
+        let err = driver().execute(&mut s).unwrap_err();
+        assert!(matches!(err, ProtocolError::UnsupportedGraph(_)));
+    }
+
+    #[test]
+    fn latency_grows_with_ring_size() {
+        let mut lat2 = 0.0;
+        let mut lat5 = 0.0;
+        for (n, lat) in [(2usize, &mut lat2), (5usize, &mut lat5)] {
+            let mut s = ring_scenario(n, 10, &ScenarioConfig::default());
+            let report = driver().execute(&mut s).unwrap();
+            assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "ring {n}");
+            *lat = report.latency_in_deltas();
+        }
+        assert!(lat5 > lat2, "multi-leader latency should grow with the wave depth");
+    }
+
+    #[test]
+    fn missing_counterparty_leads_to_refund_not_loss() {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        // Whoever is not in the leader set crashes before deploying.
+        let leaders = HerlihyMulti::supports_graph(&s.graph).unwrap();
+        let non_leader_name = ["alice", "bob"]
+            .iter()
+            .find(|n| {
+                let addr = s.participants.get(n).unwrap().address();
+                !leaders.contains(&addr)
+            })
+            .copied()
+            .unwrap_or("bob");
+        s.participants
+            .get_mut(non_leader_name)
+            .unwrap()
+            .schedule_crash(CrashWindow::permanent(0));
+        let report = driver().execute(&mut s).unwrap();
+        assert!(report.is_atomic(), "{}", report.verdict());
+    }
+
+    #[test]
+    fn crash_past_timelock_still_violates_atomicity() {
+        // The multi-leader variant inherits the timelock flaw: a redeemer
+        // crashed past its timelock loses the asset.
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let leaders = HerlihyMulti::supports_graph(&s.graph).unwrap();
+        // Crash the non-leader from just after the leaders' redemption until
+        // far past every timelock.
+        let non_leader_name = ["alice", "bob"]
+            .iter()
+            .find(|n| {
+                let addr = s.participants.get(n).unwrap().address();
+                !leaders.contains(&addr)
+            })
+            .copied()
+            .unwrap();
+        s.participants
+            .get_mut(non_leader_name)
+            .unwrap()
+            .schedule_crash(CrashWindow { from: 9_000, until: 600_000 });
+        let report = driver().execute(&mut s).unwrap();
+        assert!(
+            !report.is_atomic(),
+            "expected an atomicity violation, got {} ({})",
+            report.verdict(),
+            report.summary()
+        );
+    }
+}

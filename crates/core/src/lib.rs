@@ -1,0 +1,74 @@
+//! # ac3-core
+//!
+//! The heart of the reproduction of *Atomic Commitment Across Blockchains*
+//! (Zakhary, Agrawal, El Abbadi — VLDB 2020): the AC3WN protocol, the AC3TW
+//! centralized-witness variant, the Nolan and Herlihy hashlock/timelock
+//! baselines, the transaction-graph model, the cross-chain evidence
+//! validation strategies and the paper's analytical models.
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Section 3 — AC2T graph model `D = (V, E)`, `ms(D)` | [`graph`] |
+//! | Section 4.1 — AC3TW (centralized trusted witness) | [`ac3tw`] |
+//! | Section 4.2 — AC3WN (permissionless witness network) | [`ac3wn`] |
+//! | Section 4.3 — cross-chain evidence validation strategies | [`evidence`] |
+//! | Section 1 / \[23\] — Nolan's two-party atomic swap | [`nolan`] |
+//! | \[16\] — Herlihy's multi-party atomic swap (baseline) | [`herlihy`] |
+//! | \[16\] / Section 5.3 — Herlihy's multi-leader variant | [`herlihy_multi`] |
+//! | Section 5 — atomicity audit | [`audit`] |
+//! | Section 6 — latency / cost / witness-choice / throughput models | [`analysis`] |
+//! | Section 6.3 — executed 51%-fork attack on the witness chain | [`attack`] |
+//!
+//! The protocol drivers execute against the `ac3-sim` discrete-event world;
+//! [`scenario`] assembles standard worlds (two-party swaps, rings of
+//! configurable diameter, the Figure 7 complex graphs) shared by the
+//! examples, tests and the benchmark harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ac3_core::{Ac3wn, ProtocolConfig};
+//! use ac3_core::scenario::{two_party_scenario, ScenarioConfig};
+//!
+//! // Alice swaps 50 units on chain A for Bob's 80 units on chain B.
+//! let mut scenario = two_party_scenario(50, 80, &ScenarioConfig::default());
+//! let report = Ac3wn::new(ProtocolConfig::default())
+//!     .execute(&mut scenario)
+//!     .expect("swap executes");
+//! assert!(report.is_atomic());
+//! assert_eq!(report.decision, Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ac3tw;
+pub mod ac3wn;
+pub mod actions;
+pub mod analysis;
+pub mod attack;
+pub mod audit;
+pub mod evidence;
+pub mod graph;
+pub mod herlihy;
+pub mod herlihy_multi;
+pub mod nolan;
+pub mod protocol;
+pub mod scenario;
+
+pub use ac3tw::{Ac3tw, Trent, TrentError};
+pub use ac3wn::Ac3wn;
+pub use attack::{execute_fork_attack, ForkAttackConfig, ForkAttackReport};
+pub use audit::AtomicityVerdict;
+pub use evidence::{validate_tx, validate_with_all, ValidationCost, ValidationReport, ValidationStrategy};
+pub use graph::{figure7_cyclic, figure7_disconnected, ring_graph, GraphShape, SwapEdge, SwapGraph};
+pub use herlihy::Herlihy;
+pub use herlihy_multi::HerlihyMulti;
+pub use nolan::Nolan;
+pub use protocol::{
+    EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
+};
+pub use scenario::{
+    custom_scenario, figure7a_scenario, figure7b_scenario, ring_scenario, two_party_scenario,
+    Scenario, ScenarioConfig,
+};

@@ -1,0 +1,212 @@
+//! Scenario builders: assemble a simulated world, a cast of participants and
+//! an AC2T graph in one call, so examples, tests and benchmarks share the
+//! same setup code.
+
+use crate::graph::{ring_graph, SwapEdge, SwapGraph};
+use ac3_chain::{Address, Amount, ChainId, ChainParams};
+use ac3_sim::{ParticipantSet, World};
+
+/// Configuration of a scenario's chains and funding.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Template for every asset chain (the name gets an index suffix).
+    pub asset_chain_template: ChainParams,
+    /// Parameters of the witness chain.
+    pub witness_chain_template: ChainParams,
+    /// Genesis balance granted to every participant on every chain
+    /// (assets to swap plus fee budget).
+    pub funding: Amount,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        // Fast chains so unit tests and examples complete in milliseconds of
+        // wall-clock time: 1-second blocks, stability after 3 confirmations.
+        let mut asset = ChainParams::test("asset");
+        asset.block_interval_ms = 1_000;
+        asset.stable_depth = 3;
+        let mut witness = ChainParams::test("witness");
+        witness.block_interval_ms = 1_000;
+        witness.stable_depth = 3;
+        ScenarioConfig { asset_chain_template: asset, witness_chain_template: witness, funding: 1_000 }
+    }
+}
+
+impl ScenarioConfig {
+    /// A configuration using the paper's Table 1 chains for the asset
+    /// chains that exist (Bitcoin, Ethereum, Litecoin, Bitcoin Cash, then
+    /// repeating) and Bitcoin-like parameters for the witness chain.
+    /// Intended for the throughput experiment, not for fast unit tests.
+    pub fn table1() -> Self {
+        ScenarioConfig {
+            asset_chain_template: ChainParams::bitcoin_like(),
+            witness_chain_template: ChainParams::bitcoin_like(),
+            funding: 100_000,
+        }
+    }
+}
+
+/// A fully assembled scenario.
+pub struct Scenario {
+    /// The simulated multi-chain world (asset chains + witness chain).
+    pub world: World,
+    /// The cast of participants.
+    pub participants: ParticipantSet,
+    /// The AC2T graph to execute.
+    pub graph: SwapGraph,
+    /// The witness chain's id.
+    pub witness_chain: ChainId,
+    /// The asset chains, in edge order (edge `i` lives on
+    /// `asset_chains[i]`).
+    pub asset_chains: Vec<ChainId>,
+}
+
+impl Scenario {
+    /// The world's Δ (see [`World::delta_ms`]).
+    pub fn delta_ms(&self) -> u64 {
+        self.world.delta_ms()
+    }
+}
+
+/// Build a scenario whose graph is given as `(from_index, to_index, amount)`
+/// triples over `names`; each edge is assigned its own asset chain.
+pub fn custom_scenario(
+    names: &[&str],
+    edge_specs: &[(usize, usize, Amount)],
+    cfg: &ScenarioConfig,
+) -> Scenario {
+    assert!(!names.is_empty(), "a scenario needs participants");
+    assert!(!edge_specs.is_empty(), "a scenario needs at least one edge");
+
+    let mut participants = ParticipantSet::new();
+    let addresses: Vec<Address> = names.iter().map(|n| participants.add(n)).collect();
+    // `ParticipantSet::add` returns addresses, but `addresses()` is ordered
+    // by name; keep the caller's order here.
+    let genesis: Vec<(Address, Amount)> =
+        addresses.iter().map(|a| (*a, cfg.funding)).collect();
+
+    let mut world = World::new();
+    let mut asset_chains = Vec::with_capacity(edge_specs.len());
+    for i in 0..edge_specs.len() {
+        let mut params = cfg.asset_chain_template.clone();
+        params.name = format!("{}-{i}", cfg.asset_chain_template.name);
+        asset_chains.push(world.add_chain(params, &genesis));
+    }
+    let mut witness_params = cfg.witness_chain_template.clone();
+    witness_params.name = format!("{}-witness", cfg.witness_chain_template.name);
+    let witness_chain = world.add_chain(witness_params, &genesis);
+
+    let edges: Vec<SwapEdge> = edge_specs
+        .iter()
+        .enumerate()
+        .map(|(i, (from, to, amount))| SwapEdge {
+            from: addresses[*from],
+            to: addresses[*to],
+            amount: *amount,
+            chain: asset_chains[i],
+        })
+        .collect();
+    let graph = SwapGraph::new(edges, 1).expect("edge specs produce a valid graph");
+
+    Scenario { world, participants, graph, witness_chain, asset_chains }
+}
+
+/// The paper's running example (Figure 4): Alice swaps `x` for Bob's `y`,
+/// each asset on its own chain.
+pub fn two_party_scenario(x: Amount, y: Amount, cfg: &ScenarioConfig) -> Scenario {
+    custom_scenario(&["alice", "bob"], &[(0, 1, x), (1, 0, y)], cfg)
+}
+
+/// A ring of `n` participants (P0 → P1 → ... → P0), one chain per edge —
+/// the diameter-sweep workload of the Figure 10 reproduction.
+pub fn ring_scenario(n: usize, amount: Amount, cfg: &ScenarioConfig) -> Scenario {
+    assert!(n >= 2, "a ring needs at least two participants");
+    let names: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+
+    let mut participants = ParticipantSet::new();
+    let addresses: Vec<Address> = name_refs.iter().map(|n| participants.add(n)).collect();
+    let genesis: Vec<(Address, Amount)> = addresses.iter().map(|a| (*a, cfg.funding)).collect();
+
+    let mut world = World::new();
+    let mut asset_chains = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut params = cfg.asset_chain_template.clone();
+        params.name = format!("{}-{i}", cfg.asset_chain_template.name);
+        asset_chains.push(world.add_chain(params, &genesis));
+    }
+    let mut witness_params = cfg.witness_chain_template.clone();
+    witness_params.name = format!("{}-witness", cfg.witness_chain_template.name);
+    let witness_chain = world.add_chain(witness_params, &genesis);
+
+    let graph = ring_graph(&addresses, &asset_chains, amount);
+    Scenario { world, participants, graph, witness_chain, asset_chains }
+}
+
+/// The cyclic graph of Figure 7a as a runnable scenario.
+pub fn figure7a_scenario(cfg: &ScenarioConfig) -> Scenario {
+    custom_scenario(&["a", "b", "c"], &[(0, 1, 10), (1, 2, 20), (2, 0, 30)], cfg)
+}
+
+/// The disconnected graph of Figure 7b as a runnable scenario.
+pub fn figure7b_scenario(cfg: &ScenarioConfig) -> Scenario {
+    custom_scenario(
+        &["a", "b", "c", "d"],
+        &[(0, 1, 10), (1, 0, 20), (2, 3, 30), (3, 2, 40)],
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphShape;
+
+    #[test]
+    fn two_party_scenario_is_wired_up() {
+        let s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        assert_eq!(s.graph.contract_count(), 2);
+        assert_eq!(s.asset_chains.len(), 2);
+        assert_eq!(s.participants.len(), 2);
+        // Every participant is funded on every chain.
+        let alice = s.participants.get("alice").unwrap().address();
+        for chain in s.asset_chains.iter().chain([&s.witness_chain]) {
+            assert_eq!(s.world.chain(*chain).unwrap().balance_of(&alice), 1_000);
+        }
+        // Edges map to distinct chains, none of which is the witness chain.
+        assert!(!s.asset_chains.contains(&s.witness_chain));
+    }
+
+    #[test]
+    fn ring_scenario_diameter_matches_n() {
+        for n in 2..6 {
+            let s = ring_scenario(n, 10, &ScenarioConfig::default());
+            assert_eq!(s.graph.diameter(), n as u64);
+            assert_eq!(s.asset_chains.len(), n);
+            assert_eq!(s.participants.len(), n);
+        }
+    }
+
+    #[test]
+    fn figure7_scenarios_have_expected_shapes() {
+        let a = figure7a_scenario(&ScenarioConfig::default());
+        assert_eq!(a.graph.shape(), GraphShape::Cyclic);
+        assert_eq!(a.graph.contract_count(), 3);
+        let b = figure7b_scenario(&ScenarioConfig::default());
+        assert_eq!(b.graph.shape(), GraphShape::Disconnected);
+        assert_eq!(b.graph.contract_count(), 4);
+    }
+
+    #[test]
+    fn delta_reflects_chain_parameters() {
+        let s = two_party_scenario(1, 1, &ScenarioConfig::default());
+        // 1-second blocks, stable depth 3 => Δ = 4 seconds.
+        assert_eq!(s.delta_ms(), 4_000);
+    }
+
+    #[test]
+    fn table1_config_uses_paper_throughputs() {
+        let cfg = ScenarioConfig::table1();
+        assert_eq!(cfg.asset_chain_template.tps, 7);
+    }
+}

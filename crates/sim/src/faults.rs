@@ -1,0 +1,200 @@
+//! Fault models: the failure modes the paper's protocols must survive.
+//!
+//! * **Crash failures** of participants — [`crate::participant::CrashWindow`]
+//!   attached to a [`crate::participant::Participant`].
+//! * **Network partitions** — [`OutageWindow`]s attached to a chain in the
+//!   [`crate::world::World`]: while an outage covers the current time,
+//!   submissions to that chain fail (the participant "cannot reach" its
+//!   blockchain).
+//! * **Forks / 51% attacks** — [`crate::world::World::inject_fork`] mines a
+//!   competing branch, modelling the adversary of Section 6.3.
+//!
+//! [`FaultPlan`] bundles a named set of faults so experiments can describe
+//! scenarios declaratively and apply them to a world/participant set in one
+//! call.
+
+use crate::participant::{CrashWindow, ParticipantSet};
+use crate::world::{World, WorldError};
+use ac3_chain::{ChainId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A closed interval of simulated time during which a chain is unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// Outage start (inclusive).
+    pub from: Timestamp,
+    /// Outage end (exclusive).
+    pub until: Timestamp,
+}
+
+impl OutageWindow {
+    /// Whether the outage covers `now`.
+    pub fn covers(&self, now: Timestamp) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// One declarative fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Crash a participant for a window of time.
+    Crash {
+        /// The participant's name.
+        participant: String,
+        /// The crash window.
+        window: CrashWindow,
+    },
+    /// Partition a chain away from all participants for a window of time.
+    Partition {
+        /// The partitioned chain.
+        chain: ChainId,
+        /// The outage window.
+        window: OutageWindow,
+    },
+    /// Mine an adversarial fork on a chain at a given simulated time.
+    Fork {
+        /// The attacked chain.
+        chain: ChainId,
+        /// How many blocks below the tip to fork from.
+        fork_depth: u64,
+        /// Length of the adversarial branch.
+        length: u64,
+    },
+}
+
+/// A named collection of faults applied to a scenario.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// The faults to apply.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the failure-free baseline).
+    pub fn none() -> Self {
+        FaultPlan { name: "no-faults".to_string(), faults: Vec::new() }
+    }
+
+    /// A plan with a single crashed participant — the paper's motivating
+    /// scenario ("Bob fails to provide s to SC1 before t1 expires due to a
+    /// crash failure").
+    pub fn crash(participant: &str, from: Timestamp, until: Timestamp) -> Self {
+        FaultPlan {
+            name: format!("crash-{participant}"),
+            faults: vec![Fault::Crash {
+                participant: participant.to_string(),
+                window: CrashWindow { from, until },
+            }],
+        }
+    }
+
+    /// Add a fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Apply crash and partition faults up front. Fork faults are returned
+    /// so the caller can trigger them at the appropriate protocol step
+    /// (they are time-of-attack dependent).
+    pub fn apply(
+        &self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<Vec<Fault>, WorldError> {
+        let mut deferred = Vec::new();
+        for fault in &self.faults {
+            match fault {
+                Fault::Crash { participant, window } => {
+                    if let Some(p) = participants.get_mut(participant) {
+                        p.schedule_crash(*window);
+                    }
+                }
+                Fault::Partition { chain, window } => {
+                    world.schedule_outage(*chain, *window)?;
+                }
+                Fault::Fork { .. } => deferred.push(fault.clone()),
+            }
+        }
+        Ok(deferred)
+    }
+
+    /// Whether the plan contains any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac3_chain::ChainParams;
+
+    #[test]
+    fn outage_window_coverage() {
+        let w = OutageWindow { from: 10, until: 20 };
+        assert!(!w.covers(9));
+        assert!(w.covers(10));
+        assert!(w.covers(19));
+        assert!(!w.covers(20));
+    }
+
+    #[test]
+    fn crash_plan_applies_to_named_participant() {
+        let mut world = World::new();
+        let mut participants = ParticipantSet::new();
+        participants.add("alice");
+        participants.add("bob");
+
+        let plan = FaultPlan::crash("bob", 100, 500);
+        let deferred = plan.apply(&mut world, &mut participants).unwrap();
+        assert!(deferred.is_empty());
+        assert!(participants.get("bob").unwrap().is_available(50));
+        assert!(!participants.get("bob").unwrap().is_available(200));
+        assert!(participants.get("alice").unwrap().is_available(200));
+    }
+
+    #[test]
+    fn partition_plan_applies_to_world() {
+        let mut world = World::new();
+        let chain = world.add_chain(ChainParams::test("c"), &[]);
+        let mut participants = ParticipantSet::new();
+        let plan = FaultPlan::none().with(Fault::Partition {
+            chain,
+            window: OutageWindow { from: 0, until: 1_000 },
+        });
+        plan.apply(&mut world, &mut participants).unwrap();
+        assert!(!world.is_reachable(chain));
+        world.advance(1_000);
+        assert!(world.is_reachable(chain));
+    }
+
+    #[test]
+    fn fork_faults_are_deferred_to_caller() {
+        let mut world = World::new();
+        let chain = world.add_chain(ChainParams::test("c"), &[]);
+        let mut participants = ParticipantSet::new();
+        let plan = FaultPlan::none().with(Fault::Fork { chain, fork_depth: 2, length: 3 });
+        let deferred = plan.apply(&mut world, &mut participants).unwrap();
+        assert_eq!(deferred.len(), 1);
+    }
+
+    #[test]
+    fn unknown_participant_is_ignored() {
+        let mut world = World::new();
+        let mut participants = ParticipantSet::new();
+        participants.add("alice");
+        // Crashing someone who does not exist is a no-op rather than an
+        // error: plans are reused across scenarios with different casts.
+        let plan = FaultPlan::crash("zelda", 0, 10);
+        assert!(plan.apply(&mut world, &mut participants).is_ok());
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::crash("bob", 0, 1).is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # ac3-sim
+//!
+//! The discrete-event simulation world for the AC3WN reproduction: multiple
+//! simulated blockchains with independent block intervals and throughput
+//! caps, participants with crash schedules, network-partition and fork
+//! injection, and the metrics (timelines, fee ledgers, latency statistics)
+//! the evaluation harness reads.
+//!
+//! The protocol drivers in `ac3-core` are written against this crate: they
+//! create a [`world::World`], register [`participant::Participant`]s, apply a
+//! [`faults::FaultPlan`], then execute their phases by submitting
+//! transactions and advancing simulated time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod metrics;
+pub mod participant;
+pub mod world;
+
+pub use faults::{Fault, FaultPlan, OutageWindow};
+pub use metrics::{EventKind, FeeLedger, LatencyStats, SubTransactionRecord, Timeline, TimelineEvent};
+pub use participant::{CrashWindow, Participant, ParticipantSet};
+pub use world::{World, WorldError};

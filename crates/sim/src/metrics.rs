@@ -1,0 +1,359 @@
+//! Metrics collected during simulations: event timelines, fee accounting and
+//! latency summaries — the raw material for the reproduction of the paper's
+//! evaluation section.
+
+use ac3_chain::{Amount, ChainId, ContractId, Timestamp, TxId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kinds of protocol-level events recorded on a timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The participants agreed on and multisigned the AC2T graph.
+    GraphSigned,
+    /// The witness contract (or Trent registration) was submitted.
+    WitnessRegistered,
+    /// An asset swap contract was submitted for deployment.
+    ContractSubmitted {
+        /// The hosting chain.
+        chain: ChainId,
+        /// The deployed contract.
+        contract: ContractId,
+    },
+    /// An asset swap contract's deployment became visible/stable.
+    ContractPublished {
+        /// The hosting chain.
+        chain: ChainId,
+        /// The deployed contract.
+        contract: ContractId,
+    },
+    /// The commit/abort decision was reached (witness state change or
+    /// Trent signature issued).
+    DecisionReached {
+        /// `true` for commit (redeem authorised), `false` for abort.
+        commit: bool,
+    },
+    /// A contract was redeemed.
+    ContractRedeemed {
+        /// The hosting chain.
+        chain: ChainId,
+        /// The contract.
+        contract: ContractId,
+    },
+    /// A contract was refunded.
+    ContractRefunded {
+        /// The hosting chain.
+        chain: ChainId,
+        /// The contract.
+        contract: ContractId,
+    },
+    /// A free-form annotation.
+    Note(String),
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Simulated time of the event (milliseconds).
+    pub at: Timestamp,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// An ordered record of protocol events — used to reproduce the phase
+/// timelines of Figures 8 and 9.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, at: Timestamp, kind: EventKind) {
+        self.events.push(TimelineEvent { at, kind });
+    }
+
+    /// All events in insertion order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Time of the first event, if any.
+    pub fn start(&self) -> Option<Timestamp> {
+        self.events.iter().map(|e| e.at).min()
+    }
+
+    /// Time of the last event, if any.
+    pub fn end(&self) -> Option<Timestamp> {
+        self.events.iter().map(|e| e.at).max()
+    }
+
+    /// End-to-end duration (last minus first event), or 0 if fewer than two
+    /// events were recorded.
+    pub fn span(&self) -> Timestamp {
+        match (self.start(), self.end()) {
+            (Some(s), Some(e)) => e - s,
+            _ => 0,
+        }
+    }
+
+    /// The first event matching `predicate`.
+    pub fn find<F: Fn(&EventKind) -> bool>(&self, predicate: F) -> Option<&TimelineEvent> {
+        self.events.iter().find(|e| predicate(&e.kind))
+    }
+
+    /// Count events matching `predicate`.
+    pub fn count<F: Fn(&EventKind) -> bool>(&self, predicate: F) -> usize {
+        self.events.iter().filter(|e| predicate(&e.kind)).count()
+    }
+
+    /// Merge another timeline's events into this one (keeping order by
+    /// timestamp).
+    pub fn merge(&mut self, other: &Timeline) {
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.at);
+    }
+}
+
+/// Per-chain fee accounting, mirroring the paper's Section 6.2 cost model:
+/// every contract deployment costs `fd` and every function call costs `ffc`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeeLedger {
+    deployments: BTreeMap<ChainId, u64>,
+    calls: BTreeMap<ChainId, u64>,
+    transfers: BTreeMap<ChainId, u64>,
+    fees_paid: BTreeMap<ChainId, Amount>,
+}
+
+impl FeeLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a contract deployment with its fee.
+    pub fn record_deployment(&mut self, chain: ChainId, fee: Amount) {
+        *self.deployments.entry(chain).or_default() += 1;
+        *self.fees_paid.entry(chain).or_default() += fee;
+    }
+
+    /// Record a contract function call with its fee.
+    pub fn record_call(&mut self, chain: ChainId, fee: Amount) {
+        *self.calls.entry(chain).or_default() += 1;
+        *self.fees_paid.entry(chain).or_default() += fee;
+    }
+
+    /// Record a plain transfer with its fee.
+    pub fn record_transfer(&mut self, chain: ChainId, fee: Amount) {
+        *self.transfers.entry(chain).or_default() += 1;
+        *self.fees_paid.entry(chain).or_default() += fee;
+    }
+
+    /// Total number of contract deployments across chains.
+    pub fn total_deployments(&self) -> u64 {
+        self.deployments.values().sum()
+    }
+
+    /// Total number of contract calls across chains.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.values().sum()
+    }
+
+    /// Total fees paid across chains.
+    pub fn total_fees(&self) -> Amount {
+        self.fees_paid.values().sum()
+    }
+
+    /// Fees paid on one chain.
+    pub fn fees_on(&self, chain: ChainId) -> Amount {
+        self.fees_paid.get(&chain).copied().unwrap_or(0)
+    }
+
+    /// Deployments on one chain.
+    pub fn deployments_on(&self, chain: ChainId) -> u64 {
+        self.deployments.get(&chain).copied().unwrap_or(0)
+    }
+
+    /// Calls on one chain.
+    pub fn calls_on(&self, chain: ChainId) -> u64 {
+        self.calls.get(&chain).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for FeeLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} deployments, {} calls, {} total fees",
+            self.total_deployments(),
+            self.total_calls(),
+            self.total_fees()
+        )
+    }
+}
+
+/// A simple latency summary over repeated trials.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sample (milliseconds or Δ units; caller's choice, be
+    /// consistent).
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().min().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+    }
+
+    /// The p-th percentile (0–100), nearest-rank.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted.get(rank.min(sorted.len() - 1)).copied()
+    }
+}
+
+/// A record of a completed (or failed) sub-transaction, used by the
+/// atomicity auditor in `ac3-core`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubTransactionRecord {
+    /// The chain the sub-transaction ran on.
+    pub chain: ChainId,
+    /// The swap contract implementing it.
+    pub contract: ContractId,
+    /// The deployment transaction.
+    pub deploy_tx: TxId,
+    /// Terminal state tag observed ("P", "RD", "RF").
+    pub final_state: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac3_crypto::Hash256;
+
+    #[test]
+    fn timeline_span_and_lookup() {
+        let mut t = Timeline::new();
+        t.record(100, EventKind::GraphSigned);
+        t.record(400, EventKind::DecisionReached { commit: true });
+        t.record(900, EventKind::Note("done".to_string()));
+        assert_eq!(t.span(), 800);
+        assert_eq!(t.start(), Some(100));
+        assert_eq!(t.end(), Some(900));
+        assert!(t.find(|k| matches!(k, EventKind::DecisionReached { commit: true })).is_some());
+        assert_eq!(t.count(|k| matches!(k, EventKind::Note(_))), 1);
+    }
+
+    #[test]
+    fn empty_timeline_has_zero_span() {
+        let t = Timeline::new();
+        assert_eq!(t.span(), 0);
+        assert_eq!(t.start(), None);
+    }
+
+    #[test]
+    fn timelines_merge_in_time_order() {
+        let mut a = Timeline::new();
+        a.record(300, EventKind::Note("a".to_string()));
+        let mut b = Timeline::new();
+        b.record(100, EventKind::Note("b".to_string()));
+        a.merge(&b);
+        assert_eq!(a.events()[0].at, 100);
+        assert_eq!(a.events().len(), 2);
+    }
+
+    #[test]
+    fn fee_ledger_totals() {
+        let mut ledger = FeeLedger::new();
+        let c0 = ChainId(0);
+        let c1 = ChainId(1);
+        ledger.record_deployment(c0, 4);
+        ledger.record_deployment(c1, 4);
+        ledger.record_call(c0, 2);
+        ledger.record_transfer(c1, 1);
+        assert_eq!(ledger.total_deployments(), 2);
+        assert_eq!(ledger.total_calls(), 1);
+        assert_eq!(ledger.total_fees(), 11);
+        assert_eq!(ledger.fees_on(c0), 6);
+        assert_eq!(ledger.deployments_on(c1), 1);
+        assert_eq!(ledger.calls_on(c1), 0);
+        assert!(ledger.to_string().contains("2 deployments"));
+    }
+
+    #[test]
+    fn latency_stats_summary() {
+        let mut stats = LatencyStats::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            stats.record(v);
+        }
+        assert_eq!(stats.len(), 5);
+        assert_eq!(stats.min(), Some(10));
+        assert_eq!(stats.max(), Some(50));
+        assert_eq!(stats.mean(), Some(30.0));
+        assert_eq!(stats.percentile(50.0), Some(30));
+        assert_eq!(stats.percentile(100.0), Some(50));
+    }
+
+    #[test]
+    fn latency_stats_empty() {
+        let stats = LatencyStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mean(), None);
+        assert_eq!(stats.percentile(50.0), None);
+    }
+
+    #[test]
+    fn sub_transaction_record_round_trip() {
+        let rec = SubTransactionRecord {
+            chain: ChainId(2),
+            contract: ContractId(Hash256::digest(b"sc")),
+            deploy_tx: TxId(Hash256::digest(b"tx")),
+            final_state: "RD".to_string(),
+        };
+        assert_eq!(rec.clone(), rec);
+    }
+}

@@ -1,0 +1,228 @@
+//! Participants: the end users of the application layer.
+//!
+//! A participant owns a key pair (their identity on every chain), signs
+//! transactions through a per-chain [`ac3_chain::TxBuilder`], and may be
+//! subjected to crash faults — the failure mode the paper's motivating
+//! example turns on ("an honest participant who fails to execute a smart
+//! contract on time due to a crash failure ... might end up losing her
+//! assets").
+
+use ac3_chain::{Address, ChainId, Timestamp, TxBuilder};
+use ac3_crypto::KeyPair;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A closed interval of simulated time during which a participant is crashed
+/// and cannot take any action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// Crash start (inclusive).
+    pub from: Timestamp,
+    /// Recovery time (exclusive); `u64::MAX` for a permanent crash.
+    pub until: Timestamp,
+}
+
+impl CrashWindow {
+    /// A crash from `from` that never recovers.
+    pub fn permanent(from: Timestamp) -> Self {
+        CrashWindow { from, until: Timestamp::MAX }
+    }
+
+    /// Whether the participant is down at `now`.
+    pub fn covers(&self, now: Timestamp) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// A simulated end user.
+pub struct Participant {
+    /// Human-readable name ("alice", "bob", ...).
+    pub name: String,
+    keypair: KeyPair,
+    crash_windows: Vec<CrashWindow>,
+    /// Per-chain transaction builders (to keep nonces distinct per chain).
+    builders: BTreeMap<ChainId, TxBuilder>,
+}
+
+impl fmt::Debug for Participant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Participant")
+            .field("name", &self.name)
+            .field("address", &self.address())
+            .field("crash_windows", &self.crash_windows)
+            .finish()
+    }
+}
+
+impl Participant {
+    /// Create a participant with a deterministic key derived from its name.
+    pub fn new(name: &str) -> Self {
+        Participant {
+            name: name.to_string(),
+            keypair: KeyPair::from_seed(name.as_bytes()),
+            crash_windows: Vec::new(),
+            builders: BTreeMap::new(),
+        }
+    }
+
+    /// The participant's key pair.
+    pub fn keypair(&self) -> KeyPair {
+        self.keypair
+    }
+
+    /// The participant's address (identical on every chain; identities are
+    /// public keys, Section 2.2).
+    pub fn address(&self) -> Address {
+        Address::from(self.keypair.public())
+    }
+
+    /// Schedule a crash window.
+    pub fn schedule_crash(&mut self, window: CrashWindow) {
+        self.crash_windows.push(window);
+    }
+
+    /// Whether the participant can act at `now`.
+    pub fn is_available(&self, now: Timestamp) -> bool {
+        !self.crash_windows.iter().any(|w| w.covers(now))
+    }
+
+    /// The transaction builder for `chain`, created lazily. The nonce seed
+    /// mixes the chain id so the same participant produces distinct ids on
+    /// different chains.
+    pub fn builder(&mut self, chain: ChainId) -> &mut TxBuilder {
+        let keypair = self.keypair;
+        self.builders
+            .entry(chain)
+            .or_insert_with(|| TxBuilder::new(keypair, (chain.as_u32() as u64) << 32))
+    }
+}
+
+/// A registry of participants keyed by name.
+#[derive(Debug, Default)]
+pub struct ParticipantSet {
+    participants: BTreeMap<String, Participant>,
+}
+
+impl ParticipantSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a participant by name, returning its address.
+    pub fn add(&mut self, name: &str) -> Address {
+        let participant = Participant::new(name);
+        let address = participant.address();
+        self.participants.insert(name.to_string(), participant);
+        address
+    }
+
+    /// Borrow a participant.
+    pub fn get(&self, name: &str) -> Option<&Participant> {
+        self.participants.get(name)
+    }
+
+    /// Mutably borrow a participant.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Participant> {
+        self.participants.get_mut(name)
+    }
+
+    /// Addresses of every participant, in name order.
+    pub fn addresses(&self) -> Vec<Address> {
+        self.participants.values().map(|p| p.address()).collect()
+    }
+
+    /// Find the participant owning `address`.
+    pub fn by_address(&self, address: &Address) -> Option<&Participant> {
+        self.participants.values().find(|p| p.address() == *address)
+    }
+
+    /// Mutably find the participant owning `address`.
+    pub fn by_address_mut(&mut self, address: &Address) -> Option<&mut Participant> {
+        self.participants.values_mut().find(|p| p.address() == *address)
+    }
+
+    /// The name of the participant owning `address`.
+    pub fn name_of(&self, address: &Address) -> Option<&str> {
+        self.by_address(address).map(|p| p.name.as_str())
+    }
+
+    /// Names in deterministic order.
+    pub fn names(&self) -> Vec<String> {
+        self.participants.keys().cloned().collect()
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.participants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_identity_from_name() {
+        let a1 = Participant::new("alice");
+        let a2 = Participant::new("alice");
+        let b = Participant::new("bob");
+        assert_eq!(a1.address(), a2.address());
+        assert_ne!(a1.address(), b.address());
+    }
+
+    #[test]
+    fn crash_windows_control_availability() {
+        let mut p = Participant::new("bob");
+        assert!(p.is_available(0));
+        p.schedule_crash(CrashWindow { from: 100, until: 200 });
+        assert!(p.is_available(99));
+        assert!(!p.is_available(100));
+        assert!(!p.is_available(199));
+        assert!(p.is_available(200));
+    }
+
+    #[test]
+    fn permanent_crash_never_recovers() {
+        let mut p = Participant::new("bob");
+        p.schedule_crash(CrashWindow::permanent(50));
+        assert!(p.is_available(49));
+        assert!(!p.is_available(u64::MAX - 1));
+    }
+
+    #[test]
+    fn multiple_crash_windows() {
+        let mut p = Participant::new("carol");
+        p.schedule_crash(CrashWindow { from: 10, until: 20 });
+        p.schedule_crash(CrashWindow { from: 30, until: 40 });
+        assert!(!p.is_available(15));
+        assert!(p.is_available(25));
+        assert!(!p.is_available(35));
+    }
+
+    #[test]
+    fn per_chain_builders_have_distinct_nonces() {
+        let mut p = Participant::new("alice");
+        let tx_chain0 = p.builder(ChainId(0)).transfer(vec![], vec![], 0);
+        let tx_chain1 = p.builder(ChainId(1)).transfer(vec![], vec![], 0);
+        assert_ne!(tx_chain0.id(), tx_chain1.id());
+    }
+
+    #[test]
+    fn participant_set_registry() {
+        let mut set = ParticipantSet::new();
+        let alice = set.add("alice");
+        let bob = set.add("bob");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("alice").unwrap().address(), alice);
+        assert_eq!(set.addresses(), vec![alice, bob]);
+        assert_eq!(set.names(), vec!["alice".to_string(), "bob".to_string()]);
+        assert!(set.get("nobody").is_none());
+    }
+}

@@ -1,0 +1,492 @@
+//! The discrete-event multi-chain world.
+//!
+//! A [`World`] owns a set of simulated blockchains (asset chains plus one or
+//! more witness chains), a simulated clock, and the fault machinery the
+//! paper's failure scenarios need (chain outages modelling network
+//! partitions, and deliberate fork injection modelling the 51% attacks of
+//! Section 6.3). Protocol drivers in `ac3-core` advance the world while
+//! executing their phases and read all their measurements from it.
+
+use crate::faults::OutageWindow;
+use crate::metrics::{FeeLedger, Timeline};
+use ac3_chain::{
+    Address, Amount, Block, BlockHash, Blockchain, ChainError, ChainId, ChainParams, ContractId,
+    Timestamp, Transaction, TxId, TxKind,
+};
+use ac3_contracts::{ChainAnchor, SwapVm, TxInclusionEvidence};
+use ac3_crypto::KeyPair;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by world operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldError {
+    /// The referenced chain does not exist.
+    UnknownChain(ChainId),
+    /// The chain exists but is unreachable due to an injected outage.
+    ChainUnreachable(ChainId),
+    /// A chain-level error.
+    Chain(ChainError),
+    /// A wait timed out before its condition became true.
+    Timeout {
+        /// What was being waited for.
+        what: String,
+        /// The simulated time at which the wait gave up.
+        at: Timestamp,
+    },
+    /// Evidence could not be constructed (transaction not canonical, anchor
+    /// not canonical, ...).
+    EvidenceUnavailable(String),
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::UnknownChain(id) => write!(f, "unknown chain {id}"),
+            WorldError::ChainUnreachable(id) => write!(f, "{id} unreachable (network partition)"),
+            WorldError::Chain(e) => write!(f, "chain error: {e}"),
+            WorldError::Timeout { what, at } => write!(f, "timed out at {at} waiting for {what}"),
+            WorldError::EvidenceUnavailable(m) => write!(f, "evidence unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+impl From<ChainError> for WorldError {
+    fn from(e: ChainError) -> Self {
+        WorldError::Chain(e)
+    }
+}
+
+struct ChainSlot {
+    chain: Blockchain,
+    miner: Address,
+    next_block_at: Timestamp,
+    outages: Vec<OutageWindow>,
+}
+
+/// The simulated multi-chain world.
+pub struct World {
+    now: Timestamp,
+    chains: BTreeMap<ChainId, ChainSlot>,
+    next_chain_id: u32,
+    /// Timeline of protocol-level events (filled by protocol drivers).
+    pub timeline: Timeline,
+    /// Fee accounting (filled by protocol drivers).
+    pub fees: FeeLedger,
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("chains", &self.chains.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl World {
+    /// An empty world at time 0.
+    pub fn new() -> Self {
+        World {
+            now: 0,
+            chains: BTreeMap::new(),
+            next_chain_id: 0,
+            timeline: Timeline::new(),
+            fees: FeeLedger::new(),
+        }
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Add a blockchain running the [`SwapVm`] with the given parameters and
+    /// genesis balances. Returns its chain id.
+    pub fn add_chain(&mut self, params: ChainParams, genesis: &[(Address, Amount)]) -> ChainId {
+        let id = ChainId(self.next_chain_id);
+        self.next_chain_id += 1;
+        let miner = Address::from(KeyPair::from_seed(format!("miner-{}", params.name).as_bytes()).public());
+        let interval = params.block_interval_ms;
+        let chain = Blockchain::new(id, params, Arc::new(SwapVm::new()), genesis);
+        self.chains.insert(
+            id,
+            ChainSlot { chain, miner, next_block_at: self.now + interval, outages: Vec::new() },
+        );
+        id
+    }
+
+    /// Ids of all chains, in creation order.
+    pub fn chain_ids(&self) -> Vec<ChainId> {
+        self.chains.keys().copied().collect()
+    }
+
+    /// Borrow a chain.
+    pub fn chain(&self, id: ChainId) -> Result<&Blockchain, WorldError> {
+        self.chains.get(&id).map(|s| &s.chain).ok_or(WorldError::UnknownChain(id))
+    }
+
+    /// Mutably borrow a chain (bypasses outage checks; used by tests and
+    /// fault injection, not by protocol drivers).
+    pub fn chain_mut(&mut self, id: ChainId) -> Result<&mut Blockchain, WorldError> {
+        self.chains.get_mut(&id).map(|s| &mut s.chain).ok_or(WorldError::UnknownChain(id))
+    }
+
+    /// The paper's Δ for this world: enough simulated time for any
+    /// participant to publish a smart contract on any chain *and for the
+    /// publication to be publicly recognised* (i.e. buried under the chain's
+    /// stable depth). We take the maximum over all chains.
+    pub fn delta_ms(&self) -> u64 {
+        self.chains
+            .values()
+            .map(|s| s.chain.params().block_interval_ms * (s.chain.params().stable_depth + 1))
+            .max()
+            .unwrap_or(1_000)
+    }
+
+    // ------------------------------------------------------------------
+    // Faults
+    // ------------------------------------------------------------------
+
+    /// Make a chain unreachable (network partition) during a window of
+    /// simulated time: submissions during the window fail.
+    pub fn schedule_outage(&mut self, chain: ChainId, window: OutageWindow) -> Result<(), WorldError> {
+        self.chains
+            .get_mut(&chain)
+            .ok_or(WorldError::UnknownChain(chain))?
+            .outages
+            .push(window);
+        Ok(())
+    }
+
+    /// Whether a chain is reachable right now.
+    pub fn is_reachable(&self, chain: ChainId) -> bool {
+        self.chains
+            .get(&chain)
+            .map(|s| !s.outages.iter().any(|o| o.covers(self.now)))
+            .unwrap_or(false)
+    }
+
+    /// Deliberately mine a competing branch of `length` blocks, forking off
+    /// the canonical block `fork_depth` blocks below the current tip. This
+    /// is the attacker of Section 6.3 attempting to rewrite the witness
+    /// chain's decision. Returns the hashes of the branch blocks.
+    pub fn inject_fork(
+        &mut self,
+        chain: ChainId,
+        fork_depth: u64,
+        length: u64,
+    ) -> Result<Vec<BlockHash>, WorldError> {
+        let now = self.now;
+        let slot = self.chains.get_mut(&chain).ok_or(WorldError::UnknownChain(chain))?;
+        let tip_height = slot.chain.height();
+        let base_height = tip_height.saturating_sub(fork_depth);
+        let mut parent = slot
+            .chain
+            .store()
+            .canonical_block_at_height(base_height)
+            .ok_or(WorldError::UnknownChain(chain))?;
+        let attacker = Address::from(KeyPair::from_seed(b"attacker-51pct").public());
+        let mut branch = Vec::with_capacity(length as usize);
+        for i in 0..length {
+            let block = slot.chain.mine_block_on(parent, attacker, now + i)?;
+            parent = block.hash();
+            branch.push(parent);
+        }
+        Ok(branch)
+    }
+
+    // ------------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------------
+
+    /// Advance simulated time by `ms`, mining blocks on every chain whenever
+    /// its block interval elapses.
+    pub fn advance(&mut self, ms: u64) {
+        let target = self.now + ms;
+        loop {
+            // Find the earliest pending block production at or before target.
+            let next = self
+                .chains
+                .iter()
+                .map(|(id, s)| (s.next_block_at, *id))
+                .filter(|(at, _)| *at <= target)
+                .min();
+            match next {
+                Some((at, id)) => {
+                    self.now = at;
+                    let slot = self.chains.get_mut(&id).expect("chain exists");
+                    let miner = slot.miner;
+                    // Mining ignores outages: the chain's own miners are not
+                    // partitioned from themselves, only submitters may be.
+                    let _ = slot.chain.mine_block(miner, at);
+                    slot.next_block_at = at + slot.chain.params().block_interval_ms;
+                }
+                None => break,
+            }
+        }
+        self.now = target;
+    }
+
+    /// Advance in steps of one block interval until `pred` is true or
+    /// `max_ms` have elapsed. Returns the elapsed time on success.
+    pub fn advance_until<F>(&mut self, what: &str, max_ms: u64, mut pred: F) -> Result<u64, WorldError>
+    where
+        F: FnMut(&World) -> bool,
+    {
+        let start = self.now;
+        if pred(self) {
+            return Ok(0);
+        }
+        let step = self
+            .chains
+            .values()
+            .map(|s| s.chain.params().block_interval_ms)
+            .min()
+            .unwrap_or(1_000);
+        while self.now < start + max_ms {
+            self.advance(step);
+            if pred(self) {
+                return Ok(self.now - start);
+            }
+        }
+        Err(WorldError::Timeout { what: what.to_string(), at: self.now })
+    }
+
+    /// Advance until the chain has mined `n` additional blocks.
+    pub fn advance_blocks(&mut self, chain: ChainId, n: u64) -> Result<(), WorldError> {
+        let start = self.chain(chain)?.height();
+        let interval = self.chain(chain)?.params().block_interval_ms;
+        self.advance_until("blocks to be mined", interval * (n + 2) * 2, |w| {
+            w.chain(chain).map(|c| c.height() >= start + n).unwrap_or(false)
+        })?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Submit a transaction to a chain, respecting injected outages. Fees
+    /// are recorded in the world ledger by transaction kind.
+    pub fn submit(&mut self, chain: ChainId, tx: Transaction) -> Result<TxId, WorldError> {
+        if !self.is_reachable(chain) {
+            return Err(WorldError::ChainUnreachable(chain));
+        }
+        match &tx.kind {
+            TxKind::Deploy { .. } => self.fees.record_deployment(chain, tx.fee),
+            TxKind::Call { .. } => self.fees.record_call(chain, tx.fee),
+            TxKind::Transfer { .. } => self.fees.record_transfer(chain, tx.fee),
+            TxKind::Coinbase { .. } => {}
+        }
+        let slot = self.chains.get_mut(&chain).ok_or(WorldError::UnknownChain(chain))?;
+        Ok(slot.chain.submit(tx)?)
+    }
+
+    /// Wait until a transaction is buried under `depth` blocks on the
+    /// canonical chain (or time out after `max_ms`).
+    pub fn wait_for_depth(
+        &mut self,
+        chain: ChainId,
+        txid: TxId,
+        depth: u64,
+        max_ms: u64,
+    ) -> Result<u64, WorldError> {
+        self.advance_until(&format!("tx {txid} at depth {depth}"), max_ms, |w| {
+            w.chain(chain).ok().and_then(|c| c.tx_depth(&txid)).is_some_and(|d| d >= depth)
+        })
+    }
+
+    /// Wait until a transaction reaches the chain's configured stable depth.
+    pub fn wait_for_stable(&mut self, chain: ChainId, txid: TxId, max_ms: u64) -> Result<u64, WorldError> {
+        let depth = self.chain(chain)?.params().stable_depth;
+        self.wait_for_depth(chain, txid, depth, max_ms)
+    }
+
+    /// Wait until a transaction is included in any canonical block.
+    pub fn wait_for_inclusion(&mut self, chain: ChainId, txid: TxId, max_ms: u64) -> Result<u64, WorldError> {
+        self.wait_for_depth(chain, txid, 0, max_ms)
+    }
+
+    // ------------------------------------------------------------------
+    // Evidence construction (Section 4.3)
+    // ------------------------------------------------------------------
+
+    /// A stable anchor for `chain`: the canonical block currently buried
+    /// under the chain's stable depth.
+    pub fn anchor(&self, chain: ChainId) -> Result<ChainAnchor, WorldError> {
+        let c = self.chain(chain)?;
+        let hash = c.stable_block_hash();
+        let header = c
+            .store()
+            .header(&hash)
+            .ok_or_else(|| WorldError::EvidenceUnavailable("stable block missing".to_string()))?;
+        Ok(ChainAnchor { chain, hash, height: header.height })
+    }
+
+    /// Build self-contained inclusion evidence for `txid` relative to
+    /// `anchor` (header chain since the anchor + Merkle proof + the full
+    /// transaction).
+    pub fn tx_evidence_since(
+        &self,
+        chain: ChainId,
+        anchor: &ChainAnchor,
+        txid: TxId,
+    ) -> Result<TxInclusionEvidence, WorldError> {
+        let c = self.chain(chain)?;
+        let (block_hash, index) = c
+            .store()
+            .find_canonical_tx(&txid)
+            .ok_or_else(|| WorldError::EvidenceUnavailable(format!("{txid} not canonical")))?;
+        let block: &Block = c
+            .store()
+            .get(&block_hash)
+            .ok_or_else(|| WorldError::EvidenceUnavailable("block missing".to_string()))?;
+        let tx = block.transactions[index].clone();
+        let proof = block
+            .tx_tree()
+            .prove(index)
+            .ok_or_else(|| WorldError::EvidenceUnavailable("proof construction failed".to_string()))?;
+        let headers = c
+            .headers_since(&anchor.hash)
+            .ok_or_else(|| WorldError::EvidenceUnavailable("anchor not canonical".to_string()))?;
+        Ok(TxInclusionEvidence { tx, tx_height: block.header.height, headers, proof })
+    }
+
+    /// Look up the state tag and burial depth of a contract.
+    pub fn contract_state(&self, chain: ChainId, contract: ContractId) -> Option<(String, u64)> {
+        self.chain(chain).ok()?.contract_state_with_depth(&contract)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac3_chain::TxOutput;
+    use ac3_crypto::KeyPair;
+
+    fn addr(seed: &[u8]) -> Address {
+        Address::from(KeyPair::from_seed(seed).public())
+    }
+
+    fn fast_params(name: &str) -> ChainParams {
+        let mut p = ChainParams::test(name);
+        p.block_interval_ms = 1_000;
+        p.stable_depth = 3;
+        p
+    }
+
+    #[test]
+    fn chains_mine_at_their_intervals() {
+        let mut world = World::new();
+        let fast = world.add_chain(fast_params("fast"), &[]);
+        let mut slow_params = fast_params("slow");
+        slow_params.block_interval_ms = 5_000;
+        let slow = world.add_chain(slow_params, &[]);
+
+        world.advance(10_000);
+        assert_eq!(world.chain(fast).unwrap().height(), 10);
+        assert_eq!(world.chain(slow).unwrap().height(), 2);
+        assert_eq!(world.now(), 10_000);
+    }
+
+    #[test]
+    fn delta_is_driven_by_the_slowest_chain() {
+        let mut world = World::new();
+        world.add_chain(fast_params("fast"), &[]);
+        let mut slow = fast_params("slow");
+        slow.block_interval_ms = 10_000;
+        slow.stable_depth = 5;
+        world.add_chain(slow, &[]);
+        assert_eq!(world.delta_ms(), 10_000 * 6);
+    }
+
+    #[test]
+    fn submit_wait_and_evidence_round_trip() {
+        let alice = addr(b"alice");
+        let bob = addr(b"bob");
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
+        let anchor = world.anchor(chain).unwrap();
+
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) = world.chain(chain).unwrap().plan_payment(&alice, &bob, 10, 1).unwrap();
+        let txid = world.submit(chain, kp.transfer(inputs, outputs, 1)).unwrap();
+
+        world.wait_for_stable(chain, txid, 60_000).unwrap();
+        assert!(world.chain(chain).unwrap().tx_is_stable(&txid));
+
+        let evidence = world.tx_evidence_since(chain, &anchor, txid).unwrap();
+        evidence.verify(&anchor, 3).unwrap();
+    }
+
+    #[test]
+    fn outage_blocks_submissions_until_it_lifts() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
+        world.schedule_outage(chain, OutageWindow { from: 0, until: 5_000 }).unwrap();
+
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let tx = kp.transfer(vec![], vec![TxOutput::new(alice, 0)], 0);
+        assert!(matches!(
+            world.submit(chain, tx.clone()).unwrap_err(),
+            WorldError::ChainUnreachable(_)
+        ));
+        world.advance(5_000);
+        assert!(world.is_reachable(chain));
+        world.submit(chain, tx).unwrap();
+    }
+
+    #[test]
+    fn advance_until_times_out() {
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[]);
+        let err = world
+            .advance_until("the impossible", 3_000, |w| w.chain(chain).unwrap().height() > 1_000)
+            .unwrap_err();
+        assert!(matches!(err, WorldError::Timeout { .. }));
+    }
+
+    #[test]
+    fn fork_injection_creates_competing_branch() {
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[]);
+        world.advance(6_000); // height 6
+        let tip_before = world.chain(chain).unwrap().tip();
+        // Fork 3 below the tip with a branch long enough to win.
+        let branch = world.inject_fork(chain, 3, 5).unwrap();
+        assert_eq!(branch.len(), 5);
+        let tip_after = world.chain(chain).unwrap().tip();
+        assert_ne!(tip_before, tip_after, "attacker branch becomes canonical");
+        assert_eq!(world.chain(chain).unwrap().height(), 8);
+    }
+
+    #[test]
+    fn advance_blocks_waits_for_exactly_n() {
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[]);
+        world.advance_blocks(chain, 4).unwrap();
+        assert!(world.chain(chain).unwrap().height() >= 4);
+    }
+
+    #[test]
+    fn fee_ledger_tracks_submissions() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) = world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 1).unwrap();
+        world.submit(chain, kp.transfer(inputs, outputs, 1)).unwrap();
+        assert_eq!(world.fees.total_fees(), 1);
+    }
+}

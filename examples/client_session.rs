@@ -1,0 +1,97 @@
+//! A downstream application's view of an atomic swap: wallets, off-chain
+//! negotiation of `ms(D)`, and a persistent swap session that survives a
+//! client crash between the commit decision and settlement.
+//!
+//! The flow mirrors what a real wallet integration would do:
+//!
+//! 1. Alice and Bob each hold a [`Wallet`]; Alice proposes the swap graph
+//!    and both contribute signature shares until `ms(D)` is complete.
+//! 2. A [`SwapSession`] drives the AC3WN phases one step at a time,
+//!    persisting its state to a JSON file after every phase.
+//! 3. Right after the witness network records the commit decision, the
+//!    client process "crashes" (we drop the session object). The world keeps
+//!    mining blocks meanwhile.
+//! 4. A fresh process reloads the session from the JSON file and settles the
+//!    swap — possible precisely because AC3WN has no timelock racing against
+//!    the recovery (the paper's commitment property).
+//!
+//! Run with: `cargo run --example client_session`
+
+use ac3wn::client::{Negotiation, SessionPhase, SwapSession, Wallet};
+use ac3wn::prelude::*;
+
+fn main() {
+    let scenario_cfg = ScenarioConfig::default();
+    let mut scenario = two_party_scenario(50, 80, &scenario_cfg);
+    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+
+    // ---------------------------------------------------------------------
+    // 1. Wallets and off-chain negotiation.
+    // ---------------------------------------------------------------------
+    let alice = Wallet::new("alice");
+    let bob = Wallet::new("bob");
+    println!("Alice's address: {}", alice.address());
+    println!("Bob's   address: {}", bob.address());
+    println!(
+        "Funding before the swap — alice: {} total, bob: {} total",
+        alice.total_balance(&scenario.world),
+        bob.total_balance(&scenario.world)
+    );
+
+    let mut negotiation = Negotiation::new(scenario.graph.clone());
+    negotiation.submit(alice.sign_proposal(negotiation.proposal())).expect("alice signs");
+    println!("\nAlice signed; still waiting on {} participant(s)", negotiation.missing_signers().len());
+    negotiation.submit(bob.sign_proposal(negotiation.proposal())).expect("bob signs");
+    let signed = negotiation.finalize().expect("ms(D) verifies");
+    println!("ms(D) complete: {} participants signed the graph", signed.graph.participants().len());
+
+    // ---------------------------------------------------------------------
+    // 2. Drive the session phase by phase, persisting after each step.
+    // ---------------------------------------------------------------------
+    let state_file = std::env::temp_dir().join("ac3wn-client-session.json");
+    let mut session =
+        SwapSession::new(signed, scenario.witness_chain, protocol_cfg).expect("session starts");
+    for _ in 0..3 {
+        let phase = session
+            .step(&mut scenario.world, &mut scenario.participants)
+            .expect("protocol step succeeds");
+        std::fs::write(&state_file, session.to_json()).expect("persist session state");
+        println!("phase: {phase}  (state persisted to {})", state_file.display());
+        if phase == SessionPhase::Decided {
+            break;
+        }
+    }
+    assert_eq!(session.phase(), SessionPhase::Decided);
+    println!("\nCommit decision recorded on the witness chain: {:?}", session.decision());
+
+    // ---------------------------------------------------------------------
+    // 3. The client crashes before settling. Time passes.
+    // ---------------------------------------------------------------------
+    drop(session);
+    println!("client crashed before settlement; the chains keep producing blocks...");
+    scenario.world.advance(30_000);
+
+    // ---------------------------------------------------------------------
+    // 4. A new process reloads the session and settles the swap.
+    // ---------------------------------------------------------------------
+    let snapshot = std::fs::read_to_string(&state_file).expect("read persisted session");
+    let mut recovered = SwapSession::from_json(&snapshot).expect("session state decodes");
+    println!(
+        "recovered session in phase {} with decision {:?}",
+        recovered.phase(),
+        recovered.decision()
+    );
+    recovered
+        .run_to_completion(&mut scenario.world, &mut scenario.participants)
+        .expect("settlement completes");
+    println!("final phase: {}", recovered.phase());
+    println!("verdict:     {}", recovered.verdict(&scenario.world));
+    println!(
+        "Funding after the swap — alice: {} total, bob: {} total (fees paid: {})",
+        alice.total_balance(&scenario.world),
+        bob.total_balance(&scenario.world),
+        recovered.fees_paid()
+    );
+    assert!(recovered.verdict(&scenario.world).is_atomic());
+    let _ = std::fs::remove_file(&state_file);
+}

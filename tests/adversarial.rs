@@ -1,0 +1,408 @@
+//! Adversarial integration tests: participants who deviate from the AC3WN
+//! protocol must not be able to break all-or-nothing atomicity or steal
+//! locked assets.
+//!
+//! These tests drive the protocol phases by hand (rather than through the
+//! `Ac3wn` driver) so a malicious step can be inserted at any point: forged
+//! or mismatched witness evidence, settlement attempts before any decision
+//! exists, decision requests with incomplete deployment evidence, double
+//! redemption, and the rented-hash-power fork attack of Section 6.3.
+
+use ac3wn::contracts::{
+    ContractCall, ContractSpec, ExpectedContract, PermissionlessCall, PermissionlessSpec,
+    WitnessCall, WitnessSpec, WitnessStateEvidence,
+};
+use ac3wn::core::actions::{call_contract, deploy_contract};
+use ac3wn::core::attack::{execute_fork_attack, ForkAttackConfig};
+use ac3wn::crypto::WitnessState;
+use ac3wn::prelude::*;
+
+const WITNESS_DEPTH: u64 = 3;
+const DEPLOY_DEPTH: u64 = 3;
+
+/// A two-party swap world halted right after parallel deployment: both asset
+/// contracts are published and stable, the witness contract is registered,
+/// but no decision has been requested yet.
+struct DeployedSwap {
+    scenario: Scenario,
+    alice: Address,
+    bob: Address,
+    witness_contract: ContractId,
+    witness_registration_tx: TxId,
+    witness_anchor: ac3wn::contracts::ChainAnchor,
+    expected: Vec<ExpectedContract>,
+    /// `(txid, contract)` per edge: edge 0 is Alice→Bob on chain A, edge 1
+    /// is Bob→Alice on chain B.
+    deployments: Vec<(TxId, ContractId)>,
+}
+
+fn deployed_two_party_swap() -> DeployedSwap {
+    let mut scenario = two_party_scenario(50, 80, &ScenarioConfig::default());
+    let delta = scenario.world.delta_ms();
+    let wait_cap = delta * 12;
+    let alice = scenario.participants.get("alice").unwrap().address();
+    let bob = scenario.participants.get("bob").unwrap().address();
+    let witness_chain = scenario.witness_chain;
+
+    let keypairs: Vec<KeyPair> = scenario
+        .graph
+        .participants()
+        .iter()
+        .map(|a| scenario.participants.by_address(a).unwrap().keypair())
+        .collect();
+    let ms = scenario.graph.multisign(&keypairs).unwrap();
+
+    let mut expected = Vec::new();
+    for e in scenario.graph.edges() {
+        expected.push(ExpectedContract {
+            chain: e.chain,
+            sender: e.from,
+            recipient: e.to,
+            amount: e.amount,
+            anchor: scenario.world.anchor(e.chain).unwrap(),
+            required_depth: DEPLOY_DEPTH,
+        });
+    }
+    let witness_spec = ContractSpec::Witness(WitnessSpec {
+        participants: scenario.graph.participants().to_vec(),
+        graph_digest: ms.digest(),
+        expected_contracts: expected.clone(),
+    });
+    let (reg_txid, scw) = deploy_contract(
+        &mut scenario.world,
+        &mut scenario.participants,
+        &alice,
+        witness_chain,
+        &witness_spec,
+        0,
+    )
+    .unwrap()
+    .expect("alice deploys SC_w");
+    scenario.world.wait_for_depth(witness_chain, reg_txid, WITNESS_DEPTH, wait_cap).unwrap();
+    let witness_anchor = scenario.world.anchor(witness_chain).unwrap();
+
+    let edges: Vec<SwapEdge> = scenario.graph.edges().to_vec();
+    let mut deployments = Vec::new();
+    for e in &edges {
+        let spec = ContractSpec::Permissionless(PermissionlessSpec {
+            recipient: e.to,
+            witness_chain,
+            witness_contract: scw,
+            min_depth: WITNESS_DEPTH,
+            witness_anchor,
+        });
+        let deployed = deploy_contract(
+            &mut scenario.world,
+            &mut scenario.participants,
+            &e.from,
+            e.chain,
+            &spec,
+            e.amount,
+        )
+        .unwrap()
+        .expect("participant deploys its asset contract");
+        deployments.push(deployed);
+    }
+    for (e, (txid, _)) in edges.iter().zip(&deployments) {
+        scenario.world.wait_for_depth(e.chain, *txid, DEPLOY_DEPTH, wait_cap).unwrap();
+    }
+
+    DeployedSwap {
+        scenario,
+        alice,
+        bob,
+        witness_contract: scw,
+        witness_registration_tx: reg_txid,
+        witness_anchor,
+        expected,
+        deployments,
+    }
+}
+
+fn contract_tag(scenario: &Scenario, chain: ChainId, contract: ContractId) -> String {
+    scenario.world.contract_state(chain, contract).map(|(tag, _)| tag).unwrap_or_default()
+}
+
+/// A genesis-anchored [`ChainAnchor`] for `chain` — always canonical, so any
+/// canonical transaction of that chain can be wrapped in (structurally
+/// valid but semantically forged) evidence against it.
+fn genesis_anchor(world: &World, chain: ChainId) -> ac3wn::contracts::ChainAnchor {
+    let genesis = world
+        .chain(chain)
+        .unwrap()
+        .store()
+        .canonical_block_at_height(0)
+        .expect("every chain has a genesis block");
+    ac3wn::contracts::ChainAnchor { chain, hash: genesis, height: 0 }
+}
+
+#[test]
+fn settlement_before_any_decision_is_rejected() {
+    // Bob tries to redeem Alice's contract using "evidence" that is merely
+    // the witness contract's *registration* transaction — no authorize call
+    // has happened, so there is nothing to prove.
+    let mut swap = deployed_two_party_swap();
+    let chain_a = swap.scenario.asset_chains[0];
+    let (_, sc1) = swap.deployments[0];
+
+    // The "evidence" wraps the witness contract's *registration* transaction
+    // (anchored at the witness chain's genesis so it is structurally
+    // well-formed) — but no authorize call has happened, so there is nothing
+    // it can prove.
+    let registration_evidence = {
+        let anchor = genesis_anchor(&swap.scenario.world, swap.scenario.witness_chain);
+        swap.scenario
+            .world
+            .tx_evidence_since(swap.scenario.witness_chain, &anchor, swap.witness_registration_tx)
+            .expect("registration is canonical")
+    };
+    let bogus = WitnessStateEvidence {
+        claimed: WitnessState::RedeemAuthorized,
+        inclusion: registration_evidence,
+    };
+    let call = ContractCall::Permissionless(PermissionlessCall::Redeem { evidence: bogus });
+    let txid = call_contract(
+        &mut swap.scenario.world,
+        &mut swap.scenario.participants,
+        &swap.bob,
+        chain_a,
+        sc1,
+        &call,
+    )
+    .unwrap()
+    .expect("bob can submit the call");
+    // The call is submitted but never included: miners reject it because the
+    // evidence does not prove an authorize call.
+    swap.scenario.world.advance(swap.scenario.world.delta_ms() * 2);
+    assert_eq!(swap.scenario.world.chain(chain_a).unwrap().tx_depth(&txid), None);
+    assert_eq!(contract_tag(&swap.scenario, chain_a, sc1), "P", "asset must stay locked");
+}
+
+#[test]
+fn evidence_from_a_different_witness_contract_is_rejected() {
+    // Mallory registers her own witness contract, immediately authorizes a
+    // refund on it, and tries to use that RFauth evidence to pull Alice's
+    // asset contract (which is conditioned on the real SC_w) back to Alice.
+    let mut swap = deployed_two_party_swap();
+    let witness_chain = swap.scenario.witness_chain;
+    let chain_a = swap.scenario.asset_chains[0];
+    let (_, sc1) = swap.deployments[0];
+    let wait_cap = swap.scenario.world.delta_ms() * 12;
+
+    let rogue_spec = ContractSpec::Witness(WitnessSpec {
+        participants: vec![swap.alice, swap.bob],
+        graph_digest: Hash256::digest(b"a different graph"),
+        expected_contracts: swap.expected.clone(),
+    });
+    let (rogue_reg, rogue_scw) = deploy_contract(
+        &mut swap.scenario.world,
+        &mut swap.scenario.participants,
+        &swap.alice,
+        witness_chain,
+        &rogue_spec,
+        0,
+    )
+    .unwrap()
+    .expect("rogue witness contract deploys");
+    swap.scenario.world.wait_for_depth(witness_chain, rogue_reg, WITNESS_DEPTH, wait_cap).unwrap();
+
+    let rogue_refund = call_contract(
+        &mut swap.scenario.world,
+        &mut swap.scenario.participants,
+        &swap.alice,
+        witness_chain,
+        rogue_scw,
+        &ContractCall::Witness(WitnessCall::AuthorizeRefund),
+    )
+    .unwrap()
+    .expect("authorize refund on the rogue contract");
+    swap.scenario.world.wait_for_depth(witness_chain, rogue_refund, WITNESS_DEPTH, wait_cap).unwrap();
+
+    let rogue_evidence = WitnessStateEvidence {
+        claimed: WitnessState::RefundAuthorized,
+        inclusion: swap
+            .scenario
+            .world
+            .tx_evidence_since(witness_chain, &swap.witness_anchor, rogue_refund)
+            .expect("rogue refund is canonical"),
+    };
+    let refund_call =
+        ContractCall::Permissionless(PermissionlessCall::Refund { evidence: rogue_evidence });
+    let txid = call_contract(
+        &mut swap.scenario.world,
+        &mut swap.scenario.participants,
+        &swap.alice,
+        chain_a,
+        sc1,
+        &refund_call,
+    )
+    .unwrap()
+    .expect("alice can submit the refund attempt");
+    swap.scenario.world.advance(swap.scenario.world.delta_ms() * 2);
+    assert_eq!(
+        swap.scenario.world.chain(chain_a).unwrap().tx_depth(&txid),
+        None,
+        "a refund justified by a different witness contract must never be mined"
+    );
+    assert_eq!(contract_tag(&swap.scenario, chain_a, sc1), "P");
+}
+
+#[test]
+fn claimed_state_must_match_the_authorize_call() {
+    // A real AuthorizeRedeem is recorded, but the adversary claims it proves
+    // RFauth and submits it to the refund path of her own contract — trying
+    // to get her asset back after the swap committed.
+    let mut swap = deployed_two_party_swap();
+    let witness_chain = swap.scenario.witness_chain;
+    let chain_a = swap.scenario.asset_chains[0];
+    let (_, sc1) = swap.deployments[0];
+    let wait_cap = swap.scenario.world.delta_ms() * 12;
+
+    let mut evidence = Vec::new();
+    for (exp, (txid, _)) in swap.expected.iter().zip(&swap.deployments) {
+        evidence.push(
+            swap.scenario.world.tx_evidence_since(exp.chain, &exp.anchor, *txid).unwrap(),
+        );
+    }
+    let authorize = call_contract(
+        &mut swap.scenario.world,
+        &mut swap.scenario.participants,
+        &swap.bob,
+        witness_chain,
+        swap.witness_contract,
+        &ContractCall::Witness(WitnessCall::AuthorizeRedeem { deployments: evidence }),
+    )
+    .unwrap()
+    .expect("authorize redeem");
+    swap.scenario.world.wait_for_depth(witness_chain, authorize, WITNESS_DEPTH, wait_cap).unwrap();
+
+    let lying_evidence = WitnessStateEvidence {
+        claimed: WitnessState::RefundAuthorized,
+        inclusion: swap
+            .scenario
+            .world
+            .tx_evidence_since(witness_chain, &swap.witness_anchor, authorize)
+            .unwrap(),
+    };
+    let refund_call =
+        ContractCall::Permissionless(PermissionlessCall::Refund { evidence: lying_evidence });
+    let txid = call_contract(
+        &mut swap.scenario.world,
+        &mut swap.scenario.participants,
+        &swap.alice,
+        chain_a,
+        sc1,
+        &refund_call,
+    )
+    .unwrap()
+    .expect("alice can submit the lying refund");
+    swap.scenario.world.advance(swap.scenario.world.delta_ms() * 2);
+    assert_eq!(swap.scenario.world.chain(chain_a).unwrap().tx_depth(&txid), None);
+    assert_eq!(contract_tag(&swap.scenario, chain_a, sc1), "P");
+}
+
+#[test]
+fn authorize_redeem_requires_evidence_for_every_contract() {
+    // Only one of the two expected asset contracts is backed by evidence in
+    // the state-change request: the witness network must refuse to commit.
+    let mut swap = deployed_two_party_swap();
+    let witness_chain = swap.scenario.witness_chain;
+    let wait_cap = swap.scenario.world.delta_ms() * 6;
+
+    let partial_evidence = vec![swap
+        .scenario
+        .world
+        .tx_evidence_since(swap.expected[0].chain, &swap.expected[0].anchor, swap.deployments[0].0)
+        .unwrap()];
+    let authorize = call_contract(
+        &mut swap.scenario.world,
+        &mut swap.scenario.participants,
+        &swap.bob,
+        witness_chain,
+        swap.witness_contract,
+        &ContractCall::Witness(WitnessCall::AuthorizeRedeem { deployments: partial_evidence }),
+    )
+    .unwrap()
+    .expect("submit the under-evidenced authorize");
+    // The call never makes it into a block; SC_w stays undecided.
+    assert!(swap
+        .scenario
+        .world
+        .wait_for_depth(witness_chain, authorize, 0, wait_cap)
+        .is_err());
+    assert_eq!(contract_tag(&swap.scenario, witness_chain, swap.witness_contract), "P");
+}
+
+#[test]
+fn committed_contracts_cannot_be_redeemed_twice() {
+    // Run the full honest protocol, then replay the recipient's redeem call:
+    // the contract must stay in RD and no second payout may be minted.
+    let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+    let bob = s.participants.get("bob").unwrap().address();
+    let chain_a = s.asset_chains[0];
+    let cfg = ProtocolConfig { witness_depth: WITNESS_DEPTH, deployment_depth: DEPLOY_DEPTH, ..Default::default() };
+    let report = Ac3wn::new(cfg).execute(&mut s).unwrap();
+    assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+
+    let sc1 = report.edges[0].contract.unwrap();
+    let balance_after_swap = s.world.chain(chain_a).unwrap().balance_of(&bob);
+
+    // Replay: any further redeem call (even with valid-looking evidence) is
+    // rejected because the contract is no longer in state P. We reuse the
+    // simplest possible payload — the call is refused before evidence
+    // inspection matters.
+    let replay = ContractCall::Permissionless(PermissionlessCall::Redeem {
+        evidence: WitnessStateEvidence {
+            claimed: WitnessState::RedeemAuthorized,
+            inclusion: {
+                let anchor = genesis_anchor(&s.world, chain_a);
+                s.world
+                    .tx_evidence_since(chain_a, &anchor, TxId(sc1.0))
+                    .expect("SC1's deployment is canonical")
+            },
+        },
+    });
+    let txid = call_contract(&mut s.world, &mut s.participants, &bob, chain_a, sc1, &replay)
+        .unwrap()
+        .expect("bob can submit the replay");
+    s.world.advance(s.world.delta_ms() * 2);
+    assert_eq!(s.world.chain(chain_a).unwrap().tx_depth(&txid), None, "replay is never mined");
+    assert_eq!(
+        s.world.chain(chain_a).unwrap().balance_of(&bob),
+        balance_after_swap,
+        "no second payout"
+    );
+    assert_eq!(
+        s.world.contract_state(chain_a, sc1).unwrap().0,
+        "RD",
+        "contract stays redeemed exactly once"
+    );
+}
+
+#[test]
+fn fork_attack_needs_a_budget_larger_than_the_confirmation_depth() {
+    // End-to-end sanity of the Section 6.3 experiment from the integration
+    // level: an attacker who cannot afford to out-mine the confirmation
+    // depth cannot break atomicity; one who can, does — which is why d must
+    // be chosen so that the required budget costs more than the assets.
+    let underfunded = execute_fork_attack(&ForkAttackConfig {
+        attacker_budget_blocks: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    assert!(!underfunded.attack_succeeded());
+    assert!(underfunded.verdict.is_atomic());
+
+    let probe_required = underfunded.required_branch_blocks;
+    let funded = execute_fork_attack(&ForkAttackConfig {
+        attacker_budget_blocks: probe_required,
+        ..Default::default()
+    })
+    .unwrap();
+    assert!(funded.attack_succeeded());
+    assert!(!funded.verdict.is_atomic());
+    assert!(
+        funded.attacker_budget_blocks > underfunded.witness_depth,
+        "a successful rewrite always costs more blocks than the confirmation depth"
+    );
+}

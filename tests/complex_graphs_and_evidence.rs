@@ -1,0 +1,88 @@
+//! Integration tests for complex transaction graphs (Figure 7 / Section 5.3)
+//! and the cross-chain evidence validation strategies (Section 4.3).
+
+use ac3wn::core::evidence::{validate_with_all, ValidationStrategy};
+use ac3wn::core::scenario::custom_scenario;
+use ac3wn::prelude::*;
+
+fn protocol_cfg() -> ProtocolConfig {
+    ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() }
+}
+
+#[test]
+fn figure7a_cyclic_graph_commits_under_ac3wn() {
+    let mut s = figure7a_scenario(&ScenarioConfig::default());
+    assert_eq!(s.graph.shape(), GraphShape::Cyclic);
+    let report = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+    assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+    // One contract per edge plus the witness contract.
+    assert_eq!(report.deployments as usize, s.graph.contract_count() + 1);
+}
+
+#[test]
+fn figure7b_disconnected_graph_commits_under_ac3wn_but_not_herlihy() {
+    let mut s = figure7b_scenario(&ScenarioConfig::default());
+    assert_eq!(s.graph.shape(), GraphShape::Disconnected);
+    assert!(Herlihy::supports_graph(&s.graph).is_err());
+    let report = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+    assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+}
+
+#[test]
+fn larger_supply_chain_graph_commits_atomically() {
+    let mut s = custom_scenario(
+        &["manufacturer", "shipper", "retailer", "insurer", "bank"],
+        &[(0, 1, 40), (1, 2, 40), (2, 0, 90), (3, 1, 15), (1, 3, 5), (4, 0, 25), (2, 4, 25)],
+        &ScenarioConfig::default(),
+    );
+    let report = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+    assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+    assert_eq!(report.edges.len(), 7);
+    assert!(report.edges.iter().all(|e| e.disposition == EdgeDisposition::Redeemed));
+}
+
+#[test]
+fn all_validation_strategies_agree_on_real_swap_evidence() {
+    // Run a swap, then validate the deployment transaction of the first
+    // asset contract under all three Section 4.3 strategies.
+    let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+    let chain = s.asset_chains[0];
+    let anchor = s.world.anchor(chain).unwrap();
+    let report = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+    assert!(report.is_atomic());
+
+    // Find the deployment transaction of the contract on chain A.
+    let contract = report.edges[0].contract.expect("deployed");
+    let deploy_txid = TxId(contract.0);
+    let reports = validate_with_all(&s.world, chain, deploy_txid, &anchor, 3).unwrap();
+    assert_eq!(reports.len(), 3);
+    for r in &reports {
+        assert!(r.valid, "{} rejected a real deployment", r.strategy);
+    }
+    // The paper's proposal is the cheapest in persistent storage.
+    let contract_based = reports.iter().find(|r| r.strategy == ValidationStrategy::ContractBased).unwrap();
+    let full = reports.iter().find(|r| r.strategy == ValidationStrategy::FullReplication).unwrap();
+    assert!(contract_based.cost.blocks_stored < full.cost.blocks_stored);
+}
+
+#[test]
+fn graph_multisignature_binds_all_participants_of_a_complex_graph() {
+    let s = figure7a_scenario(&ScenarioConfig::default());
+    let keypairs: Vec<KeyPair> = s
+        .graph
+        .participants()
+        .iter()
+        .map(|a| s.participants.by_address(a).unwrap().keypair())
+        .collect();
+    let ms = s.graph.multisign(&keypairs).unwrap();
+    assert!(ms.is_complete_for(&s.graph.participant_keys()));
+    // Dropping any one signature breaks completeness.
+    let partial = {
+        let mut m = s.graph.start_multisig();
+        for kp in &keypairs[..keypairs.len() - 1] {
+            m.sign_with(kp).unwrap();
+        }
+        m
+    };
+    assert!(!partial.is_complete_for(&s.graph.participant_keys()));
+}

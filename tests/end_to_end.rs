@@ -1,0 +1,103 @@
+//! Cross-crate integration tests: full protocol executions over simulated
+//! chains, checking decisions, atomicity and actual asset movement.
+
+use ac3wn::prelude::*;
+
+fn protocol_cfg() -> ProtocolConfig {
+    ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() }
+}
+
+/// Balances before/after a committed two-party swap must reflect the
+/// exchanged amounts (minus fees paid by the deployers).
+#[test]
+fn ac3wn_two_party_swap_moves_assets() {
+    let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+    let alice = s.participants.get("alice").unwrap().address();
+    let bob = s.participants.get("bob").unwrap().address();
+    let chain_a = s.asset_chains[0];
+    let chain_b = s.asset_chains[1];
+    let funding = 1_000;
+
+    let report = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+    assert_eq!(report.decision, Some(true));
+    assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+
+    let world = &s.world;
+    // Bob gained 50 on chain A; Alice gained 80 on chain B. Senders paid
+    // deployment fees (4) on their asset chain; call fees are notional.
+    assert_eq!(world.chain(chain_a).unwrap().balance_of(&bob), funding + 50);
+    assert_eq!(world.chain(chain_b).unwrap().balance_of(&alice), funding + 80);
+    assert_eq!(world.chain(chain_a).unwrap().balance_of(&alice), funding - 50 - 4);
+    assert_eq!(world.chain(chain_b).unwrap().balance_of(&bob), funding - 80 - 4);
+}
+
+#[test]
+fn all_five_protocols_commit_the_same_two_party_swap() {
+    for kind in [
+        ProtocolKind::Nolan,
+        ProtocolKind::Herlihy,
+        ProtocolKind::HerlihyMulti,
+        ProtocolKind::Ac3Tw,
+        ProtocolKind::Ac3Wn,
+    ] {
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let report = match kind {
+            ProtocolKind::Nolan => Nolan::new(protocol_cfg()).execute(&mut s).unwrap(),
+            ProtocolKind::Herlihy => Herlihy::new(protocol_cfg()).execute(&mut s).unwrap(),
+            ProtocolKind::HerlihyMulti => HerlihyMulti::new(protocol_cfg()).execute(&mut s).unwrap(),
+            ProtocolKind::Ac3Tw => Ac3tw::new(protocol_cfg()).execute(&mut s).unwrap(),
+            ProtocolKind::Ac3Wn => Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap(),
+        };
+        assert_eq!(report.protocol, kind);
+        assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "{kind} failed to commit");
+        assert!(report.is_atomic());
+    }
+}
+
+#[test]
+fn ac3wn_constant_latency_vs_herlihy_linear_latency() {
+    let mut ac3wn_latencies = Vec::new();
+    let mut herlihy_latencies = Vec::new();
+    for n in [2usize, 3, 5] {
+        let mut s = ring_scenario(n, 10, &ScenarioConfig::default());
+        let r = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+        assert!(r.is_atomic());
+        ac3wn_latencies.push(r.latency_in_deltas());
+
+        let mut s = ring_scenario(n, 10, &ScenarioConfig::default());
+        let r = Herlihy::new(protocol_cfg()).execute(&mut s).unwrap();
+        assert!(r.is_atomic());
+        herlihy_latencies.push(r.latency_in_deltas());
+    }
+    // AC3WN: flat. Herlihy: grows roughly linearly (2·Diam).
+    assert!(ac3wn_latencies.iter().all(|l| (*l - ac3wn_latencies[0]).abs() <= 1.0));
+    assert!(herlihy_latencies[2] > herlihy_latencies[0] + 3.0);
+    // At the largest ring the gap is decisive.
+    assert!(herlihy_latencies[2] > ac3wn_latencies[2] * 2.0);
+}
+
+#[test]
+fn ac3wn_cost_overhead_is_exactly_one_extra_contract_and_call() {
+    let mut s_wn = ring_scenario(4, 10, &ScenarioConfig::default());
+    let wn = Ac3wn::new(protocol_cfg()).execute(&mut s_wn).unwrap();
+    let mut s_h = ring_scenario(4, 10, &ScenarioConfig::default());
+    let h = Herlihy::new(protocol_cfg()).execute(&mut s_h).unwrap();
+    assert_eq!(wn.deployments, h.deployments + 1);
+    assert_eq!(wn.calls, h.calls + 1);
+    // Fees: one extra deploy_fee (4) + one extra call_fee (2).
+    assert_eq!(wn.fees_paid, h.fees_paid + 6);
+}
+
+#[test]
+fn aborted_swap_returns_every_locked_asset() {
+    let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+    let alice = s.participants.get("alice").unwrap().address();
+    let chain_a = s.asset_chains[0];
+    // Bob never shows up.
+    s.participants.get_mut("bob").unwrap().schedule_crash(CrashWindow::permanent(0));
+    let report = Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap();
+    assert_eq!(report.decision, Some(false));
+    assert_eq!(report.verdict(), AtomicityVerdict::AllRefunded);
+    // Alice got her 50 back (minus the deployment fee she spent).
+    assert_eq!(s.world.chain(chain_a).unwrap().balance_of(&alice), 1_000 - 4);
+}
