@@ -43,7 +43,8 @@ fn bench_mine_block(c: &mut Criterion) {
                     let alice = addr(b"alice");
                     let outs = chain.state().utxos.outputs_of(&alice);
                     for (op, out) in outs.into_iter().take(txs) {
-                        let tx = builder.transfer(vec![op], vec![TxOutput::new(alice, out.value)], 0);
+                        let tx =
+                            builder.transfer(vec![op], vec![TxOutput::new(alice, out.value)], 0);
                         chain.submit(tx).unwrap();
                     }
                     chain
@@ -62,7 +63,12 @@ fn bench_pow_sealing(c: &mut Criterion) {
             || {
                 let mut params = ChainParams::test("pow");
                 params.seal = SealPolicy::ProofOfWork { difficulty_bits: 12 };
-                Blockchain::new(ChainId(1), params, Arc::new(SwapVm::new()), &[(addr(b"alice"), 100)])
+                Blockchain::new(
+                    ChainId(1),
+                    params,
+                    Arc::new(SwapVm::new()),
+                    &[(addr(b"alice"), 100)],
+                )
             },
             |mut chain| std::hint::black_box(chain.mine_block(addr(b"miner"), 1_000).unwrap()),
             BatchSize::SmallInput,
@@ -96,6 +102,97 @@ fn bench_evidence(c: &mut Criterion) {
     let _ = ContractId; // silence unused import on some configurations
 }
 
+/// The O(n²) → O(n) regression guard for the incremental state engine:
+/// accepting a long run of blocks sequentially. Per-block cost must stay
+/// near-constant as the chain grows — under the old replay-from-genesis
+/// design the 2000-block case was ~16× the per-block cost of the 500-block
+/// case; incrementally it is ~1×.
+///
+/// Two workloads: `bounded_state` keeps the UTXO set constant-size (each
+/// block merges the miner's outputs back into one), isolating pure chain
+/// growth — per-block cost here must be flat. The plain variant lets
+/// coinbase outputs accumulate, so per-block cost grows with *state* size
+/// (the single remaining O(state) clone), but not with chain length.
+fn bench_long_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain/long_chain_accept");
+    group.sample_size(10);
+    for blocks in [500u64, 2000] {
+        group.bench_function(format!("{blocks}_blocks"), |b| {
+            b.iter(|| {
+                let mut chain = Blockchain::new(
+                    ChainId(0),
+                    ChainParams::test("long"),
+                    Arc::new(SwapVm::new()),
+                    &[(addr(b"alice"), 1_000_000)],
+                );
+                let miner = addr(b"miner");
+                for i in 0..blocks {
+                    chain.mine_block(miner, 1_000 + i).unwrap();
+                }
+                std::hint::black_box(chain.height())
+            })
+        });
+        group.bench_function(format!("{blocks}_blocks_bounded_state"), |b| {
+            b.iter(|| {
+                let alice = addr(b"alice");
+                let mut chain = Blockchain::new(
+                    ChainId(0),
+                    ChainParams::test("long-bounded"),
+                    Arc::new(SwapVm::new()),
+                    &[(alice, 1_000_000)],
+                );
+                let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+                for i in 0..blocks {
+                    // Merge everything alice owns (previous merge output +
+                    // previous coinbase) back into a single output, keeping
+                    // the UTXO set constant-size as the chain grows.
+                    let outs = chain.state().utxos.outputs_of(&alice);
+                    let total: u64 = outs.iter().map(|(_, o)| o.value).sum();
+                    let inputs = outs.into_iter().map(|(op, _)| op).collect();
+                    let tx = builder.transfer(inputs, vec![TxOutput::new(alice, total)], 0);
+                    chain.submit(tx).unwrap();
+                    chain.mine_block(alice, 1_000 + i).unwrap();
+                }
+                std::hint::black_box(chain.height())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Deep-reorg cost: a 41-block attacker branch forking 40 below the tip of a
+/// 200-block chain. Exercises the snapshot-restore + divergent-suffix-replay
+/// path of the incremental engine.
+fn bench_deep_reorg(c: &mut Criterion) {
+    c.bench_function("chain/deep_reorg_40_of_200", |b| {
+        b.iter_batched(
+            || {
+                let mut chain = Blockchain::new(
+                    ChainId(0),
+                    ChainParams::test("reorg"),
+                    Arc::new(SwapVm::new()),
+                    &[(addr(b"alice"), 1_000_000)],
+                );
+                let miner = addr(b"miner");
+                for i in 0..200u64 {
+                    chain.mine_block(miner, 1_000 + i).unwrap();
+                }
+                chain
+            },
+            |mut chain| {
+                let attacker = addr(b"attacker");
+                let mut parent = chain.store().canonical_block_at_height(160).unwrap();
+                for i in 0..41u64 {
+                    let block = chain.mine_block_on(parent, attacker, 1_000_000 + i).unwrap();
+                    parent = block.hash();
+                }
+                std::hint::black_box(chain.height())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn configure() -> Criterion {
     Criterion::default()
         .sample_size(15)
@@ -106,6 +203,6 @@ fn configure() -> Criterion {
 criterion_group! {
     name = benches;
     config = configure();
-    targets = bench_mine_block, bench_pow_sealing, bench_evidence
+    targets = bench_mine_block, bench_pow_sealing, bench_evidence, bench_long_chain, bench_deep_reorg
 }
 criterion_main!(benches);

@@ -25,7 +25,13 @@ fn deploy_ctx(sender: Address, value: u64) -> DeployContext {
 }
 
 fn call_ctx(sender: Address) -> CallContext {
-    CallContext { chain: ChainId(0), sender, contract: ContractId(Hash256::digest(b"sc")), height: 2, now: 500 }
+    CallContext {
+        chain: ChainId(0),
+        sender,
+        contract: ContractId(Hash256::digest(b"sc")),
+        height: 2,
+        now: 500,
+    }
 }
 
 fn bench_htlc(c: &mut Criterion) {

@@ -58,7 +58,8 @@ fn bench_merkle(c: &mut Criterion) {
 }
 
 fn bench_multisig(c: &mut Criterion) {
-    let keys: Vec<KeyPair> = (0..8).map(|i| KeyPair::from_seed(format!("p{i}").as_bytes())).collect();
+    let keys: Vec<KeyPair> =
+        (0..8).map(|i| KeyPair::from_seed(format!("p{i}").as_bytes())).collect();
     let expected: Vec<_> = keys.iter().map(|k| k.public()).collect();
     c.bench_function("multisig/sign_and_verify_8_parties", |b| {
         b.iter_batched(

@@ -16,7 +16,9 @@
 
 use ac3_bench::{print_json_rows, print_table};
 use ac3_core::scenario::{two_party_scenario, ScenarioConfig};
-use ac3_core::{Ac3tw, Ac3wn, Herlihy, HerlihyMulti, Nolan, ProtocolConfig, ProtocolKind, SwapReport};
+use ac3_core::{
+    Ac3tw, Ac3wn, Herlihy, HerlihyMulti, Nolan, ProtocolConfig, ProtocolKind, SwapReport,
+};
 use ac3_sim::CrashWindow;
 use serde::Serialize;
 
@@ -52,14 +54,17 @@ impl FaultScenario {
             FaultScenario::CrashBeforeDeploy => Some(CrashWindow { from: 0, until: 10_000_000 }),
             // Crashed after deployment (Δ = 4 s, deployments finish ~8 s in)
             // and until far past every timelock.
-            FaultScenario::CrashBeforeRedeem => Some(CrashWindow { from: 9_000, until: 10_000_000 }),
+            FaultScenario::CrashBeforeRedeem => {
+                Some(CrashWindow { from: 9_000, until: 10_000_000 })
+            }
         }
     }
 }
 
 fn run(protocol: ProtocolKind, scenario_kind: FaultScenario) -> SwapReport {
     let cfg = ScenarioConfig::default();
-    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+    let protocol_cfg =
+        ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
     let mut s = two_party_scenario(50, 80, &cfg);
     let alice = s.participants.get("alice").unwrap().address();
     // The paper's motivating failure crashes the participant who redeems
@@ -69,7 +74,11 @@ fn run(protocol: ProtocolKind, scenario_kind: FaultScenario) -> SwapReport {
     let crash_target = if protocol == ProtocolKind::HerlihyMulti {
         let leaders = HerlihyMulti::supports_graph(&s.graph).expect("two-party graph supported");
         let bob_addr = s.participants.get("bob").unwrap().address();
-        if leaders.contains(&bob_addr) { "alice" } else { "bob" }
+        if leaders.contains(&bob_addr) {
+            "alice"
+        } else {
+            "bob"
+        }
     } else {
         "bob"
     };
@@ -98,8 +107,11 @@ fn main() {
         ProtocolKind::Ac3Tw,
         ProtocolKind::Ac3Wn,
     ];
-    let scenarios =
-        [FaultScenario::NoFault, FaultScenario::CrashBeforeDeploy, FaultScenario::CrashBeforeRedeem];
+    let scenarios = [
+        FaultScenario::NoFault,
+        FaultScenario::CrashBeforeDeploy,
+        FaultScenario::CrashBeforeRedeem,
+    ];
 
     let mut rows = Vec::new();
     for protocol in protocols {

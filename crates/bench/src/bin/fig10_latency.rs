@@ -10,12 +10,12 @@ use ac3_core::{Ac3wn, Herlihy, ProtocolConfig};
 
 fn measure(diameter: usize) -> (f64, f64) {
     let cfg = ScenarioConfig::default();
-    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+    let protocol_cfg =
+        ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
 
     let mut herlihy_scenario = ring_scenario(diameter, 10, &cfg);
-    let herlihy_report = Herlihy::new(protocol_cfg.clone())
-        .execute(&mut herlihy_scenario)
-        .expect("herlihy run");
+    let herlihy_report =
+        Herlihy::new(protocol_cfg.clone()).execute(&mut herlihy_scenario).expect("herlihy run");
     assert!(herlihy_report.is_atomic(), "herlihy run must stay atomic without faults");
 
     let mut ac3wn_scenario = ring_scenario(diameter, 10, &cfg);
@@ -26,10 +26,7 @@ fn measure(diameter: usize) -> (f64, f64) {
 }
 
 fn main() {
-    let max_diameter: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8);
+    let max_diameter: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
 
     let mut rows = Vec::new();
     for diameter in 2..=max_diameter {

@@ -21,7 +21,8 @@ struct GraphRow {
 }
 
 fn run_case(name: &str, build: impl Fn() -> ac3_core::Scenario) -> GraphRow {
-    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+    let protocol_cfg =
+        ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
 
     let mut herlihy_scenario = build();
     let shape = format!("{:?}", herlihy_scenario.graph.shape());
@@ -56,7 +57,11 @@ fn main() {
         run_case("cyclic 3-party ring (Figure 7a)", || figure7a_scenario(&cfg)),
         run_case("disconnected 2×2 swap (Figure 7b)", || figure7b_scenario(&cfg)),
         run_case("two independent cycles (no valid leader)", || {
-            custom_scenario(&["a", "b", "c", "d"], &[(0, 1, 1), (1, 0, 2), (2, 3, 3), (3, 2, 4)], &cfg)
+            custom_scenario(
+                &["a", "b", "c", "d"],
+                &[(0, 1, 1), (1, 0, 2), (2, 3, 3), (3, 2, 4)],
+                &cfg,
+            )
         }),
         run_case("bridged double cycle (no single leader, connected)", || {
             custom_scenario(

@@ -23,7 +23,10 @@ fn describe(kind: &EventKind) -> String {
         EventKind::ContractSubmitted { chain, .. } => format!("contract submitted on {chain}"),
         EventKind::ContractPublished { chain, .. } => format!("contract published on {chain}"),
         EventKind::DecisionReached { commit } => {
-            format!("decision reached: {}", if *commit { "commit (RDauth)" } else { "abort (RFauth)" })
+            format!(
+                "decision reached: {}",
+                if *commit { "commit (RDauth)" } else { "abort (RFauth)" }
+            )
         }
         EventKind::ContractRedeemed { chain, .. } => format!("contract redeemed on {chain}"),
         EventKind::ContractRefunded { chain, .. } => format!("contract refunded on {chain}"),
@@ -47,10 +50,12 @@ fn rows_for(report: &SwapReport, label: &str) -> Vec<TimelineRow> {
 fn main() {
     let participants: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
     let cfg = ScenarioConfig::default();
-    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+    let protocol_cfg =
+        ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
 
     let mut herlihy_scenario = ring_scenario(participants, 10, &cfg);
-    let herlihy = Herlihy::new(protocol_cfg.clone()).execute(&mut herlihy_scenario).expect("herlihy");
+    let herlihy =
+        Herlihy::new(protocol_cfg.clone()).execute(&mut herlihy_scenario).expect("herlihy");
 
     let mut ac3wn_scenario = ring_scenario(participants, 10, &cfg);
     let ac3wn = Ac3wn::new(protocol_cfg).execute(&mut ac3wn_scenario).expect("ac3wn");
@@ -58,10 +63,8 @@ fn main() {
     let mut rows = rows_for(&herlihy, "Herlihy (Figure 8)");
     rows.extend(rows_for(&ac3wn, "AC3WN (Figure 9)"));
 
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| vec![r.protocol.clone(), f2(r.at_delta), r.event.clone()])
-        .collect();
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|r| vec![r.protocol.clone(), f2(r.at_delta), r.event.clone()]).collect();
     print_table(
         &format!("Figures 8 & 9: phase timeline for a {participants}-contract AC2T (times in Δ)"),
         &["protocol", "t (Δ)", "event"],

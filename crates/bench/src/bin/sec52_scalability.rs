@@ -72,9 +72,13 @@ fn run_batch(swaps: usize, witnesses: usize) -> (f64, bool) {
             asset_chains: vec![chain_a, chain_b],
         };
         let delta_of_assets = 4_000.0; // Δ of the asset chains alone
-        let report = Ac3wn::new(ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() })
-            .execute(&mut scenario)
-            .expect("swap");
+        let report = Ac3wn::new(ProtocolConfig {
+            witness_depth: 3,
+            deployment_depth: 3,
+            ..Default::default()
+        })
+        .execute(&mut scenario)
+        .expect("swap");
         all_atomic &= report.is_atomic();
         worst_latency = worst_latency.max(report.latency_ms() as f64 / delta_of_assets);
     }

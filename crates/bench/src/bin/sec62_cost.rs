@@ -25,12 +25,14 @@ fn main() {
     let cfg = ScenarioConfig::default();
     let deploy_fee = cfg.asset_chain_template.deploy_fee;
     let call_fee = cfg.asset_chain_template.call_fee;
-    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+    let protocol_cfg =
+        ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
 
     let mut rows = Vec::new();
     for n in 2..=max_n {
         let mut herlihy_scenario = ring_scenario(n, 10, &cfg);
-        let herlihy = Herlihy::new(protocol_cfg.clone()).execute(&mut herlihy_scenario).expect("herlihy");
+        let herlihy =
+            Herlihy::new(protocol_cfg.clone()).execute(&mut herlihy_scenario).expect("herlihy");
         let mut ac3wn_scenario = ring_scenario(n, 10, &cfg);
         let ac3wn = Ac3wn::new(protocol_cfg.clone()).execute(&mut ac3wn_scenario).expect("ac3wn");
 
@@ -59,7 +61,14 @@ fn main() {
         .collect();
     print_table(
         "Section 6.2: AC2T fees (asset units) vs number of contracts N",
-        &["N", "Herlihy model", "Herlihy measured", "AC3WN model", "AC3WN measured", "overhead 1/N"],
+        &[
+            "N",
+            "Herlihy model",
+            "Herlihy measured",
+            "AC3WN model",
+            "AC3WN measured",
+            "overhead 1/N",
+        ],
         &table,
     );
     println!(

@@ -37,10 +37,8 @@ fn main() {
     // The paper's Bitcoin witness figures and worked example.
     let hourly_cost = 300_000.0;
     let blocks_per_hour = 6.0;
-    let value_at_risk = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(250_000.0);
+    let value_at_risk =
+        std::env::args().nth(1).and_then(|v| v.parse::<f64>().ok()).unwrap_or(250_000.0);
 
     // How many blocks the attacker can afford to mine before the attack
     // stops being profitable.
@@ -52,7 +50,11 @@ fn main() {
     let mut rows = Vec::with_capacity(depths.len());
     for d in depths {
         let cfg = ForkAttackConfig {
-            protocol: ProtocolConfig { witness_depth: d, deployment_depth: 2, ..Default::default() },
+            protocol: ProtocolConfig {
+                witness_depth: d,
+                deployment_depth: 2,
+                ..Default::default()
+            },
             scenario: ScenarioConfig::default(),
             attacker_budget_blocks: affordable_blocks,
             ..Default::default()
@@ -91,7 +93,13 @@ fn main() {
             "Section 6.3 (executed): fork attack on the witness chain, Va = ${value_at_risk}, \
              Ch = $300K/h, dh = 6 blocks/h"
         ),
-        &["depth d", "blocks attacker needs", "cost of those blocks", "blocks attacker affords", "outcome"],
+        &[
+            "depth d",
+            "blocks attacker needs",
+            "cost of those blocks",
+            "blocks attacker affords",
+            "outcome",
+        ],
         &table,
     );
     println!(

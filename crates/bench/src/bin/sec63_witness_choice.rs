@@ -26,7 +26,8 @@ fn fork_resilience_demo() {
     // the settled assets) are untouched.
     let cfg = ScenarioConfig::default();
     let mut scenario = two_party_scenario(50, 80, &cfg);
-    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+    let protocol_cfg =
+        ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
     let report = Ac3wn::new(protocol_cfg).execute(&mut scenario).expect("swap");
     assert!(report.is_atomic());
     let witness = scenario.witness_chain;
@@ -43,7 +44,8 @@ fn fork_resilience_demo() {
 fn main() {
     let hourly_cost = 300_000.0; // the paper's Bitcoin figure
     let blocks_per_hour = 6.0;
-    let asset_values = [10_000.0, 50_000.0, 100_000.0, 500_000.0, 1_000_000.0, 5_000_000.0, 10_000_000.0];
+    let asset_values =
+        [10_000.0, 50_000.0, 100_000.0, 500_000.0, 1_000_000.0, 5_000_000.0, 10_000_000.0];
 
     let rows: Vec<DepthRow> = asset_values
         .iter()
@@ -54,7 +56,11 @@ fn main() {
                 hourly_attack_cost_usd: hourly_cost,
                 blocks_per_hour,
                 required_depth: d,
-                attack_cost_at_depth_usd: witness_choice::attack_cost(d, hourly_cost, blocks_per_hour),
+                attack_cost_at_depth_usd: witness_choice::attack_cost(
+                    d,
+                    hourly_cost,
+                    blocks_per_hour,
+                ),
             }
         })
         .collect();

@@ -9,8 +9,8 @@
 //! rate and the combination is bounded by the slowest member.
 
 use ac3_bench::{f2, print_json_rows, print_table};
-use ac3_core::analysis::throughput;
 use ac3_chain::{Address, ChainParams, TxBuilder, TxOutput};
+use ac3_core::analysis::throughput;
 use ac3_crypto::KeyPair;
 use ac3_sim::World;
 use serde::Serialize;
@@ -73,7 +73,11 @@ fn main() {
     let t1 = throughput::table1();
     let table1_rows: Vec<Vec<String>> =
         t1.iter().map(|c| vec![c.name.to_string(), c.tps.to_string()]).collect();
-    print_table("Table 1: throughput of the top-4 permissionless cryptocurrencies", &["Blockchain", "tps"], &table1_rows);
+    print_table(
+        "Table 1: throughput of the top-4 permissionless cryptocurrencies",
+        &["Blockchain", "tps"],
+        &table1_rows,
+    );
 
     // Measured per-chain throughput of the simulated equivalents.
     // Scale the simulation: use 10-second blocks (rather than full 10-minute
@@ -111,11 +115,8 @@ fn main() {
             chains: chains.to_string(),
             witness: witness.to_string(),
             model_tps: model,
-            measured_bottleneck_tps: *tps
-                .iter()
-                .chain(std::iter::once(&witness_tps))
-                .min()
-                .unwrap() as f64,
+            measured_bottleneck_tps: *tps.iter().chain(std::iter::once(&witness_tps)).min().unwrap()
+                as f64,
         });
     }
     let combo_table: Vec<Vec<String>> = rows

@@ -5,8 +5,8 @@
 //! target and a nonce — the minimum a light client (Section 4.3) needs to
 //! verify chain continuity and transaction inclusion.
 
-use crate::types::{BlockHash, BlockHeight, ChainId, Timestamp};
 use crate::transaction::Transaction;
+use crate::types::{BlockHash, BlockHeight, ChainId, Timestamp};
 use ac3_crypto::{Hash256, MerkleTree, Sha256};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -88,15 +88,17 @@ impl Block {
         self.header.hash()
     }
 
-    /// Compute the Merkle root over a transaction list.
+    /// Compute the Merkle root over a transaction list. Leaves are the
+    /// memoized canonical encodings, so each transaction is serialized at
+    /// most once across root computation, id hashing and proof generation.
     pub fn compute_tx_root(transactions: &[Transaction]) -> Hash256 {
-        MerkleTree::from_leaves(transactions.iter().map(|t| t.canonical_bytes())).root()
+        MerkleTree::from_leaves(transactions.iter().map(|t| t.canonical_bytes_cached())).root()
     }
 
     /// The Merkle tree over this block's transactions (used to produce SPV
     /// inclusion proofs).
     pub fn tx_tree(&self) -> MerkleTree {
-        MerkleTree::from_leaves(self.transactions.iter().map(|t| t.canonical_bytes()))
+        MerkleTree::from_leaves(self.transactions.iter().map(|t| t.canonical_bytes_cached()))
     }
 
     /// Whether the header's Merkle root matches the transactions.

@@ -4,13 +4,25 @@
 //! mempool, the UTXO set, the contract VM and the chain parameters. Mining a
 //! block drains the mempool (up to the tps-derived budget), executes the
 //! transactions, seals the block and appends it; receiving a block from the
-//! network validates and inserts it, re-deriving the canonical state if the
+//! network validates and inserts it, updating the canonical state if the
 //! fork choice changed.
 //!
-//! State is always derived by replaying the canonical chain from genesis.
-//! Simulated chains are short (thousands of blocks at most), so replaying on
-//! reorg is simple and obviously correct — an intentional simplification over
-//! production chains, documented in DESIGN.md.
+//! State derivation is **incremental** (see `DESIGN.md` for the full
+//! design):
+//!
+//! * The canonical [`ChainState`] is kept materialized at the tip. A block
+//!   that extends the tip reuses the scratch state its own validation just
+//!   produced — accepting block `N` never re-executes blocks `0..N-1`, so a
+//!   simulation run is O(n) in chain length instead of the former O(n²)
+//!   replay-from-genesis-per-block design.
+//! * A bounded cache of [`ChainState`] snapshots keyed by block hash serves
+//!   `state_at(parent)` for fork mining and fork validation in O(new
+//!   blocks).
+//! * On a reorg, the state is rebuilt from the nearest cached snapshot on
+//!   the winning branch (worst case: genesis), and a `debug_assert`
+//!   differential check compares the result against a full from-genesis
+//!   replay. The replay path survives as [`Blockchain::replay_state_from_genesis`],
+//!   the test/debug oracle.
 
 use crate::block::{Block, BlockHeader};
 use crate::contracts::{CallContext, ContractRecord, DeployContext, VmError, VmHandle};
@@ -23,7 +35,7 @@ use crate::types::{
 };
 use crate::utxo::{UtxoError, UtxoSet};
 use ac3_crypto::MerkleProof;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 /// Errors produced by chain operations.
@@ -102,7 +114,7 @@ impl From<MempoolError> for ChainError {
 }
 
 /// The state derived from executing the canonical chain.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChainState {
     /// The unspent output set.
     pub utxos: UtxoSet,
@@ -110,6 +122,45 @@ pub struct ChainState {
     pub contracts: BTreeMap<ContractId, ContractRecord>,
     /// Total fees collected by miners so far.
     pub fees_collected: Amount,
+}
+
+/// Maximum number of post-block state snapshots retained for fork
+/// validation. Bounds memory; forks deeper than the cache fall back to the
+/// from-genesis replay oracle. Chains keep forks shallow relative to their
+/// stable depth (6-ish), so a few dozen snapshots cover every realistic
+/// reorg including the Section 6.3 attack experiments.
+const SNAPSHOT_CAPACITY: usize = 48;
+
+/// On plain tip extensions, only every `SNAPSHOT_STRIDE`-th outgoing tip
+/// state is kept. Retained memory drops by the same factor; the cost is at
+/// most `SNAPSHOT_STRIDE - 1` extra block replays when a fork roots between
+/// snapshots.
+const SNAPSHOT_STRIDE: u64 = 4;
+
+/// A bounded FIFO cache of `ChainState` snapshots keyed by the hash of the
+/// block whose execution produced them ("state as of and including block
+/// `h`").
+#[derive(Debug, Default)]
+struct SnapshotCache {
+    states: HashMap<BlockHash, ChainState>,
+    order: VecDeque<BlockHash>,
+}
+
+impl SnapshotCache {
+    fn get(&self, hash: &BlockHash) -> Option<&ChainState> {
+        self.states.get(hash)
+    }
+
+    fn insert(&mut self, hash: BlockHash, state: ChainState) {
+        if self.states.insert(hash, state).is_none() {
+            self.order.push_back(hash);
+            while self.order.len() > SNAPSHOT_CAPACITY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.states.remove(&evicted);
+                }
+            }
+        }
+    }
 }
 
 /// Evidence that a transaction is included in a specific block: the header
@@ -133,7 +184,10 @@ pub struct Blockchain {
     vm: VmHandle,
     store: BlockStore,
     mempool: Mempool,
+    /// Materialized state of the canonical chain, maintained incrementally.
     state: ChainState,
+    /// Recent post-block states for fork-tip validation (see module docs).
+    snapshots: SnapshotCache,
 }
 
 impl fmt::Debug for Blockchain {
@@ -180,10 +234,12 @@ impl Blockchain {
             store: BlockStore::new(),
             mempool: Mempool::new(),
             state: ChainState::default(),
+            snapshots: SnapshotCache::default(),
         };
         let sealed = chain.seal(genesis).expect("genesis seals");
-        chain.store.insert(sealed).expect("genesis inserts");
-        chain.recompute_state();
+        let hash = chain.store.insert(sealed).expect("genesis inserts");
+        chain.state = chain.replay_state_from_genesis();
+        chain.snapshots.insert(hash, chain.state.clone());
         chain
     }
 
@@ -238,7 +294,11 @@ impl Blockchain {
     }
 
     /// Select unspent outputs of `address` covering `amount`.
-    pub fn select_inputs(&self, address: &Address, amount: Amount) -> Option<(Vec<OutPoint>, Amount)> {
+    pub fn select_inputs(
+        &self,
+        address: &Address,
+        amount: Amount,
+    ) -> Option<(Vec<OutPoint>, Amount)> {
         self.state.utxos.select_inputs(address, amount)
     }
 
@@ -294,9 +354,7 @@ impl Blockchain {
     /// Section 4.3).
     pub fn stable_block_hash(&self) -> BlockHash {
         let height = self.height().saturating_sub(self.params.stable_depth);
-        self.store
-            .canonical_block_at_height(height)
-            .expect("stable height always exists")
+        self.store.canonical_block_at_height(height).expect("stable height always exists")
     }
 
     // ------------------------------------------------------------------
@@ -313,6 +371,11 @@ impl Blockchain {
 
     /// Mine a block on an explicit parent — used to create forks
     /// deliberately (fault injection, Section 6.3 attack experiments).
+    ///
+    /// The scratch state built while filtering mempool candidates *is* the
+    /// post-block state, so the mined block is committed directly instead of
+    /// being re-validated from scratch by [`Blockchain::accept_block`]
+    /// (debug builds still cross-check the two paths).
     pub fn mine_block_on(
         &mut self,
         parent: BlockHash,
@@ -346,6 +409,12 @@ impl Blockchain {
         let mut transactions = vec![coinbase(miner, self.params.block_reward + fees, height)];
         transactions.extend(included);
 
+        // Fold the coinbase into the scratch state. It executes first in
+        // block order, but no included candidate can reference its outputs
+        // (they were validated without it), so the resulting state is
+        // identical.
+        Self::execute_tx(&self.vm, self.id, &mut scratch, &transactions[0], height, now)?;
+
         let header = BlockHeader {
             chain: self.id,
             parent,
@@ -356,7 +425,18 @@ impl Blockchain {
             nonce: 0,
         };
         let block = self.seal(Block { header, transactions })?;
-        self.accept_block(block.clone())?;
+        #[cfg(debug_assertions)]
+        {
+            // The mining fast path must stay equivalent to full network
+            // validation.
+            let mut revalidated = self.state_at(&parent)?;
+            for tx in &block.transactions {
+                Self::execute_tx(&self.vm, self.id, &mut revalidated, tx, height, now)
+                    .expect("mined block re-validates");
+            }
+            debug_assert_eq!(revalidated, scratch, "mining scratch diverged from validation");
+        }
+        self.commit_block(block.clone(), scratch)?;
         Ok(block)
     }
 
@@ -381,6 +461,11 @@ impl Blockchain {
 
     /// Accept a block produced locally or received from the network:
     /// validate it statefully, insert it and update the canonical state.
+    ///
+    /// The state produced by validating the block against its parent is
+    /// *reused*: if the block becomes the canonical tip it becomes the
+    /// canonical state directly (no replay), otherwise it is cached as a
+    /// fork-tip snapshot so a later extension of that fork is O(new blocks).
     pub fn accept_block(&mut self, block: Block) -> Result<BlockHash, ChainError> {
         if block.header.chain != self.id {
             return Err(ChainError::WrongChain { expected: self.id, got: block.header.chain });
@@ -398,9 +483,84 @@ impl Blockchain {
                 block.header.timestamp,
             )?;
         }
-        let hash = self.store.insert(block.clone())?;
-        self.mempool.remove_all(block.transactions.iter());
-        self.recompute_state();
+        self.commit_block(block, scratch)
+    }
+
+    /// Insert a fully validated block whose post-block state is `post_state`
+    /// and update the canonical state and snapshot cache.
+    ///
+    /// On a tip extension the outgoing tip state is *moved* into the
+    /// snapshot cache (no clone) and `post_state` becomes the canonical
+    /// state directly — the only per-block O(state) cost left on the hot
+    /// path is the single validation-scratch clone in `state_at`.
+    fn commit_block(
+        &mut self,
+        block: Block,
+        post_state: ChainState,
+    ) -> Result<BlockHash, ChainError> {
+        let parent = block.header.parent;
+        let mined_ids: Vec<TxId> = block.transactions.iter().map(Transaction::id).collect();
+        let old_tip = self.store.best_tip();
+        let hash = self.store.insert(block)?;
+        if old_tip == Some(hash) {
+            // Idempotent re-accept of the current tip (duplicate network
+            // delivery): the store ignored it and the state is already
+            // correct — in particular, do not misread `parent != old_tip`
+            // below as a reorg.
+            return Ok(hash);
+        }
+
+        if self.store.best_tip() == Some(hash) {
+            // Transactions leave the mempool only on *canonical* inclusion —
+            // a block stranded on a losing side branch must not silently
+            // swallow pending transactions.
+            self.mempool.remove_ids(&mined_ids);
+            // The block is the new canonical tip; `post_state` is by
+            // construction the state of the chain ending in it.
+            if old_tip != Some(parent) {
+                // Reorg: earlier blocks of the winning branch were accepted
+                // as side-branch blocks, so their transactions may still be
+                // pending; drop everything the new canonical chain now
+                // contains. (Transactions of the abandoned branch are *not*
+                // resubmitted — a documented simplification, DESIGN.md §2.)
+                let now_canonical: Vec<TxId> = self
+                    .mempool
+                    .iter()
+                    .map(Transaction::id)
+                    .filter(|id| self.store.find_canonical_tx(id).is_some())
+                    .collect();
+                self.mempool.remove_ids(&now_canonical);
+                // In debug builds cross-check the incrementally derived
+                // state against the from-genesis replay oracle.
+                debug_assert_eq!(
+                    post_state,
+                    self.replay_state_from_genesis(),
+                    "incremental reorg state diverged from full replay"
+                );
+            }
+            let prev = std::mem::replace(&mut self.state, post_state);
+            if let Some(tip) = old_tip {
+                // The outgoing tip state serves later forks off that block.
+                // On plain extensions only every SNAPSHOT_STRIDE-th state is
+                // retained (a fork off an unsnapshotted block replays at
+                // most STRIDE-1 extra blocks), bounding resident memory at
+                // ~CAPACITY/STRIDE full states; a reorged-out tip is always
+                // retained, since reorging straight back is the common
+                // attack pattern.
+                let reorged_out = old_tip != Some(parent);
+                let on_stride = self
+                    .store
+                    .header(&tip)
+                    .is_some_and(|h| h.height.is_multiple_of(SNAPSHOT_STRIDE));
+                if reorged_out || on_stride {
+                    self.snapshots.insert(tip, prev);
+                }
+            }
+        } else {
+            // Side-branch block: canonical state is untouched; remember the
+            // fork-tip state so extending this fork stays cheap.
+            self.snapshots.insert(hash, post_state);
+        }
         Ok(hash)
     }
 
@@ -408,11 +568,13 @@ impl Blockchain {
     // State derivation
     // ------------------------------------------------------------------
 
-    /// Recompute the canonical state by replaying the canonical chain.
-    fn recompute_state(&mut self) {
+    /// Replay the canonical chain from genesis into a fresh state. This is
+    /// the slow-path oracle the incremental engine is checked against (in
+    /// `debug_assert`s on reorgs and in the differential property tests);
+    /// production paths never call it.
+    pub fn replay_state_from_genesis(&self) -> ChainState {
         let mut state = ChainState::default();
-        let blocks: Vec<Block> = self.store.canonical_blocks().cloned().collect();
-        for block in blocks {
+        for block in self.store.canonical_blocks() {
             for tx in &block.transactions {
                 // Canonical blocks were validated on acceptance; execution
                 // here cannot fail. If it somehow does, the chain state is
@@ -429,27 +591,43 @@ impl Blockchain {
                 debug_assert!(result.is_ok(), "canonical replay failed: {result:?}");
             }
         }
-        self.state = state;
+        state
     }
 
-    /// Derive the state as of (and including) the block `at` by replaying
-    /// the branch from genesis to `at`.
+    /// Derive the state as of (and including) the block `at`.
+    ///
+    /// Fast paths, in order: the canonical tip (clone of the materialized
+    /// state), a cached snapshot (clone), otherwise walk ancestors until one
+    /// of those is hit — or genesis, the full-replay fallback — and execute
+    /// only the uncovered suffix. Cost is O(blocks past the nearest
+    /// snapshot), not O(chain length).
     fn state_at(&self, at: &BlockHash) -> Result<ChainState, ChainError> {
-        // Collect the branch from `at` back to genesis.
-        let mut branch = Vec::new();
-        let mut cursor = *at;
-        loop {
-            let block = self.store.get(&cursor).ok_or(ChainError::UnknownBlock(cursor))?;
-            branch.push(block.clone());
-            if block.header.is_genesis() {
-                break;
-            }
-            cursor = block.header.parent;
+        if self.store.best_tip() == Some(*at) {
+            return Ok(self.state.clone());
         }
-        branch.reverse();
-
-        let mut state = ChainState::default();
-        for block in &branch {
+        if let Some(snapshot) = self.snapshots.get(at) {
+            return Ok(snapshot.clone());
+        }
+        // Walk back until a covered ancestor (or genesis) is found; the
+        // uncovered blocks collect in `suffix`, newest first.
+        let mut suffix: Vec<&Block> = Vec::new();
+        let mut cursor = *at;
+        let mut state = loop {
+            let block = self.store.get(&cursor).ok_or(ChainError::UnknownBlock(cursor))?;
+            suffix.push(block);
+            if block.header.is_genesis() {
+                break ChainState::default();
+            }
+            let parent = block.header.parent;
+            if self.store.best_tip() == Some(parent) {
+                break self.state.clone();
+            }
+            if let Some(snapshot) = self.snapshots.get(&parent) {
+                break snapshot.clone();
+            }
+            cursor = parent;
+        };
+        for block in suffix.iter().rev() {
             for tx in &block.transactions {
                 Self::execute_tx(
                     &self.vm,
@@ -526,7 +704,12 @@ impl Blockchain {
                 }
                 let call_txid = tx.id();
                 for (seq, payout) in outcome.payouts.iter().enumerate() {
-                    state.utxos.credit_contract_payout(call_txid, seq as u32, payout.to, payout.amount);
+                    state.utxos.credit_contract_payout(
+                        call_txid,
+                        seq as u32,
+                        payout.to,
+                        payout.amount,
+                    );
                 }
                 let updated = ContractRecord {
                     state: outcome.new_state,

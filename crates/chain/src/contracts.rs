@@ -107,7 +107,8 @@ pub trait ContractVm: Send + Sync {
     fn deploy(&self, ctx: &DeployContext, payload: &[u8]) -> Result<Vec<u8>, VmError>;
 
     /// Execute a function call against the current serialized state.
-    fn call(&self, ctx: &CallContext, state: &[u8], payload: &[u8]) -> Result<CallOutcome, VmError>;
+    fn call(&self, ctx: &CallContext, state: &[u8], payload: &[u8])
+        -> Result<CallOutcome, VmError>;
 
     /// A short, human-readable tag describing the state (e.g. "P",
     /// "RDauth", "RFauth", "RD", "RF"). Used by cross-chain state queries
@@ -146,7 +147,12 @@ impl ContractVm for NullVm {
         Err(VmError::MalformedPayload("this chain does not support contracts".to_string()))
     }
 
-    fn call(&self, _ctx: &CallContext, _state: &[u8], _payload: &[u8]) -> Result<CallOutcome, VmError> {
+    fn call(
+        &self,
+        _ctx: &CallContext,
+        _state: &[u8],
+        _payload: &[u8],
+    ) -> Result<CallOutcome, VmError> {
         Err(VmError::MalformedPayload("this chain does not support contracts".to_string()))
     }
 
@@ -168,7 +174,12 @@ impl ContractVm for EchoVm {
         Ok(payload.to_vec())
     }
 
-    fn call(&self, ctx: &CallContext, state: &[u8], payload: &[u8]) -> Result<CallOutcome, VmError> {
+    fn call(
+        &self,
+        ctx: &CallContext,
+        state: &[u8],
+        payload: &[u8],
+    ) -> Result<CallOutcome, VmError> {
         if state == b"spent" {
             return Err(VmError::RequirementFailed("contract already spent".to_string()));
         }

@@ -27,8 +27,12 @@ impl std::fmt::Display for MempoolError {
         match self {
             MempoolError::InvalidSignature(id) => write!(f, "invalid signature on {id}"),
             MempoolError::AlreadyPending(id) => write!(f, "{id} already pending"),
-            MempoolError::ConflictingInput(op) => write!(f, "input {op} already spent by a pending tx"),
-            MempoolError::CoinbaseNotAllowed => write!(f, "coinbase transactions cannot be submitted"),
+            MempoolError::ConflictingInput(op) => {
+                write!(f, "input {op} already spent by a pending tx")
+            }
+            MempoolError::CoinbaseNotAllowed => {
+                write!(f, "coinbase transactions cannot be submitted")
+            }
         }
     }
 }
@@ -107,11 +111,7 @@ impl Mempool {
 
     /// The highest-priority `limit` transactions, without removing them.
     pub fn select(&self, limit: usize) -> Vec<Transaction> {
-        self.order
-            .iter()
-            .take(limit)
-            .map(|(_, txid)| self.txs[txid].clone())
-            .collect()
+        self.order.iter().take(limit).map(|(_, txid)| self.txs[txid].clone()).collect()
     }
 
     /// Remove a transaction (because it was mined or became invalid).
@@ -126,10 +126,12 @@ impl Mempool {
         Some(tx)
     }
 
-    /// Remove every transaction included in a mined block.
-    pub fn remove_all<'a, I: IntoIterator<Item = &'a Transaction>>(&mut self, mined: I) {
-        for tx in mined {
-            self.remove(&tx.id());
+    /// Remove every transaction whose id appears in `mined` (the single
+    /// bulk-removal path; block acceptance already holds the ids, so there
+    /// is no by-transaction variant to keep consistent with this one).
+    pub fn remove_ids<'a, I: IntoIterator<Item = &'a TxId>>(&mut self, mined: I) {
+        for txid in mined {
+            self.remove(txid);
         }
     }
 
@@ -201,10 +203,7 @@ mod tests {
         let tx1 = alice.transfer(vec![outpoint(1)], vec![], 1);
         let tx2 = alice.transfer(vec![outpoint(1)], vec![], 9);
         pool.submit(tx1).unwrap();
-        assert_eq!(
-            pool.submit(tx2).unwrap_err(),
-            MempoolError::ConflictingInput(outpoint(1))
-        );
+        assert_eq!(pool.submit(tx2).unwrap_err(), MempoolError::ConflictingInput(outpoint(1)));
     }
 
     #[test]
@@ -240,14 +239,14 @@ mod tests {
     }
 
     #[test]
-    fn remove_all_clears_mined_transactions() {
+    fn remove_ids_clears_mined_transactions() {
         let mut pool = Mempool::new();
         let mut alice = builder(b"alice");
         let tx1 = alice.transfer(vec![outpoint(1)], vec![], 1);
         let tx2 = alice.transfer(vec![outpoint(2)], vec![], 1);
         pool.submit(tx1.clone()).unwrap();
         pool.submit(tx2.clone()).unwrap();
-        pool.remove_all([&tx1]);
+        pool.remove_ids([&tx1.id()]);
         assert_eq!(pool.len(), 1);
         assert!(pool.contains(&tx2.id()));
     }

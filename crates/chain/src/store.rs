@@ -60,6 +60,20 @@ struct BlockEntry {
 }
 
 /// A tree of blocks with longest-chain fork choice.
+///
+/// Beyond the raw fork tree, the store maintains two indexes that are
+/// updated incrementally whenever the canonical tip changes (see
+/// `DESIGN.md`):
+///
+/// * a height → canonical-hash vector, making [`BlockStore::canonical_block_at_height`],
+///   [`BlockStore::is_canonical`], [`BlockStore::depth_of`] and
+///   [`BlockStore::headers_since`] O(1)/O(result) instead of walking parent
+///   pointers from the tip on every call;
+/// * a txid → (canonical block, index) map, making
+///   [`BlockStore::find_canonical_tx`] O(1) instead of scanning the whole
+///   canonical chain.
+///
+/// On a reorg only the divergent suffix of the canonical chain is reindexed.
 #[derive(Debug, Clone, Default)]
 pub struct BlockStore {
     blocks: HashMap<BlockHash, BlockEntry>,
@@ -71,6 +85,12 @@ pub struct BlockStore {
     genesis: Option<BlockHash>,
     /// The current canonical tip under the fork-choice rule.
     best_tip: Option<BlockHash>,
+    /// Canonical chain indexed by height (`canonical[h]` is the canonical
+    /// block at height `h`), maintained incrementally on best-tip changes.
+    canonical: Vec<BlockHash>,
+    /// Canonical transaction locations: txid → (containing block, index in
+    /// block), covering exactly the blocks in `canonical`.
+    canonical_txs: HashMap<TxId, (BlockHash, usize)>,
 }
 
 impl BlockStore {
@@ -174,8 +194,10 @@ impl BlockStore {
 
     /// Recompute the canonical tip: longest chain wins, ties broken by the
     /// numerically smallest tip hash so every node converges on the same
-    /// choice.
+    /// choice. When the tip changes, the canonical indexes are repaired
+    /// incrementally: only the suffix past the fork point is reindexed.
     fn update_best_tip(&mut self) {
+        let old_best = self.best_tip;
         self.best_tip = self
             .tips
             .keys()
@@ -187,51 +209,82 @@ impl BlockStore {
                 la.cmp(&lb).then_with(|| b.cmp(a))
             })
             .copied();
+        if self.best_tip != old_best {
+            self.reindex_canonical();
+        }
+    }
+
+    /// Repair `canonical` and `canonical_txs` after a best-tip change.
+    /// Walks back from the new tip only until it rejoins the previously
+    /// indexed chain, so extending the tip is O(1) and a reorg is
+    /// O(divergent suffix), never O(chain length).
+    fn reindex_canonical(&mut self) {
+        let Some(tip) = self.best_tip else {
+            self.canonical.clear();
+            self.canonical_txs.clear();
+            return;
+        };
+        // Collect the new-branch blocks (descending) until we meet a block
+        // that is already canonical at its height.
+        let mut fresh: Vec<BlockHash> = Vec::new();
+        let mut cursor = tip;
+        let fork_height = loop {
+            let entry = &self.blocks[&cursor];
+            let height = entry.block.header.height as usize;
+            if self.canonical.get(height) == Some(&cursor) {
+                break height as u64;
+            }
+            fresh.push(cursor);
+            if entry.block.header.is_genesis() {
+                break 0;
+            }
+            cursor = entry.block.header.parent;
+        };
+        // Un-index the abandoned suffix (strictly above the fork point, or
+        // the whole chain when the new branch roots at a fresh genesis).
+        let keep = if fresh.last().map(|h| self.blocks[h].block.header.is_genesis()) == Some(true) {
+            0
+        } else {
+            fork_height as usize + 1
+        };
+        for hash in self.canonical.drain(keep..) {
+            for tx in &self.blocks[&hash].block.transactions {
+                // Remove only entries still pointing at the abandoned block;
+                // a duplicate txid re-indexed by the new branch must stay.
+                if let Some((owner, _)) = self.canonical_txs.get(&tx.id()) {
+                    if *owner == hash {
+                        self.canonical_txs.remove(&tx.id());
+                    }
+                }
+            }
+        }
+        // Index the new suffix in ascending height order.
+        for hash in fresh.into_iter().rev() {
+            let entry = &self.blocks[&hash];
+            debug_assert_eq!(entry.block.header.height as usize, self.canonical.len());
+            for (idx, tx) in entry.block.transactions.iter().enumerate() {
+                self.canonical_txs.insert(tx.id(), (hash, idx));
+            }
+            self.canonical.push(hash);
+        }
     }
 
     /// The canonical chain from genesis to the best tip (inclusive).
     pub fn canonical_chain(&self) -> Vec<BlockHash> {
-        let mut chain = Vec::new();
-        let mut cursor = self.best_tip;
-        while let Some(hash) = cursor {
-            chain.push(hash);
-            let entry = &self.blocks[&hash];
-            cursor = if entry.block.header.is_genesis() {
-                None
-            } else {
-                Some(entry.block.header.parent)
-            };
-        }
-        chain.reverse();
-        chain
+        self.canonical.clone()
     }
 
-    /// Whether `hash` lies on the canonical chain.
+    /// Whether `hash` lies on the canonical chain. O(1) via the height
+    /// index.
     pub fn is_canonical(&self, hash: &BlockHash) -> bool {
         let Some(entry) = self.blocks.get(hash) else { return false };
-        let height = entry.block.header.height;
-        self.canonical_block_at_height(height) == Some(*hash)
+        self.canonical.get(entry.block.header.height as usize) == Some(hash)
     }
 
     /// The canonical block at a given height, if the chain is that long.
+    /// O(1) via the height index.
     pub fn canonical_block_at_height(&self, height: BlockHeight) -> Option<BlockHash> {
-        let best_height = self.best_height()?;
-        if height > best_height {
-            return None;
-        }
-        // Walk back from the tip; chains in the simulation are short enough
-        // that an index is unnecessary.
-        let mut cursor = self.best_tip?;
-        loop {
-            let entry = &self.blocks[&cursor];
-            if entry.block.header.height == height {
-                return Some(cursor);
-            }
-            if entry.block.header.is_genesis() {
-                return None;
-            }
-            cursor = entry.block.header.parent;
-        }
+        self.canonical.get(height as usize).copied()
     }
 
     /// Number of blocks burying `hash` on the canonical chain: 0 for the
@@ -247,14 +300,10 @@ impl BlockStore {
     }
 
     /// Locate the canonical block containing `txid`, returning the block
-    /// hash and the transaction's index within the block.
+    /// hash and the transaction's index within the block. O(1) via the
+    /// canonical transaction index.
     pub fn find_canonical_tx(&self, txid: &TxId) -> Option<(BlockHash, usize)> {
-        for hash in self.canonical_chain() {
-            if let Some(idx) = self.blocks[&hash].block.find_tx(txid) {
-                return Some((hash, idx));
-            }
-        }
-        None
+        self.canonical_txs.get(txid).copied()
     }
 
     /// The canonical headers from (and excluding) `from` up to the tip, in
@@ -265,25 +314,15 @@ impl BlockStore {
         if !self.is_canonical(from) {
             return None;
         }
-        let from_height = self.blocks.get(from)?.block.header.height;
-        let headers = self
-            .canonical_chain()
-            .into_iter()
-            .filter_map(|h| {
-                let header = self.blocks[&h].block.header;
-                (header.height > from_height).then_some(header)
-            })
-            .collect();
-        Some(headers)
+        let from_height = self.blocks.get(from)?.block.header.height as usize;
+        Some(
+            self.canonical[from_height + 1..].iter().map(|h| self.blocks[h].block.header).collect(),
+        )
     }
 
     /// Iterate canonical blocks in ascending height order.
     pub fn canonical_blocks(&self) -> impl Iterator<Item = &Block> {
-        self.canonical_chain()
-            .into_iter()
-            .map(move |h| &self.blocks[&h].block)
-            .collect::<Vec<_>>()
-            .into_iter()
+        self.canonical.iter().map(move |h| &self.blocks[h].block)
     }
 }
 
@@ -346,10 +385,7 @@ mod tests {
         let mut store = BlockStore::new();
         let genesis = make_block(None, 0, vec![]);
         let orphan = make_block(Some(&genesis), 1, vec![]);
-        assert_eq!(
-            store.insert(orphan).unwrap_err(),
-            StoreError::UnknownParent(genesis.hash())
-        );
+        assert_eq!(store.insert(orphan).unwrap_err(), StoreError::UnknownParent(genesis.hash()));
     }
 
     #[test]
@@ -358,10 +394,7 @@ mod tests {
         let mut bad = make_block(Some(&blocks[1]), 99, vec![]);
         bad.header.height = 7;
         bad.header.tx_root = Block::compute_tx_root(&bad.transactions);
-        assert_eq!(
-            store.insert(bad).unwrap_err(),
-            StoreError::BadHeight { got: 7, expected: 2 }
-        );
+        assert_eq!(store.insert(bad).unwrap_err(), StoreError::BadHeight { got: 7, expected: 2 });
     }
 
     #[test]
@@ -454,9 +487,6 @@ mod tests {
         let mut store = BlockStore::new();
         let mut genesis = make_block(None, 0, vec![]);
         genesis.header.target = Hash256::ZERO;
-        assert!(matches!(
-            store.insert(genesis).unwrap_err(),
-            StoreError::InsufficientWork(_)
-        ));
+        assert!(matches!(store.insert(genesis).unwrap_err(), StoreError::InsufficientWork(_)));
     }
 }

@@ -10,6 +10,7 @@ use crate::types::{Address, Amount, OutPoint, TxId};
 use ac3_crypto::{Hash256, KeyPair, Sha256, Signature};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A transaction output: an asset of some value owned by an identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +70,35 @@ pub enum TxKind {
     },
 }
 
+/// Lazily computed identity of a transaction: its canonical encoding and the
+/// hash of that encoding. Both are derived purely from the transaction's
+/// other fields, so the cache is invisible to equality, ordering and
+/// serialization, and it is deliberately *not* carried across `clone()` —
+/// a clone may be mutated before use (tests do this to model tampering), and
+/// a stale cached id would silently mask the mutation.
+///
+/// Treat a transaction as immutable once its id or canonical bytes have been
+/// observed: mutating fields afterwards yields stale cached values.
+#[derive(Debug, Default)]
+pub struct TxIdentityCache {
+    bytes: OnceLock<Vec<u8>>,
+    id: OnceLock<TxId>,
+}
+
+impl Clone for TxIdentityCache {
+    fn clone(&self) -> Self {
+        TxIdentityCache::default()
+    }
+}
+
+impl PartialEq for TxIdentityCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true // derived data participates in no comparison
+    }
+}
+
+impl Eq for TxIdentityCache {}
+
 /// A signed transaction.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Transaction {
@@ -84,6 +114,9 @@ pub struct Transaction {
     /// The sender's signature over the canonical encoding; `None` only for
     /// coinbase transactions.
     pub signature: Option<Signature>,
+    /// Memoized canonical bytes and id (see [`TxIdentityCache`]).
+    #[serde(skip)]
+    pub cache: TxIdentityCache,
 }
 
 impl Transaction {
@@ -147,22 +180,36 @@ impl Transaction {
     /// Full canonical encoding including the signature; hashed to obtain the
     /// transaction id and used as the Merkle leaf.
     pub fn canonical_bytes(&self) -> Vec<u8> {
-        let mut out = self.signing_bytes();
-        match &self.signature {
-            Some(sig) => {
-                out.push(1);
-                out.extend_from_slice(&sig.to_bytes());
-            }
-            None => out.push(0),
-        }
-        out
+        self.canonical_bytes_cached().to_vec()
     }
 
-    /// The transaction id.
+    /// Borrowed canonical encoding, computed once per transaction instance.
+    /// Merkle-root construction and id hashing go through this so a block of
+    /// `n` transactions encodes each transaction once, not once per use.
+    pub fn canonical_bytes_cached(&self) -> &[u8] {
+        self.cache.bytes.get_or_init(|| {
+            let mut out = self.signing_bytes();
+            match &self.signature {
+                Some(sig) => {
+                    out.push(1);
+                    out.extend_from_slice(&sig.to_bytes());
+                }
+                None => out.push(0),
+            }
+            out
+        })
+    }
+
+    /// The transaction id, computed once per transaction instance. UTXO
+    /// validation, mempool admission, Merkle-root construction and inclusion
+    /// proofs all ask for the id repeatedly; re-serializing and re-hashing on
+    /// every call was a measurable hot spot.
     pub fn id(&self) -> TxId {
-        let mut h = Sha256::new();
-        h.update(&self.canonical_bytes());
-        TxId(Hash256::from(h.finalize()))
+        *self.cache.id.get_or_init(|| {
+            let mut h = Sha256::new();
+            h.update(self.canonical_bytes_cached());
+            TxId(Hash256::from(h.finalize()))
+        })
     }
 
     /// Whether the embedded signature is valid for the sender over the
@@ -170,9 +217,7 @@ impl Transaction {
     pub fn signature_valid(&self) -> bool {
         match (&self.sender, &self.signature) {
             (None, None) => matches!(self.kind, TxKind::Coinbase { .. }),
-            (Some(sender), Some(sig)) => {
-                sender.public_key().verifies(&self.signing_bytes(), sig)
-            }
+            (Some(sender), Some(sig)) => sender.public_key().verifies(&self.signing_bytes(), sig),
             _ => false,
         }
     }
@@ -248,6 +293,7 @@ impl TxBuilder {
             fee,
             nonce: self.next_nonce(),
             signature: None,
+            cache: TxIdentityCache::default(),
         };
         let sig = self.keypair.sign(&tx.signing_bytes());
         tx.signature = Some(sig);
@@ -296,6 +342,7 @@ pub fn coinbase(recipient: Address, reward: Amount, height: u64) -> Transaction 
         // Use the height as the nonce so every block's coinbase id is unique.
         nonce: height,
         signature: None,
+        cache: TxIdentityCache::default(),
     }
 }
 
@@ -317,11 +364,7 @@ mod tests {
     fn signed_transfer_verifies() {
         let mut alice = builder(b"alice");
         let bob = builder(b"bob").address();
-        let tx = alice.transfer(
-            vec![dummy_outpoint(1)],
-            vec![TxOutput::new(bob, 50)],
-            1,
-        );
+        let tx = alice.transfer(vec![dummy_outpoint(1)], vec![TxOutput::new(bob, 50)], 1);
         assert!(tx.signature_valid());
         assert_eq!(tx.consumed_inputs().len(), 1);
         assert_eq!(tx.created_outputs().len(), 1);
@@ -404,5 +447,38 @@ mod tests {
         let mut alice = builder(b"alice");
         let tx = alice.transfer(vec![], vec![], 0);
         assert!(tx.to_string().starts_with("transfer"));
+    }
+
+    #[test]
+    fn id_is_memoized_and_stable() {
+        let mut alice = builder(b"alice");
+        let tx = alice.transfer(vec![dummy_outpoint(1)], vec![], 1);
+        let first = tx.id();
+        // Repeated calls return the cached id and the cached bytes pointer.
+        assert_eq!(tx.id(), first);
+        let p1 = tx.canonical_bytes_cached().as_ptr();
+        let p2 = tx.canonical_bytes_cached().as_ptr();
+        assert_eq!(p1, p2, "canonical bytes recomputed instead of cached");
+    }
+
+    #[test]
+    fn clone_does_not_inherit_stale_cache() {
+        let mut alice = builder(b"alice");
+        let tx = alice.transfer(vec![dummy_outpoint(1)], vec![], 1);
+        let _ = tx.id(); // warm the cache
+        let mut tampered = tx.clone();
+        tampered.fee = 99;
+        // The clone must recompute from its own (mutated) fields.
+        assert_ne!(tampered.id(), tx.id());
+        assert_ne!(tampered.canonical_bytes(), tx.canonical_bytes());
+    }
+
+    #[test]
+    fn cache_is_invisible_to_equality() {
+        let mut alice = builder(b"alice");
+        let tx = alice.transfer(vec![dummy_outpoint(1)], vec![], 1);
+        let fresh = tx.clone(); // clone has a cold cache
+        let _ = tx.id(); // warm only the original
+        assert_eq!(tx, fresh);
     }
 }

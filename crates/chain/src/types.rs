@@ -74,7 +74,9 @@ impl fmt::Display for TxId {
 }
 
 /// A block identifier (hash of the block header).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct BlockHash(pub Hash256);
 
 impl BlockHash {

@@ -95,11 +95,7 @@ impl UtxoSet {
 
     /// Total value owned by `address`.
     pub fn balance_of(&self, address: &Address) -> Amount {
-        self.utxos
-            .values()
-            .filter(|o| o.owner == *address)
-            .map(|o| o.value)
-            .sum()
+        self.utxos.values().filter(|o| o.owner == *address).map(|o| o.value).sum()
     }
 
     /// Total value of every unspent output (the "money supply").
@@ -109,17 +105,17 @@ impl UtxoSet {
 
     /// All unspent outpoints owned by `address`, in deterministic order.
     pub fn outputs_of(&self, address: &Address) -> Vec<(OutPoint, TxOutput)> {
-        self.utxos
-            .iter()
-            .filter(|(_, o)| o.owner == *address)
-            .map(|(k, v)| (*k, *v))
-            .collect()
+        self.utxos.iter().filter(|(_, o)| o.owner == *address).map(|(k, v)| (*k, *v)).collect()
     }
 
     /// Select outputs owned by `address` covering at least `amount`.
     /// Returns the selected outpoints and their total value, or `None` if
     /// the balance is insufficient.
-    pub fn select_inputs(&self, address: &Address, amount: Amount) -> Option<(Vec<OutPoint>, Amount)> {
+    pub fn select_inputs(
+        &self,
+        address: &Address,
+        amount: Amount,
+    ) -> Option<(Vec<OutPoint>, Amount)> {
         let mut selected = Vec::new();
         let mut total: Amount = 0;
         for (op, out) in self.utxos.iter() {
@@ -161,7 +157,11 @@ impl UtxoSet {
             }
             let out = self.get(op).ok_or(UtxoError::MissingInput(*op))?;
             if out.owner != sender {
-                return Err(UtxoError::NotOwner { outpoint: *op, owner: out.owner, spender: sender });
+                return Err(UtxoError::NotOwner {
+                    outpoint: *op,
+                    owner: out.owner,
+                    spender: sender,
+                });
             }
             input_value += out.value;
         }
@@ -196,7 +196,13 @@ impl UtxoSet {
     /// Credit a payout produced by a contract call (redeem/refund). The
     /// outpoint is derived from the calling transaction so it is unique and
     /// reproducible.
-    pub fn credit_contract_payout(&mut self, call_txid: TxId, seq: u32, to: Address, value: Amount) {
+    pub fn credit_contract_payout(
+        &mut self,
+        call_txid: TxId,
+        seq: u32,
+        to: Address,
+        value: Amount,
+    ) {
         // Contract payouts use high output indices so they can never collide
         // with outputs created directly by the transaction.
         self.credit(OutPoint::new(call_txid, 0x8000_0000 + seq), TxOutput::new(to, value));
@@ -260,11 +266,7 @@ mod tests {
         let bob = addr(b"bob");
         let input = fund(&mut set, bob, 18, 1);
         let mut b = builder(b"bob");
-        let tx = b.transfer(
-            vec![input],
-            vec![TxOutput::new(alice, 3), TxOutput::new(bob, 15)],
-            0,
-        );
+        let tx = b.transfer(vec![input], vec![TxOutput::new(alice, 3), TxOutput::new(bob, 15)], 0);
         set.apply(&tx).unwrap();
         assert_eq!(set.balance_of(&alice), 3);
         assert_eq!(set.balance_of(&bob), 15);

@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn errors_display_their_cause() {
-        let e = ClientError::InvalidPhase { action: "settle".to_string(), phase: "Created".to_string() };
+        let e = ClientError::InvalidPhase {
+            action: "settle".to_string(),
+            phase: "Created".to_string(),
+        };
         assert!(e.to_string().contains("settle"));
         assert!(e.to_string().contains("Created"));
         let p: ClientError = ProtocolError::World("boom".to_string()).into();

@@ -96,11 +96,7 @@ impl Negotiation {
     /// The participants that have not signed yet.
     pub fn missing_signers(&self) -> Vec<PublicKey> {
         let signed: Vec<PublicKey> = self.multisig.signers().copied().collect();
-        self.proposal
-            .expected_signers()
-            .into_iter()
-            .filter(|pk| !signed.contains(pk))
-            .collect()
+        self.proposal.expected_signers().into_iter().filter(|pk| !signed.contains(pk)).collect()
     }
 
     /// Whether every participant has signed.
@@ -119,8 +115,8 @@ impl Negotiation {
 mod tests {
     use super::*;
     use crate::wallet::Wallet;
-    use ac3_core::graph::SwapEdge;
     use ac3_chain::ChainId;
+    use ac3_core::graph::SwapEdge;
     use ac3_crypto::MultisigError;
 
     fn two_party_graph() -> SwapGraph {

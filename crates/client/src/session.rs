@@ -15,16 +15,16 @@
 
 use crate::error::ClientError;
 use crate::negotiation::SignedSwap;
-use ac3_core::actions::{call_contract, deploy_contract, edge_disposition};
-use ac3_core::audit::AtomicityVerdict;
-use ac3_core::graph::SwapGraph;
-use ac3_core::protocol::{EdgeDisposition, EdgeOutcome, ProtocolConfig};
-use ac3_core::ProtocolError;
 use ac3_chain::{Amount, ChainId, ContractId, TxId};
 use ac3_contracts::{
     ChainAnchor, ContractCall, ContractSpec, ExpectedContract, PermissionlessCall,
     PermissionlessSpec, WitnessCall, WitnessSpec, WitnessStateEvidence,
 };
+use ac3_core::actions::{call_contract, deploy_contract, edge_disposition};
+use ac3_core::audit::AtomicityVerdict;
+use ac3_core::graph::SwapGraph;
+use ac3_core::protocol::{EdgeDisposition, EdgeOutcome, ProtocolConfig};
+use ac3_core::ProtocolError;
 use ac3_crypto::WitnessState;
 use ac3_sim::{ParticipantSet, World};
 use serde::{Deserialize, Serialize};
@@ -226,7 +226,11 @@ impl SwapSession {
         world.delta_ms() * self.config.wait_cap_deltas
     }
 
-    fn first_available(&self, world: &World, participants: &ParticipantSet) -> Option<ac3_chain::Address> {
+    fn first_available(
+        &self,
+        world: &World,
+        participants: &ParticipantSet,
+    ) -> Option<ac3_chain::Address> {
         let now = world.now();
         self.graph
             .participants()
@@ -258,9 +262,9 @@ impl SwapSession {
             graph_digest: self.multisig.digest(),
             expected_contracts: expected.clone(),
         });
-        let registrant = self
-            .first_available(world, participants)
-            .ok_or_else(|| ClientError::Protocol(ProtocolError::World("no participant available".into())))?;
+        let registrant = self.first_available(world, participants).ok_or_else(|| {
+            ClientError::Protocol(ProtocolError::World("no participant available".into()))
+        })?;
         let Some((txid, contract)) =
             deploy_contract(world, participants, &registrant, self.witness_chain, &spec, 0)?
         else {
@@ -417,7 +421,9 @@ impl SwapSession {
                     }),
                 )
             };
-            if let Some(txid) = call_contract(world, participants, &actor, e.chain, contract, &call)? {
+            if let Some(txid) =
+                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            {
                 self.fees_paid += world.chain(e.chain)?.params().call_fee;
                 let _ = world.wait_for_inclusion(e.chain, txid, world.delta_ms() * 2);
             }
@@ -464,8 +470,14 @@ mod tests {
         let mut session = SwapSession::new(signed, s.witness_chain, config()).unwrap();
         assert_eq!(session.phase(), SessionPhase::Created);
 
-        assert_eq!(session.step(&mut s.world, &mut s.participants).unwrap(), SessionPhase::WitnessRegistered);
-        assert_eq!(session.step(&mut s.world, &mut s.participants).unwrap(), SessionPhase::ContractsDeployed);
+        assert_eq!(
+            session.step(&mut s.world, &mut s.participants).unwrap(),
+            SessionPhase::WitnessRegistered
+        );
+        assert_eq!(
+            session.step(&mut s.world, &mut s.participants).unwrap(),
+            SessionPhase::ContractsDeployed
+        );
         assert_eq!(session.step(&mut s.world, &mut s.participants).unwrap(), SessionPhase::Decided);
         assert_eq!(session.decision(), Some(true));
         assert_eq!(session.step(&mut s.world, &mut s.participants).unwrap(), SessionPhase::Settled);

@@ -10,9 +10,7 @@
 
 use crate::swap::{SwapCore, SwapPhase};
 use ac3_chain::{Address, Amount, Payout, VmError};
-use ac3_crypto::{
-    CommitmentScheme, Hash256, PublicKey, Signature, SignatureLock, WitnessDecision,
-};
+use ac3_crypto::{CommitmentScheme, Hash256, PublicKey, Signature, SignatureLock, WitnessDecision};
 use serde::{Deserialize, Serialize};
 
 /// Constructor payload for a centralized (AC3TW) swap contract.

@@ -18,9 +18,7 @@ const VERSION: u8 = 1;
 /// Encode a payload or contract state.
 pub fn encode<T: Serialize>(value: &T) -> Vec<u8> {
     let mut out = vec![VERSION];
-    out.extend_from_slice(
-        &serde_json::to_vec(value).expect("contract types always serialize"),
-    );
+    out.extend_from_slice(&serde_json::to_vec(value).expect("contract types always serialize"));
     out
 }
 

@@ -75,11 +75,10 @@ impl TxInclusionEvidence {
             .map_err(|e| VmError::RequirementFailed(format!("header chain invalid: {e}")))?;
 
         let first_height = self.headers[0].height;
-        let idx = self
-            .tx_height
-            .checked_sub(first_height)
-            .ok_or_else(|| VmError::RequirementFailed("tx height precedes evidence".to_string()))?
-            as usize;
+        let idx =
+            self.tx_height.checked_sub(first_height).ok_or_else(|| {
+                VmError::RequirementFailed("tx height precedes evidence".to_string())
+            })? as usize;
         let header = self.headers.get(idx).ok_or_else(|| {
             VmError::RequirementFailed("tx height beyond evidence headers".to_string())
         })?;
@@ -87,7 +86,9 @@ impl TxInclusionEvidence {
             return Err(VmError::RequirementFailed("inclusion proof invalid".to_string()));
         }
         if !self.tx.signature_valid() {
-            return Err(VmError::RequirementFailed("included transaction not authorised".to_string()));
+            return Err(VmError::RequirementFailed(
+                "included transaction not authorised".to_string(),
+            ));
         }
         let tip = self.headers.last().expect("non-empty").height;
         let depth = tip.saturating_sub(self.tx_height);
@@ -146,10 +147,14 @@ pub fn verify_deployment(
     // The included transaction must be the deployment of a permissionless
     // swap contract matching the edge description.
     let TxKind::Deploy { locked_value, payload, .. } = &evidence.tx.kind else {
-        return Err(VmError::RequirementFailed("evidence tx is not a contract deployment".to_string()));
+        return Err(VmError::RequirementFailed(
+            "evidence tx is not a contract deployment".to_string(),
+        ));
     };
     if evidence.tx.sender != Some(expected.sender) {
-        return Err(VmError::RequirementFailed("deployment sender does not match edge source".to_string()));
+        return Err(VmError::RequirementFailed(
+            "deployment sender does not match edge source".to_string(),
+        ));
     }
     if *locked_value != expected.amount {
         return Err(VmError::RequirementFailed(format!(
@@ -202,7 +207,9 @@ impl WitnessStateEvidence {
     ) -> Result<WitnessState, VmError> {
         self.inclusion.verify(anchor, min_depth)?;
         let TxKind::Call { contract, payload } = &self.inclusion.tx.kind else {
-            return Err(VmError::RequirementFailed("evidence tx is not a contract call".to_string()));
+            return Err(VmError::RequirementFailed(
+                "evidence tx is not a contract call".to_string(),
+            ));
         };
         if *contract != witness_contract {
             return Err(VmError::RequirementFailed(
@@ -279,12 +286,8 @@ mod tests {
                 nonce: 0,
             });
         }
-        let evidence = TxInclusionEvidence {
-            tx,
-            tx_height: 1,
-            headers,
-            proof: tree.prove(0).unwrap(),
-        };
+        let evidence =
+            TxInclusionEvidence { tx, tx_height: 1, headers, proof: tree.prove(0).unwrap() };
         (anchor, evidence)
     }
 
@@ -310,7 +313,8 @@ mod tests {
     #[test]
     fn wrong_anchor_rejected() {
         let (_, ev) = fabricate_evidence(sample_transfer(), 6);
-        let bogus = ChainAnchor { chain: ChainId(5), hash: BlockHash(Hash256::digest(b"x")), height: 0 };
+        let bogus =
+            ChainAnchor { chain: ChainId(5), hash: BlockHash(Hash256::digest(b"x")), height: 0 };
         assert!(ev.verify(&bogus, 0).is_err());
     }
 

@@ -177,10 +177,7 @@ mod tests {
     #[test]
     fn only_sender_may_refund() {
         let mut c = htlc(b"secret", 10_000);
-        assert!(matches!(
-            c.refund(addr(b"bob"), 20_000).unwrap_err(),
-            VmError::Unauthorized(_)
-        ));
+        assert!(matches!(c.refund(addr(b"bob"), 20_000).unwrap_err(), VmError::Unauthorized(_)));
     }
 
     #[test]

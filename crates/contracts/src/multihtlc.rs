@@ -157,9 +157,8 @@ mod tests {
             .is_err());
         assert_eq!(c.phase(), SwapPhase::Published);
         // The full ordered set succeeds.
-        let payout = c
-            .redeem(addr(b"bob"), vec![b"s1".to_vec(), b"s2".to_vec(), b"s3".to_vec()])
-            .unwrap();
+        let payout =
+            c.redeem(addr(b"bob"), vec![b"s1".to_vec(), b"s2".to_vec(), b"s3".to_vec()]).unwrap();
         assert_eq!(payout.to, addr(b"bob"));
         assert_eq!(payout.amount, 100);
         assert_eq!(c.phase(), SwapPhase::Redeemed);
@@ -227,7 +226,7 @@ mod tests {
                     guess[i].push(0xFF); // corrupt one preimage
                 }
             }
-            let expect_ok = flip.map_or(true, |i| i >= secrets.len());
+            let expect_ok = flip.is_none_or(|i| i >= secrets.len());
             prop_assert_eq!(c.is_redeemable(&guess), expect_ok);
         }
 

@@ -41,6 +41,10 @@ impl ContractSpec {
 }
 
 /// Function-call payload.
+///
+/// Variant payload sizes differ widely by design — calls are built once and
+/// immediately serialized, so boxing the large variants would buy nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ContractCall {
     /// A call on an HTLC.
@@ -149,15 +153,23 @@ impl ContractVm for SwapVm {
                     ctx.sender, ctx.value, &spec,
                 ))
             }
-            ContractSpec::Witness(spec) => ContractState::Witness(WitnessContractState::publish(spec)?),
+            ContractSpec::Witness(spec) => {
+                ContractState::Witness(WitnessContractState::publish(spec)?)
+            }
         };
         Ok(state.to_bytes())
     }
 
-    fn call(&self, ctx: &CallContext, state: &[u8], payload: &[u8]) -> Result<CallOutcome, VmError> {
+    fn call(
+        &self,
+        ctx: &CallContext,
+        state: &[u8],
+        payload: &[u8],
+    ) -> Result<CallOutcome, VmError> {
         let state = ContractState::from_bytes(state)?;
         let call: ContractCall = codec::decode(payload)?;
-        let (new_state, payouts, event): (ContractState, Vec<Payout>, String) = match (state, call) {
+        let (new_state, payouts, event): (ContractState, Vec<Payout>, String) = match (state, call)
+        {
             (ContractState::Htlc(mut s), ContractCall::Htlc(call)) => match call {
                 HtlcCall::Redeem { preimage } => {
                     let payout = s.redeem(ctx.sender, preimage)?;
@@ -188,16 +200,26 @@ impl ContractVm for SwapVm {
                     (ContractState::Centralized(s), vec![payout], "ac3tw refunded".to_string())
                 }
             },
-            (ContractState::Permissionless(mut s), ContractCall::Permissionless(call)) => match call {
-                PermissionlessCall::Redeem { evidence } => {
-                    let payout = s.redeem(&evidence)?;
-                    (ContractState::Permissionless(s), vec![payout], "ac3wn redeemed".to_string())
+            (ContractState::Permissionless(mut s), ContractCall::Permissionless(call)) => {
+                match call {
+                    PermissionlessCall::Redeem { evidence } => {
+                        let payout = s.redeem(&evidence)?;
+                        (
+                            ContractState::Permissionless(s),
+                            vec![payout],
+                            "ac3wn redeemed".to_string(),
+                        )
+                    }
+                    PermissionlessCall::Refund { evidence } => {
+                        let payout = s.refund(&evidence)?;
+                        (
+                            ContractState::Permissionless(s),
+                            vec![payout],
+                            "ac3wn refunded".to_string(),
+                        )
+                    }
                 }
-                PermissionlessCall::Refund { evidence } => {
-                    let payout = s.refund(&evidence)?;
-                    (ContractState::Permissionless(s), vec![payout], "ac3wn refunded".to_string())
-                }
-            },
+            }
             (ContractState::Witness(mut s), ContractCall::Witness(call)) => match call {
                 WitnessCall::AuthorizeRedeem { deployments } => {
                     s.authorize_redeem(&deployments, ctx.chain, ctx.contract)?;
@@ -268,7 +290,8 @@ mod tests {
         let alice = addr(b"alice");
         let bob = addr(b"bob");
 
-        let state = vm.deploy(&deploy_ctx(alice, 100), &htlc_spec(b"s", 10_000).to_payload()).unwrap();
+        let state =
+            vm.deploy(&deploy_ctx(alice, 100), &htlc_spec(b"s", 10_000).to_payload()).unwrap();
         assert_eq!(vm.state_tag(&state).unwrap(), "P");
 
         let call = ContractCall::Htlc(HtlcCall::Redeem { preimage: b"s".to_vec() });
@@ -282,7 +305,8 @@ mod tests {
     fn htlc_refund_respects_timelock_through_the_vm() {
         let vm = SwapVm::new();
         let alice = addr(b"alice");
-        let state = vm.deploy(&deploy_ctx(alice, 50), &htlc_spec(b"s", 10_000).to_payload()).unwrap();
+        let state =
+            vm.deploy(&deploy_ctx(alice, 50), &htlc_spec(b"s", 10_000).to_payload()).unwrap();
         let refund = ContractCall::Htlc(HtlcCall::Refund).to_payload();
         assert!(vm.call(&call_ctx(alice, 9_000), &state, &refund).is_err());
         let outcome = vm.call(&call_ctx(alice, 10_000), &state, &refund).unwrap();
@@ -303,10 +327,12 @@ mod tests {
     fn mismatched_call_kind_rejected() {
         let vm = SwapVm::new();
         let alice = addr(b"alice");
-        let state = vm.deploy(&deploy_ctx(alice, 10), &htlc_spec(b"s", 1_000).to_payload()).unwrap();
+        let state =
+            vm.deploy(&deploy_ctx(alice, 10), &htlc_spec(b"s", 1_000).to_payload()).unwrap();
         // A centralized call against an HTLC state is malformed.
         let trent = KeyPair::from_seed(b"trent");
-        let call = ContractCall::Centralized(CentralizedCall::Refund { signature: trent.sign(b"x") });
+        let call =
+            ContractCall::Centralized(CentralizedCall::Refund { signature: trent.sign(b"x") });
         assert!(matches!(
             vm.call(&call_ctx(alice, 0), &state, &call.to_payload()).unwrap_err(),
             VmError::MalformedPayload(_)
@@ -317,9 +343,8 @@ mod tests {
     fn garbage_payloads_rejected() {
         let vm = SwapVm::new();
         assert!(vm.deploy(&deploy_ctx(addr(b"a"), 1), b"junk").is_err());
-        let state = vm
-            .deploy(&deploy_ctx(addr(b"a"), 1), &htlc_spec(b"s", 1).to_payload())
-            .unwrap();
+        let state =
+            vm.deploy(&deploy_ctx(addr(b"a"), 1), &htlc_spec(b"s", 1).to_payload()).unwrap();
         assert!(vm.call(&call_ctx(addr(b"a"), 0), &state, b"junk").is_err());
         assert_eq!(vm.state_tag(b"junk"), None);
     }
@@ -360,7 +385,11 @@ mod tests {
                 sender: alice,
                 recipient: addr(b"bob"),
                 amount: 10,
-                anchor: ChainAnchor { chain: ChainId(1), hash: BlockHash::GENESIS_PARENT, height: 0 },
+                anchor: ChainAnchor {
+                    chain: ChainId(1),
+                    hash: BlockHash::GENESIS_PARENT,
+                    height: 0,
+                },
                 required_depth: 0,
             }],
         });
@@ -381,9 +410,8 @@ mod tests {
     #[test]
     fn state_round_trip_via_bytes() {
         let vm = SwapVm::new();
-        let state_bytes = vm
-            .deploy(&deploy_ctx(addr(b"alice"), 10), &htlc_spec(b"s", 99).to_payload())
-            .unwrap();
+        let state_bytes =
+            vm.deploy(&deploy_ctx(addr(b"alice"), 10), &htlc_spec(b"s", 99).to_payload()).unwrap();
         let decoded = ContractState::from_bytes(&state_bytes).unwrap();
         assert_eq!(decoded.to_bytes(), state_bytes);
         assert_eq!(decoded.tag(), "P");

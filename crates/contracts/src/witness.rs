@@ -181,18 +181,14 @@ mod tests {
         assert_eq!(sc.state_tag(), "RFauth");
         // No further transition is possible.
         assert!(sc.authorize_refund().is_err());
-        assert!(sc
-            .authorize_redeem(&[], ChainId(0), ContractId(Hash256::ZERO))
-            .is_err());
+        assert!(sc.authorize_redeem(&[], ChainId(0), ContractId(Hash256::ZERO)).is_err());
     }
 
     #[test]
     fn authorize_redeem_requires_matching_evidence_count() {
         let mut sc = WitnessContractState::publish(spec()).unwrap();
         // Zero proofs for one expected contract: rejected, state unchanged.
-        let err = sc
-            .authorize_redeem(&[], ChainId(0), ContractId(Hash256::ZERO))
-            .unwrap_err();
+        let err = sc.authorize_redeem(&[], ChainId(0), ContractId(Hash256::ZERO)).unwrap_err();
         assert!(matches!(err, VmError::RequirementFailed(_)));
         assert_eq!(sc.state, WitnessState::Published);
     }

@@ -71,7 +71,11 @@ impl Default for Trent {
 impl Trent {
     /// Create a fresh witness with a deterministic key.
     pub fn new() -> Self {
-        Trent { keypair: KeyPair::from_seed(b"trent-the-trusted-witness"), registry: BTreeMap::new(), available: true }
+        Trent {
+            keypair: KeyPair::from_seed(b"trent-the-trusted-witness"),
+            registry: BTreeMap::new(),
+            available: true,
+        }
     }
 
     /// Trent's public key `PK_T`, embedded in every Algorithm 2 contract.
@@ -270,7 +274,10 @@ impl Ac3tw {
             }
         };
         if let Some(commit) = decision_commit {
-            scenario.world.timeline.record(scenario.world.now(), EventKind::DecisionReached { commit });
+            scenario
+                .world
+                .timeline
+                .record(scenario.world.now(), EventKind::DecisionReached { commit });
         }
 
         // Step 4: settle every published contract with Trent's signature.
@@ -300,12 +307,9 @@ impl Ac3tw {
             let pending = settlements.clone();
             let _ = scenario.world.advance_until("settlements to stabilise", wait_cap, move |w| {
                 pending.iter().flatten().all(|(chain, txid)| {
-                    w.chain(*chain)
-                        .ok()
-                        .and_then(|c| c.tx_depth(txid))
-                        .is_some_and(|d| {
-                            d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
-                        })
+                    w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(|d| {
+                        d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
+                    })
                 })
             });
             finished_at = scenario.world.now();
@@ -332,9 +336,19 @@ impl Ac3tw {
                         let e = &edges[i];
                         let Some((_, contract)) = edge_deploys[i] else { continue };
                         let (actor, call) = if commit {
-                            (e.to, ContractCall::Centralized(CentralizedCall::Redeem { signature: sig }))
+                            (
+                                e.to,
+                                ContractCall::Centralized(CentralizedCall::Redeem {
+                                    signature: sig,
+                                }),
+                            )
                         } else {
-                            (e.from, ContractCall::Centralized(CentralizedCall::Refund { signature: sig }))
+                            (
+                                e.from,
+                                ContractCall::Centralized(CentralizedCall::Refund {
+                                    signature: sig,
+                                }),
+                            )
                         };
                         if let Some(txid) = call_contract(
                             &mut scenario.world,

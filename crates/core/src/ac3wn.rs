@@ -99,7 +99,17 @@ impl Ac3wn {
         });
 
         let Some(registrant) = self.first_available(scenario) else {
-            return Ok(self.report(scenario, started_at, scenario.world.now(), None, &[], delta, 0, 0, 0));
+            return Ok(self.report(
+                scenario,
+                started_at,
+                scenario.world.now(),
+                None,
+                &[],
+                delta,
+                0,
+                0,
+                0,
+            ));
         };
         let Some((reg_txid, scw)) = deploy_contract(
             &mut scenario.world,
@@ -110,13 +120,21 @@ impl Ac3wn {
             0,
         )?
         else {
-            return Ok(self.report(scenario, started_at, scenario.world.now(), None, &[], delta, 0, 0, 0));
+            return Ok(self.report(
+                scenario,
+                started_at,
+                scenario.world.now(),
+                None,
+                &[],
+                delta,
+                0,
+                0,
+                0,
+            ));
         };
         deployments += 1;
         fees += scenario.world.chain(witness_chain)?.params().deploy_fee;
-        scenario
-            .world
-            .wait_for_depth(witness_chain, reg_txid, cfg.witness_depth, wait_cap)?;
+        scenario.world.wait_for_depth(witness_chain, reg_txid, cfg.witness_depth, wait_cap)?;
         let registered_at = scenario.world.now();
         scenario.world.timeline.record(registered_at, EventKind::WitnessRegistered);
 
@@ -197,7 +215,11 @@ impl Ac3wn {
             let mut evidence = Vec::with_capacity(edges.len());
             for (i, e) in edges.iter().enumerate() {
                 let (txid, _) = edge_deploys[i].expect("commit implies all deployed");
-                evidence.push(scenario.world.tx_evidence_since(e.chain, &expected[i].anchor, txid)?);
+                evidence.push(scenario.world.tx_evidence_since(
+                    e.chain,
+                    &expected[i].anchor,
+                    txid,
+                )?);
             }
             ContractCall::Witness(WitnessCall::AuthorizeRedeem { deployments: evidence })
         } else {
@@ -212,25 +234,41 @@ impl Ac3wn {
             let outcomes = self.collect_outcomes(scenario, &edges, &edge_deploys);
             let finished = scenario.world.now();
             return Ok(self.report(
-                scenario, started_at, finished, None, &outcomes, delta, deployments, calls, fees,
+                scenario,
+                started_at,
+                finished,
+                None,
+                &outcomes,
+                delta,
+                deployments,
+                calls,
+                fees,
             ));
         };
         calls += 1;
         fees += scenario.world.chain(witness_chain)?.params().call_fee;
-        scenario
-            .world
-            .wait_for_depth(witness_chain, authorize_txid, cfg.witness_depth, wait_cap)?;
-        scenario
-            .world
-            .timeline
-            .record(scenario.world.now(), EventKind::DecisionReached { commit });
+        scenario.world.wait_for_depth(
+            witness_chain,
+            authorize_txid,
+            cfg.witness_depth,
+            wait_cap,
+        )?;
+        scenario.world.timeline.record(scenario.world.now(), EventKind::DecisionReached { commit });
 
         // ------------------------------------------------------------------
         // Step 5: redeem / refund all asset contracts in parallel.
         // ------------------------------------------------------------------
         let witness_evidence = WitnessStateEvidence {
-            claimed: if commit { WitnessState::RedeemAuthorized } else { WitnessState::RefundAuthorized },
-            inclusion: scenario.world.tx_evidence_since(witness_chain, &witness_anchor, authorize_txid)?,
+            claimed: if commit {
+                WitnessState::RedeemAuthorized
+            } else {
+                WitnessState::RefundAuthorized
+            },
+            inclusion: scenario.world.tx_evidence_since(
+                witness_chain,
+                &witness_anchor,
+                authorize_txid,
+            )?,
         };
 
         let mut settlements: Vec<Option<(ChainId, TxId)>> = vec![None; edges.len()];
@@ -256,10 +294,9 @@ impl Ac3wn {
         let pending = settlements.clone();
         let _ = scenario.world.advance_until("settlements to stabilise", wait_cap, move |w| {
             pending.iter().flatten().all(|(chain, txid)| {
-                w.chain(*chain)
-                    .ok()
-                    .and_then(|c| c.tx_depth(txid))
-                    .is_some_and(|d| d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0))
+                w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(|d| {
+                    d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
+                })
             })
         });
         for (i, e) in edges.iter().enumerate() {
@@ -298,7 +335,8 @@ impl Ac3wn {
                 for i in unsettled {
                     let e = &edges[i];
                     let Some((_, contract)) = edge_deploys[i] else { continue };
-                    let (actor, call) = self.settlement_action(commit, e.from, e.to, &witness_evidence);
+                    let (actor, call) =
+                        self.settlement_action(commit, e.from, e.to, &witness_evidence);
                     if let Some(txid) = call_contract(
                         &mut scenario.world,
                         &mut scenario.participants,
@@ -341,12 +379,16 @@ impl Ac3wn {
         if commit {
             (
                 recipient,
-                ContractCall::Permissionless(PermissionlessCall::Redeem { evidence: evidence.clone() }),
+                ContractCall::Permissionless(PermissionlessCall::Redeem {
+                    evidence: evidence.clone(),
+                }),
             )
         } else {
             (
                 sender,
-                ContractCall::Permissionless(PermissionlessCall::Refund { evidence: evidence.clone() }),
+                ContractCall::Permissionless(PermissionlessCall::Refund {
+                    evidence: evidence.clone(),
+                }),
             )
         }
     }
@@ -437,7 +479,9 @@ impl Ac3wn {
 mod tests {
     use super::*;
     use crate::audit::AtomicityVerdict;
-    use crate::scenario::{figure7a_scenario, figure7b_scenario, ring_scenario, two_party_scenario, ScenarioConfig};
+    use crate::scenario::{
+        figure7a_scenario, figure7b_scenario, ring_scenario, two_party_scenario, ScenarioConfig,
+    };
     use ac3_sim::CrashWindow;
 
     fn default_driver() -> Ac3wn {

@@ -33,10 +33,7 @@ pub fn deploy_contract(
     }
     let fee = world.chain(chain)?.params().deploy_fee;
     let Some((inputs, change)) = world.chain(chain)?.plan_deploy(owner, lock, fee) else {
-        return Err(ProtocolError::InsufficientFunds {
-            who: participant.name.clone(),
-            chain,
-        });
+        return Err(ProtocolError::InsufficientFunds { who: participant.name.clone(), chain });
     };
     let tx = participant.builder(chain).deploy(inputs, lock, change, spec.to_payload(), fee);
     let txid = tx.id();
@@ -71,7 +68,11 @@ pub fn call_contract(
 }
 
 /// Read the disposition of an edge's contract from the chain.
-pub fn edge_disposition(world: &World, chain: ChainId, contract: Option<ContractId>) -> EdgeDisposition {
+pub fn edge_disposition(
+    world: &World,
+    chain: ChainId,
+    contract: Option<ContractId>,
+) -> EdgeDisposition {
     match contract {
         None => EdgeDisposition::Unpublished,
         Some(id) => match world.contract_state(chain, id) {
@@ -106,21 +107,12 @@ mod tests {
         let bob = s.participants.get("bob").unwrap().address();
         let chain = s.asset_chains[0];
 
-        let (txid, contract) = deploy_contract(
-            &mut s.world,
-            &mut s.participants,
-            &alice,
-            chain,
-            &htlc_spec(bob),
-            50,
-        )
-        .unwrap()
-        .expect("alice is available");
+        let (txid, contract) =
+            deploy_contract(&mut s.world, &mut s.participants, &alice, chain, &htlc_spec(bob), 50)
+                .unwrap()
+                .expect("alice is available");
         s.world.wait_for_inclusion(chain, txid, 60_000).unwrap();
-        assert_eq!(
-            edge_disposition(&s.world, chain, Some(contract)),
-            EdgeDisposition::Locked
-        );
+        assert_eq!(edge_disposition(&s.world, chain, Some(contract)), EdgeDisposition::Locked);
         assert_eq!(edge_disposition(&s.world, chain, None), EdgeDisposition::Unpublished);
     }
 

@@ -70,7 +70,11 @@ pub mod witness_choice {
     /// The minimum safe depth `d` satisfying `d > Va · dh / Ch`, where `Va`
     /// is the value at risk, `Ch` the hourly cost of a 51% attack on the
     /// witness network and `dh` the expected blocks per hour.
-    pub fn required_depth(asset_value_usd: f64, hourly_attack_cost_usd: f64, blocks_per_hour: f64) -> u64 {
+    pub fn required_depth(
+        asset_value_usd: f64,
+        hourly_attack_cost_usd: f64,
+        blocks_per_hour: f64,
+    ) -> u64 {
         if hourly_attack_cost_usd <= 0.0 {
             return u64::MAX;
         }
@@ -88,7 +92,12 @@ pub mod witness_choice {
     }
 
     /// Whether a given depth makes the attack unprofitable.
-    pub fn is_safe(depth: u64, asset_value_usd: f64, hourly_attack_cost_usd: f64, blocks_per_hour: f64) -> bool {
+    pub fn is_safe(
+        depth: u64,
+        asset_value_usd: f64,
+        hourly_attack_cost_usd: f64,
+        blocks_per_hour: f64,
+    ) -> bool {
         attack_cost(depth, hourly_attack_cost_usd, blocks_per_hour) > asset_value_usd
     }
 }
@@ -215,7 +224,10 @@ mod tests {
         assert_eq!(t1.iter().map(|c| c.tps).collect::<Vec<_>>(), vec![7, 25, 56, 61]);
         let (btc_witness, eth_witness) = throughput::section64_example();
         assert_eq!(btc_witness, 7, "witnessing by Bitcoin caps the AC2T at 7 tps");
-        assert_eq!(eth_witness, 25, "choosing the witness among the involved chains avoids the cap");
+        assert_eq!(
+            eth_witness, 25,
+            "choosing the witness among the involved chains avoids the cap"
+        );
         assert_eq!(throughput::ac2t_throughput(&[], 9), 9);
     }
 }

@@ -61,7 +61,11 @@ pub struct ForkAttackConfig {
 impl Default for ForkAttackConfig {
     fn default() -> Self {
         ForkAttackConfig {
-            protocol: ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() },
+            protocol: ProtocolConfig {
+                witness_depth: 3,
+                deployment_depth: 3,
+                ..Default::default()
+            },
             scenario: ScenarioConfig::default(),
             asset_x: 50,
             asset_y: 80,
@@ -143,9 +147,15 @@ pub fn execute_fork_attack(cfg: &ForkAttackConfig) -> Result<ForkAttackReport, P
         graph_digest: ms.digest(),
         expected_contracts: expected.clone(),
     });
-    let (reg_txid, scw) =
-        deploy_contract(&mut s.world, &mut s.participants, &alice, witness_chain, &witness_spec, 0)?
-            .expect("alice is available");
+    let (reg_txid, scw) = deploy_contract(
+        &mut s.world,
+        &mut s.participants,
+        &alice,
+        witness_chain,
+        &witness_spec,
+        0,
+    )?
+    .expect("alice is available");
     s.world.wait_for_depth(witness_chain, reg_txid, d, wait_cap)?;
     let witness_anchor = s.world.anchor(witness_chain)?;
 
@@ -179,13 +189,23 @@ pub fn execute_fork_attack(cfg: &ForkAttackConfig) -> Result<ForkAttackReport, P
     // Commit decision.
     let mut deployment_evidence = Vec::with_capacity(edges.len());
     for (i, e) in edges.iter().enumerate() {
-        deployment_evidence.push(s.world.tx_evidence_since(e.chain, &expected[i].anchor, deploys[i].0)?);
+        deployment_evidence.push(s.world.tx_evidence_since(
+            e.chain,
+            &expected[i].anchor,
+            deploys[i].0,
+        )?);
     }
     let authorize_call =
         ContractCall::Witness(WitnessCall::AuthorizeRedeem { deployments: deployment_evidence });
-    let authorize_txid =
-        call_contract(&mut s.world, &mut s.participants, &bob, witness_chain, scw, &authorize_call)?
-            .expect("bob is available");
+    let authorize_txid = call_contract(
+        &mut s.world,
+        &mut s.participants,
+        &bob,
+        witness_chain,
+        scw,
+        &authorize_call,
+    )?
+    .expect("bob is available");
     s.world.wait_for_depth(witness_chain, authorize_txid, d, wait_cap)?;
     let commit_decided = true;
 
@@ -257,16 +277,19 @@ pub fn execute_fork_attack(cfg: &ForkAttackConfig) -> Result<ForkAttackReport, P
             if let Ok(inclusion) =
                 s.world.tx_evidence_since(witness_chain, &witness_anchor, refund_auth_txid)
             {
-                let rf_evidence = WitnessStateEvidence {
-                    claimed: WitnessState::RefundAuthorized,
-                    inclusion,
-                };
+                let rf_evidence =
+                    WitnessStateEvidence { claimed: WitnessState::RefundAuthorized, inclusion };
                 let refund_sc2 = ContractCall::Permissionless(PermissionlessCall::Refund {
                     evidence: rf_evidence,
                 });
-                if let Some(txid) =
-                    call_contract(&mut s.world, &mut s.participants, &bob, chain_b, sc2, &refund_sc2)?
-                {
+                if let Some(txid) = call_contract(
+                    &mut s.world,
+                    &mut s.participants,
+                    &bob,
+                    chain_b,
+                    sc2,
+                    &refund_sc2,
+                )? {
                     let _ = s.world.wait_for_inclusion(chain_b, txid, wait_cap);
                     refund_accepted = matches!(
                         s.world.contract_state(chain_b, sc2),
@@ -332,22 +355,14 @@ pub fn attack_with_budget_factor(
     // Probe once with zero budget to learn the exact required branch length
     // for this geometry, then run the real attempt.
     let probe = execute_fork_attack(&ForkAttackConfig {
-        protocol: ProtocolConfig {
-            witness_depth,
-            deployment_depth: 3,
-            ..Default::default()
-        },
+        protocol: ProtocolConfig { witness_depth, deployment_depth: 3, ..Default::default() },
         scenario: scenario.clone(),
         attacker_budget_blocks: 0,
         ..Default::default()
     })?;
     let budget = (probe.required_branch_blocks as f64 * factor).floor() as u64;
     execute_fork_attack(&ForkAttackConfig {
-        protocol: ProtocolConfig {
-            witness_depth,
-            deployment_depth: 3,
-            ..Default::default()
-        },
+        protocol: ProtocolConfig { witness_depth, deployment_depth: 3, ..Default::default() },
         scenario: scenario.clone(),
         attacker_budget_blocks: budget,
         ..Default::default()
@@ -401,12 +416,20 @@ mod tests {
     #[test]
     fn required_branch_length_grows_with_the_witness_depth() {
         let shallow = execute_fork_attack(&ForkAttackConfig {
-            protocol: ProtocolConfig { witness_depth: 2, deployment_depth: 2, ..Default::default() },
+            protocol: ProtocolConfig {
+                witness_depth: 2,
+                deployment_depth: 2,
+                ..Default::default()
+            },
             ..Default::default()
         })
         .unwrap();
         let deep = execute_fork_attack(&ForkAttackConfig {
-            protocol: ProtocolConfig { witness_depth: 6, deployment_depth: 2, ..Default::default() },
+            protocol: ProtocolConfig {
+                witness_depth: 6,
+                deployment_depth: 2,
+                ..Default::default()
+            },
             ..Default::default()
         })
         .unwrap();

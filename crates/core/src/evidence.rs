@@ -92,11 +92,8 @@ pub fn validate_tx(
             let valid = chain_ref.tx_depth(&txid).is_some_and(|d| d >= min_depth);
             let blocks = chain_ref.height() + 1;
             // A full replica inspects every transaction it stores.
-            let txs: u64 = chain_ref
-                .store()
-                .canonical_blocks()
-                .map(|b| b.transactions.len() as u64)
-                .sum();
+            let txs: u64 =
+                chain_ref.store().canonical_blocks().map(|b| b.transactions.len() as u64).sum();
             Ok(ValidationReport {
                 strategy,
                 valid,
@@ -123,8 +120,7 @@ pub fn validate_tx(
             let headers = chain_ref
                 .headers_since(&genesis_hash)
                 .ok_or_else(|| WorldError::EvidenceUnavailable("no headers".to_string()))?;
-            lc.extend(&headers)
-                .map_err(|e| WorldError::EvidenceUnavailable(e.to_string()))?;
+            lc.extend(&headers).map_err(|e| WorldError::EvidenceUnavailable(e.to_string()))?;
 
             let valid = match chain_ref.tx_inclusion(&txid) {
                 Some(inclusion) => {
@@ -133,11 +129,12 @@ pub fn validate_tx(
                     let block_hash = chain_ref
                         .store()
                         .canonical_block_at_height(inclusion.header.height)
-                        .ok_or_else(|| WorldError::EvidenceUnavailable("missing block".to_string()))?;
-                    let block = chain_ref
-                        .store()
-                        .get(&block_hash)
-                        .ok_or_else(|| WorldError::EvidenceUnavailable("missing block".to_string()))?;
+                        .ok_or_else(|| {
+                            WorldError::EvidenceUnavailable("missing block".to_string())
+                        })?;
+                    let block = chain_ref.store().get(&block_hash).ok_or_else(|| {
+                        WorldError::EvidenceUnavailable("missing block".to_string())
+                    })?;
                     block
                         .find_tx(&txid)
                         .map(|idx| {
@@ -225,7 +222,8 @@ mod tests {
         let anchor = world.anchor(chain).unwrap();
 
         let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
-        let (inputs, outputs) = world.chain(chain).unwrap().plan_payment(&alice, &bob, 10, 1).unwrap();
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &bob, 10, 1).unwrap();
         let txid = world.submit(chain, builder.transfer(inputs, outputs, 1)).unwrap();
         world.advance(1_000 * (extra_blocks + 1));
         (world, chain, txid, anchor)

@@ -46,7 +46,9 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::Empty => write!(f, "graph has no edges"),
-            GraphError::UnknownParticipant(a) => write!(f, "edge references unknown participant {a}"),
+            GraphError::UnknownParticipant(a) => {
+                write!(f, "edge references unknown participant {a}")
+            }
             GraphError::ZeroAmount => write!(f, "edge transfers a zero-valued asset"),
             GraphError::SelfLoop(a) => write!(f, "self-loop at {a}"),
             GraphError::Multisig(e) => write!(f, "multisignature error: {e}"),
@@ -323,12 +325,8 @@ impl SwapGraph {
     /// (Section 5.3: "require the AC2T graph to be acyclic once the leader
     /// node is removed").
     pub fn acyclic_without(&self, leader: &Address) -> bool {
-        let filtered: Vec<SwapEdge> = self
-            .edges
-            .iter()
-            .filter(|e| e.from != *leader && e.to != *leader)
-            .copied()
-            .collect();
+        let filtered: Vec<SwapEdge> =
+            self.edges.iter().filter(|e| e.from != *leader && e.to != *leader).copied().collect();
         if filtered.is_empty() {
             return true;
         }
@@ -527,8 +525,9 @@ mod tests {
 
     #[test]
     fn two_party_swap_shape() {
-        let g = SwapGraph::two_party(addr(b"alice"), addr(b"bob"), 10, ChainId(0), 20, ChainId(1), 7)
-            .unwrap();
+        let g =
+            SwapGraph::two_party(addr(b"alice"), addr(b"bob"), 10, ChainId(0), 20, ChainId(1), 7)
+                .unwrap();
         assert_eq!(g.participants().len(), 2);
         assert_eq!(g.contract_count(), 2);
         assert_eq!(g.diameter(), 2);
@@ -588,7 +587,12 @@ mod tests {
 
     #[test]
     fn figure7_cyclic_classification() {
-        let g = figure7_cyclic(addr(b"a"), addr(b"b"), addr(b"c"), [ChainId(0), ChainId(1), ChainId(2)]);
+        let g = figure7_cyclic(
+            addr(b"a"),
+            addr(b"b"),
+            addr(b"c"),
+            [ChainId(0), ChainId(1), ChainId(2)],
+        );
         assert_eq!(g.shape(), GraphShape::Cyclic);
         assert!(g.is_cyclic());
         assert!(g.is_connected());
@@ -644,7 +648,8 @@ mod tests {
     #[test]
     fn acyclic_without_leader_detects_residual_cycles() {
         // Two-party swap: removing either participant removes all edges.
-        let g = SwapGraph::two_party(addr(b"a"), addr(b"b"), 1, ChainId(0), 2, ChainId(1), 1).unwrap();
+        let g =
+            SwapGraph::two_party(addr(b"a"), addr(b"b"), 1, ChainId(0), 2, ChainId(1), 1).unwrap();
         assert!(g.acyclic_without(&addr(b"a")));
         // A 4-cycle with an extra 2-cycle not touching the leader stays
         // cyclic after removing the leader.
@@ -665,7 +670,12 @@ mod tests {
     #[test]
     fn feedback_vertex_set_breaks_every_cycle() {
         // A 3-cycle needs at least one removal.
-        let g = figure7_cyclic(addr(b"a"), addr(b"b"), addr(b"c"), [ChainId(0), ChainId(1), ChainId(2)]);
+        let g = figure7_cyclic(
+            addr(b"a"),
+            addr(b"b"),
+            addr(b"c"),
+            [ChainId(0), ChainId(1), ChainId(2)],
+        );
         let fvs = g.feedback_vertex_set();
         assert!(!fvs.is_empty());
         let residual: Vec<SwapEdge> = g

@@ -77,8 +77,8 @@ impl Herlihy {
         for candidate in graph.participants() {
             let waves = graph.waves_from(candidate);
             let covered: usize = waves.iter().map(|w| w.len()).sum();
-            let all_reachable = covered == graph.contract_count()
-                && waves.iter().all(|w| !w.is_empty());
+            let all_reachable =
+                covered == graph.contract_count() && waves.iter().all(|w| !w.is_empty());
             // The last synthetic wave holds unreachable edges; reject those.
             let reachable_only = waves
                 .iter()
@@ -188,10 +188,8 @@ impl Herlihy {
             // Sequentiality: the next wave only starts once this one is
             // publicly recognised.
             let depth = cfg.deployment_depth;
-            let wave_txs: Vec<(ac3_chain::ChainId, TxId)> = wave_deploys
-                .iter()
-                .map(|(i, txid)| (slots[*i].edge.chain, *txid))
-                .collect();
+            let wave_txs: Vec<(ac3_chain::ChainId, TxId)> =
+                wave_deploys.iter().map(|(i, txid)| (slots[*i].edge.chain, *txid)).collect();
             if scenario
                 .world
                 .advance_until("wave deployments to stabilise", wait_cap, move |w| {
@@ -262,16 +260,22 @@ impl Herlihy {
                 if !wave_redeems.is_empty() {
                     secret_revealed = true;
                     let pending = wave_redeems.clone();
-                    let _ = scenario.world.advance_until("wave redemptions to stabilise", wait_cap, move |w| {
-                        pending.iter().all(|(chain, txid)| {
-                            w.chain(*chain)
-                                .ok()
-                                .and_then(|c| c.tx_depth(txid))
-                                .is_some_and(|d| {
-                                    d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
-                                })
-                        })
-                    });
+                    let _ = scenario.world.advance_until(
+                        "wave redemptions to stabilise",
+                        wait_cap,
+                        move |w| {
+                            pending.iter().all(|(chain, txid)| {
+                                w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(
+                                    |d| {
+                                        d >= w
+                                            .chain(*chain)
+                                            .map(|c| c.params().stable_depth)
+                                            .unwrap_or(0)
+                                    },
+                                )
+                            })
+                        },
+                    );
                 } else if slots.iter().any(|s| s.wave == k && s.deploy.is_some()) {
                     // Nobody in this wave could redeem (crashed or the secret
                     // is not yet public); give them one Δ before moving on.
@@ -390,7 +394,11 @@ impl Herlihy {
             )? {
                 *calls += 1;
                 *fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
-                let _ = scenario.world.wait_for_inclusion(slot.edge.chain, txid, scenario.world.delta_ms());
+                let _ = scenario.world.wait_for_inclusion(
+                    slot.edge.chain,
+                    txid,
+                    scenario.world.delta_ms(),
+                );
                 scenario.world.timeline.record(
                     scenario.world.now(),
                     EventKind::ContractRefunded { chain: slot.edge.chain, contract },
@@ -428,7 +436,12 @@ mod tests {
         for (n, lat) in [(2usize, &mut lat2), (4usize, &mut lat4)] {
             let mut s = ring_scenario(n, 10, &ScenarioConfig::default());
             let report = driver().execute(&mut s).unwrap();
-            assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed, "ring {n}: {}", report.summary());
+            assert_eq!(
+                report.verdict(),
+                AtomicityVerdict::AllRedeemed,
+                "ring {n}: {}",
+                report.summary()
+            );
             *lat = report.latency_in_deltas();
         }
         assert!(

@@ -178,10 +178,8 @@ impl HerlihyMulti {
                 }
             }
             let depth = cfg.deployment_depth;
-            let wave_txs: Vec<(ac3_chain::ChainId, TxId)> = wave_deploys
-                .iter()
-                .map(|(i, txid)| (slots[*i].edge.chain, *txid))
-                .collect();
+            let wave_txs: Vec<(ac3_chain::ChainId, TxId)> =
+                wave_deploys.iter().map(|(i, txid)| (slots[*i].edge.chain, *txid)).collect();
             if scenario
                 .world
                 .advance_until("wave deployments to stabilise", wait_cap, move |w| {
@@ -213,9 +211,9 @@ impl HerlihyMulti {
         // ------------------------------------------------------------------
         let now = scenario.world.now();
         let exchange_succeeded = !deployment_failed
-            && leaders.iter().all(|l| {
-                scenario.participants.by_address(l).is_some_and(|p| p.is_available(now))
-            });
+            && leaders
+                .iter()
+                .all(|l| scenario.participants.by_address(l).is_some_and(|p| p.is_available(now)));
         let mut secrets_public = false;
         let mut finished_at = scenario.world.now();
         if !deployment_failed {
@@ -228,16 +226,17 @@ impl HerlihyMulti {
                     // A redeemer knows all the secrets if it is a leader
                     // after a successful exchange, or once the preimages are
                     // public on some chain.
-                    let knows_secrets = (exchange_succeeded && leaders.contains(&slot.edge.to))
-                        || secrets_public;
+                    let knows_secrets =
+                        (exchange_succeeded && leaders.contains(&slot.edge.to)) || secrets_public;
                     if !knows_secrets {
                         continue;
                     }
                     if scenario.world.now() >= slot.timelock {
                         continue; // too late to redeem safely
                     }
-                    let call =
-                        ContractCall::MultiHtlc(MultiHtlcCall::Redeem { preimages: secrets.clone() });
+                    let call = ContractCall::MultiHtlc(MultiHtlcCall::Redeem {
+                        preimages: secrets.clone(),
+                    });
                     if let Some(txid) = call_contract(
                         &mut scenario.world,
                         &mut scenario.participants,
@@ -263,9 +262,14 @@ impl HerlihyMulti {
                         wait_cap,
                         move |w| {
                             pending.iter().all(|(chain, txid)| {
-                                w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(|d| {
-                                    d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
-                                })
+                                w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(
+                                    |d| {
+                                        d >= w
+                                            .chain(*chain)
+                                            .map(|c| c.params().stable_depth)
+                                            .unwrap_or(0)
+                                    },
+                                )
                             })
                         },
                     );
@@ -297,11 +301,12 @@ impl HerlihyMulti {
                 {
                     continue;
                 }
-                let knows_secrets = (exchange_succeeded && leaders.contains(&slot.edge.to))
-                    || secrets_public;
+                let knows_secrets =
+                    (exchange_succeeded && leaders.contains(&slot.edge.to)) || secrets_public;
                 if knows_secrets && scenario.world.now() < slot.timelock {
-                    let call =
-                        ContractCall::MultiHtlc(MultiHtlcCall::Redeem { preimages: secrets.clone() });
+                    let call = ContractCall::MultiHtlc(MultiHtlcCall::Redeem {
+                        preimages: secrets.clone(),
+                    });
                     if let Some(txid) = call_contract(
                         &mut scenario.world,
                         &mut scenario.participants,
@@ -385,9 +390,11 @@ impl HerlihyMulti {
             )? {
                 *calls += 1;
                 *fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
-                let _ = scenario
-                    .world
-                    .wait_for_inclusion(slot.edge.chain, txid, scenario.world.delta_ms());
+                let _ = scenario.world.wait_for_inclusion(
+                    slot.edge.chain,
+                    txid,
+                    scenario.world.delta_ms(),
+                );
                 scenario.world.timeline.record(
                     scenario.world.now(),
                     EventKind::ContractRefunded { chain: slot.edge.chain, contract },
@@ -483,10 +490,7 @@ mod tests {
             })
             .copied()
             .unwrap_or("bob");
-        s.participants
-            .get_mut(non_leader_name)
-            .unwrap()
-            .schedule_crash(CrashWindow::permanent(0));
+        s.participants.get_mut(non_leader_name).unwrap().schedule_crash(CrashWindow::permanent(0));
         let report = driver().execute(&mut s).unwrap();
         assert!(report.is_atomic(), "{}", report.verdict());
     }

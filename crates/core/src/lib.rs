@@ -60,8 +60,12 @@ pub use ac3tw::{Ac3tw, Trent, TrentError};
 pub use ac3wn::Ac3wn;
 pub use attack::{execute_fork_attack, ForkAttackConfig, ForkAttackReport};
 pub use audit::AtomicityVerdict;
-pub use evidence::{validate_tx, validate_with_all, ValidationCost, ValidationReport, ValidationStrategy};
-pub use graph::{figure7_cyclic, figure7_disconnected, ring_graph, GraphShape, SwapEdge, SwapGraph};
+pub use evidence::{
+    validate_tx, validate_with_all, ValidationCost, ValidationReport, ValidationStrategy,
+};
+pub use graph::{
+    figure7_cyclic, figure7_disconnected, ring_graph, GraphShape, SwapEdge, SwapGraph,
+};
 pub use herlihy::Herlihy;
 pub use herlihy_multi::HerlihyMulti;
 pub use nolan::Nolan;

@@ -63,8 +63,11 @@ mod tests {
         assert_eq!(report.protocol, ProtocolKind::Nolan);
         assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
         // Latency ≈ 2·Δ·Diam = 4Δ for the two-party swap.
-        assert!(report.latency_in_deltas() >= 3.0 && report.latency_in_deltas() <= 6.0,
-            "latency {}Δ", report.latency_in_deltas());
+        assert!(
+            report.latency_in_deltas() >= 3.0 && report.latency_in_deltas() <= 6.0,
+            "latency {}Δ",
+            report.latency_in_deltas()
+        );
     }
 
     #[test]

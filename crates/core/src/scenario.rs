@@ -28,7 +28,11 @@ impl Default for ScenarioConfig {
         let mut witness = ChainParams::test("witness");
         witness.block_interval_ms = 1_000;
         witness.stable_depth = 3;
-        ScenarioConfig { asset_chain_template: asset, witness_chain_template: witness, funding: 1_000 }
+        ScenarioConfig {
+            asset_chain_template: asset,
+            witness_chain_template: witness,
+            funding: 1_000,
+        }
     }
 }
 
@@ -82,8 +86,7 @@ pub fn custom_scenario(
     let addresses: Vec<Address> = names.iter().map(|n| participants.add(n)).collect();
     // `ParticipantSet::add` returns addresses, but `addresses()` is ordered
     // by name; keep the caller's order here.
-    let genesis: Vec<(Address, Amount)> =
-        addresses.iter().map(|a| (*a, cfg.funding)).collect();
+    let genesis: Vec<(Address, Amount)> = addresses.iter().map(|a| (*a, cfg.funding)).collect();
 
     let mut world = World::new();
     let mut asset_chains = Vec::with_capacity(edge_specs.len());
@@ -150,11 +153,7 @@ pub fn figure7a_scenario(cfg: &ScenarioConfig) -> Scenario {
 
 /// The disconnected graph of Figure 7b as a runnable scenario.
 pub fn figure7b_scenario(cfg: &ScenarioConfig) -> Scenario {
-    custom_scenario(
-        &["a", "b", "c", "d"],
-        &[(0, 1, 10), (1, 0, 20), (2, 3, 30), (3, 2, 40)],
-        cfg,
-    )
+    custom_scenario(&["a", "b", "c", "d"], &[(0, 1, 10), (1, 0, 20), (2, 3, 30), (3, 2, 40)], cfg)
 }
 
 #[cfg(test)]

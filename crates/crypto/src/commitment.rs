@@ -258,12 +258,7 @@ mod tests {
 
     #[test]
     fn state_lock_requires_state_and_depth() {
-        let lock = StateLock::new(
-            0,
-            Hash256::digest(b"scw"),
-            WitnessState::RedeemAuthorized,
-            6,
-        );
+        let lock = StateLock::new(0, Hash256::digest(b"scw"), WitnessState::RedeemAuthorized, 6);
         let good = ObservedWitnessState { state: WitnessState::RedeemAuthorized, depth: 6 };
         let shallow = ObservedWitnessState { state: WitnessState::RedeemAuthorized, depth: 5 };
         let wrong_state = ObservedWitnessState { state: WitnessState::RefundAuthorized, depth: 10 };

@@ -13,16 +13,11 @@ pub fn encode(bytes: &[u8]) -> String {
 /// Decode a hex string (case-insensitive). Returns `None` on odd length or
 /// non-hex characters.
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let chars: Vec<u32> = s.chars().map(|c| c.to_digit(16)).collect::<Option<_>>()?;
-    Some(
-        chars
-            .chunks_exact(2)
-            .map(|pair| ((pair[0] << 4) | pair[1]) as u8)
-            .collect(),
-    )
+    Some(chars.chunks_exact(2).map(|pair| ((pair[0] << 4) | pair[1]) as u8).collect())
 }
 
 #[cfg(test)]

@@ -77,16 +77,14 @@ impl MerkleTree {
 
     /// The Merkle root.
     pub fn root(&self) -> Hash256 {
-        *self
-            .levels
-            .last()
-            .and_then(|l| l.first())
-            .expect("tree always has a root")
+        *self.levels.last().and_then(|l| l.first()).expect("tree always has a root")
     }
 
     /// Number of leaves in the tree (0 for the empty tree).
     pub fn leaf_count(&self) -> usize {
-        if self.levels.len() == 1 && self.levels[0].len() == 1 && self.levels[0][0] == leaf_hash(b"")
+        if self.levels.len() == 1
+            && self.levels[0].len() == 1
+            && self.levels[0][0] == leaf_hash(b"")
         {
             0
         } else {
@@ -132,7 +130,7 @@ impl MerkleProof {
         let mut acc = *leaf;
         let mut idx = self.leaf_index;
         for sibling in &self.siblings {
-            acc = if idx % 2 == 0 {
+            acc = if idx.is_multiple_of(2) {
                 node_hash(&acc, sibling)
             } else {
                 node_hash(sibling, &acc)

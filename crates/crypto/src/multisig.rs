@@ -73,7 +73,11 @@ impl GraphMultisig {
 
     /// Record an externally produced signature. The signature is checked
     /// immediately so a malformed contribution is rejected at the door.
-    pub fn add_signature(&mut self, signer: PublicKey, sig: Signature) -> Result<(), MultisigError> {
+    pub fn add_signature(
+        &mut self,
+        signer: PublicKey,
+        sig: Signature,
+    ) -> Result<(), MultisigError> {
         if !signer.verifies(&self.message, &sig) {
             return Err(MultisigError::InvalidSignature(signer));
         }

@@ -373,10 +373,7 @@ mod tests {
         assert_eq!(SecretKey::from_scalar(ORDER).unwrap_err(), SignatureError::InvalidSecretKey);
         assert!(SecretKey::from_scalar(42).is_ok());
         assert_eq!(PublicKey::from_element(0).unwrap_err(), SignatureError::InvalidPublicKey);
-        assert_eq!(
-            PublicKey::from_element(MODULUS).unwrap_err(),
-            SignatureError::InvalidPublicKey
-        );
+        assert_eq!(PublicKey::from_element(MODULUS).unwrap_err(), SignatureError::InvalidPublicKey);
     }
 
     #[test]

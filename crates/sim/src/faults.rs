@@ -161,10 +161,8 @@ mod tests {
         let mut world = World::new();
         let chain = world.add_chain(ChainParams::test("c"), &[]);
         let mut participants = ParticipantSet::new();
-        let plan = FaultPlan::none().with(Fault::Partition {
-            chain,
-            window: OutageWindow { from: 0, until: 1_000 },
-        });
+        let plan = FaultPlan::none()
+            .with(Fault::Partition { chain, window: OutageWindow { from: 0, until: 1_000 } });
         plan.apply(&mut world, &mut participants).unwrap();
         assert!(!world.is_reachable(chain));
         world.advance(1_000);

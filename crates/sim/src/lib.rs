@@ -20,6 +20,8 @@ pub mod participant;
 pub mod world;
 
 pub use faults::{Fault, FaultPlan, OutageWindow};
-pub use metrics::{EventKind, FeeLedger, LatencyStats, SubTransactionRecord, Timeline, TimelineEvent};
+pub use metrics::{
+    EventKind, FeeLedger, LatencyStats, SubTransactionRecord, Timeline, TimelineEvent,
+};
 pub use participant::{CrashWindow, Participant, ParticipantSet};
 pub use world::{World, WorldError};

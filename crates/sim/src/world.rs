@@ -115,7 +115,8 @@ impl World {
     pub fn add_chain(&mut self, params: ChainParams, genesis: &[(Address, Amount)]) -> ChainId {
         let id = ChainId(self.next_chain_id);
         self.next_chain_id += 1;
-        let miner = Address::from(KeyPair::from_seed(format!("miner-{}", params.name).as_bytes()).public());
+        let miner =
+            Address::from(KeyPair::from_seed(format!("miner-{}", params.name).as_bytes()).public());
         let interval = params.block_interval_ms;
         let chain = Blockchain::new(id, params, Arc::new(SwapVm::new()), genesis);
         self.chains.insert(
@@ -159,12 +160,12 @@ impl World {
 
     /// Make a chain unreachable (network partition) during a window of
     /// simulated time: submissions during the window fail.
-    pub fn schedule_outage(&mut self, chain: ChainId, window: OutageWindow) -> Result<(), WorldError> {
-        self.chains
-            .get_mut(&chain)
-            .ok_or(WorldError::UnknownChain(chain))?
-            .outages
-            .push(window);
+    pub fn schedule_outage(
+        &mut self,
+        chain: ChainId,
+        window: OutageWindow,
+    ) -> Result<(), WorldError> {
+        self.chains.get_mut(&chain).ok_or(WorldError::UnknownChain(chain))?.outages.push(window);
         Ok(())
     }
 
@@ -239,7 +240,12 @@ impl World {
 
     /// Advance in steps of one block interval until `pred` is true or
     /// `max_ms` have elapsed. Returns the elapsed time on success.
-    pub fn advance_until<F>(&mut self, what: &str, max_ms: u64, mut pred: F) -> Result<u64, WorldError>
+    pub fn advance_until<F>(
+        &mut self,
+        what: &str,
+        max_ms: u64,
+        mut pred: F,
+    ) -> Result<u64, WorldError>
     where
         F: FnMut(&World) -> bool,
     {
@@ -247,12 +253,8 @@ impl World {
         if pred(self) {
             return Ok(0);
         }
-        let step = self
-            .chains
-            .values()
-            .map(|s| s.chain.params().block_interval_ms)
-            .min()
-            .unwrap_or(1_000);
+        let step =
+            self.chains.values().map(|s| s.chain.params().block_interval_ms).min().unwrap_or(1_000);
         while self.now < start + max_ms {
             self.advance(step);
             if pred(self) {
@@ -307,13 +309,23 @@ impl World {
     }
 
     /// Wait until a transaction reaches the chain's configured stable depth.
-    pub fn wait_for_stable(&mut self, chain: ChainId, txid: TxId, max_ms: u64) -> Result<u64, WorldError> {
+    pub fn wait_for_stable(
+        &mut self,
+        chain: ChainId,
+        txid: TxId,
+        max_ms: u64,
+    ) -> Result<u64, WorldError> {
         let depth = self.chain(chain)?.params().stable_depth;
         self.wait_for_depth(chain, txid, depth, max_ms)
     }
 
     /// Wait until a transaction is included in any canonical block.
-    pub fn wait_for_inclusion(&mut self, chain: ChainId, txid: TxId, max_ms: u64) -> Result<u64, WorldError> {
+    pub fn wait_for_inclusion(
+        &mut self,
+        chain: ChainId,
+        txid: TxId,
+        max_ms: u64,
+    ) -> Result<u64, WorldError> {
         self.wait_for_depth(chain, txid, 0, max_ms)
     }
 
@@ -352,10 +364,9 @@ impl World {
             .get(&block_hash)
             .ok_or_else(|| WorldError::EvidenceUnavailable("block missing".to_string()))?;
         let tx = block.transactions[index].clone();
-        let proof = block
-            .tx_tree()
-            .prove(index)
-            .ok_or_else(|| WorldError::EvidenceUnavailable("proof construction failed".to_string()))?;
+        let proof = block.tx_tree().prove(index).ok_or_else(|| {
+            WorldError::EvidenceUnavailable("proof construction failed".to_string())
+        })?;
         let headers = c
             .headers_since(&anchor.hash)
             .ok_or_else(|| WorldError::EvidenceUnavailable("anchor not canonical".to_string()))?;
@@ -365,6 +376,27 @@ impl World {
     /// Look up the state tag and burial depth of a contract.
     pub fn contract_state(&self, chain: ChainId, contract: ContractId) -> Option<(String, u64)> {
         self.chain(chain).ok()?.contract_state_with_depth(&contract)
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Differential integrity check of the incremental state engine: every
+    /// chain's materialized canonical state must equal a full from-genesis
+    /// replay. Panics (with the offending chain id) on divergence.
+    ///
+    /// Intended for tests and fault experiments after reorg-heavy scenarios
+    /// (fork injection, 51% attacks); it is O(total blocks), so production
+    /// drivers should not call it on the hot path.
+    pub fn assert_state_integrity(&self) {
+        for (id, slot) in &self.chains {
+            let oracle = slot.chain.replay_state_from_genesis();
+            assert!(
+                slot.chain.state() == &oracle,
+                "incremental state of {id} diverged from the replay oracle"
+            );
+        }
     }
 }
 
@@ -419,7 +451,8 @@ mod tests {
         let anchor = world.anchor(chain).unwrap();
 
         let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
-        let (inputs, outputs) = world.chain(chain).unwrap().plan_payment(&alice, &bob, 10, 1).unwrap();
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &bob, 10, 1).unwrap();
         let txid = world.submit(chain, kp.transfer(inputs, outputs, 1)).unwrap();
 
         world.wait_for_stable(chain, txid, 60_000).unwrap();
@@ -469,6 +502,9 @@ mod tests {
         let tip_after = world.chain(chain).unwrap().tip();
         assert_ne!(tip_before, tip_after, "attacker branch becomes canonical");
         assert_eq!(world.chain(chain).unwrap().height(), 8);
+        // The reorg must leave every chain's incremental state identical to
+        // a full replay.
+        world.assert_state_integrity();
     }
 
     #[test]
@@ -485,7 +521,8 @@ mod tests {
         let mut world = World::new();
         let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
         let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
-        let (inputs, outputs) = world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 1).unwrap();
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 1).unwrap();
         world.submit(chain, kp.transfer(inputs, outputs, 1)).unwrap();
         assert_eq!(world.fees.total_fees(), 1);
     }

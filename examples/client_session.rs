@@ -23,7 +23,8 @@ use ac3wn::prelude::*;
 fn main() {
     let scenario_cfg = ScenarioConfig::default();
     let mut scenario = two_party_scenario(50, 80, &scenario_cfg);
-    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+    let protocol_cfg =
+        ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
 
     // ---------------------------------------------------------------------
     // 1. Wallets and off-chain negotiation.
@@ -40,7 +41,10 @@ fn main() {
 
     let mut negotiation = Negotiation::new(scenario.graph.clone());
     negotiation.submit(alice.sign_proposal(negotiation.proposal())).expect("alice signs");
-    println!("\nAlice signed; still waiting on {} participant(s)", negotiation.missing_signers().len());
+    println!(
+        "\nAlice signed; still waiting on {} participant(s)",
+        negotiation.missing_signers().len()
+    );
     negotiation.submit(bob.sign_proposal(negotiation.proposal())).expect("bob signs");
     let signed = negotiation.finalize().expect("ms(D) verifies");
     println!("ms(D) complete: {} participants signed the graph", signed.graph.participants().len());

@@ -40,7 +40,9 @@ fn main() {
     println!("Nolan (hashlock + timelock):");
     println!("  verdict: {}", nolan_report.verdict());
     println!("  bob's balance on chain A: {bob_before} -> {bob_after}");
-    println!("  => Bob was entitled to 50 units on chain A but the timelock refunded them to Alice.");
+    println!(
+        "  => Bob was entitled to 50 units on chain A but the timelock refunded them to Alice."
+    );
     assert!(!nolan_report.is_atomic());
 
     // --- AC3WN -------------------------------------------------------------
@@ -57,11 +59,8 @@ fn main() {
     // decision has no expiry. We model recovery by simply retrying the
     // protocol's recovery pass after the crash window would have ended in a
     // real deployment — here the locked contract is still redeemable.
-    let locked_edges: Vec<_> = report
-        .edges
-        .iter()
-        .filter(|e| e.disposition == EdgeDisposition::Locked)
-        .collect();
+    let locked_edges: Vec<_> =
+        report.edges.iter().filter(|e| e.disposition == EdgeDisposition::Locked).collect();
     println!(
         "  {} contract(s) still locked while Bob is down — and still redeemable: no timelock can take them away.",
         locked_edges.len()

@@ -36,7 +36,8 @@ fn transfer(
         .unwrap()
         .plan_payment(&from_addr, &to_addr, amount, fee)
         .ok_or_else(|| format!("{from} cannot fund the transfer"))?;
-    let tx = scenario.participants.get_mut(from).unwrap().builder(chain).transfer(inputs, outputs, fee);
+    let tx =
+        scenario.participants.get_mut(from).unwrap().builder(chain).transfer(inputs, outputs, fee);
     let txid = scenario.world.submit(chain, tx).map_err(|e| e.to_string())?;
     scenario.world.wait_for_inclusion(chain, txid, 60_000).map_err(|e| e.to_string())?;
     Ok(txid)
@@ -64,7 +65,11 @@ fn print_balances(scenario: &Scenario, label: &str) {
 /// the whole flow hinges on Trent behaving.
 fn exchange_honest() {
     println!("\n=== Route 1: centralized exchange, Trent behaves ===");
-    let mut s = custom_scenario(&["alice", "bob", "trent"], &[(0, 1, 50), (1, 0, 80)], &ScenarioConfig::default());
+    let mut s = custom_scenario(
+        &["alice", "bob", "trent"],
+        &[(0, 1, 50), (1, 0, 80)],
+        &ScenarioConfig::default(),
+    );
     print_balances(&s, "before:");
     let (chain_a, chain_b) = (s.asset_chains[0], s.asset_chains[1]);
     let mut txs = 0;
@@ -82,7 +87,11 @@ fn exchange_honest() {
 /// participants simply lose.
 fn exchange_abscond() {
     println!("\n=== Route 2: centralized exchange, Trent absconds ===");
-    let mut s = custom_scenario(&["alice", "bob", "trent"], &[(0, 1, 50), (1, 0, 80)], &ScenarioConfig::default());
+    let mut s = custom_scenario(
+        &["alice", "bob", "trent"],
+        &[(0, 1, 50), (1, 0, 80)],
+        &ScenarioConfig::default(),
+    );
     print_balances(&s, "before:");
     let (chain_a, chain_b) = (s.asset_chains[0], s.asset_chains[1]);
     transfer(&mut s, "alice", "trent", chain_a, 50).unwrap();
@@ -93,7 +102,7 @@ fn exchange_abscond() {
     let (bob_a, bob_b) = balances(&s, "bob");
     println!(
         "  alice lost {} on chain A and received nothing on chain B; bob lost {} on chain B",
-        1_000 - alice_a - 0,
+        1_000 - alice_a,
         1_000 - bob_b
     );
     debug_assert!(alice_b == 1_000 && bob_a == 1_000);
@@ -113,8 +122,13 @@ fn p2p_ac3wn() {
         "  contracts deployed: {} (N + 1: one per edge plus the witness contract SC_w)",
         report.deployments
     );
-    println!("  contract calls:     {} (N + 1: one settlement per edge plus SC_w's state change)", report.calls);
-    println!("  trust required: none — the witness network is permissionless, like the asset chains");
+    println!(
+        "  contract calls:     {} (N + 1: one settlement per edge plus SC_w's state change)",
+        report.calls
+    );
+    println!(
+        "  trust required: none — the witness network is permissionless, like the asset chains"
+    );
     assert!(report.is_atomic());
 }
 

@@ -34,7 +34,11 @@ fn main() {
     println!("\n{}", report.summary());
     println!("decision: {:?}", report.decision);
     println!("atomic:   {}", report.is_atomic());
-    println!("latency:  {:.2} Δ ({} simulated ms)", report.latency_in_deltas(), report.latency_ms());
+    println!(
+        "latency:  {:.2} Δ ({} simulated ms)",
+        report.latency_in_deltas(),
+        report.latency_ms()
+    );
 
     println!("\nAfter the swap:");
     println!("  alice on chain A: {}", scenario.world.chain(chain_a).unwrap().balance_of(&alice));

@@ -13,7 +13,8 @@ use ac3wn::prelude::*;
 
 fn run(label: &str, names: &[&str], edges: &[(usize, usize, u64)]) {
     let cfg = ScenarioConfig::default();
-    let protocol_cfg = ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
+    let protocol_cfg =
+        ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() };
 
     // Can Herlihy's single-leader protocol even attempt this graph?
     let probe = custom_scenario(names, edges, &cfg);

@@ -40,11 +40,11 @@ pub use ac3_sim as sim;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use ac3_chain::{Address, Amount, ChainId, ChainParams, ContractId, TxId};
+    pub use ac3_client::{Negotiation, SessionPhase, SignedSwap, SwapSession, Wallet};
     pub use ac3_core::scenario::{
         custom_scenario, figure7a_scenario, figure7b_scenario, ring_scenario, two_party_scenario,
         Scenario, ScenarioConfig,
     };
-    pub use ac3_client::{Negotiation, SessionPhase, SignedSwap, SwapSession, Wallet};
     pub use ac3_core::{
         Ac3tw, Ac3wn, AtomicityVerdict, EdgeDisposition, GraphShape, Herlihy, HerlihyMulti, Nolan,
         ProtocolConfig, ProtocolKind, SwapEdge, SwapGraph, SwapReport, ValidationStrategy,

@@ -216,7 +216,10 @@ fn evidence_from_a_different_witness_contract_is_rejected() {
     )
     .unwrap()
     .expect("authorize refund on the rogue contract");
-    swap.scenario.world.wait_for_depth(witness_chain, rogue_refund, WITNESS_DEPTH, wait_cap).unwrap();
+    swap.scenario
+        .world
+        .wait_for_depth(witness_chain, rogue_refund, WITNESS_DEPTH, wait_cap)
+        .unwrap();
 
     let rogue_evidence = WitnessStateEvidence {
         claimed: WitnessState::RefundAuthorized,
@@ -260,9 +263,8 @@ fn claimed_state_must_match_the_authorize_call() {
 
     let mut evidence = Vec::new();
     for (exp, (txid, _)) in swap.expected.iter().zip(&swap.deployments) {
-        evidence.push(
-            swap.scenario.world.tx_evidence_since(exp.chain, &exp.anchor, *txid).unwrap(),
-        );
+        evidence
+            .push(swap.scenario.world.tx_evidence_since(exp.chain, &exp.anchor, *txid).unwrap());
     }
     let authorize = call_contract(
         &mut swap.scenario.world,
@@ -325,11 +327,7 @@ fn authorize_redeem_requires_evidence_for_every_contract() {
     .unwrap()
     .expect("submit the under-evidenced authorize");
     // The call never makes it into a block; SC_w stays undecided.
-    assert!(swap
-        .scenario
-        .world
-        .wait_for_depth(witness_chain, authorize, 0, wait_cap)
-        .is_err());
+    assert!(swap.scenario.world.wait_for_depth(witness_chain, authorize, 0, wait_cap).is_err());
     assert_eq!(contract_tag(&swap.scenario, witness_chain, swap.witness_contract), "P");
 }
 
@@ -340,7 +338,11 @@ fn committed_contracts_cannot_be_redeemed_twice() {
     let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
     let bob = s.participants.get("bob").unwrap().address();
     let chain_a = s.asset_chains[0];
-    let cfg = ProtocolConfig { witness_depth: WITNESS_DEPTH, deployment_depth: DEPLOY_DEPTH, ..Default::default() };
+    let cfg = ProtocolConfig {
+        witness_depth: WITNESS_DEPTH,
+        deployment_depth: DEPLOY_DEPTH,
+        ..Default::default()
+    };
     let report = Ac3wn::new(cfg).execute(&mut s).unwrap();
     assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
 
@@ -385,11 +387,9 @@ fn fork_attack_needs_a_budget_larger_than_the_confirmation_depth() {
     // level: an attacker who cannot afford to out-mine the confirmation
     // depth cannot break atomicity; one who can, does — which is why d must
     // be chosen so that the required budget costs more than the assets.
-    let underfunded = execute_fork_attack(&ForkAttackConfig {
-        attacker_budget_blocks: 2,
-        ..Default::default()
-    })
-    .unwrap();
+    let underfunded =
+        execute_fork_attack(&ForkAttackConfig { attacker_budget_blocks: 2, ..Default::default() })
+            .unwrap();
     assert!(!underfunded.attack_succeeded());
     assert!(underfunded.verdict.is_atomic());
 

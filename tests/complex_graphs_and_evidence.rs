@@ -60,7 +60,8 @@ fn all_validation_strategies_agree_on_real_swap_evidence() {
         assert!(r.valid, "{} rejected a real deployment", r.strategy);
     }
     // The paper's proposal is the cheapest in persistent storage.
-    let contract_based = reports.iter().find(|r| r.strategy == ValidationStrategy::ContractBased).unwrap();
+    let contract_based =
+        reports.iter().find(|r| r.strategy == ValidationStrategy::ContractBased).unwrap();
     let full = reports.iter().find(|r| r.strategy == ValidationStrategy::FullReplication).unwrap();
     assert!(contract_based.cost.blocks_stored < full.cost.blocks_stored);
 }

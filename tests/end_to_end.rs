@@ -44,7 +44,9 @@ fn all_five_protocols_commit_the_same_two_party_swap() {
         let report = match kind {
             ProtocolKind::Nolan => Nolan::new(protocol_cfg()).execute(&mut s).unwrap(),
             ProtocolKind::Herlihy => Herlihy::new(protocol_cfg()).execute(&mut s).unwrap(),
-            ProtocolKind::HerlihyMulti => HerlihyMulti::new(protocol_cfg()).execute(&mut s).unwrap(),
+            ProtocolKind::HerlihyMulti => {
+                HerlihyMulti::new(protocol_cfg()).execute(&mut s).unwrap()
+            }
             ProtocolKind::Ac3Tw => Ac3tw::new(protocol_cfg()).execute(&mut s).unwrap(),
             ProtocolKind::Ac3Wn => Ac3wn::new(protocol_cfg()).execute(&mut s).unwrap(),
         };

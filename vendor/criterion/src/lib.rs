@@ -1,0 +1,285 @@
+//! A minimal, self-contained stand-in for `criterion`.
+//!
+//! This workspace must build without network access, so the real criterion
+//! cannot be fetched. This crate implements the subset of its API that the
+//! workspace's benches use — `criterion_group!`/`criterion_main!`,
+//! `Criterion::{default, sample_size, measurement_time, warm_up_time,
+//! bench_function, benchmark_group}`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize` and `Throughput` — with genuine wall-clock measurement: each
+//! benchmark is warmed up, sampled, and reported as `min / median / max`
+//! per-iteration time (plus throughput when configured).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped between setup calls. The stand-in times
+/// each routine invocation individually (setup excluded from measurement),
+/// so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark driver configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(800),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the measurement budget per benchmark (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.clone(), &id.into(), None, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { config: self.clone(), name: name.into(), throughput: None, _parent: self }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Override the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&self.config, &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records per-iteration timings.
+pub struct Bencher {
+    config: Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Benchmark a routine, timing each sample of many iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let budget = self.config.measurement_time.as_nanos();
+        let total_iters = (budget / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+        let iters_per_sample = (total_iters / self.config.sample_size as u64).max(1);
+
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+    }
+
+    /// Benchmark a routine with a per-iteration setup whose cost is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up (single pass; setup may be expensive).
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let per_iter = t0.elapsed();
+
+        // Aim for the measurement budget, but cap iterations so expensive
+        // setups stay tolerable.
+        let budget = self.config.measurement_time.as_nanos();
+        let total = (budget / per_iter.as_nanos().max(1)).clamp(1, 10_000) as usize;
+        let samples = total.min(self.config.sample_size).max(1);
+        let iters_per_sample = (total / samples).max(1);
+
+        for _ in 0..samples {
+            let mut acc = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                acc += t0.elapsed();
+            }
+            self.samples.push(acc / iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher { config: config.clone(), samples: Vec::new() };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<50} (no samples recorded)");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    let mut line = format!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| -> f64 {
+            let nanos = median.as_nanos().max(1) as f64;
+            units as f64 * 1e9 / nanos
+        };
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt: {:.2} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.2} Melem/s", per_sec(n) / 1e6));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Define a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,239 @@
+//! A minimal, self-contained stand-in for `proptest`.
+//!
+//! This workspace must build without network access, so the real proptest
+//! cannot be fetched. This crate covers the subset its tests use: the
+//! [`proptest!`] macro over identifier-bound strategies, integer-range and
+//! [`any`] strategies, [`collection::vec`], [`option::of`], and the
+//! `prop_assert*` macros. Each property runs a fixed number of cases drawn
+//! from a deterministic per-test generator (seeded from the test name), so
+//! failures are reproducible. There is no shrinking — the failing inputs are
+//! printed as-is via the assertion message.
+
+#![forbid(unsafe_code)]
+
+/// Number of cases each property test runs.
+pub const NUM_CASES: usize = 96;
+
+/// Deterministic random source for strategy sampling (splitmix64).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// A generator seeded from an arbitrary string (typically the test name).
+    pub fn deterministic(seed: &str) -> Self {
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        for b in seed.bytes() {
+            state = state.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(b));
+        }
+        Gen { state }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + gen.below(span) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + gen.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a full-range [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Draw a uniform value of the whole domain.
+    fn arbitrary(gen: &mut Gen) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(gen: &mut Gen) -> $t {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(gen: &mut Gen) -> bool {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, gen: &mut Gen) -> T {
+        T::arbitrary(gen)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// Strategy for vectors with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector strategy drawing lengths from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, gen: &mut Gen) -> Self::Value {
+            let n = self.len.sample(gen);
+            (0..n).map(|_| self.element.sample(gen)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Gen, Strategy};
+
+    /// Strategy for `Option<T>` (~1/4 `None`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// An option strategy wrapping `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, gen: &mut Gen) -> Self::Value {
+            if gen.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(gen))
+            }
+        }
+    }
+}
+
+/// The `proptest::prelude`, mirroring what call sites glob-import.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Gen, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` body runs
+/// [`NUM_CASES`] times with fresh samples.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __gen = $crate::Gen::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut __gen);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, v in crate::collection::vec(any::<u8>(), 0..9)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(v.len() < 9);
+        }
+
+        #[test]
+        fn options_sometimes_none(o in crate::option::of(0usize..5)) {
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! A minimal, self-contained stand-in for `rand`.
+//!
+//! Provides the subset this workspace uses: the [`Rng`] trait with
+//! `gen_range` over `Range<u64>`, [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] (a splitmix64 generator — deterministic and fast; not
+//! cryptographically secure, which matches how the workspace uses it: test
+//! vectors and simulation sampling).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Core uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling helpers over a bit source.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open). Panics on empty ranges.
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = range.end - range.start;
+        // Debiased multiply-shift rejection sampling.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let raw = self.next_u64();
+            if raw <= zone {
+                return range.start + raw % span;
+            }
+        }
+    }
+
+    /// A uniform `u64`.
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction of deterministic generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator of this stand-in: splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(1..1_000_000), b.gen_range(1..1_000_000));
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10..17);
+            assert!((10..17).contains(&x));
+        }
+    }
+}

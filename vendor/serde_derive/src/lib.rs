@@ -1,0 +1,489 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which cannot be fetched
+//! in this offline workspace, so the derive input is parsed directly from the
+//! `proc_macro` token stream. Supported shapes are exactly the ones this
+//! workspace uses: non-generic structs (named, tuple, unit) and non-generic
+//! enums (unit, tuple and struct variants), plus the `#[serde(skip)]` field
+//! attribute (the field is omitted on serialize and filled from `Default` on
+//! deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` by rendering the type to a `serde::Value` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` by rebuilding the type from a `serde::Value`
+/// tree.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    /// Field name for named fields, `None` in tuple position.
+    name: Option<String>,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let msg = msg.replace('"', "\\\"");
+            return format!("compile_error!(\"serde stand-in derive: {msg}\");")
+                .parse()
+                .expect("error tokens parse");
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume leading outer attributes, returning whether `#[serde(skip)]`
+    /// was among them.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    skip |= attr_is_serde_skip(g.stream());
+                    self.pos += 2;
+                }
+                _ => return skip,
+            }
+        }
+    }
+
+    /// Consume `pub`, `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consume tokens of a type (or discriminant expression) until a `,` at
+    /// zero angle-bracket depth, leaving the comma unconsumed.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident()?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("unsupported item kind `{other}`")),
+    };
+    let name = cur.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported"));
+        }
+    }
+    if is_enum {
+        let body = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        Ok(Item::Enum { name, variants: parse_variants(body.stream())? })
+    } else {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Struct { name, fields: Fields::Named(parse_named_fields(g.stream())?) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct { name, fields: Fields::Tuple(parse_tuple_fields(g.stream())) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::Struct { name, fields: Fields::Unit })
+            }
+            other => Err(format!("expected struct body, found {other:?}")),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident()?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        cur.skip_until_comma();
+        cur.next(); // consume the comma, if any
+        fields.push(Field { name: Some(name), skip });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        cur.skip_until_comma();
+        cur.next(); // consume the comma, if any
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.next();
+                Fields::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                cur.next();
+                Fields::Tuple(fields)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        cur.skip_until_comma();
+        cur.next();
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = ser_fields_expr(fields, &SelfAccess);
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                        ));
+                    }
+                    Fields::Tuple(fs) => {
+                        let binds: Vec<String> = (0..fs.len()).map(|i| format!("__f{i}")).collect();
+                        let payload = if fs.len() == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(\"{vname}\", {payload});\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let names: Vec<&str> =
+                            fs.iter().map(|f| f.name.as_deref().unwrap_or("")).collect();
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fs {
+                            if f.skip {
+                                continue;
+                            }
+                            let fname = f.name.as_deref().unwrap_or("");
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{fname}\", ::serde::Serialize::to_value({fname}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                                 {inner}\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(\"{vname}\", ::serde::Value::Object(__inner));\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }}\n",
+                            names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+struct SelfAccess;
+
+fn ser_fields_expr(fields: &Fields, _access: &SelfAccess) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(fs) if fs.len() == 1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(fs) => {
+            let items: Vec<String> =
+                (0..fs.len()).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fs) => {
+            let mut body = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fs {
+                if f.skip {
+                    continue;
+                }
+                let fname = f.name.as_deref().unwrap_or("");
+                body.push_str(&format!(
+                    "__m.insert(\"{fname}\", ::serde::Serialize::to_value(&self.{fname}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(__m)");
+            format!("{{ {body} }}")
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = de_struct_body(name, fields);
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut object_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "if __s == \"{vname}\" {{ return ::std::result::Result::Ok({name}::{vname}); }}\n"
+                        ));
+                    }
+                    Fields::Tuple(fs) if fs.len() == 1 => {
+                        object_arms.push_str(&format!(
+                            "if let ::std::option::Option::Some(__inner) = __m.get(\"{vname}\") {{\n\
+                                 return ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?));\n\
+                             }}\n"
+                        ));
+                    }
+                    Fields::Tuple(fs) => {
+                        let n = fs.len();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        object_arms.push_str(&format!(
+                            "if let ::std::option::Option::Some(__inner) = __m.get(\"{vname}\") {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for variant {vname}\"))?;\n\
+                                 if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"variant {vname} arity mismatch\")); }}\n\
+                                 return ::std::result::Result::Ok({name}::{vname}({}));\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            let fname = f.name.as_deref().unwrap_or("");
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{fname}: ::std::default::Default::default(),\n"
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{fname}: ::serde::Deserialize::from_value(__im.get(\"{fname}\").unwrap_or(&::serde::Value::Null))?,\n"
+                                ));
+                            }
+                        }
+                        object_arms.push_str(&format!(
+                            "if let ::std::option::Option::Some(__inner) = __m.get(\"{vname}\") {{\n\
+                                 let __im = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for variant {vname}\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vname} {{ {inits} }});\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::std::option::Option::Some(__s) = __v.as_str() {{ {unit_arms} }}\n\
+                         if let ::std::option::Option::Some(__m) = __v.as_object() {{ {object_arms} }}\n\
+                         ::std::result::Result::Err(::serde::Error::custom(\"unknown variant for {name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("let _ = __v; ::std::result::Result::Ok({name})"),
+        Fields::Tuple(fs) if fs.len() == 1 => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(fs) => {
+            let n = fs.len();
+            let items: Vec<String> =
+                (0..n).map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?")).collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"{name} arity mismatch\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Named(fs) => {
+            let mut inits = String::new();
+            for f in fs {
+                let fname = f.name.as_deref().unwrap_or("");
+                if f.skip {
+                    inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{fname}: ::serde::Deserialize::from_value(__m.get(\"{fname}\").unwrap_or(&::serde::Value::Null))?,\n"
+                    ));
+                }
+            }
+            format!(
+                "let __m = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+    }
+}
