@@ -1,0 +1,63 @@
+//! Criterion bench of the concurrent swap scheduler's hot path: per-swap
+//! wall-clock cost of scheduling a batch of AC2Ts over shared chains. The
+//! quantity to watch is the *per-swap* time — it must stay flat as the
+//! batch grows (the scheduler's tick loop is O(swaps) per tick and the
+//! number of ticks is set by protocol latency, not batch size). The
+//! `sec64_contention` binary reports the simulated-time side of the same
+//! story.
+
+use ac3_core::scenario::{concurrent_swaps_scenario, MultiSwapScenario, ScenarioConfig};
+use ac3_core::{Ac3wn, ProtocolConfig, Scheduler, SwapMachine};
+use ac3_sim::SwapId;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn protocol_cfg() -> ProtocolConfig {
+    ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() }
+}
+
+fn machines(s: &MultiSwapScenario, driver: &Ac3wn) -> Vec<(SwapId, Box<dyn SwapMachine>)> {
+    let witness = s.witness_chain;
+    s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), witness)))
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for swaps in [1usize, 4, 16] {
+        group.bench_function(format!("batch/{swaps}swaps"), |b| {
+            b.iter_batched(
+                || {
+                    concurrent_swaps_scenario(
+                        swaps,
+                        4.min(swaps.max(2)),
+                        &ScenarioConfig::default(),
+                    )
+                },
+                |mut s| {
+                    let driver = Ac3wn::new(protocol_cfg());
+                    let ms = machines(&s, &driver);
+                    let batch = Scheduler::default().run(&mut s.world, &mut s.participants, ms);
+                    assert_eq!(batch.committed(), swaps, "every swap commits");
+                    std::hint::black_box(batch.makespan_ms())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_scheduler
+}
+criterion_main!(benches);

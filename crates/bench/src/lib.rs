@@ -19,6 +19,7 @@
 //! | `atomicity_failures` | Section 1 / Lemma 5.1 — atomicity under crash faults (E6) |
 //! | `fig7_complex_graphs` | Figure 7 / Section 5.3 — cyclic & disconnected graphs (E7) |
 //! | `sec52_scalability` | Section 5.2 — concurrent AC2Ts vs number of witness networks (E8) |
+//! | `sec64_contention` | Section 6.4 — N concurrent AC2Ts over shared chains; `min(tps)` bound under contention |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

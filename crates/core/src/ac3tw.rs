@@ -8,16 +8,20 @@
 //! contracts (Algorithm 2) are mutually exclusive and the protocol is
 //! atomic — *provided Trent is trusted, available and honest*, which is
 //! exactly the assumption AC3WN removes.
+//!
+//! Like the other drivers, the protocol logic lives in a resumable
+//! step/poll state machine ([`Ac3twMachine`], see [`crate::driver`]);
+//! [`Ac3tw::execute`] is the single-swap wrapper.
 
 use crate::actions::{call_contract, deploy_contract, edge_disposition};
-use crate::protocol::{
-    EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
-};
+use crate::driver::{drive, tx_at_depth, tx_stable, Step, SwapMachine};
+use crate::graph::{SwapEdge, SwapGraph};
+use crate::protocol::{EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport};
 use crate::scenario::Scenario;
-use ac3_chain::{ContractId, TxId};
+use ac3_chain::{ChainId, ContractId, Timestamp, TxId};
 use ac3_contracts::{CentralizedCall, CentralizedSpec, ContractCall, ContractSpec};
 use ac3_crypto::{Hash256, KeyPair, Signature, SignatureLock, WitnessDecision};
-use ac3_sim::EventKind;
+use ac3_sim::{EventKind, ParticipantSet, Timeline, World};
 use std::collections::BTreeMap;
 
 /// Errors returned by Trent.
@@ -170,228 +174,407 @@ impl Ac3tw {
         Ac3tw { config, trent_available: true }
     }
 
-    /// Execute the AC2T described by the scenario's graph.
+    /// Create a resumable state machine executing `graph` (for use under a
+    /// scheduler). Each machine talks to its own Trent instance.
+    pub fn machine(&self, graph: SwapGraph) -> Ac3twMachine {
+        Ac3twMachine::new(self.config.clone(), graph, self.trent_available)
+    }
+
+    /// Execute the AC2T described by the scenario's graph (single-swap
+    /// wrapper around [`Ac3twMachine`]).
     pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
-        let cfg = &self.config;
-        let delta = scenario.world.delta_ms();
-        let wait_cap = delta * cfg.wait_cap_deltas;
-        let started_at = scenario.world.now();
+        let mut machine = self.machine(scenario.graph.clone());
+        drive(&mut machine, &mut scenario.world, &mut scenario.participants)
+    }
+}
+
+/// Phase of the AC3TW state machine.
+#[derive(Debug)]
+enum Phase {
+    /// Nothing has happened yet; the first poll signs, registers with Trent
+    /// and submits every deployment.
+    Start,
+    /// Waiting for every deployment to reach the required depth.
+    AwaitDeployments { deadline: Timestamp },
+    /// Some participant failed to publish; idling through the grace period
+    /// before asking Trent for a refund decision.
+    AbortGrace { until: Timestamp },
+    /// Settlement calls submitted; waiting for them to stabilise.
+    AwaitSettlements { deadline: Timestamp },
+    /// Recovery pass: idling one Δ before re-attempting unsettled edges.
+    RecoveryIdle { rounds_left: u64, until: Timestamp },
+    /// Recovery pass: waiting for re-attempted settlements to be included.
+    AwaitRecoveryInclusion { rounds_left: u64, pending: Vec<(ChainId, TxId)>, deadline: Timestamp },
+    /// Terminal.
+    Finished,
+}
+
+/// The AC3TW protocol as a resumable state machine (see [`crate::driver`]).
+#[derive(Debug)]
+pub struct Ac3twMachine {
+    config: ProtocolConfig,
+    graph: SwapGraph,
+    trent: Trent,
+    registered: bool,
+    graph_digest: Hash256,
+    phase: Phase,
+    timeline: Timeline,
+    started_at: Timestamp,
+    delta: u64,
+    wait_cap: u64,
+    deployments: u64,
+    calls: u64,
+    fees: u64,
+    edges: Vec<SwapEdge>,
+    edge_deploys: Vec<Option<(TxId, ContractId)>>,
+    decision: Option<bool>,
+    signature: Option<Signature>,
+    settlements: Vec<Option<(ChainId, TxId)>>,
+    finished_at: Option<Timestamp>,
+    report: Option<SwapReport>,
+}
+
+impl Ac3twMachine {
+    /// Create a machine executing `graph` against a fresh Trent.
+    pub fn new(config: ProtocolConfig, graph: SwapGraph, trent_available: bool) -> Self {
+        let edges = graph.edges().to_vec();
+        let n = edges.len();
         let mut trent = Trent::new();
-        trent.available = self.trent_available;
-        let mut deployments = 0u64;
-        let mut calls = 0u64;
-        let mut fees = 0u64;
-
-        // Step 1: multisign the graph and register it with Trent.
-        let keypairs: Vec<KeyPair> = scenario
-            .graph
-            .participants()
-            .iter()
-            .filter_map(|a| scenario.participants.by_address(a).map(|p| p.keypair()))
-            .collect();
-        let ms = scenario.graph.multisign(&keypairs)?;
-        let graph_digest = ms.digest();
-        scenario.world.timeline.record(started_at, EventKind::GraphSigned);
-        let registered = trent.register(graph_digest).is_ok();
-        if registered {
-            scenario.world.timeline.record(scenario.world.now(), EventKind::WitnessRegistered);
+        trent.available = trent_available;
+        Ac3twMachine {
+            config,
+            graph,
+            trent,
+            registered: false,
+            graph_digest: Hash256::default(),
+            phase: Phase::Start,
+            timeline: Timeline::new(),
+            started_at: 0,
+            delta: 0,
+            wait_cap: 0,
+            deployments: 0,
+            calls: 0,
+            fees: 0,
+            edges,
+            edge_deploys: Vec::new(),
+            decision: None,
+            signature: None,
+            settlements: vec![None; n],
+            finished_at: None,
+            report: None,
         }
+    }
 
-        // Step 2: all participants deploy their Algorithm 2 contracts in
-        // parallel (AC3TW also allows concurrent publication).
-        let edges: Vec<_> = scenario.graph.edges().to_vec();
-        let mut edge_deploys: Vec<Option<(TxId, ContractId)>> = Vec::with_capacity(edges.len());
-        for e in &edges {
-            let spec = ContractSpec::Centralized(CentralizedSpec {
-                recipient: e.to,
-                graph_digest,
-                witness_key: trent.public_key(),
-            });
-            let deployed = deploy_contract(
-                &mut scenario.world,
-                &mut scenario.participants,
-                &e.from,
-                e.chain,
-                &spec,
-                e.amount,
-            )?;
-            if let Some((_, contract)) = &deployed {
-                deployments += 1;
-                fees += scenario.world.chain(e.chain)?.params().deploy_fee;
-                scenario.world.timeline.record(
-                    scenario.world.now(),
-                    EventKind::ContractSubmitted { chain: e.chain, contract: *contract },
-                );
-            }
-            edge_deploys.push(deployed);
-        }
+    fn record(&mut self, world: &mut World, at: Timestamp, kind: EventKind) {
+        self.timeline.record(at, kind.clone());
+        world.timeline.record(at, kind);
+    }
 
-        let all_submitted = edge_deploys.iter().all(Option::is_some);
-        let stable = if all_submitted {
-            let deploys = edge_deploys.clone();
-            let edges_for_wait = edges.clone();
-            let depth = cfg.deployment_depth;
-            scenario
-                .world
-                .advance_until("contract deployments to stabilise", wait_cap, move |w| {
-                    deploys.iter().zip(&edges_for_wait).all(|(d, e)| match d {
-                        Some((txid, _)) => w
-                            .chain(e.chain)
-                            .ok()
-                            .and_then(|c| c.tx_depth(txid))
-                            .is_some_and(|got| got >= depth),
-                        None => false,
-                    })
-                })
-                .is_ok()
+    fn poll_step(&self, world: &World) -> Step {
+        Step::Waiting { not_before: world.now() + world.min_block_interval_ms() }
+    }
+
+    fn settlement_call(
+        commit: bool,
+        e: &SwapEdge,
+        sig: Signature,
+    ) -> (ac3_chain::Address, ContractCall) {
+        if commit {
+            (e.to, ContractCall::Centralized(CentralizedCall::Redeem { signature: sig }))
         } else {
-            scenario.world.advance(cfg.abort_after_deltas * delta);
-            false
-        };
-
-        // Step 3: ask Trent for a decision. He verifies the deployments
-        // himself (as a trusted observer of all chains).
-        let all_published = stable
-            && edge_deploys.iter().zip(&edges).all(|(d, e)| {
-                d.is_some_and(|(_, contract)| {
-                    scenario
-                        .world
-                        .contract_state(e.chain, contract)
-                        .is_some_and(|(tag, _)| tag == "P")
-                })
-            });
-        let (decision_commit, decision_sig) = if !registered {
-            (None, None)
-        } else if all_published {
-            match trent.request_redeem(graph_digest, true) {
-                Ok(sig) => (Some(true), Some(sig)),
-                Err(_) => (None, None),
-            }
-        } else {
-            match trent.request_refund(graph_digest) {
-                Ok(sig) => (Some(false), Some(sig)),
-                Err(_) => (None, None),
-            }
-        };
-        if let Some(commit) = decision_commit {
-            scenario
-                .world
-                .timeline
-                .record(scenario.world.now(), EventKind::DecisionReached { commit });
+            (e.from, ContractCall::Centralized(CentralizedCall::Refund { signature: sig }))
         }
+    }
 
-        // Step 4: settle every published contract with Trent's signature.
-        let mut finished_at = scenario.world.now();
-        if let (Some(commit), Some(sig)) = (decision_commit, decision_sig) {
-            let mut settlements: Vec<Option<(ac3_chain::ChainId, TxId)>> = vec![None; edges.len()];
-            for (i, e) in edges.iter().enumerate() {
-                let Some((_, contract)) = edge_deploys[i] else { continue };
-                let (actor, call) = if commit {
-                    (e.to, ContractCall::Centralized(CentralizedCall::Redeem { signature: sig }))
-                } else {
-                    (e.from, ContractCall::Centralized(CentralizedCall::Refund { signature: sig }))
-                };
-                if let Some(txid) = call_contract(
-                    &mut scenario.world,
-                    &mut scenario.participants,
-                    &actor,
-                    e.chain,
-                    contract,
-                    &call,
-                )? {
-                    calls += 1;
-                    fees += scenario.world.chain(e.chain)?.params().call_fee;
-                    settlements[i] = Some((e.chain, txid));
-                }
-            }
-            let pending = settlements.clone();
-            let _ = scenario.world.advance_until("settlements to stabilise", wait_cap, move |w| {
-                pending.iter().flatten().all(|(chain, txid)| {
-                    w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(|d| {
-                        d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
-                    })
-                })
-            });
-            finished_at = scenario.world.now();
+    fn unsettled(&self, world: &World) -> Vec<usize> {
+        crate::driver::unsettled_edges(world, &self.edges, &self.edge_deploys)
+    }
 
-            // Recovery pass, as in AC3WN: Trent's signature has no expiry,
-            // so recovered participants settle late without losing assets.
-            if cfg.allow_recovery_redemption {
-                for _ in 0..cfg.wait_cap_deltas {
-                    let unsettled: Vec<usize> = (0..edges.len())
-                        .filter(|i| {
-                            edge_deploys[*i].is_some()
-                                && edge_disposition(
-                                    &scenario.world,
-                                    edges[*i].chain,
-                                    edge_deploys[*i].map(|(_, c)| c),
-                                ) == EdgeDisposition::Locked
-                        })
-                        .collect();
-                    if unsettled.is_empty() {
-                        break;
-                    }
-                    scenario.world.advance(delta);
-                    for i in unsettled {
-                        let e = &edges[i];
-                        let Some((_, contract)) = edge_deploys[i] else { continue };
-                        let (actor, call) = if commit {
-                            (
-                                e.to,
-                                ContractCall::Centralized(CentralizedCall::Redeem {
-                                    signature: sig,
-                                }),
-                            )
-                        } else {
-                            (
-                                e.from,
-                                ContractCall::Centralized(CentralizedCall::Refund {
-                                    signature: sig,
-                                }),
-                            )
-                        };
-                        if let Some(txid) = call_contract(
-                            &mut scenario.world,
-                            &mut scenario.participants,
-                            &actor,
-                            e.chain,
-                            contract,
-                            &call,
-                        )? {
-                            calls += 1;
-                            fees += scenario.world.chain(e.chain)?.params().call_fee;
-                            let _ = scenario.world.wait_for_inclusion(e.chain, txid, delta * 2);
-                        }
-                    }
-                }
-            }
-        }
-
-        let outcomes: Vec<EdgeOutcome> = edges
+    fn finish(&mut self, world: &World) -> Step {
+        let outcomes: Vec<EdgeOutcome> = self
+            .edges
             .iter()
-            .zip(&edge_deploys)
+            .zip(&self.edge_deploys)
             .map(|(e, d)| {
                 let contract = d.map(|(_, c)| c);
                 EdgeOutcome {
                     edge: *e,
                     contract,
-                    disposition: edge_disposition(&scenario.world, e.chain, contract),
+                    disposition: edge_disposition(world, e.chain, contract),
                 }
             })
             .collect();
-
-        Ok(SwapReport {
+        let report = SwapReport {
             protocol: ProtocolKind::Ac3Tw,
-            decision: decision_commit,
+            decision: self.decision,
             edges: outcomes,
-            started_at,
-            finished_at,
-            delta_ms: delta,
-            deployments,
-            calls,
-            fees_paid: fees,
-            timeline: scenario.world.timeline.clone(),
-        })
+            started_at: self.started_at,
+            finished_at: self.finished_at.unwrap_or_else(|| world.now()),
+            delta_ms: self.delta,
+            deployments: self.deployments,
+            calls: self.calls,
+            fees_paid: self.fees,
+            timeline: self.timeline.clone(),
+        };
+        self.report = Some(report.clone());
+        self.phase = Phase::Finished;
+        Step::Done(Box::new(report))
+    }
+
+    /// Step 3: ask Trent for a decision (he verifies the deployments himself
+    /// as a trusted observer of all chains), then submit every settlement.
+    fn decide_and_settle(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        stable: bool,
+    ) -> Result<(), ProtocolError> {
+        let all_published = stable
+            && self.edge_deploys.iter().zip(&self.edges).all(|(d, e)| {
+                d.is_some_and(|(_, contract)| {
+                    world.contract_state(e.chain, contract).is_some_and(|(tag, _)| tag == "P")
+                })
+            });
+        let (decision, sig) = if !self.registered {
+            (None, None)
+        } else if all_published {
+            match self.trent.request_redeem(self.graph_digest, true) {
+                Ok(sig) => (Some(true), Some(sig)),
+                Err(_) => (None, None),
+            }
+        } else {
+            match self.trent.request_refund(self.graph_digest) {
+                Ok(sig) => (Some(false), Some(sig)),
+                Err(_) => (None, None),
+            }
+        };
+        self.decision = decision;
+        self.signature = sig;
+        if let Some(commit) = decision {
+            let now = world.now();
+            self.record(world, now, EventKind::DecisionReached { commit });
+        }
+        self.finished_at = Some(world.now());
+
+        let (Some(commit), Some(sig)) = (decision, sig) else {
+            // No decision could be produced (unregistered graph or an
+            // unavailable Trent): every asset stays locked.
+            self.phase = Phase::Finished;
+            return Ok(());
+        };
+
+        // Step 4: settle every published contract with Trent's signature.
+        for i in 0..self.edges.len() {
+            let e = self.edges[i];
+            let Some((_, contract)) = self.edge_deploys[i] else { continue };
+            let (actor, call) = Self::settlement_call(commit, &e, sig);
+            if let Some(txid) =
+                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            {
+                self.calls += 1;
+                self.fees += world.chain(e.chain)?.params().call_fee;
+                self.settlements[i] = Some((e.chain, txid));
+            }
+        }
+        self.phase = Phase::AwaitSettlements { deadline: world.now() + self.wait_cap };
+        Ok(())
+    }
+
+    /// Re-attempt settlement of the still-locked edges (recovery pass):
+    /// Trent's signature has no expiry, so recovered participants settle
+    /// late without losing assets.
+    fn attempt_recovery(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        rounds_left: u64,
+    ) -> Result<(), ProtocolError> {
+        let commit = self.decision.expect("recovery follows a decision");
+        let sig = self.signature.expect("recovery follows a decision");
+        let mut pending = Vec::new();
+        for i in self.unsettled(world) {
+            let e = self.edges[i];
+            let Some((_, contract)) = self.edge_deploys[i] else { continue };
+            let (actor, call) = Self::settlement_call(commit, &e, sig);
+            if let Some(txid) =
+                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            {
+                self.calls += 1;
+                self.fees += world.chain(e.chain)?.params().call_fee;
+                pending.push((e.chain, txid));
+            }
+        }
+        self.phase = if pending.is_empty() {
+            self.next_recovery_phase(world, rounds_left)
+        } else {
+            Phase::AwaitRecoveryInclusion {
+                rounds_left,
+                pending,
+                deadline: world.now() + self.delta * 2,
+            }
+        };
+        Ok(())
+    }
+
+    fn next_recovery_phase(&self, world: &World, rounds_left: u64) -> Phase {
+        if rounds_left == 0 || self.unsettled(world).is_empty() {
+            Phase::Finished
+        } else {
+            Phase::RecoveryIdle { rounds_left, until: world.now() + self.delta }
+        }
+    }
+}
+
+impl SwapMachine for Ac3twMachine {
+    fn poll(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<Step, ProtocolError> {
+        loop {
+            match &self.phase {
+                Phase::Start => {
+                    let now = world.now();
+                    self.started_at = now;
+                    self.delta = world.delta_ms();
+                    self.wait_cap = self.delta * self.config.wait_cap_deltas;
+
+                    // Step 1: multisign the graph and register it with Trent.
+                    let keypairs: Vec<KeyPair> = self
+                        .graph
+                        .participants()
+                        .iter()
+                        .filter_map(|a| participants.by_address(a).map(|p| p.keypair()))
+                        .collect();
+                    let ms = self.graph.multisign(&keypairs)?;
+                    self.graph_digest = ms.digest();
+                    self.record(world, now, EventKind::GraphSigned);
+                    self.registered = self.trent.register(self.graph_digest).is_ok();
+                    if self.registered {
+                        self.record(world, now, EventKind::WitnessRegistered);
+                    }
+
+                    // Step 2: all participants deploy their Algorithm 2
+                    // contracts in parallel (AC3TW also allows concurrent
+                    // publication).
+                    let witness_key = self.trent.public_key();
+                    for i in 0..self.edges.len() {
+                        let e = self.edges[i];
+                        let spec = ContractSpec::Centralized(CentralizedSpec {
+                            recipient: e.to,
+                            graph_digest: self.graph_digest,
+                            witness_key,
+                        });
+                        let deployed = deploy_contract(
+                            world,
+                            participants,
+                            &e.from,
+                            e.chain,
+                            &spec,
+                            e.amount,
+                        )?;
+                        if let Some((_, contract)) = &deployed {
+                            self.deployments += 1;
+                            self.fees += world.chain(e.chain)?.params().deploy_fee;
+                            let at = world.now();
+                            self.record(
+                                world,
+                                at,
+                                EventKind::ContractSubmitted {
+                                    chain: e.chain,
+                                    contract: *contract,
+                                },
+                            );
+                        }
+                        self.edge_deploys.push(deployed);
+                    }
+                    self.phase = if self.edge_deploys.iter().all(Option::is_some) {
+                        Phase::AwaitDeployments { deadline: now + self.wait_cap }
+                    } else {
+                        Phase::AbortGrace {
+                            until: now + self.config.abort_after_deltas * self.delta,
+                        }
+                    };
+                }
+                Phase::AwaitDeployments { deadline } => {
+                    let deadline = *deadline;
+                    let all_deep = self.edge_deploys.iter().zip(&self.edges).all(|(d, e)| {
+                        d.as_ref().is_some_and(|(txid, _)| {
+                            tx_at_depth(world, e.chain, txid, self.config.deployment_depth)
+                        })
+                    });
+                    if all_deep {
+                        self.decide_and_settle(world, participants, true)?;
+                    } else if world.now() >= deadline {
+                        self.decide_and_settle(world, participants, false)?;
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::AbortGrace { until } => {
+                    let until = *until;
+                    if world.now() >= until {
+                        self.decide_and_settle(world, participants, false)?;
+                    } else {
+                        return Ok(Step::Waiting { not_before: until });
+                    }
+                }
+                Phase::AwaitSettlements { deadline } => {
+                    let deadline = *deadline;
+                    let all_stable = self
+                        .settlements
+                        .iter()
+                        .flatten()
+                        .all(|(chain, txid)| tx_stable(world, *chain, txid));
+                    if all_stable || world.now() >= deadline {
+                        self.finished_at = Some(world.now());
+                        self.phase = if self.config.allow_recovery_redemption {
+                            self.next_recovery_phase(world, self.config.wait_cap_deltas)
+                        } else {
+                            Phase::Finished
+                        };
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::RecoveryIdle { rounds_left, until } => {
+                    let (rounds_left, until) = (*rounds_left, *until);
+                    if world.now() >= until {
+                        self.attempt_recovery(world, participants, rounds_left - 1)?;
+                    } else {
+                        return Ok(Step::Waiting { not_before: until });
+                    }
+                }
+                Phase::AwaitRecoveryInclusion { rounds_left, pending, deadline } => {
+                    let (rounds_left, deadline) = (*rounds_left, *deadline);
+                    let all_included =
+                        pending.iter().all(|(chain, txid)| tx_at_depth(world, *chain, txid, 0));
+                    if all_included || world.now() >= deadline {
+                        self.phase = self.next_recovery_phase(world, rounds_left);
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::Finished => {
+                    if let Some(report) = &self.report {
+                        return Ok(Step::Done(Box::new(report.clone())));
+                    }
+                    return Ok(self.finish(world));
+                }
+            }
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Start => "start",
+            Phase::AwaitDeployments { .. } => "await-deployments",
+            Phase::AbortGrace { .. } => "abort-grace",
+            Phase::AwaitSettlements { .. } => "await-settlements",
+            Phase::RecoveryIdle { .. } => "recovery-idle",
+            Phase::AwaitRecoveryInclusion { .. } => "recovery-inclusion",
+            Phase::Finished => "finished",
+        }
     }
 }
 

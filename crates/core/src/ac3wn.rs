@@ -1,8 +1,7 @@
 //! The AC3WN protocol (Section 4.2): atomic cross-chain commitment
 //! coordinated by a permissionless witness network.
 //!
-//! The driver executes the paper's protocol steps over a simulated
-//! [`Scenario`]:
+//! The driver executes the paper's protocol steps over a simulated world:
 //!
 //! 1. all participants multisign the AC2T graph `(D, t)`;
 //! 2. one participant registers `ms(D)` in a witness contract `SC_w`
@@ -21,20 +20,26 @@
 //! A final *recovery pass* lets participants who were crashed during step 5
 //! complete their redemption later — the commitment property: once decided,
 //! the outcome eventually takes effect, with no timelock to race against.
+//!
+//! The protocol logic lives in [`Ac3wnMachine`], a resumable step/poll
+//! state machine (see [`crate::driver`]): each [`Ac3wnMachine::poll`] does
+//! as much work as the current simulated instant allows and reports when
+//! polling again is useful, so many AC2Ts can interleave over shared chains
+//! under the [`crate::scheduler::Scheduler`]. [`Ac3wn::execute`] is the
+//! single-swap wrapper that drives one machine to completion.
 
 use crate::actions::{call_contract, deploy_contract, edge_disposition};
-use crate::graph::GraphError;
-use crate::protocol::{
-    EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
-};
+use crate::driver::{drive, tx_at_depth, tx_stable, wait_timeout, Step, SwapMachine};
+use crate::graph::{GraphError, SwapEdge, SwapGraph};
+use crate::protocol::{EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport};
 use crate::scenario::Scenario;
-use ac3_chain::{Address, ChainId, ContractId, TxId};
+use ac3_chain::{Address, ChainId, ContractId, Timestamp, TxId};
 use ac3_contracts::{
-    ContractCall, ContractSpec, ExpectedContract, PermissionlessCall, PermissionlessSpec,
-    WitnessCall, WitnessSpec, WitnessStateEvidence,
+    ChainAnchor, ContractCall, ContractSpec, ExpectedContract, PermissionlessCall,
+    PermissionlessSpec, WitnessCall, WitnessSpec, WitnessStateEvidence,
 };
 use ac3_crypto::{KeyPair, WitnessState};
-use ac3_sim::EventKind;
+use ac3_sim::{EventKind, ParticipantSet, Timeline, World};
 
 impl From<GraphError> for ProtocolError {
     fn from(e: GraphError) -> Self {
@@ -55,322 +60,120 @@ impl Ac3wn {
         Ac3wn { config }
     }
 
-    /// Execute the AC2T described by the scenario's graph.
+    /// Create a resumable state machine executing `graph` with `witness` as
+    /// the witness chain (for use under a scheduler).
+    pub fn machine(&self, graph: SwapGraph, witness: ChainId) -> Ac3wnMachine {
+        Ac3wnMachine::new(self.config.clone(), graph, witness)
+    }
+
+    /// Execute the AC2T described by the scenario's graph (single-swap
+    /// wrapper around [`Ac3wnMachine`]).
     pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
-        let cfg = &self.config;
-        let delta = scenario.world.delta_ms();
-        let wait_cap = delta * cfg.wait_cap_deltas;
-        let witness_chain = scenario.witness_chain;
-        let started_at = scenario.world.now();
-        let mut deployments = 0u64;
-        let mut calls = 0u64;
-        let mut fees = 0u64;
+        let mut machine = self.machine(scenario.graph.clone(), scenario.witness_chain);
+        drive(&mut machine, &mut scenario.world, &mut scenario.participants)
+    }
+}
 
-        // ------------------------------------------------------------------
-        // Step 1: multisign the graph.
-        // ------------------------------------------------------------------
-        let keypairs: Vec<KeyPair> = scenario
-            .graph
-            .participants()
-            .iter()
-            .filter_map(|a| scenario.participants.by_address(a).map(|p| p.keypair()))
-            .collect();
-        let ms = scenario.graph.multisign(&keypairs)?;
-        scenario.world.timeline.record(started_at, EventKind::GraphSigned);
+/// Phase of the AC3WN state machine. Waits carry the deadline computed when
+/// the phase was entered, reproducing the blocking driver's capped waits.
+#[derive(Debug)]
+enum Phase {
+    /// Nothing has happened yet; the first poll signs the graph and
+    /// registers `SC_w`.
+    Start,
+    /// `SC_w` submitted; waiting for the registration to be buried.
+    AwaitRegistration { reg_txid: TxId, deadline: Timestamp },
+    /// All asset contracts submitted; waiting for every deployment to reach
+    /// the required depth.
+    AwaitDeployments { deadline: Timestamp },
+    /// Some participant failed to publish; idling through the configured
+    /// grace period before requesting an abort.
+    AbortGrace { until: Timestamp },
+    /// Authorize call submitted; waiting for the decision to be buried.
+    AwaitDecision { deadline: Timestamp },
+    /// Settlement calls submitted; waiting for them to stabilise.
+    AwaitSettlements { deadline: Timestamp },
+    /// Recovery pass: idling one Δ before re-attempting unsettled edges.
+    RecoveryIdle { rounds_left: u64, until: Timestamp },
+    /// Recovery pass: waiting for re-attempted settlements to be included.
+    AwaitRecoveryInclusion { rounds_left: u64, pending: Vec<(ChainId, TxId)>, deadline: Timestamp },
+    /// Terminal.
+    Finished,
+}
 
-        // ------------------------------------------------------------------
-        // Step 2: register ms(D) in SC_w on the witness chain.
-        // ------------------------------------------------------------------
-        let mut expected = Vec::with_capacity(scenario.graph.contract_count());
-        for e in scenario.graph.edges() {
-            expected.push(ExpectedContract {
-                chain: e.chain,
-                sender: e.from,
-                recipient: e.to,
-                amount: e.amount,
-                anchor: scenario.world.anchor(e.chain)?,
-                required_depth: cfg.deployment_depth,
-            });
-        }
-        let witness_spec = ContractSpec::Witness(WitnessSpec {
-            participants: scenario.graph.participants().to_vec(),
-            graph_digest: ms.digest(),
-            expected_contracts: expected.clone(),
-        });
+/// The AC3WN protocol as a resumable state machine (see [`crate::driver`]).
+#[derive(Debug)]
+pub struct Ac3wnMachine {
+    config: ProtocolConfig,
+    graph: SwapGraph,
+    witness_chain: ChainId,
+    phase: Phase,
+    timeline: Timeline,
+    // Fixed at the first poll.
+    started_at: Timestamp,
+    delta: u64,
+    wait_cap: u64,
+    // Accumulated metrics.
+    deployments: u64,
+    calls: u64,
+    fees: u64,
+    // Data carried across phases.
+    edges: Vec<SwapEdge>,
+    expected: Vec<ExpectedContract>,
+    scw: Option<ContractId>,
+    witness_anchor: Option<ChainAnchor>,
+    edge_deploys: Vec<Option<(TxId, ContractId)>>,
+    commit: Option<bool>,
+    authorize_txid: Option<TxId>,
+    witness_evidence: Option<WitnessStateEvidence>,
+    settlements: Vec<Option<(ChainId, TxId)>>,
+    finished_at: Option<Timestamp>,
+    report: Option<SwapReport>,
+}
 
-        let Some(registrant) = self.first_available(scenario) else {
-            return Ok(self.report(
-                scenario,
-                started_at,
-                scenario.world.now(),
-                None,
-                &[],
-                delta,
-                0,
-                0,
-                0,
-            ));
-        };
-        let Some((reg_txid, scw)) = deploy_contract(
-            &mut scenario.world,
-            &mut scenario.participants,
-            &registrant,
+impl Ac3wnMachine {
+    /// Create a machine executing `graph` with `witness_chain` as witness.
+    pub fn new(config: ProtocolConfig, graph: SwapGraph, witness_chain: ChainId) -> Self {
+        let edges = graph.edges().to_vec();
+        let n = edges.len();
+        Ac3wnMachine {
+            config,
+            graph,
             witness_chain,
-            &witness_spec,
-            0,
-        )?
-        else {
-            return Ok(self.report(
-                scenario,
-                started_at,
-                scenario.world.now(),
-                None,
-                &[],
-                delta,
-                0,
-                0,
-                0,
-            ));
-        };
-        deployments += 1;
-        fees += scenario.world.chain(witness_chain)?.params().deploy_fee;
-        scenario.world.wait_for_depth(witness_chain, reg_txid, cfg.witness_depth, wait_cap)?;
-        let registered_at = scenario.world.now();
-        scenario.world.timeline.record(registered_at, EventKind::WitnessRegistered);
-
-        // The stable witness-chain block every asset contract stores as its
-        // evidence anchor. It precedes the authorize call by construction.
-        let witness_anchor = scenario.world.anchor(witness_chain)?;
-
-        // ------------------------------------------------------------------
-        // Step 3: deploy all asset contracts in parallel.
-        // ------------------------------------------------------------------
-        let edges: Vec<_> = scenario.graph.edges().to_vec();
-        let mut edge_deploys: Vec<Option<(TxId, ContractId)>> = Vec::with_capacity(edges.len());
-        for e in &edges {
-            let spec = ContractSpec::Permissionless(PermissionlessSpec {
-                recipient: e.to,
-                witness_chain,
-                witness_contract: scw,
-                min_depth: cfg.witness_depth,
-                witness_anchor,
-            });
-            let deployed = deploy_contract(
-                &mut scenario.world,
-                &mut scenario.participants,
-                &e.from,
-                e.chain,
-                &spec,
-                e.amount,
-            )?;
-            if let Some((_, contract)) = &deployed {
-                deployments += 1;
-                fees += scenario.world.chain(e.chain)?.params().deploy_fee;
-                scenario.world.timeline.record(
-                    scenario.world.now(),
-                    EventKind::ContractSubmitted { chain: e.chain, contract: *contract },
-                );
-            }
-            edge_deploys.push(deployed);
+            phase: Phase::Start,
+            timeline: Timeline::new(),
+            started_at: 0,
+            delta: 0,
+            wait_cap: 0,
+            deployments: 0,
+            calls: 0,
+            fees: 0,
+            edges,
+            expected: Vec::new(),
+            scw: None,
+            witness_anchor: None,
+            edge_deploys: Vec::new(),
+            commit: None,
+            authorize_txid: None,
+            witness_evidence: None,
+            settlements: vec![None; n],
+            finished_at: None,
+            report: None,
         }
+    }
 
-        // Wait for every submitted deployment to reach the required depth.
-        let all_submitted = edge_deploys.iter().all(Option::is_some);
-        let commit = if all_submitted {
-            let deploys = edge_deploys.clone();
-            let edges_for_wait = edges.clone();
-            let depth = cfg.deployment_depth;
-            scenario
-                .world
-                .advance_until("asset contract deployments to stabilise", wait_cap, move |w| {
-                    deploys.iter().zip(&edges_for_wait).all(|(d, e)| match d {
-                        Some((txid, _)) => w
-                            .chain(e.chain)
-                            .ok()
-                            .and_then(|c| c.tx_depth(txid))
-                            .is_some_and(|got| got >= depth),
-                        None => false,
-                    })
-                })
-                .is_ok()
-        } else {
-            // Someone declined or crashed before publishing: give the
-            // configured grace period, then abort.
-            scenario.world.advance(cfg.abort_after_deltas * delta);
-            false
-        };
-        for (deployed, e) in edge_deploys.iter().zip(&edges) {
-            if let Some((_, contract)) = deployed {
-                scenario.world.timeline.record(
-                    scenario.world.now(),
-                    EventKind::ContractPublished { chain: e.chain, contract: *contract },
-                );
-            }
-        }
+    fn record(&mut self, world: &mut World, at: Timestamp, kind: EventKind) {
+        self.timeline.record(at, kind.clone());
+        world.timeline.record(at, kind);
+    }
 
-        // ------------------------------------------------------------------
-        // Step 4: change SC_w's state (the commit / abort decision).
-        // ------------------------------------------------------------------
-        let authorize_call = if commit {
-            let mut evidence = Vec::with_capacity(edges.len());
-            for (i, e) in edges.iter().enumerate() {
-                let (txid, _) = edge_deploys[i].expect("commit implies all deployed");
-                evidence.push(scenario.world.tx_evidence_since(
-                    e.chain,
-                    &expected[i].anchor,
-                    txid,
-                )?);
-            }
-            ContractCall::Witness(WitnessCall::AuthorizeRedeem { deployments: evidence })
-        } else {
-            ContractCall::Witness(WitnessCall::AuthorizeRefund)
-        };
-
-        let authorize_txid = self.submit_from_any(scenario, witness_chain, scw, &authorize_call)?;
-        let Some(authorize_txid) = authorize_txid else {
-            // Nobody could reach the witness chain at all; the swap stays
-            // locked (assets recoverable once someone can submit a refund
-            // authorization later — outside this run).
-            let outcomes = self.collect_outcomes(scenario, &edges, &edge_deploys);
-            let finished = scenario.world.now();
-            return Ok(self.report(
-                scenario,
-                started_at,
-                finished,
-                None,
-                &outcomes,
-                delta,
-                deployments,
-                calls,
-                fees,
-            ));
-        };
-        calls += 1;
-        fees += scenario.world.chain(witness_chain)?.params().call_fee;
-        scenario.world.wait_for_depth(
-            witness_chain,
-            authorize_txid,
-            cfg.witness_depth,
-            wait_cap,
-        )?;
-        scenario.world.timeline.record(scenario.world.now(), EventKind::DecisionReached { commit });
-
-        // ------------------------------------------------------------------
-        // Step 5: redeem / refund all asset contracts in parallel.
-        // ------------------------------------------------------------------
-        let witness_evidence = WitnessStateEvidence {
-            claimed: if commit {
-                WitnessState::RedeemAuthorized
-            } else {
-                WitnessState::RefundAuthorized
-            },
-            inclusion: scenario.world.tx_evidence_since(
-                witness_chain,
-                &witness_anchor,
-                authorize_txid,
-            )?,
-        };
-
-        let mut settlements: Vec<Option<(ChainId, TxId)>> = vec![None; edges.len()];
-        for (i, e) in edges.iter().enumerate() {
-            let Some((_, contract)) = edge_deploys[i] else { continue };
-            let (actor, call) = self.settlement_action(commit, e.from, e.to, &witness_evidence);
-            if let Some(txid) = call_contract(
-                &mut scenario.world,
-                &mut scenario.participants,
-                &actor,
-                e.chain,
-                contract,
-                &call,
-            )? {
-                calls += 1;
-                fees += scenario.world.chain(e.chain)?.params().call_fee;
-                settlements[i] = Some((e.chain, txid));
-            }
-        }
-        // Wait for every submitted settlement to stabilise; failures (e.g.
-        // evidence rejected after a fork attack) simply leave the edge
-        // locked and are reflected in the outcome audit.
-        let pending = settlements.clone();
-        let _ = scenario.world.advance_until("settlements to stabilise", wait_cap, move |w| {
-            pending.iter().flatten().all(|(chain, txid)| {
-                w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(|d| {
-                    d >= w.chain(*chain).map(|c| c.params().stable_depth).unwrap_or(0)
-                })
-            })
-        });
-        for (i, e) in edges.iter().enumerate() {
-            if let Some((_, contract)) = edge_deploys[i] {
-                let kind = if commit {
-                    EventKind::ContractRedeemed { chain: e.chain, contract }
-                } else {
-                    EventKind::ContractRefunded { chain: e.chain, contract }
-                };
-                if settlements[i].is_some() {
-                    scenario.world.timeline.record(scenario.world.now(), kind);
-                }
-            }
-        }
-        let finished_at = scenario.world.now();
-
-        // ------------------------------------------------------------------
-        // Recovery pass: crashed participants eventually settle (commitment).
-        // ------------------------------------------------------------------
-        if cfg.allow_recovery_redemption {
-            for _ in 0..cfg.wait_cap_deltas {
-                let unsettled: Vec<usize> = (0..edges.len())
-                    .filter(|i| {
-                        edge_deploys[*i].is_some()
-                            && edge_disposition(
-                                &scenario.world,
-                                edges[*i].chain,
-                                edge_deploys[*i].map(|(_, c)| c),
-                            ) == EdgeDisposition::Locked
-                    })
-                    .collect();
-                if unsettled.is_empty() {
-                    break;
-                }
-                scenario.world.advance(delta);
-                for i in unsettled {
-                    let e = &edges[i];
-                    let Some((_, contract)) = edge_deploys[i] else { continue };
-                    let (actor, call) =
-                        self.settlement_action(commit, e.from, e.to, &witness_evidence);
-                    if let Some(txid) = call_contract(
-                        &mut scenario.world,
-                        &mut scenario.participants,
-                        &actor,
-                        e.chain,
-                        contract,
-                        &call,
-                    )? {
-                        calls += 1;
-                        fees += scenario.world.chain(e.chain)?.params().call_fee;
-                        let _ = scenario.world.wait_for_inclusion(e.chain, txid, delta * 2);
-                    }
-                }
-            }
-        }
-
-        let outcomes = self.collect_outcomes(scenario, &edges, &edge_deploys);
-        Ok(self.report(
-            scenario,
-            started_at,
-            finished_at,
-            Some(commit),
-            &outcomes,
-            delta,
-            deployments,
-            calls,
-            fees,
-        ))
+    fn poll_step(&self, world: &World) -> Step {
+        Step::Waiting { not_before: world.now() + world.min_block_interval_ms() }
     }
 
     /// Choose the settlement action for one edge: the recipient redeems on
     /// commit, the sender refunds on abort.
     fn settlement_action(
-        &self,
         commit: bool,
         sender: Address,
         recipient: Address,
@@ -394,83 +197,447 @@ impl Ac3wn {
     }
 
     /// The first participant of the graph that is currently available.
-    fn first_available(&self, scenario: &Scenario) -> Option<Address> {
-        let now = scenario.world.now();
-        scenario
-            .graph
+    fn first_available(&self, world: &World, participants: &ParticipantSet) -> Option<Address> {
+        let now = world.now();
+        self.graph
             .participants()
             .iter()
             .copied()
-            .find(|a| scenario.participants.by_address(a).is_some_and(|p| p.is_available(now)))
+            .find(|a| participants.by_address(a).is_some_and(|p| p.is_available(now)))
     }
 
     /// Submit a call from whichever participant is first able to do so.
     fn submit_from_any(
         &self,
-        scenario: &mut Scenario,
+        world: &mut World,
+        participants: &mut ParticipantSet,
         chain: ChainId,
         contract: ContractId,
         call: &ContractCall,
     ) -> Result<Option<TxId>, ProtocolError> {
-        for addr in scenario.graph.participants().to_vec() {
-            if let Some(txid) = call_contract(
-                &mut scenario.world,
-                &mut scenario.participants,
-                &addr,
-                chain,
-                contract,
-                call,
-            )? {
+        for addr in self.graph.participants().to_vec() {
+            if let Some(txid) = call_contract(world, participants, &addr, chain, contract, call)? {
                 return Ok(Some(txid));
             }
         }
         Ok(None)
     }
 
-    fn collect_outcomes(
-        &self,
-        scenario: &Scenario,
-        edges: &[crate::graph::SwapEdge],
-        deploys: &[Option<(TxId, ContractId)>],
-    ) -> Vec<EdgeOutcome> {
-        edges
+    fn collect_outcomes(&self, world: &World) -> Vec<EdgeOutcome> {
+        self.edges
             .iter()
-            .zip(deploys)
+            .zip(&self.edge_deploys)
             .map(|(e, d)| {
                 let contract = d.map(|(_, c)| c);
                 EdgeOutcome {
                     edge: *e,
                     contract,
-                    disposition: edge_disposition(&scenario.world, e.chain, contract),
+                    disposition: edge_disposition(world, e.chain, contract),
                 }
             })
             .collect()
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn report(
-        &self,
-        scenario: &Scenario,
-        started_at: u64,
-        finished_at: u64,
-        decision: Option<bool>,
-        outcomes: &[EdgeOutcome],
-        delta: u64,
-        deployments: u64,
-        calls: u64,
-        fees: u64,
-    ) -> SwapReport {
-        SwapReport {
+    /// Indices of deployed edges whose contract is still locked in `P`.
+    fn unsettled(&self, world: &World) -> Vec<usize> {
+        crate::driver::unsettled_edges(world, &self.edges, &self.edge_deploys)
+    }
+
+    fn finish(&mut self, world: &World, decision: Option<bool>) -> Step {
+        let outcomes = self.collect_outcomes(world);
+        let finished_at = self.finished_at.unwrap_or_else(|| world.now());
+        let report = SwapReport {
             protocol: ProtocolKind::Ac3Wn,
             decision,
-            edges: outcomes.to_vec(),
-            started_at,
+            edges: outcomes,
+            started_at: self.started_at,
             finished_at,
-            delta_ms: delta,
-            deployments,
-            calls,
-            fees_paid: fees,
-            timeline: scenario.world.timeline.clone(),
+            delta_ms: self.delta,
+            deployments: self.deployments,
+            calls: self.calls,
+            fees_paid: self.fees,
+            timeline: self.timeline.clone(),
+        };
+        self.report = Some(report.clone());
+        self.phase = Phase::Finished;
+        Step::Done(Box::new(report))
+    }
+
+    /// Submit every asset-contract deployment (step 3), then pick the wait
+    /// that follows: stabilisation when everyone published, the abort grace
+    /// period otherwise.
+    fn submit_deployments(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<(), ProtocolError> {
+        let scw = self.scw.expect("witness contract registered before deployments");
+        let witness_anchor = self.witness_anchor.expect("anchor fixed before deployments");
+        for i in 0..self.edges.len() {
+            let e = self.edges[i];
+            let spec = ContractSpec::Permissionless(PermissionlessSpec {
+                recipient: e.to,
+                witness_chain: self.witness_chain,
+                witness_contract: scw,
+                min_depth: self.config.witness_depth,
+                witness_anchor,
+            });
+            let deployed = deploy_contract(world, participants, &e.from, e.chain, &spec, e.amount)?;
+            if let Some((_, contract)) = &deployed {
+                self.deployments += 1;
+                self.fees += world.chain(e.chain)?.params().deploy_fee;
+                let now = world.now();
+                self.record(
+                    world,
+                    now,
+                    EventKind::ContractSubmitted { chain: e.chain, contract: *contract },
+                );
+            }
+            self.edge_deploys.push(deployed);
+        }
+        let now = world.now();
+        self.phase = if self.edge_deploys.iter().all(Option::is_some) {
+            Phase::AwaitDeployments { deadline: now + self.wait_cap }
+        } else {
+            Phase::AbortGrace { until: now + self.config.abort_after_deltas * self.delta }
+        };
+        Ok(())
+    }
+
+    /// Record the publication events and submit the authorize call (step 4),
+    /// or finish early when nobody can reach the witness chain.
+    fn submit_authorize(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        commit: bool,
+    ) -> Result<Option<Step>, ProtocolError> {
+        self.commit = Some(commit);
+        let now = world.now();
+        for i in 0..self.edges.len() {
+            if let Some((_, contract)) = self.edge_deploys[i] {
+                let chain = self.edges[i].chain;
+                self.record(world, now, EventKind::ContractPublished { chain, contract });
+            }
+        }
+
+        let authorize_call = if commit {
+            let mut evidence = Vec::with_capacity(self.edges.len());
+            for (i, e) in self.edges.iter().enumerate() {
+                let (txid, _) = self.edge_deploys[i].expect("commit implies all deployed");
+                evidence.push(world.tx_evidence_since(e.chain, &self.expected[i].anchor, txid)?);
+            }
+            ContractCall::Witness(WitnessCall::AuthorizeRedeem { deployments: evidence })
+        } else {
+            ContractCall::Witness(WitnessCall::AuthorizeRefund)
+        };
+
+        let scw = self.scw.expect("witness contract registered before authorize");
+        let authorize_txid =
+            self.submit_from_any(world, participants, self.witness_chain, scw, &authorize_call)?;
+        let Some(authorize_txid) = authorize_txid else {
+            // Nobody could reach the witness chain at all; the swap stays
+            // locked (assets recoverable once someone can submit a refund
+            // authorization later — outside this run).
+            return Ok(Some(self.finish(world, None)));
+        };
+        self.calls += 1;
+        self.fees += world.chain(self.witness_chain)?.params().call_fee;
+        self.authorize_txid = Some(authorize_txid);
+        self.phase = Phase::AwaitDecision { deadline: world.now() + self.wait_cap };
+        Ok(None)
+    }
+
+    /// Build the witness-state evidence and submit every settlement call
+    /// (step 5).
+    fn submit_settlements(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<(), ProtocolError> {
+        let commit = self.commit.expect("decision reached before settlement");
+        let authorize_txid = self.authorize_txid.expect("decision reached before settlement");
+        let witness_anchor = self.witness_anchor.expect("anchor fixed before settlement");
+        let evidence = WitnessStateEvidence {
+            claimed: if commit {
+                WitnessState::RedeemAuthorized
+            } else {
+                WitnessState::RefundAuthorized
+            },
+            inclusion: world.tx_evidence_since(
+                self.witness_chain,
+                &witness_anchor,
+                authorize_txid,
+            )?,
+        };
+        for i in 0..self.edges.len() {
+            let e = self.edges[i];
+            let Some((_, contract)) = self.edge_deploys[i] else { continue };
+            let (actor, call) = Self::settlement_action(commit, e.from, e.to, &evidence);
+            if let Some(txid) =
+                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            {
+                self.calls += 1;
+                self.fees += world.chain(e.chain)?.params().call_fee;
+                self.settlements[i] = Some((e.chain, txid));
+            }
+        }
+        self.witness_evidence = Some(evidence);
+        self.phase = Phase::AwaitSettlements { deadline: world.now() + self.wait_cap };
+        Ok(())
+    }
+
+    /// Re-attempt settlement of the still-locked edges (recovery pass).
+    fn attempt_recovery(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        rounds_left: u64,
+    ) -> Result<(), ProtocolError> {
+        let commit = self.commit.expect("recovery follows a decision");
+        let evidence = self.witness_evidence.clone().expect("recovery follows a decision");
+        let mut pending = Vec::new();
+        for i in self.unsettled(world) {
+            let e = self.edges[i];
+            let Some((_, contract)) = self.edge_deploys[i] else { continue };
+            let (actor, call) = Self::settlement_action(commit, e.from, e.to, &evidence);
+            if let Some(txid) =
+                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            {
+                self.calls += 1;
+                self.fees += world.chain(e.chain)?.params().call_fee;
+                pending.push((e.chain, txid));
+            }
+        }
+        self.phase = if pending.is_empty() {
+            self.next_recovery_phase(world, rounds_left)
+        } else {
+            Phase::AwaitRecoveryInclusion {
+                rounds_left,
+                pending,
+                deadline: world.now() + self.delta * 2,
+            }
+        };
+        Ok(())
+    }
+
+    /// Decide whether another recovery round is warranted.
+    fn next_recovery_phase(&self, world: &World, rounds_left: u64) -> Phase {
+        if rounds_left == 0 || self.unsettled(world).is_empty() {
+            Phase::Finished
+        } else {
+            Phase::RecoveryIdle { rounds_left, until: world.now() + self.delta }
+        }
+    }
+}
+
+impl SwapMachine for Ac3wnMachine {
+    fn poll(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<Step, ProtocolError> {
+        loop {
+            match &self.phase {
+                Phase::Start => {
+                    let now = world.now();
+                    self.started_at = now;
+                    self.delta = world.delta_ms();
+                    self.wait_cap = self.delta * self.config.wait_cap_deltas;
+
+                    // Step 1: multisign the graph.
+                    let keypairs: Vec<KeyPair> = self
+                        .graph
+                        .participants()
+                        .iter()
+                        .filter_map(|a| participants.by_address(a).map(|p| p.keypair()))
+                        .collect();
+                    let ms = self.graph.multisign(&keypairs)?;
+                    self.record(world, now, EventKind::GraphSigned);
+
+                    // Step 2: register ms(D) in SC_w on the witness chain.
+                    let mut expected = Vec::with_capacity(self.graph.contract_count());
+                    for e in &self.edges {
+                        expected.push(ExpectedContract {
+                            chain: e.chain,
+                            sender: e.from,
+                            recipient: e.to,
+                            amount: e.amount,
+                            anchor: world.anchor(e.chain)?,
+                            required_depth: self.config.deployment_depth,
+                        });
+                    }
+                    self.expected = expected;
+                    let witness_spec = ContractSpec::Witness(WitnessSpec {
+                        participants: self.graph.participants().to_vec(),
+                        graph_digest: ms.digest(),
+                        expected_contracts: self.expected.clone(),
+                    });
+
+                    let Some(registrant) = self.first_available(world, participants) else {
+                        return Ok(self.finish(world, None));
+                    };
+                    let Some((reg_txid, scw)) = deploy_contract(
+                        world,
+                        participants,
+                        &registrant,
+                        self.witness_chain,
+                        &witness_spec,
+                        0,
+                    )?
+                    else {
+                        return Ok(self.finish(world, None));
+                    };
+                    self.deployments += 1;
+                    self.fees += world.chain(self.witness_chain)?.params().deploy_fee;
+                    self.scw = Some(scw);
+                    self.phase =
+                        Phase::AwaitRegistration { reg_txid, deadline: now + self.wait_cap };
+                }
+                Phase::AwaitRegistration { reg_txid, deadline } => {
+                    let (reg_txid, deadline) = (*reg_txid, *deadline);
+                    if tx_at_depth(world, self.witness_chain, &reg_txid, self.config.witness_depth)
+                    {
+                        let now = world.now();
+                        self.record(world, now, EventKind::WitnessRegistered);
+                        // The stable witness-chain block every asset contract
+                        // stores as its evidence anchor. It precedes the
+                        // authorize call by construction.
+                        self.witness_anchor = Some(world.anchor(self.witness_chain)?);
+                        self.submit_deployments(world, participants)?;
+                    } else if world.now() >= deadline {
+                        return Err(wait_timeout(
+                            &format!("tx {reg_txid} at depth {}", self.config.witness_depth),
+                            world.now(),
+                        ));
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::AwaitDeployments { deadline } => {
+                    let deadline = *deadline;
+                    let all_deep = self.edge_deploys.iter().zip(&self.edges).all(|(d, e)| {
+                        d.as_ref().is_some_and(|(txid, _)| {
+                            tx_at_depth(world, e.chain, txid, self.config.deployment_depth)
+                        })
+                    });
+                    if all_deep {
+                        if let Some(step) = self.submit_authorize(world, participants, true)? {
+                            return Ok(step);
+                        }
+                    } else if world.now() >= deadline {
+                        // The deployments never stabilised within the cap:
+                        // request an abort rather than fail the run.
+                        if let Some(step) = self.submit_authorize(world, participants, false)? {
+                            return Ok(step);
+                        }
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::AbortGrace { until } => {
+                    let until = *until;
+                    if world.now() >= until {
+                        if let Some(step) = self.submit_authorize(world, participants, false)? {
+                            return Ok(step);
+                        }
+                    } else {
+                        return Ok(Step::Waiting { not_before: until });
+                    }
+                }
+                Phase::AwaitDecision { deadline } => {
+                    let deadline = *deadline;
+                    let txid = self.authorize_txid.expect("authorize submitted");
+                    if tx_at_depth(world, self.witness_chain, &txid, self.config.witness_depth) {
+                        let now = world.now();
+                        let commit = self.commit.expect("decision chosen at authorize");
+                        self.record(world, now, EventKind::DecisionReached { commit });
+                        self.submit_settlements(world, participants)?;
+                    } else if world.now() >= deadline {
+                        return Err(wait_timeout(
+                            &format!("tx {txid} at depth {}", self.config.witness_depth),
+                            world.now(),
+                        ));
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::AwaitSettlements { deadline } => {
+                    let deadline = *deadline;
+                    let all_stable = self
+                        .settlements
+                        .iter()
+                        .flatten()
+                        .all(|(chain, txid)| tx_stable(world, *chain, txid));
+                    // Failures (e.g. evidence rejected after a fork attack)
+                    // simply leave the edge locked and are reflected in the
+                    // outcome audit — the wait gives up at the deadline.
+                    if all_stable || world.now() >= deadline {
+                        let commit = self.commit.expect("settlement follows a decision");
+                        let now = world.now();
+                        for i in 0..self.edges.len() {
+                            let chain = self.edges[i].chain;
+                            if let Some((_, contract)) = self.edge_deploys[i] {
+                                if self.settlements[i].is_some() {
+                                    let kind = if commit {
+                                        EventKind::ContractRedeemed { chain, contract }
+                                    } else {
+                                        EventKind::ContractRefunded { chain, contract }
+                                    };
+                                    self.record(world, now, kind);
+                                }
+                            }
+                        }
+                        self.finished_at = Some(now);
+                        self.phase = if self.config.allow_recovery_redemption {
+                            self.next_recovery_phase(world, self.config.wait_cap_deltas)
+                        } else {
+                            Phase::Finished
+                        };
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::RecoveryIdle { rounds_left, until } => {
+                    let (rounds_left, until) = (*rounds_left, *until);
+                    if world.now() >= until {
+                        self.attempt_recovery(world, participants, rounds_left - 1)?;
+                    } else {
+                        return Ok(Step::Waiting { not_before: until });
+                    }
+                }
+                Phase::AwaitRecoveryInclusion { rounds_left, pending, deadline } => {
+                    let (rounds_left, deadline) = (*rounds_left, *deadline);
+                    let all_included =
+                        pending.iter().all(|(chain, txid)| tx_at_depth(world, *chain, txid, 0));
+                    if all_included || world.now() >= deadline {
+                        self.phase = self.next_recovery_phase(world, rounds_left);
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::Finished => {
+                    if let Some(report) = &self.report {
+                        return Ok(Step::Done(Box::new(report.clone())));
+                    }
+                    let decision = self.commit;
+                    return Ok(self.finish(world, decision));
+                }
+            }
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Start => "start",
+            Phase::AwaitRegistration { .. } => "await-registration",
+            Phase::AwaitDeployments { .. } => "await-deployments",
+            Phase::AbortGrace { .. } => "abort-grace",
+            Phase::AwaitDecision { .. } => "await-decision",
+            Phase::AwaitSettlements { .. } => "await-settlements",
+            Phase::RecoveryIdle { .. } => "recovery-idle",
+            Phase::AwaitRecoveryInclusion { .. } => "recovery-inclusion",
+            Phase::Finished => "finished",
         }
     }
 }
@@ -573,5 +740,38 @@ mod tests {
         let max = latencies.iter().cloned().fold(0.0f64, f64::max);
         assert!(max - min <= 1.0, "latency grew with diameter: {latencies:?}");
         assert!(max <= 6.0, "latency should stay near 4Δ, got {latencies:?}");
+    }
+
+    #[test]
+    fn machine_reports_phase_progression() {
+        // The machine is observable mid-flight: phases advance monotonically
+        // through the protocol steps while the caller owns the clock.
+        let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+        let driver = default_driver();
+        let mut machine = driver.machine(s.graph.clone(), s.witness_chain);
+        assert_eq!(machine.phase_name(), "start");
+        let mut seen = vec![machine.phase_name()];
+        let report = loop {
+            match machine.poll(&mut s.world, &mut s.participants).unwrap() {
+                Step::Done(report) => break report,
+                Step::Waiting { not_before } => {
+                    if *seen.last().unwrap() != machine.phase_name() {
+                        seen.push(machine.phase_name());
+                    }
+                    let dt = not_before.saturating_sub(s.world.now()).max(1);
+                    s.world.advance(dt);
+                }
+            }
+        };
+        assert_eq!(report.decision, Some(true));
+        assert!(seen.contains(&"await-registration"), "saw phases {seen:?}");
+        assert!(seen.contains(&"await-deployments"), "saw phases {seen:?}");
+        assert!(seen.contains(&"await-decision"), "saw phases {seen:?}");
+        assert_eq!(machine.phase_name(), "finished");
+        // Terminal polls are idempotent.
+        match machine.poll(&mut s.world, &mut s.participants).unwrap() {
+            Step::Done(again) => assert_eq!(again.finished_at, report.finished_at),
+            Step::Waiting { .. } => panic!("terminal machine must stay done"),
+        }
     }
 }

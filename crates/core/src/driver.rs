@@ -1,0 +1,184 @@
+//! The step/poll driver architecture: protocol drivers as resumable state
+//! machines.
+//!
+//! Historically every protocol driver was a blocking one-shot function that
+//! owned the simulated clock: `execute(&mut Scenario)` advanced world time
+//! inside its waits, so only one swap could ever be in flight. The machines
+//! in [`crate::ac3wn`], [`crate::ac3tw`] and [`crate::herlihy`] invert that
+//! control flow: a machine never advances time — [`SwapMachine::poll`] does
+//! as much protocol work as is possible *at the world's current instant*
+//! (submitting transactions, reading chain state, transitioning phases) and
+//! then returns a [`Step`] telling the caller when polling again could
+//! observe progress. Whoever owns the clock — the single-swap [`drive`]
+//! loop or the concurrent [`crate::scheduler::Scheduler`] — advances time
+//! between polls, so N machines can interleave over one shared world.
+//!
+//! Timeouts are implemented inside the machines as deadlines checked at
+//! poll time, which reproduces the blocking drivers' `advance_until`
+//! semantics exactly: the condition is always re-checked once at or after
+//! the deadline before the wait is declared failed.
+
+use crate::protocol::{ProtocolError, SwapReport};
+use ac3_chain::{ChainId, Timestamp, TxId};
+use ac3_sim::{ParticipantSet, World, WorldError};
+
+/// The observable state of an in-flight swap after one [`SwapMachine::poll`].
+#[derive(Debug)]
+pub enum Step {
+    /// The machine is waiting on an on-chain condition or a protocol timer.
+    /// Polling again before `not_before` cannot observe progress (nothing
+    /// changes between blocks); polling later than `not_before` is always
+    /// safe — deadlines are measured against world time, not poll counts.
+    Waiting {
+        /// Earliest simulated time at which polling again is useful.
+        not_before: Timestamp,
+    },
+    /// The swap reached a terminal state and produced its report.
+    Done(Box<SwapReport>),
+}
+
+/// A protocol driver decomposed into a resumable state machine.
+///
+/// Implementations must never advance the world clock; they may submit
+/// transactions, read chain state and record timeline events. After a
+/// machine has returned [`Step::Done`] or an error, further polls must
+/// return the same terminal result (or a cheap copy of it) without side
+/// effects.
+pub trait SwapMachine {
+    /// Advance the machine as far as possible at the world's current time.
+    fn poll(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<Step, ProtocolError>;
+
+    /// A short label of the machine's current phase, for diagnostics.
+    fn phase_name(&self) -> &'static str {
+        "unknown"
+    }
+}
+
+/// Drive a single machine to completion, advancing the world clock between
+/// polls — the legacy blocking `execute` behaviour, expressed as the N = 1
+/// special case of scheduling.
+pub fn drive(
+    machine: &mut dyn SwapMachine,
+    world: &mut World,
+    participants: &mut ParticipantSet,
+) -> Result<SwapReport, ProtocolError> {
+    loop {
+        match machine.poll(world, participants)? {
+            Step::Done(report) => return Ok(*report),
+            Step::Waiting { not_before } => {
+                let dt = not_before.saturating_sub(world.now()).max(1);
+                world.advance(dt);
+            }
+        }
+    }
+}
+
+/// Whether a transaction is buried under at least `depth` canonical blocks.
+pub(crate) fn tx_at_depth(world: &World, chain: ChainId, txid: &TxId, depth: u64) -> bool {
+    world.chain(chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(|d| d >= depth)
+}
+
+/// Whether a transaction has reached its chain's configured stable depth.
+pub(crate) fn tx_stable(world: &World, chain: ChainId, txid: &TxId) -> bool {
+    let Ok(c) = world.chain(chain) else { return false };
+    tx_at_depth(world, chain, txid, c.params().stable_depth)
+}
+
+/// Indices of deployed edges whose contract is still locked in `P` — the
+/// candidates of a recovery pass (shared by the AC3WN and AC3TW machines).
+pub(crate) fn unsettled_edges(
+    world: &World,
+    edges: &[crate::graph::SwapEdge],
+    deploys: &[Option<(TxId, ac3_chain::ContractId)>],
+) -> Vec<usize> {
+    (0..edges.len())
+        .filter(|i| {
+            deploys.get(*i).copied().flatten().is_some()
+                && crate::actions::edge_disposition(
+                    world,
+                    edges[*i].chain,
+                    deploys[*i].map(|(_, c)| c),
+                ) == crate::protocol::EdgeDisposition::Locked
+        })
+        .collect()
+}
+
+/// The timeout error the blocking drivers produced from `advance_until`,
+/// reproduced for deadline expiry inside machines.
+pub(crate) fn wait_timeout(what: &str, at: Timestamp) -> ProtocolError {
+    ProtocolError::from(WorldError::Timeout { what: what.to_string(), at })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac3_chain::ChainParams;
+
+    /// A machine that waits a fixed number of polls, then finishes.
+    struct Countdown {
+        polls_left: u32,
+        finished_at: Option<Timestamp>,
+    }
+
+    impl SwapMachine for Countdown {
+        fn poll(
+            &mut self,
+            world: &mut World,
+            _participants: &mut ParticipantSet,
+        ) -> Result<Step, ProtocolError> {
+            if self.polls_left == 0 {
+                let at = *self.finished_at.get_or_insert(world.now());
+                let report = crate::SwapReport {
+                    protocol: crate::ProtocolKind::Ac3Wn,
+                    decision: None,
+                    edges: Vec::new(),
+                    started_at: 0,
+                    finished_at: at,
+                    delta_ms: 1,
+                    deployments: 0,
+                    calls: 0,
+                    fees_paid: 0,
+                    timeline: ac3_sim::Timeline::new(),
+                };
+                return Ok(Step::Done(Box::new(report)));
+            }
+            self.polls_left -= 1;
+            Ok(Step::Waiting { not_before: world.now() + world.min_block_interval_ms() })
+        }
+    }
+
+    #[test]
+    fn drive_advances_time_between_polls() {
+        let mut world = World::new();
+        world.add_chain(ChainParams::test("c"), &[]);
+        let mut participants = ParticipantSet::new();
+        let mut machine = Countdown { polls_left: 3, finished_at: None };
+        let report = drive(&mut machine, &mut world, &mut participants).unwrap();
+        // Three waits of one block interval each.
+        assert_eq!(report.finished_at, 3_000);
+        assert_eq!(world.now(), 3_000);
+    }
+
+    #[test]
+    fn depth_helpers_track_canonical_burial() {
+        let alice = ac3_chain::Address::from(ac3_crypto::KeyPair::from_seed(b"alice").public());
+        let mut world = World::new();
+        let mut params = ChainParams::test("c");
+        params.stable_depth = 2;
+        let chain = world.add_chain(params, &[(alice, 100)]);
+        let mut kp = ac3_chain::TxBuilder::new(ac3_crypto::KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 1).unwrap();
+        let txid = world.submit(chain, kp.transfer(inputs, outputs, 1)).unwrap();
+        assert!(!tx_at_depth(&world, chain, &txid, 0));
+        world.advance(1_000);
+        assert!(tx_at_depth(&world, chain, &txid, 0));
+        assert!(!tx_stable(&world, chain, &txid));
+        world.advance(2_000);
+        assert!(tx_stable(&world, chain, &txid));
+    }
+}

@@ -19,17 +19,22 @@
 //! a participant who cannot redeem before their counterparty's timelock
 //! expires loses their asset (experiment E6 reproduces this violation).
 //! Disconnected graphs (Figure 7b) are not executable at all.
+//!
+//! The protocol logic lives in [`HerlihyMachine`], a resumable step/poll
+//! state machine (see [`crate::driver`]); [`Herlihy::execute`] is the
+//! single-swap wrapper.
 
 use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::driver::{drive, tx_at_depth, Step, SwapMachine};
 use crate::graph::{SwapEdge, SwapGraph};
 use crate::protocol::{
     EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
 };
 use crate::scenario::Scenario;
-use ac3_chain::{Address, ContractId, Timestamp, TxId};
+use ac3_chain::{Address, ChainId, ContractId, Timestamp, TxId};
 use ac3_contracts::{ContractCall, ContractSpec, HtlcCall, HtlcSpec};
-use ac3_crypto::{Hashlock, Sha256};
-use ac3_sim::EventKind;
+use ac3_crypto::{Hash256, Hashlock, Sha256};
+use ac3_sim::{EventKind, ParticipantSet, Timeline, World};
 
 /// The Herlihy single-leader protocol driver.
 #[derive(Debug, Clone, Default)]
@@ -93,319 +98,551 @@ impl Herlihy {
         ))
     }
 
-    /// Execute the AC2T described by the scenario's graph.
-    pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
-        let cfg = &self.config;
-        let delta = scenario.world.delta_ms();
-        let wait_cap = delta * cfg.wait_cap_deltas;
-        let started_at = scenario.world.now();
-        let kind = self.kind.unwrap_or(ProtocolKind::Herlihy);
-        let mut calls = 0u64;
-        let mut deployments = 0u64;
-        let mut fees = 0u64;
-
+    /// Create a resumable state machine executing `graph` (for use under a
+    /// scheduler). Fails when the graph is unsupported or the configured
+    /// leader is invalid.
+    pub fn machine(&self, graph: SwapGraph) -> Result<HerlihyMachine, ProtocolError> {
         let leader = match self.leader {
             Some(leader) => {
                 // Validate the caller's choice against the same conditions.
-                Self::supports_graph(&scenario.graph)?;
-                if !scenario.graph.participants().contains(&leader) {
+                Self::supports_graph(&graph)?;
+                if !graph.participants().contains(&leader) {
                     return Err(ProtocolError::UnknownParticipant(format!("{leader}")));
                 }
                 leader
             }
-            None => Self::supports_graph(&scenario.graph)?,
+            None => Self::supports_graph(&graph)?,
         };
-        scenario.world.timeline.record(started_at, EventKind::GraphSigned);
+        Ok(HerlihyMachine::new(
+            self.config.clone(),
+            graph,
+            leader,
+            self.kind.unwrap_or(ProtocolKind::Herlihy),
+        ))
+    }
 
-        // The leader's secret and hashlock. Deterministic per graph so runs
-        // are reproducible.
-        let secret = {
-            let mut h = Sha256::new();
-            h.update(b"herlihy/leader-secret");
-            h.update(scenario.graph.digest().as_bytes());
-            h.finalize().to_vec()
-        };
-        let hashlock = Hashlock::from_secret(&secret).lock;
+    /// Execute the AC2T described by the scenario's graph (single-swap
+    /// wrapper around [`HerlihyMachine`]).
+    pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
+        let mut machine = self.machine(scenario.graph.clone())?;
+        drive(&mut machine, &mut scenario.world, &mut scenario.participants)
+    }
+}
 
-        // Wave structure and timelocks: wave k deploys at ~k·Δ and is
-        // redeemed at ~(2W - k)·Δ; its timelock is set two Δ after that, so
-        // earlier waves get strictly later timelocks (t1 > t2).
-        let waves = scenario.graph.waves_from(&leader);
-        let wave_count = waves.len() as u64;
-        let mut slots: Vec<EdgeSlot> = Vec::with_capacity(scenario.graph.contract_count());
-        for (k, wave) in waves.iter().enumerate() {
-            for e in wave {
-                slots.push(EdgeSlot {
-                    edge: *e,
-                    wave: k,
-                    timelock: started_at + delta * (2 * wave_count - k as u64 + 2),
-                    deploy: None,
-                });
-            }
+/// Phase of the Herlihy state machine.
+#[derive(Debug)]
+enum Phase {
+    /// Nothing has happened yet; the first poll derives the secret, the
+    /// wave structure and the timelocks.
+    Start,
+    /// Phase A: submit the deployments of wave `k`.
+    DeployWave { k: usize },
+    /// Phase A: wait for wave `k`'s deployments to reach the required depth.
+    AwaitWaveDeploys { k: usize, pending: Vec<(ChainId, TxId)>, deadline: Timestamp },
+    /// Phase B: submit the redemptions of wave `k` (reverse order).
+    RedeemWave { k: usize },
+    /// Phase B: wait for wave `k`'s settlements; `(chain, txid, depth)`.
+    AwaitWaveRedeems { k: usize, pending: Vec<(ChainId, TxId, u64)>, deadline: Timestamp },
+    /// Phase B: nobody in wave `k` could redeem; give them one Δ.
+    WaveGap { k: usize, until: Timestamp },
+    /// Phase C: one round of timelock cleanup (recovered redeemers redeem,
+    /// expired contracts are refunded).
+    CleanupRound,
+    /// Phase C: idle one Δ between cleanup rounds.
+    CleanupWait { until: Timestamp },
+    /// Phase C: wait for settlements submitted during cleanup to be
+    /// included, so terminal dispositions are on-chain.
+    AwaitCleanupInclusion { pending: Vec<(ChainId, TxId)>, deadline: Timestamp },
+    /// Terminal.
+    Finished,
+}
+
+/// The Herlihy protocol as a resumable state machine (see [`crate::driver`]).
+#[derive(Debug)]
+pub struct HerlihyMachine {
+    config: ProtocolConfig,
+    graph: SwapGraph,
+    leader: Address,
+    kind: ProtocolKind,
+    phase: Phase,
+    timeline: Timeline,
+    started_at: Timestamp,
+    delta: u64,
+    wait_cap: u64,
+    deployments: u64,
+    calls: u64,
+    fees: u64,
+    secret: Vec<u8>,
+    slots: Vec<EdgeSlot>,
+    waves_len: usize,
+    secret_revealed: bool,
+    deployment_failed: bool,
+    cleanup_deadline: Timestamp,
+    cleanup_pending: Vec<(ChainId, TxId)>,
+    finished_at: Option<Timestamp>,
+    report: Option<SwapReport>,
+}
+
+impl HerlihyMachine {
+    fn new(config: ProtocolConfig, graph: SwapGraph, leader: Address, kind: ProtocolKind) -> Self {
+        HerlihyMachine {
+            config,
+            graph,
+            leader,
+            kind,
+            phase: Phase::Start,
+            timeline: Timeline::new(),
+            started_at: 0,
+            delta: 0,
+            wait_cap: 0,
+            deployments: 0,
+            calls: 0,
+            fees: 0,
+            secret: Vec::new(),
+            slots: Vec::new(),
+            waves_len: 0,
+            secret_revealed: false,
+            deployment_failed: false,
+            cleanup_deadline: 0,
+            cleanup_pending: Vec::new(),
+            finished_at: None,
+            report: None,
         }
+    }
 
-        // ------------------------------------------------------------------
-        // Phase A: sequential deployment, wave by wave.
-        // ------------------------------------------------------------------
-        let mut deployment_failed = false;
-        'waves: for k in 0..waves.len() {
-            let mut wave_deploys: Vec<(usize, TxId)> = Vec::new();
-            for (i, slot) in slots.iter_mut().enumerate() {
-                if slot.wave != k {
-                    continue;
-                }
-                let spec = ContractSpec::Htlc(HtlcSpec {
-                    recipient: slot.edge.to,
-                    hashlock,
-                    timelock: slot.timelock,
-                });
-                match deploy_contract(
-                    &mut scenario.world,
-                    &mut scenario.participants,
-                    &slot.edge.from,
-                    slot.edge.chain,
-                    &spec,
-                    slot.edge.amount,
-                )? {
-                    Some((txid, contract)) => {
-                        slot.deploy = Some((txid, contract));
-                        deployments += 1;
-                        fees += scenario.world.chain(slot.edge.chain)?.params().deploy_fee;
-                        wave_deploys.push((i, txid));
-                        scenario.world.timeline.record(
-                            scenario.world.now(),
-                            EventKind::ContractSubmitted { chain: slot.edge.chain, contract },
-                        );
-                    }
-                    None => {
-                        // A participant declined or crashed: later waves do
-                        // not deploy (their senders are no longer protected).
-                        deployment_failed = true;
-                        break 'waves;
-                    }
-                }
-            }
-            // Sequentiality: the next wave only starts once this one is
-            // publicly recognised.
-            let depth = cfg.deployment_depth;
-            let wave_txs: Vec<(ac3_chain::ChainId, TxId)> =
-                wave_deploys.iter().map(|(i, txid)| (slots[*i].edge.chain, *txid)).collect();
-            if scenario
-                .world
-                .advance_until("wave deployments to stabilise", wait_cap, move |w| {
-                    wave_txs.iter().all(|(chain, txid)| {
-                        w.chain(*chain)
-                            .ok()
-                            .and_then(|c| c.tx_depth(txid))
-                            .is_some_and(|d| d >= depth)
-                    })
-                })
-                .is_err()
-            {
-                deployment_failed = true;
-                break;
-            }
-        }
-        for slot in &slots {
+    fn record(&mut self, world: &mut World, at: Timestamp, kind: EventKind) {
+        self.timeline.record(at, kind.clone());
+        world.timeline.record(at, kind);
+    }
+
+    fn poll_step(&self, world: &World) -> Step {
+        Step::Waiting { not_before: world.now() + world.min_block_interval_ms() }
+    }
+
+    fn hashlock(&self) -> Hash256 {
+        Hashlock::from_secret(&self.secret).lock
+    }
+
+    /// Record the publication events for every deployed contract (once, at
+    /// the end of phase A — successful or not).
+    fn record_published(&mut self, world: &mut World) {
+        let now = world.now();
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i].clone();
             if let Some((_, contract)) = slot.deploy {
-                scenario.world.timeline.record(
-                    scenario.world.now(),
+                self.record(
+                    world,
+                    now,
                     EventKind::ContractPublished { chain: slot.edge.chain, contract },
                 );
             }
         }
+    }
 
-        // ------------------------------------------------------------------
-        // Phase B: sequential redemption in reverse wave order (only when
-        // every contract is published — otherwise everyone waits for their
-        // timelock and refunds).
-        // ------------------------------------------------------------------
-        let mut secret_revealed = false;
-        let mut finished_at = scenario.world.now();
-        if !deployment_failed {
-            for k in (0..waves.len()).rev() {
-                // Settle any contract whose timelock has already expired
-                // (rational senders refund as soon as they can).
-                self.refund_expired(scenario, &mut slots, &mut calls, &mut fees)?;
+    /// Enter phase C: the cleanup loop runs until every contract is settled
+    /// or two Δ past the last timelock.
+    fn enter_cleanup(&mut self) {
+        self.cleanup_deadline =
+            self.slots.iter().map(|s| s.timelock).max().unwrap_or(self.started_at) + 2 * self.delta;
+        self.phase = Phase::CleanupRound;
+    }
 
-                let mut wave_redeems: Vec<(ac3_chain::ChainId, TxId)> = Vec::new();
-                for slot in slots.iter().filter(|s| s.wave == k) {
-                    let Some((_, contract)) = slot.deploy else { continue };
-                    // Only the leader knows the secret until it appears on
-                    // some chain.
-                    if slot.edge.to != leader && !secret_revealed {
-                        continue;
-                    }
-                    if scenario.world.now() >= slot.timelock {
-                        continue; // too late to redeem safely
-                    }
-                    let call = ContractCall::Htlc(HtlcCall::Redeem { preimage: secret.clone() });
-                    if let Some(txid) = call_contract(
-                        &mut scenario.world,
-                        &mut scenario.participants,
-                        &slot.edge.to,
-                        slot.edge.chain,
-                        contract,
-                        &call,
-                    )? {
-                        calls += 1;
-                        fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
-                        wave_redeems.push((slot.edge.chain, txid));
-                        scenario.world.timeline.record(
-                            scenario.world.now(),
-                            EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
-                        );
-                    }
-                }
-                if !wave_redeems.is_empty() {
-                    secret_revealed = true;
-                    let pending = wave_redeems.clone();
-                    let _ = scenario.world.advance_until(
-                        "wave redemptions to stabilise",
-                        wait_cap,
-                        move |w| {
-                            pending.iter().all(|(chain, txid)| {
-                                w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(
-                                    |d| {
-                                        d >= w
-                                            .chain(*chain)
-                                            .map(|c| c.params().stable_depth)
-                                            .unwrap_or(0)
-                                    },
-                                )
-                            })
-                        },
-                    );
-                } else if slots.iter().any(|s| s.wave == k && s.deploy.is_some()) {
-                    // Nobody in this wave could redeem (crashed or the secret
-                    // is not yet public); give them one Δ before moving on.
-                    scenario.world.advance(delta);
-                }
+    fn all_settled(&self, world: &World) -> bool {
+        self.slots.iter().all(|s| {
+            edge_disposition(world, s.edge.chain, s.deploy.map(|(_, c)| c))
+                != EdgeDisposition::Locked
+        })
+    }
+
+    /// Submit redemption attempts for `wave` (phase B) or every recoverable
+    /// contract (`wave == None`, phase C). Returns `(chain, txid)` pairs.
+    ///
+    /// During phase B the secret counts as revealed only once the *previous*
+    /// wave's redemption published it — recipients within one wave cannot
+    /// learn it from each other mid-wave. During cleanup any on-chain
+    /// revelation (including one made earlier in the same pass) suffices.
+    fn attempt_redeems(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        wave: Option<usize>,
+    ) -> Result<Vec<(ChainId, TxId)>, ProtocolError> {
+        let revealed_at_entry = self.secret_revealed;
+        let mut submitted = Vec::new();
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i].clone();
+            if wave.is_some_and(|k| slot.wave != k) {
+                continue;
             }
-            finished_at = scenario.world.now();
-        }
-
-        // ------------------------------------------------------------------
-        // Phase C: timelock cleanup. Crashed redeemers may recover in time;
-        // once a timelock expires the sender refunds — this is where the
-        // atomicity violation of the baselines materialises.
-        // ------------------------------------------------------------------
-        let max_timelock = slots.iter().map(|s| s.timelock).max().unwrap_or(started_at);
-        while scenario.world.now() < max_timelock + 2 * delta {
-            let all_settled = slots.iter().all(|s| {
-                edge_disposition(&scenario.world, s.edge.chain, s.deploy.map(|(_, c)| c))
+            let Some((_, contract)) = slot.deploy else { continue };
+            if wave.is_none()
+                && edge_disposition(world, slot.edge.chain, Some(contract))
                     != EdgeDisposition::Locked
-            });
-            if all_settled {
-                break;
+            {
+                continue;
             }
-            // Recovered redeemers still within their window redeem...
-            for slot in slots.clone() {
-                let Some((_, contract)) = slot.deploy else { continue };
-                if edge_disposition(&scenario.world, slot.edge.chain, Some(contract))
-                    != EdgeDisposition::Locked
-                {
-                    continue;
-                }
-                let knows_secret = slot.edge.to == leader || secret_revealed;
-                if knows_secret && scenario.world.now() < slot.timelock {
-                    let call = ContractCall::Htlc(HtlcCall::Redeem { preimage: secret.clone() });
-                    if let Some(txid) = call_contract(
-                        &mut scenario.world,
-                        &mut scenario.participants,
-                        &slot.edge.to,
-                        slot.edge.chain,
-                        contract,
-                        &call,
-                    )? {
-                        calls += 1;
-                        fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
-                        secret_revealed = true;
-                        let _ = scenario.world.wait_for_inclusion(slot.edge.chain, txid, delta);
-                        scenario.world.timeline.record(
-                            scenario.world.now(),
-                            EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
-                        );
-                    }
-                }
+            // Only the leader knows the secret until it appears on some
+            // chain.
+            let revealed = if wave.is_some() { revealed_at_entry } else { self.secret_revealed };
+            if slot.edge.to != self.leader && !revealed {
+                continue;
             }
-            // ...and expired contracts get refunded by their senders.
-            self.refund_expired(scenario, &mut slots, &mut calls, &mut fees)?;
-            scenario.world.advance(delta);
+            if world.now() >= slot.timelock {
+                continue; // too late to redeem safely
+            }
+            let call = ContractCall::Htlc(HtlcCall::Redeem { preimage: self.secret.clone() });
+            if let Some(txid) =
+                call_contract(world, participants, &slot.edge.to, slot.edge.chain, contract, &call)?
+            {
+                self.calls += 1;
+                self.fees += world.chain(slot.edge.chain)?.params().call_fee;
+                self.secret_revealed = true;
+                let now = world.now();
+                self.record(
+                    world,
+                    now,
+                    EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
+                );
+                submitted.push((slot.edge.chain, txid));
+            }
         }
-        if deployment_failed {
-            finished_at = scenario.world.now();
-        }
+        Ok(submitted)
+    }
 
-        let outcomes: Vec<EdgeOutcome> = slots
+    /// Refund every published contract whose timelock has expired, on behalf
+    /// of whichever senders are currently available.
+    fn refund_expired(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<Vec<(ChainId, TxId)>, ProtocolError> {
+        let now = world.now();
+        let mut submitted = Vec::new();
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i].clone();
+            let Some((_, contract)) = slot.deploy else { continue };
+            if now < slot.timelock {
+                continue;
+            }
+            if edge_disposition(world, slot.edge.chain, Some(contract)) != EdgeDisposition::Locked {
+                continue;
+            }
+            let call = ContractCall::Htlc(HtlcCall::Refund);
+            if let Some(txid) = call_contract(
+                world,
+                participants,
+                &slot.edge.from,
+                slot.edge.chain,
+                contract,
+                &call,
+            )? {
+                self.calls += 1;
+                self.fees += world.chain(slot.edge.chain)?.params().call_fee;
+                let at = world.now();
+                self.record(
+                    world,
+                    at,
+                    EventKind::ContractRefunded { chain: slot.edge.chain, contract },
+                );
+                submitted.push((slot.edge.chain, txid));
+            }
+        }
+        Ok(submitted)
+    }
+
+    /// Move to the next (lower) redemption wave, or into cleanup after the
+    /// last one.
+    fn next_redeem_phase(&mut self, world: &World, k: usize) {
+        if k == 0 {
+            self.finished_at = Some(world.now());
+            self.enter_cleanup();
+        } else {
+            self.phase = Phase::RedeemWave { k: k - 1 };
+        }
+    }
+
+    fn finish(&mut self, world: &World) -> Step {
+        let outcomes: Vec<EdgeOutcome> = self
+            .slots
             .iter()
             .map(|s| {
                 let contract = s.deploy.map(|(_, c)| c);
                 EdgeOutcome {
                     edge: s.edge,
                     contract,
-                    disposition: edge_disposition(&scenario.world, s.edge.chain, contract),
+                    disposition: edge_disposition(world, s.edge.chain, contract),
                 }
             })
             .collect();
-
-        Ok(SwapReport {
-            protocol: kind,
+        let finished_at = match self.finished_at {
+            Some(at) if !self.deployment_failed => at,
+            _ => world.now(),
+        };
+        let report = SwapReport {
+            protocol: self.kind,
             decision: None,
             edges: outcomes,
-            started_at,
+            started_at: self.started_at,
             finished_at,
-            delta_ms: delta,
-            deployments,
-            calls,
-            fees_paid: fees,
-            timeline: scenario.world.timeline.clone(),
-        })
+            delta_ms: self.delta,
+            deployments: self.deployments,
+            calls: self.calls,
+            fees_paid: self.fees,
+            timeline: self.timeline.clone(),
+        };
+        self.report = Some(report.clone());
+        self.phase = Phase::Finished;
+        Step::Done(Box::new(report))
     }
+}
 
-    /// Refund every published contract whose timelock has expired, on behalf
-    /// of whichever senders are currently available.
-    fn refund_expired(
-        &self,
-        scenario: &mut Scenario,
-        slots: &mut [EdgeSlot],
-        calls: &mut u64,
-        fees: &mut u64,
-    ) -> Result<(), ProtocolError> {
-        let now = scenario.world.now();
-        for slot in slots.iter() {
-            let Some((_, contract)) = slot.deploy else { continue };
-            if now < slot.timelock {
-                continue;
-            }
-            if edge_disposition(&scenario.world, slot.edge.chain, Some(contract))
-                != EdgeDisposition::Locked
-            {
-                continue;
-            }
-            let call = ContractCall::Htlc(HtlcCall::Refund);
-            if let Some(txid) = call_contract(
-                &mut scenario.world,
-                &mut scenario.participants,
-                &slot.edge.from,
-                slot.edge.chain,
-                contract,
-                &call,
-            )? {
-                *calls += 1;
-                *fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
-                let _ = scenario.world.wait_for_inclusion(
-                    slot.edge.chain,
-                    txid,
-                    scenario.world.delta_ms(),
-                );
-                scenario.world.timeline.record(
-                    scenario.world.now(),
-                    EventKind::ContractRefunded { chain: slot.edge.chain, contract },
-                );
+impl SwapMachine for HerlihyMachine {
+    fn poll(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<Step, ProtocolError> {
+        loop {
+            match &self.phase {
+                Phase::Start => {
+                    let now = world.now();
+                    self.started_at = now;
+                    self.delta = world.delta_ms();
+                    self.wait_cap = self.delta * self.config.wait_cap_deltas;
+                    self.record(world, now, EventKind::GraphSigned);
+
+                    // The leader's secret and hashlock. Deterministic per
+                    // graph so runs are reproducible.
+                    let secret = {
+                        let mut h = Sha256::new();
+                        h.update(b"herlihy/leader-secret");
+                        h.update(self.graph.digest().as_bytes());
+                        h.finalize().to_vec()
+                    };
+                    self.secret = secret;
+
+                    // Wave structure and timelocks: wave k deploys at ~k·Δ
+                    // and is redeemed at ~(2W - k)·Δ; its timelock is set two
+                    // Δ after that, so earlier waves get strictly later
+                    // timelocks (t1 > t2).
+                    let waves = self.graph.waves_from(&self.leader);
+                    let wave_count = waves.len() as u64;
+                    self.waves_len = waves.len();
+                    let mut slots = Vec::with_capacity(self.graph.contract_count());
+                    for (k, wave) in waves.iter().enumerate() {
+                        for e in wave {
+                            slots.push(EdgeSlot {
+                                edge: *e,
+                                wave: k,
+                                timelock: now + self.delta * (2 * wave_count - k as u64 + 2),
+                                deploy: None,
+                            });
+                        }
+                    }
+                    self.slots = slots;
+                    self.phase = Phase::DeployWave { k: 0 };
+                }
+                Phase::DeployWave { k } => {
+                    let k = *k;
+                    let hashlock = self.hashlock();
+                    let mut pending = Vec::new();
+                    let mut failed = false;
+                    for i in 0..self.slots.len() {
+                        if self.slots[i].wave != k {
+                            continue;
+                        }
+                        let slot = self.slots[i].clone();
+                        let spec = ContractSpec::Htlc(HtlcSpec {
+                            recipient: slot.edge.to,
+                            hashlock,
+                            timelock: slot.timelock,
+                        });
+                        match deploy_contract(
+                            world,
+                            participants,
+                            &slot.edge.from,
+                            slot.edge.chain,
+                            &spec,
+                            slot.edge.amount,
+                        )? {
+                            Some((txid, contract)) => {
+                                self.slots[i].deploy = Some((txid, contract));
+                                self.deployments += 1;
+                                self.fees += world.chain(slot.edge.chain)?.params().deploy_fee;
+                                pending.push((slot.edge.chain, txid));
+                                let now = world.now();
+                                self.record(
+                                    world,
+                                    now,
+                                    EventKind::ContractSubmitted {
+                                        chain: slot.edge.chain,
+                                        contract,
+                                    },
+                                );
+                            }
+                            None => {
+                                // A participant declined or crashed: later
+                                // waves do not deploy (their senders are no
+                                // longer protected).
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if failed {
+                        self.deployment_failed = true;
+                        self.record_published(world);
+                        self.enter_cleanup();
+                    } else {
+                        // Sequentiality: the next wave only starts once this
+                        // one is publicly recognised.
+                        self.phase = Phase::AwaitWaveDeploys {
+                            k,
+                            pending,
+                            deadline: world.now() + self.wait_cap,
+                        };
+                    }
+                }
+                Phase::AwaitWaveDeploys { k, pending, deadline } => {
+                    let (k, deadline) = (*k, *deadline);
+                    let all_deep = pending.iter().all(|(chain, txid)| {
+                        tx_at_depth(world, *chain, txid, self.config.deployment_depth)
+                    });
+                    if all_deep {
+                        if k + 1 < self.waves_len {
+                            self.phase = Phase::DeployWave { k: k + 1 };
+                        } else {
+                            self.record_published(world);
+                            self.finished_at = Some(world.now());
+                            self.phase = Phase::RedeemWave { k: self.waves_len - 1 };
+                        }
+                    } else if world.now() >= deadline {
+                        self.deployment_failed = true;
+                        self.record_published(world);
+                        self.enter_cleanup();
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::RedeemWave { k } => {
+                    let k = *k;
+                    // Settle any contract whose timelock has already expired
+                    // (rational senders refund as soon as they can).
+                    let refunds = self.refund_expired(world, participants)?;
+                    let redeems = self.attempt_redeems(world, participants, Some(k))?;
+                    if !redeems.is_empty() {
+                        let mut pending: Vec<(ChainId, TxId, u64)> = Vec::new();
+                        for (chain, txid) in redeems {
+                            let depth = world.chain(chain)?.params().stable_depth;
+                            pending.push((chain, txid, depth));
+                        }
+                        // Refunds only need inclusion, not burial.
+                        for (chain, txid) in refunds {
+                            pending.push((chain, txid, 0));
+                        }
+                        self.phase = Phase::AwaitWaveRedeems {
+                            k,
+                            pending,
+                            deadline: world.now() + self.wait_cap,
+                        };
+                    } else if self.slots.iter().any(|s| s.wave == k && s.deploy.is_some()) {
+                        // Nobody in this wave could redeem (crashed or the
+                        // secret is not yet public); give them one Δ before
+                        // moving on.
+                        self.phase = Phase::WaveGap { k, until: world.now() + self.delta };
+                    } else {
+                        self.next_redeem_phase(world, k);
+                    }
+                }
+                Phase::AwaitWaveRedeems { k, pending, deadline } => {
+                    let (k, deadline) = (*k, *deadline);
+                    let all_done = pending
+                        .iter()
+                        .all(|(chain, txid, depth)| tx_at_depth(world, *chain, txid, *depth));
+                    if all_done || world.now() >= deadline {
+                        self.next_redeem_phase(world, k);
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::WaveGap { k, until } => {
+                    let (k, until) = (*k, *until);
+                    if world.now() >= until {
+                        self.next_redeem_phase(world, k);
+                    } else {
+                        return Ok(Step::Waiting { not_before: until });
+                    }
+                }
+                Phase::CleanupRound => {
+                    // Phase C: timelock cleanup. Crashed redeemers may
+                    // recover in time; once a timelock expires the sender
+                    // refunds — this is where the atomicity violation of the
+                    // baselines materialises.
+                    if self.all_settled(world) || world.now() >= self.cleanup_deadline {
+                        let pending: Vec<(ChainId, TxId)> = self
+                            .cleanup_pending
+                            .iter()
+                            .filter(|(chain, txid)| !tx_at_depth(world, *chain, txid, 0))
+                            .copied()
+                            .collect();
+                        if pending.is_empty() {
+                            return Ok(self.finish(world));
+                        }
+                        self.phase = Phase::AwaitCleanupInclusion {
+                            pending,
+                            deadline: world.now() + 2 * self.delta,
+                        };
+                    } else {
+                        // Recovered redeemers still within their window
+                        // redeem, and expired contracts get refunded by
+                        // their senders.
+                        let redeems = self.attempt_redeems(world, participants, None)?;
+                        let refunds = self.refund_expired(world, participants)?;
+                        self.cleanup_pending.extend(redeems);
+                        self.cleanup_pending.extend(refunds);
+                        self.phase = Phase::CleanupWait { until: world.now() + self.delta };
+                    }
+                }
+                Phase::CleanupWait { until } => {
+                    let until = *until;
+                    if world.now() >= until {
+                        self.phase = Phase::CleanupRound;
+                    } else {
+                        return Ok(Step::Waiting { not_before: until });
+                    }
+                }
+                Phase::AwaitCleanupInclusion { pending, deadline } => {
+                    let deadline = *deadline;
+                    let all_included =
+                        pending.iter().all(|(chain, txid)| tx_at_depth(world, *chain, txid, 0));
+                    if all_included || world.now() >= deadline {
+                        return Ok(self.finish(world));
+                    }
+                    return Ok(self.poll_step(world));
+                }
+                Phase::Finished => {
+                    if let Some(report) = &self.report {
+                        return Ok(Step::Done(Box::new(report.clone())));
+                    }
+                    return Ok(self.finish(world));
+                }
             }
         }
-        Ok(())
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Start => "start",
+            Phase::DeployWave { .. } => "deploy-wave",
+            Phase::AwaitWaveDeploys { .. } => "await-wave-deploys",
+            Phase::RedeemWave { .. } => "redeem-wave",
+            Phase::AwaitWaveRedeems { .. } => "await-wave-redeems",
+            Phase::WaveGap { .. } => "wave-gap",
+            Phase::CleanupRound => "cleanup-round",
+            Phase::CleanupWait { .. } => "cleanup-wait",
+            Phase::AwaitCleanupInclusion { .. } => "cleanup-inclusion",
+            Phase::Finished => "finished",
+        }
     }
 }
 

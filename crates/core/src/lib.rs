@@ -48,6 +48,7 @@ pub mod actions;
 pub mod analysis;
 pub mod attack;
 pub mod audit;
+pub mod driver;
 pub mod evidence;
 pub mod graph;
 pub mod herlihy;
@@ -55,24 +56,28 @@ pub mod herlihy_multi;
 pub mod nolan;
 pub mod protocol;
 pub mod scenario;
+pub mod scheduler;
 
-pub use ac3tw::{Ac3tw, Trent, TrentError};
-pub use ac3wn::Ac3wn;
+pub use ac3tw::{Ac3tw, Ac3twMachine, Trent, TrentError};
+pub use ac3wn::{Ac3wn, Ac3wnMachine};
 pub use attack::{execute_fork_attack, ForkAttackConfig, ForkAttackReport};
 pub use audit::AtomicityVerdict;
+pub use driver::{drive, Step, SwapMachine};
 pub use evidence::{
     validate_tx, validate_with_all, ValidationCost, ValidationReport, ValidationStrategy,
 };
 pub use graph::{
     figure7_cyclic, figure7_disconnected, ring_graph, GraphShape, SwapEdge, SwapGraph,
 };
-pub use herlihy::Herlihy;
+pub use herlihy::{Herlihy, HerlihyMachine};
 pub use herlihy_multi::HerlihyMulti;
 pub use nolan::Nolan;
 pub use protocol::{
     EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
 };
 pub use scenario::{
-    custom_scenario, figure7a_scenario, figure7b_scenario, ring_scenario, two_party_scenario,
-    Scenario, ScenarioConfig,
+    concurrent_swaps_over_chains, concurrent_swaps_scenario, custom_scenario, figure7a_scenario,
+    figure7b_scenario, ring_scenario, two_party_scenario, MultiSwapScenario, Scenario,
+    ScenarioConfig, SwapSpec,
 };
+pub use scheduler::{BatchReport, Scheduler, SwapOutcome};

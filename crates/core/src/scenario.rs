@@ -4,7 +4,7 @@
 
 use crate::graph::{ring_graph, SwapEdge, SwapGraph};
 use ac3_chain::{Address, Amount, ChainId, ChainParams};
-use ac3_sim::{ParticipantSet, World};
+use ac3_sim::{ParticipantSet, SwapId, World};
 
 /// Configuration of a scenario's chains and funding.
 #[derive(Debug, Clone)]
@@ -112,6 +112,112 @@ pub fn custom_scenario(
     let graph = SwapGraph::new(edges, 1).expect("edge specs produce a valid graph");
 
     Scenario { world, participants, graph, witness_chain, asset_chains }
+}
+
+/// One AC2T of a concurrent batch: its id (used for fee attribution) and
+/// its graph over the batch's shared chains.
+#[derive(Debug, Clone)]
+pub struct SwapSpec {
+    /// The swap's id within the batch.
+    pub id: SwapId,
+    /// The AC2T graph, over the scenario's shared chains.
+    pub graph: SwapGraph,
+}
+
+/// A batch of AC2Ts sharing one set of asset chains and one witness chain —
+/// the contention workload of Section 6.4: swaps compete for block space in
+/// the shared mempools instead of each owning a private world.
+pub struct MultiSwapScenario {
+    /// The shared multi-chain world.
+    pub world: World,
+    /// Every participant of every swap (two fresh participants per swap).
+    pub participants: ParticipantSet,
+    /// The batch, in id order.
+    pub swaps: Vec<SwapSpec>,
+    /// The shared witness chain.
+    pub witness_chain: ChainId,
+    /// The shared asset chains.
+    pub asset_chains: Vec<ChainId>,
+}
+
+impl MultiSwapScenario {
+    /// Build the scheduler input from a per-swap machine constructor — the
+    /// one adapter from the batch to `Scheduler::run`, shared by tests,
+    /// benches and binaries.
+    pub fn machines_with<F>(
+        &self,
+        mut make: F,
+    ) -> Vec<(SwapId, Box<dyn crate::driver::SwapMachine>)>
+    where
+        F: FnMut(&SwapSpec) -> Box<dyn crate::driver::SwapMachine>,
+    {
+        self.swaps.iter().map(|swap| (swap.id, make(swap))).collect()
+    }
+}
+
+/// Build a batch of `swaps` two-party AC2Ts over `chains` shared asset
+/// chains (templates from `cfg`) plus one shared witness chain. Swap `i`
+/// runs between its own pair of participants; its two edges land on chains
+/// `i % chains` and `(i + 1) % chains` (round-robin), so neighbouring swaps
+/// contend for the same block space.
+pub fn concurrent_swaps_scenario(
+    swaps: usize,
+    chains: usize,
+    cfg: &ScenarioConfig,
+) -> MultiSwapScenario {
+    let asset_params = (0..chains)
+        .map(|i| {
+            let mut p = cfg.asset_chain_template.clone();
+            p.name = format!("{}-{i}", cfg.asset_chain_template.name);
+            p
+        })
+        .collect();
+    let mut witness_params = cfg.witness_chain_template.clone();
+    witness_params.name = format!("{}-witness", cfg.witness_chain_template.name);
+    concurrent_swaps_over_chains(swaps, asset_params, witness_params, cfg.funding)
+}
+
+/// Like [`concurrent_swaps_scenario`], but with explicit per-chain
+/// parameters — the contention-throughput experiment uses this to make one
+/// involved chain the tps bottleneck.
+pub fn concurrent_swaps_over_chains(
+    swaps: usize,
+    asset_params: Vec<ChainParams>,
+    witness_params: ChainParams,
+    funding: Amount,
+) -> MultiSwapScenario {
+    assert!(swaps >= 1, "a batch needs at least one swap");
+    assert!(!asset_params.is_empty(), "a batch needs at least one asset chain");
+
+    let mut participants = ParticipantSet::new();
+    let pairs: Vec<(Address, Address)> = (0..swaps)
+        .map(|i| (participants.add(&format!("s{i}a")), participants.add(&format!("s{i}b"))))
+        .collect();
+    let genesis: Vec<(Address, Amount)> =
+        participants.addresses().into_iter().map(|a| (a, funding)).collect();
+
+    let mut world = World::new();
+    let asset_chains: Vec<ChainId> =
+        asset_params.into_iter().map(|p| world.add_chain(p, &genesis)).collect();
+    let witness_chain = world.add_chain(witness_params, &genesis);
+
+    let m = asset_chains.len();
+    let specs = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            let edges = vec![
+                SwapEdge { from: *a, to: *b, amount: 50, chain: asset_chains[i % m] },
+                SwapEdge { from: *b, to: *a, amount: 80, chain: asset_chains[(i + 1) % m] },
+            ];
+            SwapSpec {
+                id: SwapId(i as u64),
+                graph: SwapGraph::new(edges, i as u64 + 1).expect("two-party graphs are valid"),
+            }
+        })
+        .collect();
+
+    MultiSwapScenario { world, participants, swaps: specs, witness_chain, asset_chains }
 }
 
 /// The paper's running example (Figure 4): Alice swaps `x` for Bob's `y`,

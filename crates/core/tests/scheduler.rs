@@ -1,0 +1,208 @@
+//! Integration tests of the concurrent swap scheduler: the step/poll
+//! machines must (a) reproduce the legacy blocking drivers exactly at
+//! N = 1, (b) keep every swap atomic under a random mix of committing,
+//! aborting and crash-recovering swaps running concurrently, and (c) scale
+//! to the acceptance workload (64 AC2Ts over 4 shared asset chains plus a
+//! shared witness chain) with zero atomicity violations.
+
+use ac3_core::scenario::{concurrent_swaps_scenario, two_party_scenario, ScenarioConfig};
+use ac3_core::{Ac3tw, Ac3wn, Herlihy, MultiSwapScenario, ProtocolConfig, Scheduler, SwapMachine};
+use ac3_sim::{CrashWindow, SwapId};
+use proptest::Gen;
+
+fn protocol_cfg() -> ProtocolConfig {
+    ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() }
+}
+
+fn ac3wn_machines(s: &MultiSwapScenario, driver: &Ac3wn) -> Vec<(SwapId, Box<dyn SwapMachine>)> {
+    let witness = s.witness_chain;
+    s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), witness)))
+}
+
+/// The scheduler with a single machine must reproduce the legacy blocking
+/// `execute` bit for bit: same decision, same counters, same timeline.
+#[test]
+fn n1_batch_is_equivalent_to_blocking_execute() {
+    let cfg = ScenarioConfig::default();
+    let driver = Ac3wn::new(protocol_cfg());
+
+    let mut legacy = two_party_scenario(50, 80, &cfg);
+    let legacy_report = driver.execute(&mut legacy).unwrap();
+
+    let mut scheduled = two_party_scenario(50, 80, &cfg);
+    let machine = driver.machine(scheduled.graph.clone(), scheduled.witness_chain);
+    let batch = Scheduler::default().run(
+        &mut scheduled.world,
+        &mut scheduled.participants,
+        vec![(SwapId(0), Box::new(machine))],
+    );
+    let scheduled_report = batch.report_for(SwapId(0)).expect("swap finished");
+
+    assert_eq!(scheduled_report.decision, legacy_report.decision);
+    assert_eq!(scheduled_report.verdict(), legacy_report.verdict());
+    assert_eq!(scheduled_report.started_at, legacy_report.started_at);
+    assert_eq!(scheduled_report.finished_at, legacy_report.finished_at);
+    assert_eq!(scheduled_report.delta_ms, legacy_report.delta_ms);
+    assert_eq!(scheduled_report.deployments, legacy_report.deployments);
+    assert_eq!(scheduled_report.calls, legacy_report.calls);
+    assert_eq!(scheduled_report.fees_paid, legacy_report.fees_paid);
+    assert_eq!(
+        scheduled_report.timeline.events(),
+        legacy_report.timeline.events(),
+        "per-swap timeline must match the blocking driver's world timeline"
+    );
+    for (a, b) in scheduled_report.edges.iter().zip(&legacy_report.edges) {
+        assert_eq!(a.disposition, b.disposition);
+    }
+    // Same simulated end time and same fee totals in the two worlds.
+    assert_eq!(scheduled.world.fees.total_fees(), legacy.world.fees.total_fees());
+}
+
+/// What a randomly drawn swap does during the property test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Fate {
+    /// Everyone stays up: the swap must commit.
+    Fine,
+    /// The first sender crashes permanently before deploying: the swap must
+    /// abort with every published contract refunded.
+    CrashedSender,
+    /// A recipient crashes around settlement time and recovers later: the
+    /// decision must still be commit and atomicity must hold (AC3WN has no
+    /// timelock to race).
+    LateRecipient,
+}
+
+/// Concurrent-scheduler property test: a random mix of committing, aborting
+/// and crash-recovering swaps runs concurrently; every swap must pass the
+/// atomicity audit and the incremental chain state must survive intact.
+/// Uses the deterministic proptest generator directly so the number of
+/// simulated batches stays bounded.
+#[test]
+fn property_random_fate_mix_stays_atomic() {
+    let mut gen = Gen::deterministic("scheduler::property_random_fate_mix_stays_atomic");
+    for case in 0..12 {
+        let swaps = 2 + gen.below(5) as usize; // 2..=6
+        let chains = 2 + gen.below(3) as usize; // 2..=4
+        let fates: Vec<Fate> = (0..swaps)
+            .map(|_| match gen.below(3) {
+                0 => Fate::Fine,
+                1 => Fate::CrashedSender,
+                _ => Fate::LateRecipient,
+            })
+            .collect();
+
+        let mut s = concurrent_swaps_scenario(swaps, chains, &ScenarioConfig::default());
+        for (i, fate) in fates.iter().enumerate() {
+            match fate {
+                Fate::Fine => {}
+                Fate::CrashedSender => {
+                    s.participants
+                        .get_mut(&format!("s{i}a"))
+                        .unwrap()
+                        .schedule_crash(CrashWindow::permanent(0));
+                }
+                Fate::LateRecipient => {
+                    s.participants
+                        .get_mut(&format!("s{i}b"))
+                        .unwrap()
+                        .schedule_crash(CrashWindow { from: 14_000, until: 44_000 });
+                }
+            }
+        }
+
+        let driver = Ac3wn::new(protocol_cfg());
+        let machines = ac3wn_machines(&s, &driver);
+        let batch = Scheduler::default().run(&mut s.world, &mut s.participants, machines);
+
+        assert_eq!(batch.failed(), 0, "case {case} ({fates:?}): no swap may error");
+        assert!(batch.all_atomic(), "case {case} ({fates:?}): atomicity audit failed");
+        for (i, fate) in fates.iter().enumerate() {
+            let report = batch.report_for(SwapId(i as u64)).unwrap();
+            match fate {
+                Fate::Fine => assert_eq!(
+                    report.decision,
+                    Some(true),
+                    "case {case}: healthy swap {i} must commit"
+                ),
+                Fate::CrashedSender => {
+                    assert_eq!(
+                        report.decision,
+                        Some(false),
+                        "case {case}: swap {i} with a crashed sender must abort"
+                    );
+                    assert!(report.verdict().is_aborted() || report.verdict().is_atomic());
+                }
+                Fate::LateRecipient => assert!(
+                    report.is_atomic(),
+                    "case {case}: late-recipient swap {i} violated atomicity: {}",
+                    report.verdict()
+                ),
+            }
+        }
+        s.world.assert_state_integrity();
+    }
+}
+
+/// The acceptance workload: 64 concurrent AC2Ts over 4 shared asset chains
+/// plus one shared witness chain complete with zero atomicity violations,
+/// and actually interleave (the batch makespan is far below the sum of the
+/// individual latencies).
+#[test]
+fn sixty_four_concurrent_swaps_over_four_chains_stay_atomic() {
+    let mut s = concurrent_swaps_scenario(64, 4, &ScenarioConfig::default());
+    let driver = Ac3wn::new(protocol_cfg());
+    let machines = ac3wn_machines(&s, &driver);
+    let batch = Scheduler::default().run(&mut s.world, &mut s.participants, machines);
+
+    assert_eq!(batch.failed(), 0, "no swap may error");
+    assert_eq!(batch.committed(), 64, "all 64 swaps commit");
+    assert!(batch.all_atomic(), "zero atomicity violations");
+
+    let latency_sum: u64 = batch.reports().map(|(_, r)| r.latency_ms()).sum();
+    assert!(
+        batch.makespan_ms() * 4 < latency_sum,
+        "makespan {} ms should be far below the serial sum {} ms",
+        batch.makespan_ms(),
+        latency_sum
+    );
+
+    // Every swap paid fees and the attribution covers the full ledger.
+    let attributed: u64 = s.swaps.iter().map(|swap| s.world.fees.fees_for_swap(swap.id)).sum();
+    assert_eq!(attributed, s.world.fees.total_fees());
+    assert!(s.swaps.iter().all(|swap| s.world.fees.fees_for_swap(swap.id) > 0));
+
+    s.world.assert_state_integrity();
+}
+
+/// A mixed-protocol batch: AC3WN, AC3TW and Herlihy machines all interleave
+/// under one scheduler over one shared world.
+#[test]
+fn mixed_protocol_batch_interleaves() {
+    let mut s = concurrent_swaps_scenario(6, 3, &ScenarioConfig::default());
+    let ac3wn = Ac3wn::new(protocol_cfg());
+    let ac3tw = Ac3tw::new(protocol_cfg());
+    let herlihy = Herlihy::new(protocol_cfg());
+
+    let mut machines: Vec<(SwapId, Box<dyn SwapMachine>)> = Vec::new();
+    for (i, swap) in s.swaps.iter().enumerate() {
+        let machine: Box<dyn SwapMachine> = match i % 3 {
+            0 => Box::new(ac3wn.machine(swap.graph.clone(), s.witness_chain)),
+            1 => Box::new(ac3tw.machine(swap.graph.clone())),
+            _ => Box::new(herlihy.machine(swap.graph.clone()).unwrap()),
+        };
+        machines.push((swap.id, machine));
+    }
+    let batch = Scheduler::default().run(&mut s.world, &mut s.participants, machines);
+
+    assert_eq!(batch.failed(), 0);
+    assert!(batch.all_atomic());
+    for (id, report) in batch.reports() {
+        assert!(
+            report.verdict().is_committed(),
+            "{id} under {} should commit: {}",
+            report.protocol,
+            report.verdict()
+        );
+    }
+    s.world.assert_state_integrity();
+}

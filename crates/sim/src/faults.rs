@@ -18,7 +18,9 @@ use crate::world::{World, WorldError};
 use ac3_chain::{ChainId, Timestamp};
 use serde::{Deserialize, Serialize};
 
-/// A closed interval of simulated time during which a chain is unreachable.
+/// A half-open interval `[from, until)` of simulated time during which a
+/// chain is unreachable: the chain is down at `from` and reachable again at
+/// `until`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutageWindow {
     /// Outage start (inclusive).
@@ -134,11 +136,20 @@ mod tests {
 
     #[test]
     fn outage_window_coverage() {
+        // Half-open `[from, until)`: down at `from`, back at `until`.
         let w = OutageWindow { from: 10, until: 20 };
         assert!(!w.covers(9));
         assert!(w.covers(10));
         assert!(w.covers(19));
         assert!(!w.covers(20));
+        // Degenerate boundaries: an empty window covers nothing.
+        let empty = OutageWindow { from: 10, until: 10 };
+        assert!(!empty.covers(9));
+        assert!(!empty.covers(10));
+        assert!(!empty.covers(11));
+        let instant = OutageWindow { from: 10, until: 11 };
+        assert!(instant.covers(10));
+        assert!(!instant.covers(11));
     }
 
     #[test]

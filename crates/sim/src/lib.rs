@@ -21,7 +21,7 @@ pub mod world;
 
 pub use faults::{Fault, FaultPlan, OutageWindow};
 pub use metrics::{
-    EventKind, FeeLedger, LatencyStats, SubTransactionRecord, Timeline, TimelineEvent,
+    EventKind, FeeLedger, LatencyStats, SubTransactionRecord, SwapId, Timeline, TimelineEvent,
 };
 pub use participant::{CrashWindow, Participant, ParticipantSet};
 pub use world::{World, WorldError};

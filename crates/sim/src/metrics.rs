@@ -7,6 +7,20 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Identifier of one AC2T within a batch of concurrently executing swaps.
+/// Allocated by whoever builds the batch (scenario builder or scheduler);
+/// used to attribute fees and timelines to individual swaps.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SwapId(pub u64);
+
+impl fmt::Display for SwapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "swap-{}", self.0)
+    }
+}
+
 /// The kinds of protocol-level events recorded on a timeline.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
@@ -129,6 +143,9 @@ pub struct FeeLedger {
     calls: BTreeMap<ChainId, u64>,
     transfers: BTreeMap<ChainId, u64>,
     fees_paid: BTreeMap<ChainId, Amount>,
+    /// Fees attributed to individual swaps of a concurrent batch (a second
+    /// axis over the same payments, not an addition to the totals).
+    by_swap: BTreeMap<SwapId, Amount>,
 }
 
 impl FeeLedger {
@@ -153,6 +170,22 @@ impl FeeLedger {
     pub fn record_transfer(&mut self, chain: ChainId, fee: Amount) {
         *self.transfers.entry(chain).or_default() += 1;
         *self.fees_paid.entry(chain).or_default() += fee;
+    }
+
+    /// Attribute an already-recorded fee to a swap (per-swap view of the
+    /// same payments the per-chain maps hold).
+    pub fn attribute(&mut self, swap: SwapId, fee: Amount) {
+        *self.by_swap.entry(swap).or_default() += fee;
+    }
+
+    /// Fees attributed to one swap of a concurrent batch.
+    pub fn fees_for_swap(&self, swap: SwapId) -> Amount {
+        self.by_swap.get(&swap).copied().unwrap_or(0)
+    }
+
+    /// Swaps with attributed fees, in id order.
+    pub fn attributed_swaps(&self) -> Vec<SwapId> {
+        self.by_swap.keys().copied().collect()
     }
 
     /// Total number of contract deployments across chains.
@@ -244,15 +277,18 @@ impl LatencyStats {
         Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
     }
 
-    /// The p-th percentile (0–100), nearest-rank.
+    /// The p-th percentile (0–100) using the nearest-rank method: the
+    /// smallest sample such that at least `⌈p/100·N⌉` samples are ≤ it
+    /// (p = 0 maps to the minimum).
     pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.samples.is_empty() {
             return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
-        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-        sorted.get(rank.min(sorted.len() - 1)).copied()
+        let n = sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        sorted.get(rank.saturating_sub(1).min(n - 1)).copied()
     }
 }
 
@@ -336,6 +372,46 @@ mod tests {
         assert_eq!(stats.mean(), Some(30.0));
         assert_eq!(stats.percentile(50.0), Some(30));
         assert_eq!(stats.percentile(100.0), Some(50));
+    }
+
+    #[test]
+    fn percentile_is_true_nearest_rank() {
+        // Nearest-rank on an even-length sample, where the old rounded
+        // linear index diverged: p25 of four samples is the 1st order
+        // statistic (⌈0.25·4⌉ = 1), not the 2nd.
+        let mut stats = LatencyStats::new();
+        for v in [1u64, 2, 3, 4] {
+            stats.record(v);
+        }
+        assert_eq!(stats.percentile(0.0), Some(1), "p0 is the minimum");
+        assert_eq!(stats.percentile(25.0), Some(1));
+        assert_eq!(stats.percentile(50.0), Some(2));
+        assert_eq!(stats.percentile(75.0), Some(3));
+        assert_eq!(stats.percentile(100.0), Some(4));
+
+        let mut single = LatencyStats::new();
+        single.record(42);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(single.percentile(p), Some(42));
+        }
+    }
+
+    #[test]
+    fn fee_attribution_per_swap() {
+        let mut ledger = FeeLedger::new();
+        ledger.record_call(ChainId(0), 2);
+        ledger.attribute(SwapId(1), 2);
+        ledger.record_call(ChainId(0), 4);
+        ledger.attribute(SwapId(2), 4);
+        ledger.record_call(ChainId(1), 1);
+        ledger.attribute(SwapId(1), 1);
+        assert_eq!(ledger.fees_for_swap(SwapId(1)), 3);
+        assert_eq!(ledger.fees_for_swap(SwapId(2)), 4);
+        assert_eq!(ledger.fees_for_swap(SwapId(3)), 0);
+        assert_eq!(ledger.attributed_swaps(), vec![SwapId(1), SwapId(2)]);
+        // Attribution is a second axis over the same payments.
+        assert_eq!(ledger.total_fees(), 7);
+        assert_eq!(SwapId(1).to_string(), "swap-1");
     }
 
     #[test]

@@ -13,8 +13,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A closed interval of simulated time during which a participant is crashed
-/// and cannot take any action.
+/// A half-open interval `[from, until)` of simulated time during which a
+/// participant is crashed and cannot take any action: down at `from`,
+/// recovered at `until`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrashWindow {
     /// Crash start (inclusive).

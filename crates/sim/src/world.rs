@@ -8,7 +8,7 @@
 //! executing their phases and read all their measurements from it.
 
 use crate::faults::OutageWindow;
-use crate::metrics::{FeeLedger, Timeline};
+use crate::metrics::{FeeLedger, SwapId, Timeline};
 use ac3_chain::{
     Address, Amount, Block, BlockHash, Blockchain, ChainError, ChainId, ChainParams, ContractId,
     Timestamp, Transaction, TxId, TxKind,
@@ -26,6 +26,14 @@ pub enum WorldError {
     UnknownChain(ChainId),
     /// The chain exists but is unreachable due to an injected outage.
     ChainUnreachable(ChainId),
+    /// A block the operation depends on is missing from the chain's store
+    /// (e.g. the fork base of an injected fork).
+    MissingBlock {
+        /// The chain whose store was probed.
+        chain: ChainId,
+        /// The height at which no canonical block was found.
+        height: u64,
+    },
     /// A chain-level error.
     Chain(ChainError),
     /// A wait timed out before its condition became true.
@@ -45,6 +53,9 @@ impl fmt::Display for WorldError {
         match self {
             WorldError::UnknownChain(id) => write!(f, "unknown chain {id}"),
             WorldError::ChainUnreachable(id) => write!(f, "{id} unreachable (network partition)"),
+            WorldError::MissingBlock { chain, height } => {
+                write!(f, "no canonical block at height {height} on {chain}")
+            }
             WorldError::Chain(e) => write!(f, "chain error: {e}"),
             WorldError::Timeout { what, at } => write!(f, "timed out at {at} waiting for {what}"),
             WorldError::EvidenceUnavailable(m) => write!(f, "evidence unavailable: {m}"),
@@ -67,6 +78,16 @@ struct ChainSlot {
     outages: Vec<OutageWindow>,
 }
 
+/// Fee category of a transaction, captured before the transaction is moved
+/// into the chain so the ledger entry can be made after admission succeeds.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FeeKind {
+    Deploy,
+    Call,
+    Transfer,
+    Coinbase,
+}
+
 /// The simulated multi-chain world.
 pub struct World {
     now: Timestamp,
@@ -76,6 +97,9 @@ pub struct World {
     pub timeline: Timeline,
     /// Fee accounting (filled by protocol drivers).
     pub fees: FeeLedger,
+    /// The swap currently charged for submitted fees (set by the scheduler
+    /// around each machine poll so concurrent AC2Ts get separate bills).
+    fee_attribution: Option<SwapId>,
 }
 
 impl fmt::Debug for World {
@@ -102,7 +126,19 @@ impl World {
             next_chain_id: 0,
             timeline: Timeline::new(),
             fees: FeeLedger::new(),
+            fee_attribution: None,
         }
+    }
+
+    /// Route fees of subsequently submitted transactions to `swap` (in
+    /// addition to the per-chain ledger); `None` stops attribution.
+    pub fn set_fee_attribution(&mut self, swap: Option<SwapId>) {
+        self.fee_attribution = swap;
+    }
+
+    /// The swap currently charged for submitted fees, if any.
+    pub fn fee_attribution(&self) -> Option<SwapId> {
+        self.fee_attribution
     }
 
     /// Current simulated time in milliseconds.
@@ -154,6 +190,12 @@ impl World {
             .unwrap_or(1_000)
     }
 
+    /// The smallest block interval across chains — the natural polling step
+    /// for waits on on-chain conditions (nothing can change between blocks).
+    pub fn min_block_interval_ms(&self) -> u64 {
+        self.chains.values().map(|s| s.chain.params().block_interval_ms).min().unwrap_or(1_000)
+    }
+
     // ------------------------------------------------------------------
     // Faults
     // ------------------------------------------------------------------
@@ -195,7 +237,7 @@ impl World {
             .chain
             .store()
             .canonical_block_at_height(base_height)
-            .ok_or(WorldError::UnknownChain(chain))?;
+            .ok_or(WorldError::MissingBlock { chain, height: base_height })?;
         let attacker = Address::from(KeyPair::from_seed(b"attacker-51pct").public());
         let mut branch = Vec::with_capacity(length as usize);
         for i in 0..length {
@@ -253,8 +295,7 @@ impl World {
         if pred(self) {
             return Ok(0);
         }
-        let step =
-            self.chains.values().map(|s| s.chain.params().block_interval_ms).min().unwrap_or(1_000);
+        let step = self.min_block_interval_ms();
         while self.now < start + max_ms {
             self.advance(step);
             if pred(self) {
@@ -279,19 +320,40 @@ impl World {
     // ------------------------------------------------------------------
 
     /// Submit a transaction to a chain, respecting injected outages. Fees
-    /// are recorded in the world ledger by transaction kind.
+    /// are recorded in the world ledger by transaction kind — but only for
+    /// transactions the chain actually admits: a rejected submission (bad
+    /// signature, mempool conflict, partitioned or unknown chain) costs
+    /// nothing.
     pub fn submit(&mut self, chain: ChainId, tx: Transaction) -> Result<TxId, WorldError> {
+        // An unknown chain is a caller bug, not a network partition; only
+        // chains that exist can be unreachable.
+        if !self.chains.contains_key(&chain) {
+            return Err(WorldError::UnknownChain(chain));
+        }
         if !self.is_reachable(chain) {
             return Err(WorldError::ChainUnreachable(chain));
         }
-        match &tx.kind {
-            TxKind::Deploy { .. } => self.fees.record_deployment(chain, tx.fee),
-            TxKind::Call { .. } => self.fees.record_call(chain, tx.fee),
-            TxKind::Transfer { .. } => self.fees.record_transfer(chain, tx.fee),
-            TxKind::Coinbase { .. } => {}
+        let fee = tx.fee;
+        let kind = match &tx.kind {
+            TxKind::Deploy { .. } => FeeKind::Deploy,
+            TxKind::Call { .. } => FeeKind::Call,
+            TxKind::Transfer { .. } => FeeKind::Transfer,
+            TxKind::Coinbase { .. } => FeeKind::Coinbase,
+        };
+        let slot = self.chains.get_mut(&chain).expect("checked above");
+        let txid = slot.chain.submit(tx)?;
+        match kind {
+            FeeKind::Deploy => self.fees.record_deployment(chain, fee),
+            FeeKind::Call => self.fees.record_call(chain, fee),
+            FeeKind::Transfer => self.fees.record_transfer(chain, fee),
+            FeeKind::Coinbase => {}
         }
-        let slot = self.chains.get_mut(&chain).ok_or(WorldError::UnknownChain(chain))?;
-        Ok(slot.chain.submit(tx)?)
+        if !matches!(kind, FeeKind::Coinbase) {
+            if let Some(swap) = self.fee_attribution {
+                self.fees.attribute(swap, fee);
+            }
+        }
+        Ok(txid)
     }
 
     /// Wait until a transaction is buried under `depth` blocks on the
@@ -513,6 +575,69 @@ mod tests {
         let chain = world.add_chain(fast_params("c"), &[]);
         world.advance_blocks(chain, 4).unwrap();
         assert!(world.chain(chain).unwrap().height() >= 4);
+    }
+
+    #[test]
+    fn rejected_submissions_pay_no_fees() {
+        // Regression: fees used to be recorded before `chain.submit` could
+        // fail, so transactions the mempool rejected still inflated the
+        // ledger.
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 5).unwrap();
+        let mut tx = kp.transfer(inputs, outputs, 5);
+        let good = tx.clone();
+
+        // Invalid signature: tampering with the fee after signing.
+        tx.fee = 7;
+        assert!(world.submit(chain, tx).is_err());
+        assert_eq!(world.fees.total_fees(), 0, "rejected tx must not be billed");
+
+        // A valid submission is billed exactly once, and resubmitting the
+        // same transaction (mempool duplicate) adds nothing.
+        world.submit(chain, good.clone()).unwrap();
+        assert_eq!(world.fees.total_fees(), 5);
+        assert!(world.submit(chain, good).is_err());
+        assert_eq!(world.fees.total_fees(), 5, "duplicate tx must not be billed twice");
+    }
+
+    #[test]
+    fn unknown_chain_is_not_a_network_partition() {
+        // Regression: submitting to a nonexistent chain used to surface as
+        // `ChainUnreachable` because `is_reachable` returns false for
+        // unknown ids.
+        let mut world = World::new();
+        let ghost = ChainId(99);
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let tx = kp.transfer(vec![], vec![], 0);
+        assert_eq!(world.submit(ghost, tx).unwrap_err(), WorldError::UnknownChain(ghost));
+        assert_eq!(world.inject_fork(ghost, 1, 1).unwrap_err(), WorldError::UnknownChain(ghost));
+        assert!(!world.is_reachable(ghost), "unknown chains are still not reachable");
+    }
+
+    #[test]
+    fn fee_attribution_routes_fees_to_the_active_swap() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+
+        world.set_fee_attribution(Some(SwapId(7)));
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 3).unwrap();
+        world.submit(chain, kp.transfer(inputs, outputs, 3)).unwrap();
+        world.set_fee_attribution(None);
+        world.advance(1_000);
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 2).unwrap();
+        world.submit(chain, kp.transfer(inputs, outputs, 2)).unwrap();
+
+        assert_eq!(world.fees.fees_for_swap(SwapId(7)), 3);
+        assert_eq!(world.fees.fees_for_swap(SwapId(8)), 0);
+        assert_eq!(world.fees.total_fees(), 5, "attribution never double-counts totals");
     }
 
     #[test]
