@@ -17,8 +17,7 @@ fn protocol_cfg() -> ProtocolConfig {
 }
 
 fn machines(s: &MultiSwapScenario, driver: &Ac3wn) -> Vec<(SwapId, Box<dyn SwapMachine>)> {
-    let witness = s.witness_chain;
-    s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), witness)))
+    s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), swap.witness)))
 }
 
 fn bench_scheduler(c: &mut Criterion) {

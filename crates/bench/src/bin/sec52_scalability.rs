@@ -3,99 +3,96 @@
 //! The paper argues that coordinating AC2Ts is embarrassingly parallel:
 //! different AC2Ts can be coordinated by different witness networks, so the
 //! witness layer never becomes a bottleneck — overall throughput is bounded
-//! only by the asset chains. We run B independent two-party swaps and
-//! compare the end-to-end makespan when all of them share a single
-//! tps-constrained witness chain versus when they are spread over k witness
-//! chains.
+//! only by the asset chains. We run B concurrent two-party swaps through
+//! the swap scheduler over one shared world containing k **real** witness
+//! chains (each tps-constrained, each a genuine chain with its own mempool
+//! and block production) and sweep k from 1 to B.
+//!
+//! With k = 1 every swap's registration and authorization transactions
+//! queue in the single witness mempool, so coordination serialises and
+//! per-swap latency inflates; as k grows toward B the per-witness load
+//! drops to a handful of transactions and latency returns to the constant
+//! ~4Δ the paper reports. Unlike the earlier version of this binary —
+//! which approximated sharing by throttling a private witness chain's
+//! block interval — the serialisation penalty here is *measured* from
+//! actual block-space contention between concurrently scheduled machines,
+//! not modelled.
+//!
+//! Usage: `sec52_scalability [swaps]` (default: 8).
 
 use ac3_bench::{f2, print_json_rows, print_table};
-use ac3_chain::{Address, Amount, ChainParams};
-use ac3_core::graph::SwapGraph;
-use ac3_core::scenario::Scenario;
-use ac3_core::{Ac3wn, ProtocolConfig};
-use ac3_sim::{ParticipantSet, World};
+use ac3_chain::ChainParams;
+use ac3_core::scenario::concurrent_swaps_multi_witness;
+use ac3_core::{Ac3wn, ProtocolConfig, Scheduler, SwapMachine};
+use ac3_sim::SwapId;
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct ScalabilityRow {
     swaps: usize,
     witness_networks: usize,
+    worst_latency_deltas: f64,
     makespan_deltas: f64,
     all_atomic: bool,
 }
 
-/// Build one scenario per swap, where swap `i` uses its own pair of asset
-/// chains but shares one of `witnesses` witness chains (round-robin). Every
-/// scenario gets its own world; the shared witness chain is modelled by
-/// giving shared-witness swaps a witness chain throttled to `1/shared`
-/// of the base throughput — the serialization penalty a single coordinator
-/// imposes when its capacity is split across concurrent AC2Ts.
-fn run_batch(swaps: usize, witnesses: usize) -> (f64, bool) {
-    let mut worst_latency: f64 = 0.0;
-    let mut all_atomic = true;
-    let sharing_factor = (swaps as u64).div_ceil(witnesses as u64).max(1);
+/// Run B swaps over k real shared witness chains and report the worst
+/// per-swap latency and the batch makespan, both in asset-chain Δ.
+fn run_batch(swaps: usize, witnesses: usize) -> ScalabilityRow {
+    // Generous asset chains: the witness layer must be the only contended
+    // resource, exactly the Section 5.2 question.
+    let asset_params: Vec<ChainParams> =
+        (0..swaps.min(4)).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
+    // Each committed AC2T puts two transactions on its witness chain (the
+    // SC_w registration and the authorize call); 1 tps per witness chain
+    // makes sharing one chain among many swaps visibly serialise.
+    let witness_params: Vec<ChainParams> =
+        (0..witnesses).map(|i| ChainParams::fast(&format!("witness-{i}"), 1)).collect();
+    let mut s = concurrent_swaps_multi_witness(swaps, asset_params, witness_params, 1_000);
 
-    for i in 0..swaps {
-        let mut world = World::new();
-        let mut participants = ParticipantSet::new();
-        let alice = participants.add(&format!("alice-{i}"));
-        let bob = participants.add(&format!("bob-{i}"));
-        let genesis: Vec<(Address, Amount)> = vec![(alice, 1_000), (bob, 1_000)];
+    let driver = Ac3wn::new(ProtocolConfig {
+        witness_depth: 3,
+        deployment_depth: 3,
+        // Queueing on a starved witness chain must read as delay, not
+        // failure.
+        wait_cap_deltas: 64,
+        ..Default::default()
+    });
+    let machines: Vec<(SwapId, Box<dyn SwapMachine>)> =
+        s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), swap.witness)));
+    let batch = Scheduler::default().run(&mut s.world, &mut s.participants, machines);
 
-        let mut asset = ChainParams::test("asset");
-        asset.block_interval_ms = 1_000;
-        asset.stable_depth = 3;
-        let chain_a = world.add_chain(asset.clone(), &genesis);
-        let chain_b = world.add_chain(asset, &genesis);
+    assert_eq!(
+        batch.failed(),
+        0,
+        "k={witnesses}: witness queueing must delay swaps, not fail them"
+    );
+    assert_eq!(batch.committed(), swaps, "k={witnesses}: every swap must commit");
+    s.world.assert_state_integrity();
 
-        // The shared witness chain has to serialise the coordination work of
-        // `sharing_factor` swaps: model it as a proportionally slower chain.
-        let mut witness = ChainParams::test("witness");
-        witness.block_interval_ms = 1_000 * sharing_factor;
-        witness.stable_depth = 3;
-        let witness_chain = world.add_chain(witness, &genesis);
-
-        let graph = SwapGraph::new(
-            vec![
-                ac3_core::SwapEdge { from: alice, to: bob, amount: 50, chain: chain_a },
-                ac3_core::SwapEdge { from: bob, to: alice, amount: 80, chain: chain_b },
-            ],
-            i as u64 + 1,
-        )
-        .expect("valid graph");
-
-        let mut scenario = Scenario {
-            world,
-            participants,
-            graph,
-            witness_chain,
-            asset_chains: vec![chain_a, chain_b],
-        };
-        let delta_of_assets = 4_000.0; // Δ of the asset chains alone
-        let report = Ac3wn::new(ProtocolConfig {
-            witness_depth: 3,
-            deployment_depth: 3,
-            ..Default::default()
-        })
-        .execute(&mut scenario)
-        .expect("swap");
-        all_atomic &= report.is_atomic();
-        worst_latency = worst_latency.max(report.latency_ms() as f64 / delta_of_assets);
+    let delta_of_assets = 4_000.0; // Δ of the asset chains alone
+    let worst_latency = batch
+        .reports()
+        .map(|(_, r)| r.latency_ms() as f64 / delta_of_assets)
+        .fold(0.0f64, f64::max);
+    ScalabilityRow {
+        swaps,
+        witness_networks: witnesses,
+        worst_latency_deltas: worst_latency,
+        makespan_deltas: batch.makespan_ms() as f64 / delta_of_assets,
+        all_atomic: batch.all_atomic(),
     }
-    (worst_latency, all_atomic)
 }
 
 fn main() {
     let swaps: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
     let mut rows = Vec::new();
     for witnesses in [1usize, 2, 4, swaps] {
-        let (makespan, all_atomic) = run_batch(swaps, witnesses.min(swaps));
-        rows.push(ScalabilityRow {
-            swaps,
-            witness_networks: witnesses.min(swaps),
-            makespan_deltas: makespan,
-            all_atomic,
-        });
+        let witnesses = witnesses.min(swaps);
+        if rows.iter().any(|r: &ScalabilityRow| r.witness_networks == witnesses) {
+            continue;
+        }
+        rows.push(run_batch(swaps, witnesses));
     }
 
     let table: Vec<Vec<String>> = rows
@@ -104,20 +101,47 @@ fn main() {
             vec![
                 r.swaps.to_string(),
                 r.witness_networks.to_string(),
+                f2(r.worst_latency_deltas),
                 f2(r.makespan_deltas),
                 r.all_atomic.to_string(),
             ]
         })
         .collect();
     print_table(
-        "Section 5.2: coordinating B concurrent AC2Ts with k witness networks",
-        &["swaps B", "witness networks k", "worst swap latency (asset Δ)", "all atomic"],
+        "Section 5.2: B concurrent AC2Ts scheduled over k real shared witness chains",
+        &[
+            "swaps B",
+            "witness networks k",
+            "worst swap latency (asset Δ)",
+            "makespan (asset Δ)",
+            "all atomic",
+        ],
         &table,
     );
+
+    // The paper's claim, asserted mechanically: witness-layer sharing is
+    // the bottleneck at k = 1 and vanishes at k = B.
+    let shared = rows.first().expect("k=1 row exists");
+    let private = rows.last().expect("k=B row exists");
+    assert!(
+        shared.witness_networks == 1 && private.witness_networks == swaps,
+        "sweep must include k=1 and k=B"
+    );
+    if swaps > 2 {
+        assert!(
+            shared.worst_latency_deltas > private.worst_latency_deltas,
+            "a single shared witness network ({}Δ) must be slower than one per swap ({}Δ)",
+            shared.worst_latency_deltas,
+            private.worst_latency_deltas
+        );
+    }
+
     println!(
-        "\nExpected shape: with one shared witness network the coordination work serialises and \
-         per-swap latency grows; spreading AC2Ts across witness networks (k → B) restores the \
-         constant ~4Δ latency — the witness layer is never the bottleneck."
+        "\nExpected shape: with one shared witness network the B swaps' registration and \
+         authorization transactions queue in the same mempool and per-swap latency grows; \
+         spreading AC2Ts across witness networks (k → B) restores the constant ~4Δ latency — \
+         the witness layer is never the bottleneck. The contention is measured by the swap \
+         scheduler over real shared chains, not modelled by throttling."
     );
     print_json_rows("sec52_scalability", &rows);
 }

@@ -50,16 +50,7 @@ struct ContentionRow {
 const WITNESS_TXS_PER_SWAP: u64 = 2;
 
 fn machines(s: &MultiSwapScenario, driver: &Ac3wn) -> Vec<(SwapId, Box<dyn SwapMachine>)> {
-    let witness = s.witness_chain;
-    s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), witness)))
-}
-
-fn fast_chain(name: &str, tps: u64) -> ChainParams {
-    let mut p = ChainParams::test(name);
-    p.block_interval_ms = 1_000;
-    p.stable_depth = 3;
-    p.tps = tps;
-    p
+    s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), swap.witness)))
 }
 
 fn main() {
@@ -106,8 +97,8 @@ fn main() {
     let mut rows = Vec::new();
     for witness_tps in [1u64, 2, 4, 8, 1_000] {
         let asset_params: Vec<ChainParams> =
-            (0..chains).map(|i| fast_chain(&format!("asset-{i}"), 1_000)).collect();
-        let witness_params = fast_chain("witness", witness_tps);
+            (0..chains).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
+        let witness_params = ChainParams::fast("witness", witness_tps);
         let mut s = concurrent_swaps_over_chains(sweep_swaps, asset_params, witness_params, 1_000);
         let ms = machines(&s, &driver);
         let batch = Scheduler::default().run(&mut s.world, &mut s.participants, ms);

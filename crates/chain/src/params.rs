@@ -107,6 +107,19 @@ impl ChainParams {
         }
     }
 
+    /// A fast test chain for concurrent-scheduler workloads: 1-second
+    /// blocks, stability after 3 confirmations (Δ = 4 s), with an explicit
+    /// tps cap so one chain can be made the contention bottleneck. The
+    /// scheduler tests and the Section 5.2 / 6.4 bench binaries share this
+    /// shape; change it here, not in per-binary copies.
+    pub fn fast(name: &str, tps: u64) -> Self {
+        let mut p = ChainParams::test(name);
+        p.block_interval_ms = 1_000;
+        p.stable_depth = 3;
+        p.tps = tps;
+        p
+    }
+
     /// Bitcoin-like parameters (Table 1: 7 tps; 6 blocks/hour; d = 6).
     pub fn bitcoin_like() -> Self {
         ChainParams {

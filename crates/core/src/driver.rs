@@ -4,7 +4,8 @@
 //! Historically every protocol driver was a blocking one-shot function that
 //! owned the simulated clock: `execute(&mut Scenario)` advanced world time
 //! inside its waits, so only one swap could ever be in flight. The machines
-//! in [`crate::ac3wn`], [`crate::ac3tw`] and [`crate::herlihy`] invert that
+//! in [`crate::ac3wn`], [`crate::ac3tw`], [`crate::herlihy`] and
+//! [`crate::herlihy_multi`] invert that
 //! control flow: a machine never advances time — [`SwapMachine::poll`] does
 //! as much protocol work as is possible *at the world's current instant*
 //! (submitting transactions, reading chain state, transitioning phases) and
@@ -44,6 +45,13 @@ pub enum Step {
 /// machine has returned [`Step::Done`] or an error, further polls must
 /// return the same terminal result (or a cheap copy of it) without side
 /// effects.
+///
+/// Every protocol in the reproduction implements this trait —
+/// [`crate::ac3wn::Ac3wnMachine`], [`crate::ac3tw::Ac3twMachine`],
+/// [`crate::herlihy::HerlihyMachine`] and
+/// [`crate::herlihy_multi::HerlihyMultiMachine`] — so heterogeneous
+/// protocol mixes can share one [`crate::scheduler::Scheduler`] batch; see
+/// the scheduler module docs for a two-machine example.
 pub trait SwapMachine {
     /// Advance the machine as far as possible at the world's current time.
     fn poll(

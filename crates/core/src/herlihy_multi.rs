@@ -30,17 +30,24 @@
 //! timelock/refund path takes over. This preserves the properties the paper
 //! measures (latency shape, graph coverage, crash-failure behaviour) without
 //! reproducing the full leader-subprotocol message flow.
+//!
+//! The protocol logic lives in [`HerlihyMultiMachine`], a resumable
+//! step/poll state machine (see [`crate::driver`]) that never advances the
+//! simulated clock, so multi-leader complex-graph swaps can join
+//! mixed-protocol [`crate::scheduler::Scheduler`] batches;
+//! [`HerlihyMulti::execute`] is the single-swap [`drive`] wrapper.
 
 use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::driver::{drive, tx_at_depth, Step, SwapMachine};
 use crate::graph::{SwapEdge, SwapGraph};
 use crate::protocol::{
     EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
 };
 use crate::scenario::Scenario;
-use ac3_chain::{Address, ContractId, Timestamp, TxId};
+use ac3_chain::{Address, ChainId, ContractId, Timestamp, TxId};
 use ac3_contracts::{ContractCall, ContractSpec, MultiHtlcCall, MultiHtlcSpec};
 use ac3_crypto::{Hash256, Hashlock, Sha256};
-use ac3_sim::EventKind;
+use ac3_sim::{EventKind, ParticipantSet, Timeline, World};
 
 /// The Herlihy multi-leader protocol driver.
 #[derive(Debug, Clone, Default)]
@@ -102,306 +109,563 @@ impl HerlihyMulti {
         h.finalize().to_vec()
     }
 
-    /// Execute the AC2T described by the scenario's graph.
+    /// Create a resumable state machine executing `graph` (for use under a
+    /// scheduler). Fails when the graph is unsupported (disconnected, or
+    /// with edges unreachable from every feedback vertex set).
+    pub fn machine(&self, graph: SwapGraph) -> Result<HerlihyMultiMachine, ProtocolError> {
+        let leaders = Self::supports_graph(&graph)?;
+        Ok(HerlihyMultiMachine::new(self.config.clone(), graph, leaders))
+    }
+
+    /// Execute the AC2T described by the scenario's graph (single-swap
+    /// wrapper around [`HerlihyMultiMachine`]).
     pub fn execute(&self, scenario: &mut Scenario) -> Result<SwapReport, ProtocolError> {
-        let cfg = &self.config;
-        let delta = scenario.world.delta_ms();
-        let wait_cap = delta * cfg.wait_cap_deltas;
-        let started_at = scenario.world.now();
-        let mut calls = 0u64;
-        let mut deployments = 0u64;
-        let mut fees = 0u64;
+        let mut machine = self.machine(scenario.graph.clone())?;
+        drive(&mut machine, &mut scenario.world, &mut scenario.participants)
+    }
+}
 
-        let leaders = Self::supports_graph(&scenario.graph)?;
-        scenario.world.timeline.record(started_at, EventKind::GraphSigned);
+/// Phase of the multi-leader state machine.
+#[derive(Debug)]
+enum Phase {
+    /// Nothing has happened yet; the first poll derives the per-leader
+    /// secrets, the wave structure and the timelocks.
+    Start,
+    /// Phase A: submit the deployments of wave `k`.
+    DeployWave { k: usize },
+    /// Phase A: wait for wave `k`'s deployments to reach the required depth.
+    AwaitWaveDeploys { k: usize, pending: Vec<(ChainId, TxId)>, deadline: Timestamp },
+    /// Phase B: submit the redemptions of wave `k` (reverse order). The
+    /// off-chain leader secret exchange happens on entry into the *first*
+    /// redemption wave.
+    RedeemWave { k: usize },
+    /// Phase B: wait for wave `k`'s settlements; `(chain, txid, depth)`.
+    AwaitWaveRedeems { k: usize, pending: Vec<(ChainId, TxId, u64)>, deadline: Timestamp },
+    /// Phase B: nobody in wave `k` could redeem; give them one Δ.
+    WaveGap { k: usize, until: Timestamp },
+    /// Phase C: one round of timelock cleanup (recovered redeemers redeem,
+    /// expired contracts are refunded).
+    CleanupRound,
+    /// Phase C: idle one Δ between cleanup rounds.
+    CleanupWait { until: Timestamp },
+    /// Phase C: wait for settlements submitted during cleanup to be
+    /// included, so terminal dispositions are on-chain.
+    AwaitCleanupInclusion { pending: Vec<(ChainId, TxId)>, deadline: Timestamp },
+    /// Terminal.
+    Finished,
+}
 
-        let graph_digest = scenario.graph.digest();
-        let secrets: Vec<Vec<u8>> =
-            leaders.iter().map(|l| Self::leader_secret(&graph_digest, l)).collect();
-        let hashlocks: Vec<Hash256> =
-            secrets.iter().map(|s| Hashlock::from_secret(s).lock).collect();
+/// The Herlihy multi-leader protocol as a resumable state machine (see
+/// [`crate::driver`]). Structure mirrors [`crate::herlihy::HerlihyMachine`],
+/// with two multi-leader differences: contracts are [`MultiHtlcSpec`]s
+/// locked behind *every* leader's hashlock, and redemption is gated on the
+/// off-chain leader secret exchange (all leaders available when phase A
+/// completes) instead of on a single leader's knowledge.
+#[derive(Debug)]
+pub struct HerlihyMultiMachine {
+    config: ProtocolConfig,
+    graph: SwapGraph,
+    leaders: Vec<Address>,
+    phase: Phase,
+    timeline: Timeline,
+    started_at: Timestamp,
+    delta: u64,
+    wait_cap: u64,
+    deployments: u64,
+    calls: u64,
+    fees: u64,
+    secrets: Vec<Vec<u8>>,
+    hashlocks: Vec<Hash256>,
+    slots: Vec<EdgeSlot>,
+    waves_len: usize,
+    /// Whether the off-chain leader exchange succeeded (evaluated once,
+    /// when phase A completes): leaders know every secret iff it did.
+    exchange_succeeded: bool,
+    /// Whether some on-chain redemption has published every preimage.
+    secrets_public: bool,
+    deployment_failed: bool,
+    cleanup_deadline: Timestamp,
+    cleanup_pending: Vec<(ChainId, TxId)>,
+    finished_at: Option<Timestamp>,
+    report: Option<SwapReport>,
+}
 
-        // Wave structure and timelocks mirror the single-leader driver: wave
-        // k deploys at ~k·Δ and redeems at ~(2W - k)·Δ, so earlier waves get
-        // strictly later timelocks.
-        let waves = scenario.graph.waves_from_set(&leaders);
-        let wave_count = waves.len() as u64;
-        let mut slots: Vec<EdgeSlot> = Vec::with_capacity(scenario.graph.contract_count());
-        for (k, wave) in waves.iter().enumerate() {
-            for e in wave {
-                slots.push(EdgeSlot {
-                    edge: *e,
-                    wave: k,
-                    timelock: started_at + delta * (2 * wave_count - k as u64 + 2),
-                    deploy: None,
-                });
-            }
+impl HerlihyMultiMachine {
+    fn new(config: ProtocolConfig, graph: SwapGraph, leaders: Vec<Address>) -> Self {
+        HerlihyMultiMachine {
+            config,
+            graph,
+            leaders,
+            phase: Phase::Start,
+            timeline: Timeline::new(),
+            started_at: 0,
+            delta: 0,
+            wait_cap: 0,
+            deployments: 0,
+            calls: 0,
+            fees: 0,
+            secrets: Vec::new(),
+            hashlocks: Vec::new(),
+            slots: Vec::new(),
+            waves_len: 0,
+            exchange_succeeded: false,
+            secrets_public: false,
+            deployment_failed: false,
+            cleanup_deadline: 0,
+            cleanup_pending: Vec::new(),
+            finished_at: None,
+            report: None,
         }
+    }
 
-        // ------------------------------------------------------------------
-        // Phase A: sequential deployment, wave by wave.
-        // ------------------------------------------------------------------
-        let mut deployment_failed = false;
-        'waves: for k in 0..waves.len() {
-            let mut wave_deploys: Vec<(usize, TxId)> = Vec::new();
-            for (i, slot) in slots.iter_mut().enumerate() {
-                if slot.wave != k {
-                    continue;
-                }
-                let spec = ContractSpec::MultiHtlc(MultiHtlcSpec {
-                    recipient: slot.edge.to,
-                    hashlocks: hashlocks.clone(),
-                    timelock: slot.timelock,
-                });
-                match deploy_contract(
-                    &mut scenario.world,
-                    &mut scenario.participants,
-                    &slot.edge.from,
-                    slot.edge.chain,
-                    &spec,
-                    slot.edge.amount,
-                )? {
-                    Some((txid, contract)) => {
-                        slot.deploy = Some((txid, contract));
-                        deployments += 1;
-                        fees += scenario.world.chain(slot.edge.chain)?.params().deploy_fee;
-                        wave_deploys.push((i, txid));
-                        scenario.world.timeline.record(
-                            scenario.world.now(),
-                            EventKind::ContractSubmitted { chain: slot.edge.chain, contract },
-                        );
-                    }
-                    None => {
-                        deployment_failed = true;
-                        break 'waves;
-                    }
-                }
-            }
-            let depth = cfg.deployment_depth;
-            let wave_txs: Vec<(ac3_chain::ChainId, TxId)> =
-                wave_deploys.iter().map(|(i, txid)| (slots[*i].edge.chain, *txid)).collect();
-            if scenario
-                .world
-                .advance_until("wave deployments to stabilise", wait_cap, move |w| {
-                    wave_txs.iter().all(|(chain, txid)| {
-                        w.chain(*chain)
-                            .ok()
-                            .and_then(|c| c.tx_depth(txid))
-                            .is_some_and(|d| d >= depth)
-                    })
-                })
-                .is_err()
-            {
-                deployment_failed = true;
-                break;
-            }
-        }
-        for slot in &slots {
+    fn record(&mut self, world: &mut World, at: Timestamp, kind: EventKind) {
+        self.timeline.record(at, kind.clone());
+        world.timeline.record(at, kind);
+    }
+
+    fn poll_step(&self, world: &World) -> Step {
+        Step::Waiting { not_before: world.now() + world.min_block_interval_ms() }
+    }
+
+    /// Record the publication events for every deployed contract (once, at
+    /// the end of phase A — successful or not).
+    fn record_published(&mut self, world: &mut World) {
+        let now = world.now();
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i].clone();
             if let Some((_, contract)) = slot.deploy {
-                scenario.world.timeline.record(
-                    scenario.world.now(),
+                self.record(
+                    world,
+                    now,
                     EventKind::ContractPublished { chain: slot.edge.chain, contract },
                 );
             }
         }
+    }
 
-        // ------------------------------------------------------------------
-        // Phase B: the off-chain leader secret exchange, then sequential
-        // redemption in reverse wave order.
-        // ------------------------------------------------------------------
-        let now = scenario.world.now();
-        let exchange_succeeded = !deployment_failed
-            && leaders
+    /// The off-chain leader secret exchange, evaluated once when phase A
+    /// completes: it succeeds iff every leader is currently available.
+    fn exchange_secrets(&mut self, world: &World, participants: &ParticipantSet) {
+        let now = world.now();
+        self.exchange_succeeded = !self.deployment_failed
+            && self
+                .leaders
                 .iter()
-                .all(|l| scenario.participants.by_address(l).is_some_and(|p| p.is_available(now)));
-        let mut secrets_public = false;
-        let mut finished_at = scenario.world.now();
-        if !deployment_failed {
-            for k in (0..waves.len()).rev() {
-                self.refund_expired(scenario, &mut slots, &mut calls, &mut fees)?;
+                .all(|l| participants.by_address(l).is_some_and(|p| p.is_available(now)));
+    }
 
-                let mut wave_redeems: Vec<(ac3_chain::ChainId, TxId)> = Vec::new();
-                for slot in slots.iter().filter(|s| s.wave == k) {
-                    let Some((_, contract)) = slot.deploy else { continue };
-                    // A redeemer knows all the secrets if it is a leader
-                    // after a successful exchange, or once the preimages are
-                    // public on some chain.
-                    let knows_secrets =
-                        (exchange_succeeded && leaders.contains(&slot.edge.to)) || secrets_public;
-                    if !knows_secrets {
-                        continue;
-                    }
-                    if scenario.world.now() >= slot.timelock {
-                        continue; // too late to redeem safely
-                    }
-                    let call = ContractCall::MultiHtlc(MultiHtlcCall::Redeem {
-                        preimages: secrets.clone(),
-                    });
-                    if let Some(txid) = call_contract(
-                        &mut scenario.world,
-                        &mut scenario.participants,
-                        &slot.edge.to,
-                        slot.edge.chain,
-                        contract,
-                        &call,
-                    )? {
-                        calls += 1;
-                        fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
-                        wave_redeems.push((slot.edge.chain, txid));
-                        scenario.world.timeline.record(
-                            scenario.world.now(),
-                            EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
-                        );
-                    }
-                }
-                if !wave_redeems.is_empty() {
-                    secrets_public = true;
-                    let pending = wave_redeems.clone();
-                    let _ = scenario.world.advance_until(
-                        "wave redemptions to stabilise",
-                        wait_cap,
-                        move |w| {
-                            pending.iter().all(|(chain, txid)| {
-                                w.chain(*chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(
-                                    |d| {
-                                        d >= w
-                                            .chain(*chain)
-                                            .map(|c| c.params().stable_depth)
-                                            .unwrap_or(0)
-                                    },
-                                )
-                            })
-                        },
-                    );
-                } else if slots.iter().any(|s| s.wave == k && s.deploy.is_some()) {
-                    scenario.world.advance(delta);
-                }
+    /// Whether `who` can present every preimage: a leader after a successful
+    /// exchange, or anyone once the preimages are public on some chain
+    /// (`public` is the caller's snapshot of [`Self::secrets_public`]).
+    fn knows_secrets(&self, who: &Address, public: bool) -> bool {
+        (self.exchange_succeeded && self.leaders.contains(who)) || public
+    }
+
+    /// Enter phase C: the cleanup loop runs until every contract is settled
+    /// or two Δ past the last timelock.
+    fn enter_cleanup(&mut self) {
+        self.cleanup_deadline =
+            self.slots.iter().map(|s| s.timelock).max().unwrap_or(self.started_at) + 2 * self.delta;
+        self.phase = Phase::CleanupRound;
+    }
+
+    fn all_settled(&self, world: &World) -> bool {
+        self.slots.iter().all(|s| {
+            edge_disposition(world, s.edge.chain, s.deploy.map(|(_, c)| c))
+                != EdgeDisposition::Locked
+        })
+    }
+
+    /// Submit redemption attempts for `wave` (phase B) or every recoverable
+    /// contract (`wave == None`, phase C). Returns `(chain, txid)` pairs.
+    ///
+    /// During phase B the secret set counts as public only if a *previous*
+    /// wave's redemption published it — recipients within one wave cannot
+    /// learn the preimages from each other mid-wave. During cleanup any
+    /// on-chain revelation (including one made earlier in the same pass)
+    /// suffices.
+    fn attempt_redeems(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        wave: Option<usize>,
+    ) -> Result<Vec<(ChainId, TxId)>, ProtocolError> {
+        let public_at_entry = self.secrets_public;
+        let mut submitted = Vec::new();
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i].clone();
+            if wave.is_some_and(|k| slot.wave != k) {
+                continue;
             }
-            finished_at = scenario.world.now();
-        }
-
-        // ------------------------------------------------------------------
-        // Phase C: timelock cleanup, identical in spirit to the single-leader
-        // driver — recovered redeemers may still make their window, expired
-        // contracts are refunded by their senders.
-        // ------------------------------------------------------------------
-        let max_timelock = slots.iter().map(|s| s.timelock).max().unwrap_or(started_at);
-        while scenario.world.now() < max_timelock + 2 * delta {
-            let all_settled = slots.iter().all(|s| {
-                edge_disposition(&scenario.world, s.edge.chain, s.deploy.map(|(_, c)| c))
+            let Some((_, contract)) = slot.deploy else { continue };
+            if wave.is_none()
+                && edge_disposition(world, slot.edge.chain, Some(contract))
                     != EdgeDisposition::Locked
-            });
-            if all_settled {
-                break;
+            {
+                continue;
             }
-            for slot in slots.clone() {
-                let Some((_, contract)) = slot.deploy else { continue };
-                if edge_disposition(&scenario.world, slot.edge.chain, Some(contract))
-                    != EdgeDisposition::Locked
-                {
-                    continue;
-                }
-                let knows_secrets =
-                    (exchange_succeeded && leaders.contains(&slot.edge.to)) || secrets_public;
-                if knows_secrets && scenario.world.now() < slot.timelock {
-                    let call = ContractCall::MultiHtlc(MultiHtlcCall::Redeem {
-                        preimages: secrets.clone(),
-                    });
-                    if let Some(txid) = call_contract(
-                        &mut scenario.world,
-                        &mut scenario.participants,
-                        &slot.edge.to,
-                        slot.edge.chain,
-                        contract,
-                        &call,
-                    )? {
-                        calls += 1;
-                        fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
-                        secrets_public = true;
-                        let _ = scenario.world.wait_for_inclusion(slot.edge.chain, txid, delta);
-                        scenario.world.timeline.record(
-                            scenario.world.now(),
-                            EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
-                        );
-                    }
-                }
+            let public = if wave.is_some() { public_at_entry } else { self.secrets_public };
+            if !self.knows_secrets(&slot.edge.to, public) {
+                continue;
             }
-            self.refund_expired(scenario, &mut slots, &mut calls, &mut fees)?;
-            scenario.world.advance(delta);
+            if world.now() >= slot.timelock {
+                continue; // too late to redeem safely
+            }
+            let call =
+                ContractCall::MultiHtlc(MultiHtlcCall::Redeem { preimages: self.secrets.clone() });
+            if let Some(txid) =
+                call_contract(world, participants, &slot.edge.to, slot.edge.chain, contract, &call)?
+            {
+                self.calls += 1;
+                self.fees += world.chain(slot.edge.chain)?.params().call_fee;
+                self.secrets_public = true;
+                let now = world.now();
+                self.record(
+                    world,
+                    now,
+                    EventKind::ContractRedeemed { chain: slot.edge.chain, contract },
+                );
+                submitted.push((slot.edge.chain, txid));
+            }
         }
-        if deployment_failed {
-            finished_at = scenario.world.now();
-        }
+        Ok(submitted)
+    }
 
-        let outcomes: Vec<EdgeOutcome> = slots
+    /// Refund every published contract whose timelock has expired, on behalf
+    /// of whichever senders are currently available.
+    fn refund_expired(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<Vec<(ChainId, TxId)>, ProtocolError> {
+        let now = world.now();
+        let mut submitted = Vec::new();
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i].clone();
+            let Some((_, contract)) = slot.deploy else { continue };
+            if now < slot.timelock {
+                continue;
+            }
+            if edge_disposition(world, slot.edge.chain, Some(contract)) != EdgeDisposition::Locked {
+                continue;
+            }
+            let call = ContractCall::MultiHtlc(MultiHtlcCall::Refund);
+            if let Some(txid) = call_contract(
+                world,
+                participants,
+                &slot.edge.from,
+                slot.edge.chain,
+                contract,
+                &call,
+            )? {
+                self.calls += 1;
+                self.fees += world.chain(slot.edge.chain)?.params().call_fee;
+                let at = world.now();
+                self.record(
+                    world,
+                    at,
+                    EventKind::ContractRefunded { chain: slot.edge.chain, contract },
+                );
+                submitted.push((slot.edge.chain, txid));
+            }
+        }
+        Ok(submitted)
+    }
+
+    /// Move to the next (lower) redemption wave, or into cleanup after the
+    /// last one.
+    fn next_redeem_phase(&mut self, world: &World, k: usize) {
+        if k == 0 {
+            self.finished_at = Some(world.now());
+            self.enter_cleanup();
+        } else {
+            self.phase = Phase::RedeemWave { k: k - 1 };
+        }
+    }
+
+    fn finish(&mut self, world: &World) -> Step {
+        let outcomes: Vec<EdgeOutcome> = self
+            .slots
             .iter()
             .map(|s| {
                 let contract = s.deploy.map(|(_, c)| c);
                 EdgeOutcome {
                     edge: s.edge,
                     contract,
-                    disposition: edge_disposition(&scenario.world, s.edge.chain, contract),
+                    disposition: edge_disposition(world, s.edge.chain, contract),
                 }
             })
             .collect();
-
-        Ok(SwapReport {
+        let finished_at = match self.finished_at {
+            Some(at) if !self.deployment_failed => at,
+            _ => world.now(),
+        };
+        let report = SwapReport {
             protocol: ProtocolKind::HerlihyMulti,
             decision: None,
             edges: outcomes,
-            started_at,
+            started_at: self.started_at,
             finished_at,
-            delta_ms: delta,
-            deployments,
-            calls,
-            fees_paid: fees,
-            timeline: scenario.world.timeline.clone(),
-        })
+            delta_ms: self.delta,
+            deployments: self.deployments,
+            calls: self.calls,
+            fees_paid: self.fees,
+            timeline: self.timeline.clone(),
+        };
+        self.report = Some(report.clone());
+        self.phase = Phase::Finished;
+        Step::Done(Box::new(report))
     }
+}
 
-    /// Refund every published contract whose timelock has expired, on behalf
-    /// of whichever senders are currently available.
-    fn refund_expired(
-        &self,
-        scenario: &mut Scenario,
-        slots: &mut [EdgeSlot],
-        calls: &mut u64,
-        fees: &mut u64,
-    ) -> Result<(), ProtocolError> {
-        let now = scenario.world.now();
-        for slot in slots.iter() {
-            let Some((_, contract)) = slot.deploy else { continue };
-            if now < slot.timelock {
-                continue;
-            }
-            if edge_disposition(&scenario.world, slot.edge.chain, Some(contract))
-                != EdgeDisposition::Locked
-            {
-                continue;
-            }
-            let call = ContractCall::MultiHtlc(MultiHtlcCall::Refund);
-            if let Some(txid) = call_contract(
-                &mut scenario.world,
-                &mut scenario.participants,
-                &slot.edge.from,
-                slot.edge.chain,
-                contract,
-                &call,
-            )? {
-                *calls += 1;
-                *fees += scenario.world.chain(slot.edge.chain)?.params().call_fee;
-                let _ = scenario.world.wait_for_inclusion(
-                    slot.edge.chain,
-                    txid,
-                    scenario.world.delta_ms(),
-                );
-                scenario.world.timeline.record(
-                    scenario.world.now(),
-                    EventKind::ContractRefunded { chain: slot.edge.chain, contract },
-                );
+impl SwapMachine for HerlihyMultiMachine {
+    fn poll(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<Step, ProtocolError> {
+        loop {
+            match &self.phase {
+                Phase::Start => {
+                    let now = world.now();
+                    self.started_at = now;
+                    self.delta = world.delta_ms();
+                    self.wait_cap = self.delta * self.config.wait_cap_deltas;
+                    self.record(world, now, EventKind::GraphSigned);
+
+                    // Per-leader secrets and hashlocks: every contract is
+                    // locked behind all of them.
+                    let graph_digest = self.graph.digest();
+                    self.secrets = self
+                        .leaders
+                        .iter()
+                        .map(|l| HerlihyMulti::leader_secret(&graph_digest, l))
+                        .collect();
+                    self.hashlocks =
+                        self.secrets.iter().map(|s| Hashlock::from_secret(s).lock).collect();
+
+                    // Wave structure and timelocks mirror the single-leader
+                    // machine: wave k deploys at ~k·Δ and redeems at
+                    // ~(2W - k)·Δ, so earlier waves get strictly later
+                    // timelocks.
+                    let waves = self.graph.waves_from_set(&self.leaders);
+                    let wave_count = waves.len() as u64;
+                    self.waves_len = waves.len();
+                    let mut slots = Vec::with_capacity(self.graph.contract_count());
+                    for (k, wave) in waves.iter().enumerate() {
+                        for e in wave {
+                            slots.push(EdgeSlot {
+                                edge: *e,
+                                wave: k,
+                                timelock: now + self.delta * (2 * wave_count - k as u64 + 2),
+                                deploy: None,
+                            });
+                        }
+                    }
+                    self.slots = slots;
+                    self.phase = Phase::DeployWave { k: 0 };
+                }
+                Phase::DeployWave { k } => {
+                    let k = *k;
+                    let mut pending = Vec::new();
+                    let mut failed = false;
+                    for i in 0..self.slots.len() {
+                        if self.slots[i].wave != k {
+                            continue;
+                        }
+                        let slot = self.slots[i].clone();
+                        let spec = ContractSpec::MultiHtlc(MultiHtlcSpec {
+                            recipient: slot.edge.to,
+                            hashlocks: self.hashlocks.clone(),
+                            timelock: slot.timelock,
+                        });
+                        match deploy_contract(
+                            world,
+                            participants,
+                            &slot.edge.from,
+                            slot.edge.chain,
+                            &spec,
+                            slot.edge.amount,
+                        )? {
+                            Some((txid, contract)) => {
+                                self.slots[i].deploy = Some((txid, contract));
+                                self.deployments += 1;
+                                self.fees += world.chain(slot.edge.chain)?.params().deploy_fee;
+                                pending.push((slot.edge.chain, txid));
+                                let now = world.now();
+                                self.record(
+                                    world,
+                                    now,
+                                    EventKind::ContractSubmitted {
+                                        chain: slot.edge.chain,
+                                        contract,
+                                    },
+                                );
+                            }
+                            None => {
+                                // A participant declined or crashed: later
+                                // waves do not deploy (their senders are no
+                                // longer protected).
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if failed {
+                        self.deployment_failed = true;
+                        self.record_published(world);
+                        self.enter_cleanup();
+                    } else {
+                        // Sequentiality: the next wave only starts once this
+                        // one is publicly recognised.
+                        self.phase = Phase::AwaitWaveDeploys {
+                            k,
+                            pending,
+                            deadline: world.now() + self.wait_cap,
+                        };
+                    }
+                }
+                Phase::AwaitWaveDeploys { k, pending, deadline } => {
+                    let (k, deadline) = (*k, *deadline);
+                    let all_deep = pending.iter().all(|(chain, txid)| {
+                        tx_at_depth(world, *chain, txid, self.config.deployment_depth)
+                    });
+                    if all_deep {
+                        if k + 1 < self.waves_len {
+                            self.phase = Phase::DeployWave { k: k + 1 };
+                        } else {
+                            self.record_published(world);
+                            self.exchange_secrets(world, participants);
+                            self.finished_at = Some(world.now());
+                            self.phase = Phase::RedeemWave { k: self.waves_len - 1 };
+                        }
+                    } else if world.now() >= deadline {
+                        self.deployment_failed = true;
+                        self.record_published(world);
+                        self.enter_cleanup();
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::RedeemWave { k } => {
+                    let k = *k;
+                    // Settle any contract whose timelock has already expired
+                    // (rational senders refund as soon as they can).
+                    let refunds = self.refund_expired(world, participants)?;
+                    let redeems = self.attempt_redeems(world, participants, Some(k))?;
+                    if !redeems.is_empty() {
+                        let mut pending: Vec<(ChainId, TxId, u64)> = Vec::new();
+                        for (chain, txid) in redeems {
+                            let depth = world.chain(chain)?.params().stable_depth;
+                            pending.push((chain, txid, depth));
+                        }
+                        // Refunds only need inclusion, not burial.
+                        for (chain, txid) in refunds {
+                            pending.push((chain, txid, 0));
+                        }
+                        self.phase = Phase::AwaitWaveRedeems {
+                            k,
+                            pending,
+                            deadline: world.now() + self.wait_cap,
+                        };
+                    } else if self.slots.iter().any(|s| s.wave == k && s.deploy.is_some()) {
+                        // Nobody in this wave could redeem (crashed or the
+                        // preimages are not yet public); give them one Δ
+                        // before moving on.
+                        self.phase = Phase::WaveGap { k, until: world.now() + self.delta };
+                    } else {
+                        self.next_redeem_phase(world, k);
+                    }
+                }
+                Phase::AwaitWaveRedeems { k, pending, deadline } => {
+                    let (k, deadline) = (*k, *deadline);
+                    let all_done = pending
+                        .iter()
+                        .all(|(chain, txid, depth)| tx_at_depth(world, *chain, txid, *depth));
+                    if all_done || world.now() >= deadline {
+                        self.next_redeem_phase(world, k);
+                    } else {
+                        return Ok(self.poll_step(world));
+                    }
+                }
+                Phase::WaveGap { k, until } => {
+                    let (k, until) = (*k, *until);
+                    if world.now() >= until {
+                        self.next_redeem_phase(world, k);
+                    } else {
+                        return Ok(Step::Waiting { not_before: until });
+                    }
+                }
+                Phase::CleanupRound => {
+                    // Phase C: timelock cleanup. Crashed redeemers may
+                    // recover in time; once a timelock expires the sender
+                    // refunds — this is where the atomicity violation of the
+                    // baselines materialises.
+                    if self.all_settled(world) || world.now() >= self.cleanup_deadline {
+                        let pending: Vec<(ChainId, TxId)> = self
+                            .cleanup_pending
+                            .iter()
+                            .filter(|(chain, txid)| !tx_at_depth(world, *chain, txid, 0))
+                            .copied()
+                            .collect();
+                        if pending.is_empty() {
+                            return Ok(self.finish(world));
+                        }
+                        self.phase = Phase::AwaitCleanupInclusion {
+                            pending,
+                            deadline: world.now() + 2 * self.delta,
+                        };
+                    } else {
+                        // Recovered redeemers still within their window
+                        // redeem, and expired contracts get refunded by
+                        // their senders.
+                        let redeems = self.attempt_redeems(world, participants, None)?;
+                        let refunds = self.refund_expired(world, participants)?;
+                        self.cleanup_pending.extend(redeems);
+                        self.cleanup_pending.extend(refunds);
+                        self.phase = Phase::CleanupWait { until: world.now() + self.delta };
+                    }
+                }
+                Phase::CleanupWait { until } => {
+                    let until = *until;
+                    if world.now() >= until {
+                        self.phase = Phase::CleanupRound;
+                    } else {
+                        return Ok(Step::Waiting { not_before: until });
+                    }
+                }
+                Phase::AwaitCleanupInclusion { pending, deadline } => {
+                    let deadline = *deadline;
+                    let all_included =
+                        pending.iter().all(|(chain, txid)| tx_at_depth(world, *chain, txid, 0));
+                    if all_included || world.now() >= deadline {
+                        return Ok(self.finish(world));
+                    }
+                    return Ok(self.poll_step(world));
+                }
+                Phase::Finished => {
+                    if let Some(report) = &self.report {
+                        return Ok(Step::Done(Box::new(report.clone())));
+                    }
+                    return Ok(self.finish(world));
+                }
             }
         }
-        Ok(())
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Start => "start",
+            Phase::DeployWave { .. } => "deploy-wave",
+            Phase::AwaitWaveDeploys { .. } => "await-wave-deploys",
+            Phase::RedeemWave { .. } => "redeem-wave",
+            Phase::AwaitWaveRedeems { .. } => "await-wave-redeems",
+            Phase::WaveGap { .. } => "wave-gap",
+            Phase::CleanupRound => "cleanup-round",
+            Phase::CleanupWait { .. } => "cleanup-wait",
+            Phase::AwaitCleanupInclusion { .. } => "cleanup-inclusion",
+            Phase::Finished => "finished",
+        }
     }
 }
 
@@ -462,6 +726,8 @@ mod tests {
         let mut s = figure7b_scenario(&ScenarioConfig::default());
         let err = driver().execute(&mut s).unwrap_err();
         assert!(matches!(err, ProtocolError::UnsupportedGraph(_)));
+        // The machine constructor rejects the graph the same way.
+        assert!(driver().machine(s.graph.clone()).is_err());
     }
 
     #[test]
@@ -520,6 +786,35 @@ mod tests {
             !report.is_atomic(),
             "expected an atomicity violation, got {} ({})",
             report.verdict(),
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn crashed_leader_fails_the_exchange_and_aborts() {
+        // If a leader is unavailable when phase A completes, the off-chain
+        // secret exchange fails: nobody can redeem, every contract times out
+        // and refunds — an atomic abort, not a loss.
+        let mut s = figure7a_scenario(&ScenarioConfig::default());
+        let leaders = HerlihyMulti::supports_graph(&s.graph).unwrap();
+        let leader_name = ["a", "b", "c"]
+            .iter()
+            .find(|n| leaders.contains(&s.participants.get(n).unwrap().address()))
+            .copied()
+            .expect("a 3-cycle has at least one leader");
+        // Crash the leader after its wave-0 deployment (t = 0) but across the
+        // instant phase A completes (~3 waves × ~4Δ = 12 s), so the exchange
+        // fails; recover before the leader's own timelock (8Δ = 32 s) so its
+        // contract refunds cleanly instead of staying locked.
+        s.participants
+            .get_mut(leader_name)
+            .unwrap()
+            .schedule_crash(CrashWindow { from: 1_000, until: 25_000 });
+        let report = driver().execute(&mut s).unwrap();
+        assert!(report.is_atomic(), "{}: {}", report.verdict(), report.summary());
+        assert!(
+            report.edges.iter().all(|e| e.disposition != EdgeDisposition::Redeemed),
+            "no contract may be redeemed when the exchange fails: {}",
             report.summary()
         );
     }

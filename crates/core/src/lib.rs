@@ -18,6 +18,13 @@
 //! | Section 5 — atomicity audit | [`audit`] |
 //! | Section 6 — latency / cost / witness-choice / throughput models | [`analysis`] |
 //! | Section 6.3 — executed 51%-fork attack on the witness chain | [`attack`] |
+//! | Sections 5.2 / 6.4 — concurrent AC2Ts over shared chains | [`driver`], [`scheduler`] |
+//!
+//! Every protocol is decomposed into a resumable step/poll state machine
+//! ([`driver::SwapMachine`]) that never advances the simulated clock, so N
+//! swaps — of any protocol mix — can interleave over one shared world under
+//! the [`scheduler::Scheduler`]; the blocking `execute` entry points are
+//! thin [`driver::drive`] wrappers over the machines.
 //!
 //! The protocol drivers execute against the `ac3-sim` discrete-event world;
 //! [`scenario`] assembles standard worlds (two-party swaps, rings of
@@ -70,14 +77,14 @@ pub use graph::{
     figure7_cyclic, figure7_disconnected, ring_graph, GraphShape, SwapEdge, SwapGraph,
 };
 pub use herlihy::{Herlihy, HerlihyMachine};
-pub use herlihy_multi::HerlihyMulti;
+pub use herlihy_multi::{HerlihyMulti, HerlihyMultiMachine};
 pub use nolan::Nolan;
 pub use protocol::{
     EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
 };
 pub use scenario::{
-    concurrent_swaps_over_chains, concurrent_swaps_scenario, custom_scenario, figure7a_scenario,
-    figure7b_scenario, ring_scenario, two_party_scenario, MultiSwapScenario, Scenario,
-    ScenarioConfig, SwapSpec,
+    concurrent_custom_swaps, concurrent_swaps_multi_witness, concurrent_swaps_over_chains,
+    concurrent_swaps_scenario, custom_scenario, figure7a_scenario, figure7b_scenario,
+    ring_scenario, two_party_scenario, MultiSwapScenario, Scenario, ScenarioConfig, SwapSpec,
 };
 pub use scheduler::{BatchReport, Scheduler, SwapOutcome};

@@ -169,8 +169,11 @@ pub struct ProtocolConfig {
     /// How long (in Δ units) a protocol waits for missing deployments
     /// before requesting an abort.
     pub abort_after_deltas: u64,
-    /// Upper bound, in Δ units, on any single wait inside a driver —
-    /// protects tests from livelock if a condition can never become true.
+    /// Upper bound, in Δ units, on any single awaited condition inside a
+    /// machine (the deadline attached to each waiting phase) — protects
+    /// tests from livelock if a condition can never become true. Raise it
+    /// for contended scheduler batches, where submissions can queue many
+    /// blocks behind other swaps' transactions.
     pub wait_cap_deltas: u64,
     /// Whether recovered participants get a post-run chance to redeem
     /// (exercises the *commitment* property: decisions must eventually take

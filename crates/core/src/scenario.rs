@@ -114,28 +114,35 @@ pub fn custom_scenario(
     Scenario { world, participants, graph, witness_chain, asset_chains }
 }
 
-/// One AC2T of a concurrent batch: its id (used for fee attribution) and
-/// its graph over the batch's shared chains.
+/// One AC2T of a concurrent batch: its id (used for fee attribution), its
+/// graph over the batch's shared chains, and its coordinating witness chain.
 #[derive(Debug, Clone)]
 pub struct SwapSpec {
     /// The swap's id within the batch.
     pub id: SwapId,
     /// The AC2T graph, over the scenario's shared chains.
     pub graph: SwapGraph,
+    /// The witness chain coordinating this swap (one of the scenario's
+    /// [`MultiSwapScenario::witness_chains`]; only meaningful for witnessed
+    /// protocols — baseline machines ignore it).
+    pub witness: ChainId,
 }
 
-/// A batch of AC2Ts sharing one set of asset chains and one witness chain —
-/// the contention workload of Section 6.4: swaps compete for block space in
-/// the shared mempools instead of each owning a private world.
+/// A batch of AC2Ts sharing a set of asset chains and one or more witness
+/// chains — the contention workloads of Sections 5.2 and 6.4: swaps compete
+/// for block space in the shared mempools instead of each owning a private
+/// world.
 pub struct MultiSwapScenario {
     /// The shared multi-chain world.
     pub world: World,
-    /// Every participant of every swap (two fresh participants per swap).
+    /// Every participant of every swap (fresh participants per swap).
     pub participants: ParticipantSet,
     /// The batch, in id order.
     pub swaps: Vec<SwapSpec>,
-    /// The shared witness chain.
-    pub witness_chain: ChainId,
+    /// The shared witness chains; each swap is assigned one (round-robin)
+    /// in its [`SwapSpec::witness`]. The Section 6.4 workload uses a single
+    /// witness chain, the Section 5.2 scalability workload uses k of them.
+    pub witness_chains: Vec<ChainId>,
     /// The shared asset chains.
     pub asset_chains: Vec<ChainId>,
 }
@@ -186,8 +193,25 @@ pub fn concurrent_swaps_over_chains(
     witness_params: ChainParams,
     funding: Amount,
 ) -> MultiSwapScenario {
+    concurrent_swaps_multi_witness(swaps, asset_params, vec![witness_params], funding)
+}
+
+/// Like [`concurrent_swaps_over_chains`], but with k real shared witness
+/// chains in the one world — the Section 5.2 scalability workload. Swap `i`
+/// is coordinated by witness chain `i % k` (round-robin), so the
+/// coordination load of B swaps splits across k witness mempools and the
+/// serialization cost of a shared witness layer is *measured* (genuine
+/// block-space queueing under the scheduler) rather than modelled by
+/// throttling a private chain.
+pub fn concurrent_swaps_multi_witness(
+    swaps: usize,
+    asset_params: Vec<ChainParams>,
+    witness_params: Vec<ChainParams>,
+    funding: Amount,
+) -> MultiSwapScenario {
     assert!(swaps >= 1, "a batch needs at least one swap");
     assert!(!asset_params.is_empty(), "a batch needs at least one asset chain");
+    assert!(!witness_params.is_empty(), "a batch needs at least one witness chain");
 
     let mut participants = ParticipantSet::new();
     let pairs: Vec<(Address, Address)> = (0..swaps)
@@ -199,9 +223,11 @@ pub fn concurrent_swaps_over_chains(
     let mut world = World::new();
     let asset_chains: Vec<ChainId> =
         asset_params.into_iter().map(|p| world.add_chain(p, &genesis)).collect();
-    let witness_chain = world.add_chain(witness_params, &genesis);
+    let witness_chains: Vec<ChainId> =
+        witness_params.into_iter().map(|p| world.add_chain(p, &genesis)).collect();
 
     let m = asset_chains.len();
+    let k = witness_chains.len();
     let specs = pairs
         .iter()
         .enumerate()
@@ -213,11 +239,78 @@ pub fn concurrent_swaps_over_chains(
             SwapSpec {
                 id: SwapId(i as u64),
                 graph: SwapGraph::new(edges, i as u64 + 1).expect("two-party graphs are valid"),
+                witness: witness_chains[i % k],
             }
         })
         .collect();
 
-    MultiSwapScenario { world, participants, swaps: specs, witness_chain, asset_chains }
+    MultiSwapScenario { world, participants, swaps: specs, witness_chains, asset_chains }
+}
+
+/// A concurrent batch of AC2Ts with *arbitrary* per-swap graphs — the
+/// mixed-protocol workload: complex multi-party graphs (rings, bridged
+/// cycles) interleave with plain two-party swaps over shared chains.
+///
+/// `graph_specs[i]` describes swap `i` as `(from, to, amount)` triples over
+/// that swap's own participants (indices are per-swap; participant `j` of
+/// swap `i` is named `s{i}p{j}`). Edge `j` of swap `i` is placed on asset
+/// chain `(i + j) % m` and the swap is coordinated by witness chain
+/// `i % k`, so neighbouring swaps contend for the same block space.
+pub fn concurrent_custom_swaps(
+    graph_specs: &[Vec<(usize, usize, Amount)>],
+    asset_params: Vec<ChainParams>,
+    witness_params: Vec<ChainParams>,
+    funding: Amount,
+) -> MultiSwapScenario {
+    assert!(!graph_specs.is_empty(), "a batch needs at least one swap");
+    assert!(!asset_params.is_empty(), "a batch needs at least one asset chain");
+    assert!(!witness_params.is_empty(), "a batch needs at least one witness chain");
+
+    let mut participants = ParticipantSet::new();
+    let cast: Vec<Vec<Address>> = graph_specs
+        .iter()
+        .enumerate()
+        .map(|(i, edges)| {
+            assert!(!edges.is_empty(), "swap {i} needs at least one edge");
+            let n = edges.iter().map(|(f, t, _)| f.max(t) + 1).max().unwrap();
+            (0..n).map(|j| participants.add(&format!("s{i}p{j}"))).collect()
+        })
+        .collect();
+    let genesis: Vec<(Address, Amount)> =
+        participants.addresses().into_iter().map(|a| (a, funding)).collect();
+
+    let mut world = World::new();
+    let asset_chains: Vec<ChainId> =
+        asset_params.into_iter().map(|p| world.add_chain(p, &genesis)).collect();
+    let witness_chains: Vec<ChainId> =
+        witness_params.into_iter().map(|p| world.add_chain(p, &genesis)).collect();
+
+    let m = asset_chains.len();
+    let k = witness_chains.len();
+    let specs = graph_specs
+        .iter()
+        .enumerate()
+        .map(|(i, edge_specs)| {
+            let edges: Vec<SwapEdge> = edge_specs
+                .iter()
+                .enumerate()
+                .map(|(j, (from, to, amount))| SwapEdge {
+                    from: cast[i][*from],
+                    to: cast[i][*to],
+                    amount: *amount,
+                    chain: asset_chains[(i + j) % m],
+                })
+                .collect();
+            SwapSpec {
+                id: SwapId(i as u64),
+                graph: SwapGraph::new(edges, i as u64 + 1)
+                    .expect("edge specs produce valid graphs"),
+                witness: witness_chains[i % k],
+            }
+        })
+        .collect();
+
+    MultiSwapScenario { world, participants, swaps: specs, witness_chains, asset_chains }
 }
 
 /// The paper's running example (Figure 4): Alice swaps `x` for Bob's `y`,

@@ -7,12 +7,39 @@
 //! time. The [`Scheduler`] drives a batch of [`SwapMachine`]s instead: it
 //! advances world time **once per tick** and polls every in-flight machine
 //! at each tick, so hundreds of swaps share block space, mempools and the
-//! witness chain rather than each owning the clock.
+//! witness chain(s) rather than each owning the clock. The Section 5.2
+//! scalability experiment builds on this: k real witness chains in one
+//! world, with swaps assigned round-robin
+//! (see [`crate::scenario::concurrent_swaps_multi_witness`]).
 //!
 //! Per-swap attribution: each machine keeps its own timeline (part of its
 //! [`SwapReport`]), and the scheduler brackets every poll with
 //! [`World::set_fee_attribution`] so the world's [`ac3_sim::FeeLedger`]
 //! records which swap paid which fees.
+//!
+//! # Example: two machines through one scheduler
+//!
+//! Any [`SwapMachine`] can join a batch — the AC3 protocols and both
+//! Herlihy baselines (including the multi-leader
+//! [`crate::herlihy_multi::HerlihyMultiMachine`]) decompose into machines:
+//!
+//! ```
+//! use ac3_core::scenario::{concurrent_swaps_scenario, ScenarioConfig};
+//! use ac3_core::{Ac3wn, ProtocolConfig, Scheduler, SwapMachine};
+//!
+//! // Two two-party AC2Ts over two shared asset chains + a shared witness.
+//! let mut s = concurrent_swaps_scenario(2, 2, &ScenarioConfig::default());
+//! let driver = Ac3wn::new(ProtocolConfig::default());
+//! let machines = s.machines_with(|swap| {
+//!     Box::new(driver.machine(swap.graph.clone(), swap.witness)) as Box<dyn SwapMachine>
+//! });
+//!
+//! let batch = Scheduler::default().run(&mut s.world, &mut s.participants, machines);
+//! assert_eq!(batch.committed(), 2);
+//! assert!(batch.all_atomic());
+//! // Fees were billed per swap while the machines shared one world.
+//! assert!(s.swaps.iter().all(|swap| s.world.fees.fees_for_swap(swap.id) > 0));
+//! ```
 
 use crate::driver::{Step, SwapMachine};
 use crate::protocol::{ProtocolError, SwapReport};
@@ -210,9 +237,8 @@ mod tests {
     fn small_batch_commits_concurrently() {
         let mut s = concurrent_swaps_scenario(4, 2, &ScenarioConfig::default());
         let driver = Ac3wn::new(protocol_cfg());
-        let witness = s.witness_chain;
         let machines =
-            s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), witness)));
+            s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), swap.witness)));
         let batch = Scheduler::default().run(&mut s.world, &mut s.participants, machines);
         assert_eq!(batch.committed(), 4, "all four swaps commit");
         assert_eq!(batch.failed(), 0);
@@ -236,9 +262,8 @@ mod tests {
     fn budget_exhaustion_fails_remaining_swaps() {
         let mut s = concurrent_swaps_scenario(2, 2, &ScenarioConfig::default());
         let driver = Ac3wn::new(protocol_cfg());
-        let witness = s.witness_chain;
         let machines =
-            s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), witness)));
+            s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), swap.witness)));
         // A 1 ms budget cannot even finish registration.
         let batch = Scheduler::new(1).run(&mut s.world, &mut s.participants, machines);
         assert_eq!(batch.failed(), 2);

@@ -8,7 +8,7 @@
 //!
 //! * a one-way hash function, used for hashlocks (`h = H(s)`), block links,
 //!   Merkle roots and transaction/contract identifiers — implemented from
-//!   scratch as [`sha256`], plus the Ethereum-flavoured [`keccak`]
+//!   scratch as [`mod@sha256`], plus the Ethereum-flavoured [`keccak`]
 //!   (Keccak-256 / SHA3-256 and Ethereum-style address derivation);
 //! * digital signatures, used to authorise asset transfers, to build the
 //!   graph multisignature `ms(D)` of Equation 1 and to implement the trusted

@@ -4,8 +4,12 @@
 //! more witness chains), a simulated clock, and the fault machinery the
 //! paper's failure scenarios need (chain outages modelling network
 //! partitions, and deliberate fork injection modelling the 51% attacks of
-//! Section 6.3). Protocol drivers in `ac3-core` advance the world while
-//! executing their phases and read all their measurements from it.
+//! Section 6.3). The protocol state machines in `ac3-core` submit
+//! transactions and read all their measurements from the world but never
+//! advance its clock; time is advanced between machine polls by whoever
+//! owns the loop — `ac3_core::driver::drive` for a single swap, the
+//! `ac3_core::scheduler::Scheduler` for a concurrent batch (the batch's
+//! machines then contend for block space in the shared mempools).
 
 use crate::faults::OutageWindow;
 use crate::metrics::{FeeLedger, SwapId, Timeline};
