@@ -23,14 +23,27 @@
 //!    and shows throughput rising with the bottleneck's tps until protocol
 //!    latency, not block space, dominates.
 //!
+//! Three experiments:
+//! (numbering below: the third is the fee market.)
+//!
+//! 3. **Fee market under contention** — B swaps × k witness chains × fee
+//!    policy, with every witness chain tps-starved. Under the escalating
+//!    policy, shrinking k concentrates the bidding war: the mean accepted
+//!    witness-chain fee rises monotonically as k shrinks from B to 1
+//!    (asserted). Under the paper's fixed-fee schedule the same contention
+//!    shows up as queueing latency instead (asserted), at exactly the
+//!    Section 6.2 prices. The sweep is written to `BENCH_fee_market.json`
+//!    so the fee-inflation trajectory is tracked across revisions.
+//!
 //! Usage: `sec64_contention [swaps] [asset_chains]` (defaults: 64, 4).
 
 use ac3_bench::{f2, print_json_rows, print_table};
 use ac3_chain::ChainParams;
 use ac3_core::scenario::{
-    concurrent_swaps_over_chains, concurrent_swaps_scenario, MultiSwapScenario, ScenarioConfig,
+    concurrent_swaps_multi_witness, concurrent_swaps_over_chains, concurrent_swaps_scenario,
+    MultiSwapScenario, ScenarioConfig,
 };
-use ac3_core::{Ac3wn, ProtocolConfig, Scheduler, SwapMachine};
+use ac3_core::{Ac3wn, FeePolicy, ProtocolConfig, Scheduler, SwapMachine};
 use ac3_sim::SwapId;
 use serde::Serialize;
 
@@ -164,4 +177,188 @@ fn main() {
          min(tps) bound of Table 1 / Section 6.4."
     );
     print_json_rows("sec64_contention", &rows);
+
+    // ------------------------------------------------------------------
+    // Experiment 3: the fee market — B swaps × k witness chains × policy.
+    // ------------------------------------------------------------------
+    let fee_rows = fee_market_sweep(swaps, chains);
+    let table: Vec<Vec<String>> = fee_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.witness_chains.to_string(),
+                r.swaps.to_string(),
+                r.committed.to_string(),
+                f2(r.mean_witness_fee),
+                f2(r.mean_inflation),
+                r.rebids.to_string(),
+                r.mean_latency_ms.to_string(),
+                r.makespan_ms.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Section 6.2 under load: accepted witness-chain fees vs congestion (B swaps over k tps-starved witness chains)",
+        &[
+            "policy",
+            "k witnesses",
+            "swaps",
+            "committed",
+            "mean witness fee",
+            "fee inflation",
+            "rebids",
+            "mean latency (ms)",
+            "makespan (ms)",
+        ],
+        &table,
+    );
+    println!(
+        "\nExpected shape: shrinking k concentrates B swaps' witness traffic onto fewer \
+         mempools. The escalating policy converts that congestion into a bidding war — the \
+         mean accepted fee rises monotonically as k shrinks to 1 — while the fixed-fee \
+         schedule pays Section 6.2 prices at every k and absorbs the same congestion as \
+         queueing latency instead."
+    );
+    print_json_rows("sec64_fee_market", &fee_rows);
+
+    let json = serde_json::to_string(&fee_rows).expect("rows serialize");
+    std::fs::write("BENCH_fee_market.json", format!("{json}\n"))
+        .expect("BENCH_fee_market.json is writable");
+    println!("\nFee-market sweep recorded in BENCH_fee_market.json");
+}
+
+#[derive(Serialize)]
+struct FeeMarketRow {
+    policy: String,
+    witness_chains: usize,
+    swaps: usize,
+    committed: usize,
+    mean_witness_fee: f64,
+    mean_inflation: f64,
+    rebids: u64,
+    mean_latency_ms: u64,
+    makespan_ms: u64,
+}
+
+/// Mean accepted fee per witness-chain transaction (the ledger refunds
+/// evicted bids and reprices replacements, so this is what the mined
+/// transactions actually paid).
+fn mean_witness_fee(s: &MultiSwapScenario) -> f64 {
+    let fees: u64 = s.witness_chains.iter().map(|w| s.world.fees.fees_on(*w)).sum();
+    let ops: u64 = s
+        .witness_chains
+        .iter()
+        .map(|w| s.world.fees.deployments_on(*w) + s.world.fees.calls_on(*w))
+        .sum();
+    if ops == 0 {
+        return 0.0;
+    }
+    fees as f64 / ops as f64
+}
+
+/// Run the B × k × policy sweep and assert the Section 6.2-under-load
+/// shape: escalating fees rise monotonically as k shrinks; fixed fees stay
+/// at schedule prices while latency grows instead.
+fn fee_market_sweep(swaps: usize, chains: usize) -> Vec<FeeMarketRow> {
+    let b = swaps.clamp(4, 16);
+    // k halves from B down to 1: every witness chain serves B/k swaps.
+    let mut ks = Vec::new();
+    let mut k = b;
+    while k >= 1 {
+        ks.push(k);
+        if k == 1 {
+            break;
+        }
+        k /= 2;
+    }
+
+    let policies =
+        [("fixed", FeePolicy::Fixed), ("exponential", FeePolicy::Exponential { cap: 64 })];
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let driver = Ac3wn::new(ProtocolConfig {
+            witness_depth: 3,
+            deployment_depth: 3,
+            // Queueing on a 1-tps witness chain runs many blocks deep.
+            wait_cap_deltas: 256,
+            fee_policy: policy,
+            ..Default::default()
+        });
+        for &k in &ks {
+            let asset_params: Vec<ChainParams> =
+                (0..chains).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
+            // Every witness chain is the paper's worst case: 1 tps.
+            let witness_params: Vec<ChainParams> =
+                (0..k).map(|i| ChainParams::fast(&format!("witness-{i}"), 1)).collect();
+            let mut s = concurrent_swaps_multi_witness(b, asset_params, witness_params, 10_000);
+            let ms = machines(&s, &driver);
+            let batch = Scheduler::default().run(&mut s.world, &mut s.participants, ms);
+            assert_eq!(
+                batch.failed(),
+                0,
+                "policy={name} k={k}: contention must delay swaps, not fail them"
+            );
+            assert_eq!(batch.committed(), b, "policy={name} k={k}: every swap commits");
+            assert!(batch.all_atomic(), "policy={name} k={k}: atomicity violated");
+            let stats = batch.fee_stats();
+            let latencies: Vec<u64> = batch.reports().map(|(_, r)| r.latency_ms()).collect();
+            let mean_latency_ms = latencies.iter().sum::<u64>() / latencies.len() as u64;
+            rows.push(FeeMarketRow {
+                policy: name.to_string(),
+                witness_chains: k,
+                swaps: b,
+                committed: batch.committed(),
+                mean_witness_fee: mean_witness_fee(&s),
+                mean_inflation: stats.mean_inflation,
+                rebids: stats.rebids,
+                mean_latency_ms,
+                makespan_ms: batch.makespan_ms(),
+            });
+        }
+    }
+
+    // The acceptance shape, checked mechanically so CI catches a rotted
+    // fee market.
+    let fee_of = |policy: &str, k: usize| {
+        rows.iter()
+            .find(|r| r.policy == policy && r.witness_chains == k)
+            .map(|r| r.mean_witness_fee)
+            .expect("sweep point exists")
+    };
+    for pair in ks.windows(2) {
+        let (wide, narrow) = (pair[0], pair[1]);
+        assert!(
+            fee_of("exponential", narrow) >= fee_of("exponential", wide) - 1e-9,
+            "escalating mean fee must rise monotonically as k shrinks: \
+             k={narrow} pays {:.2} < k={wide} pays {:.2}",
+            fee_of("exponential", narrow),
+            fee_of("exponential", wide),
+        );
+        assert!(
+            (fee_of("fixed", narrow) - fee_of("fixed", wide)).abs() < 1e-9,
+            "fixed-fee schedule must not move with congestion"
+        );
+    }
+    assert!(
+        fee_of("exponential", 1) > fee_of("exponential", b),
+        "the bidding war on one shared witness chain must inflate fees \
+         ({:.2} at k=1 vs {:.2} at k={b})",
+        fee_of("exponential", 1),
+        fee_of("exponential", b),
+    );
+    let latency_of = |policy: &str, k: usize| {
+        rows.iter()
+            .find(|r| r.policy == policy && r.witness_chains == k)
+            .map(|r| r.mean_latency_ms)
+            .expect("sweep point exists")
+    };
+    assert!(
+        latency_of("fixed", 1) > latency_of("fixed", b),
+        "under fixed fees the same congestion must surface as queueing latency \
+         ({} ms at k=1 vs {} ms at k={b})",
+        latency_of("fixed", 1),
+        latency_of("fixed", b),
+    );
+    rows
 }

@@ -227,12 +227,13 @@ impl Blockchain {
             nonce: 0,
         };
         let genesis = Block { header, transactions: genesis_txs };
+        let mempool = Mempool::with_capacity(params.mempool_capacity);
         let mut chain = Blockchain {
             id,
             params,
             vm,
             store: BlockStore::new(),
-            mempool: Mempool::new(),
+            mempool,
             state: ChainState::default(),
             snapshots: SnapshotCache::default(),
         };
@@ -288,6 +289,44 @@ impl Blockchain {
         self.mempool.len()
     }
 
+    /// Maximum number of pending transactions the mempool holds.
+    pub fn mempool_capacity(&self) -> usize {
+        self.mempool.capacity()
+    }
+
+    /// Whether `txid` is waiting in the mempool.
+    pub fn mempool_contains(&self, txid: &TxId) -> bool {
+        self.mempool.contains(txid)
+    }
+
+    /// Rank of a pending transaction in miner priority order (0 = mined
+    /// first), or `None` if it is not pending.
+    pub fn mempool_position(&self, txid: &TxId) -> Option<usize> {
+        self.mempool.position(txid)
+    }
+
+    /// Whether a pending transaction ranks within the first `limit` slots
+    /// of miner priority order (O(limit), not O(queue depth)).
+    pub fn mempool_position_within(&self, txid: &TxId, limit: usize) -> Option<bool> {
+        self.mempool.position_within(txid, limit)
+    }
+
+    /// The smallest fee among pending transactions.
+    pub fn mempool_min_fee(&self) -> Option<Amount> {
+        self.mempool.min_fee()
+    }
+
+    /// The smallest fee that would currently buy a mempool slot (see
+    /// [`Mempool::fee_floor`]).
+    pub fn mempool_fee_floor(&self) -> Amount {
+        self.mempool.fee_floor()
+    }
+
+    /// The fee a pending transaction currently bids.
+    pub fn mempool_fee_of(&self, txid: &TxId) -> Option<Amount> {
+        self.mempool.fee_of(txid)
+    }
+
     /// Balance of an address on the canonical chain.
     pub fn balance_of(&self, address: &Address) -> Amount {
         self.state.utxos.balance_of(address)
@@ -305,6 +344,26 @@ impl Blockchain {
     /// Submit a transaction to the mempool.
     pub fn submit(&mut self, tx: Transaction) -> Result<TxId, ChainError> {
         Ok(self.mempool.submit(tx)?)
+    }
+
+    /// Submit a transaction, also returning any pending transactions that
+    /// were evicted to make room (fee-based eviction in a full pool), so
+    /// callers can undo side effects of their admission.
+    pub fn submit_with_evictions(
+        &mut self,
+        tx: Transaction,
+    ) -> Result<(TxId, Vec<Transaction>), ChainError> {
+        Ok(self.mempool.submit_with_evictions(tx)?)
+    }
+
+    /// Replace-by-fee: swap the pending `old` for a strictly-higher-fee
+    /// replacement. Returns the new id and the replaced transaction.
+    pub fn replace(
+        &mut self,
+        old: &TxId,
+        tx: Transaction,
+    ) -> Result<(TxId, Transaction), ChainError> {
+        Ok(self.mempool.replace(old, tx)?)
     }
 
     /// Look up a deployed contract on the canonical chain.

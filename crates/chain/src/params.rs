@@ -70,6 +70,11 @@ pub struct ChainParams {
     /// The number of confirmations after which a block is considered stable
     /// (`d`; e.g. 6 for Bitcoin, Section 4.2/6.3).
     pub stable_depth: u64,
+    /// Maximum number of transactions the mempool holds. Submissions to a
+    /// full pool must outbid the cheapest evictable pending transaction
+    /// (fee-based eviction) or they are rejected — the supply side of the
+    /// fee market.
+    pub mempool_capacity: usize,
     /// How blocks are sealed.
     pub seal: SealPolicy,
 }
@@ -103,6 +108,7 @@ impl ChainParams {
             transfer_fee: 1,
             block_reward: 50,
             stable_depth: 6,
+            mempool_capacity: 100_000,
             seal: SealPolicy::Instant,
         }
     }
@@ -131,6 +137,7 @@ impl ChainParams {
             transfer_fee: 1,
             block_reward: 625,
             stable_depth: 6,
+            mempool_capacity: 100_000,
             seal: SealPolicy::Instant,
         }
     }
@@ -146,6 +153,7 @@ impl ChainParams {
             transfer_fee: 1,
             block_reward: 2,
             stable_depth: 12,
+            mempool_capacity: 100_000,
             seal: SealPolicy::Instant,
         }
     }
@@ -161,6 +169,7 @@ impl ChainParams {
             transfer_fee: 1,
             block_reward: 12,
             stable_depth: 6,
+            mempool_capacity: 100_000,
             seal: SealPolicy::Instant,
         }
     }
@@ -176,6 +185,7 @@ impl ChainParams {
             transfer_fee: 1,
             block_reward: 625,
             stable_depth: 6,
+            mempool_capacity: 100_000,
             seal: SealPolicy::Instant,
         }
     }

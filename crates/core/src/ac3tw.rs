@@ -13,8 +13,9 @@
 //! step/poll state machine ([`Ac3twMachine`], see [`crate::driver`]);
 //! [`Ac3tw::execute`] is the single-swap wrapper.
 
-use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::actions::edge_disposition;
 use crate::driver::{drive, tx_at_depth, tx_stable, Step, SwapMachine};
+use crate::fee::{BidBook, BidChange};
 use crate::graph::{SwapEdge, SwapGraph};
 use crate::protocol::{EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport};
 use crate::scenario::Scenario;
@@ -225,6 +226,10 @@ pub struct Ac3twMachine {
     deployments: u64,
     calls: u64,
     fees: u64,
+    fees_scheduled: u64,
+    fee_rebids: u64,
+    /// Live fee bids, escalated each poll under the configured policy.
+    bids: BidBook,
     edges: Vec<SwapEdge>,
     edge_deploys: Vec<Option<(TxId, ContractId)>>,
     decision: Option<bool>,
@@ -241,6 +246,7 @@ impl Ac3twMachine {
         let n = edges.len();
         let mut trent = Trent::new();
         trent.available = trent_available;
+        let bids = BidBook::new(config.fee_policy);
         Ac3twMachine {
             config,
             graph,
@@ -255,6 +261,9 @@ impl Ac3twMachine {
             deployments: 0,
             calls: 0,
             fees: 0,
+            fees_scheduled: 0,
+            fee_rebids: 0,
+            bids,
             edges,
             edge_deploys: Vec::new(),
             decision: None,
@@ -290,6 +299,42 @@ impl Ac3twMachine {
         crate::driver::unsettled_edges(world, &self.edges, &self.edge_deploys)
     }
 
+    /// Escalate stuck bids (replace-by-fee) and rewrite every stored copy
+    /// of a superseded transaction/contract id.
+    fn poll_bids(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<(), ProtocolError> {
+        let changes = self.bids.poll(world, participants)?;
+        for change in changes {
+            self.apply_bid_change(&change);
+        }
+        Ok(())
+    }
+
+    fn apply_bid_change(&mut self, change: &BidChange) {
+        change.apply_accounting(&mut self.fees, &mut self.fee_rebids);
+        let (old, new) = (change.old_txid, change.new_txid);
+        if change.deploy {
+            for deploy in self.edge_deploys.iter_mut().flatten() {
+                if deploy.0 == old {
+                    *deploy = (new, change.new_contract());
+                }
+            }
+        }
+        for settlement in self.settlements.iter_mut().flatten() {
+            change.rewrite_txid(&mut settlement.1);
+        }
+        if let Phase::AwaitRecoveryInclusion { pending, .. } = &mut self.phase {
+            for entry in pending.iter_mut() {
+                if entry.1 == old {
+                    entry.1 = new;
+                }
+            }
+        }
+    }
+
     fn finish(&mut self, world: &World) -> Step {
         let outcomes: Vec<EdgeOutcome> = self
             .edges
@@ -314,6 +359,8 @@ impl Ac3twMachine {
             deployments: self.deployments,
             calls: self.calls,
             fees_paid: self.fees,
+            fees_scheduled: self.fees_scheduled,
+            fee_rebids: self.fee_rebids,
             timeline: self.timeline.clone(),
         };
         self.report = Some(report.clone());
@@ -368,11 +415,12 @@ impl Ac3twMachine {
             let e = self.edges[i];
             let Some((_, contract)) = self.edge_deploys[i] else { continue };
             let (actor, call) = Self::settlement_call(commit, &e, sig);
-            if let Some(txid) =
-                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            if let Some((txid, fee)) =
+                self.bids.submit_call(world, participants, &actor, e.chain, contract, &call)?
             {
                 self.calls += 1;
-                self.fees += world.chain(e.chain)?.params().call_fee;
+                self.fees += fee;
+                self.fees_scheduled += world.chain(e.chain)?.params().call_fee;
                 self.settlements[i] = Some((e.chain, txid));
             }
         }
@@ -396,11 +444,12 @@ impl Ac3twMachine {
             let e = self.edges[i];
             let Some((_, contract)) = self.edge_deploys[i] else { continue };
             let (actor, call) = Self::settlement_call(commit, &e, sig);
-            if let Some(txid) =
-                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            if let Some((txid, fee)) =
+                self.bids.submit_call(world, participants, &actor, e.chain, contract, &call)?
             {
                 self.calls += 1;
-                self.fees += world.chain(e.chain)?.params().call_fee;
+                self.fees += fee;
+                self.fees_scheduled += world.chain(e.chain)?.params().call_fee;
                 pending.push((e.chain, txid));
             }
         }
@@ -431,6 +480,11 @@ impl SwapMachine for Ac3twMachine {
         world: &mut World,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
+        if !matches!(self.phase, Phase::Finished) {
+            // Fee market: re-bid any submission stuck behind higher bids
+            // before doing phase work against possibly-stale ids.
+            self.poll_bids(world, participants)?;
+        }
         loop {
             match &self.phase {
                 Phase::Start => {
@@ -465,7 +519,7 @@ impl SwapMachine for Ac3twMachine {
                             graph_digest: self.graph_digest,
                             witness_key,
                         });
-                        let deployed = deploy_contract(
+                        let deployed = self.bids.submit_deploy(
                             world,
                             participants,
                             &e.from,
@@ -473,9 +527,13 @@ impl SwapMachine for Ac3twMachine {
                             &spec,
                             e.amount,
                         )?;
-                        if let Some((_, contract)) = &deployed {
+                        let deployed = deployed.map(|(txid, contract, fee)| {
                             self.deployments += 1;
-                            self.fees += world.chain(e.chain)?.params().deploy_fee;
+                            self.fees += fee;
+                            (txid, contract)
+                        });
+                        if let Some((_, contract)) = &deployed {
+                            self.fees_scheduled += world.chain(e.chain)?.params().deploy_fee;
                             let at = world.now();
                             self.record(
                                 world,

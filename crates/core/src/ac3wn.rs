@@ -28,8 +28,9 @@
 //! under the [`crate::scheduler::Scheduler`]. [`Ac3wn::execute`] is the
 //! single-swap wrapper that drives one machine to completion.
 
-use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::actions::edge_disposition;
 use crate::driver::{drive, tx_at_depth, tx_stable, wait_timeout, Step, SwapMachine};
+use crate::fee::{BidBook, BidChange};
 use crate::graph::{GraphError, SwapEdge, SwapGraph};
 use crate::protocol::{EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport};
 use crate::scenario::Scenario;
@@ -117,6 +118,11 @@ pub struct Ac3wnMachine {
     deployments: u64,
     calls: u64,
     fees: u64,
+    fees_scheduled: u64,
+    fee_rebids: u64,
+    /// Live fee bids (one per submitted transaction), escalated each poll
+    /// under the configured [`crate::fee::FeePolicy`].
+    bids: BidBook,
     // Data carried across phases.
     edges: Vec<SwapEdge>,
     expected: Vec<ExpectedContract>,
@@ -136,6 +142,7 @@ impl Ac3wnMachine {
     pub fn new(config: ProtocolConfig, graph: SwapGraph, witness_chain: ChainId) -> Self {
         let edges = graph.edges().to_vec();
         let n = edges.len();
+        let bids = BidBook::new(config.fee_policy);
         Ac3wnMachine {
             config,
             graph,
@@ -148,6 +155,9 @@ impl Ac3wnMachine {
             deployments: 0,
             calls: 0,
             fees: 0,
+            fees_scheduled: 0,
+            fee_rebids: 0,
+            bids,
             edges,
             expected: Vec::new(),
             scw: None,
@@ -206,21 +216,68 @@ impl Ac3wnMachine {
             .find(|a| participants.by_address(a).is_some_and(|p| p.is_available(now)))
     }
 
-    /// Submit a call from whichever participant is first able to do so.
+    /// Submit a call from whichever participant is first able to do so,
+    /// opening a fee bid for it. Returns the txid and the opening fee.
     fn submit_from_any(
-        &self,
+        &mut self,
         world: &mut World,
         participants: &mut ParticipantSet,
         chain: ChainId,
         contract: ContractId,
         call: &ContractCall,
-    ) -> Result<Option<TxId>, ProtocolError> {
+    ) -> Result<Option<(TxId, u64)>, ProtocolError> {
         for addr in self.graph.participants().to_vec() {
-            if let Some(txid) = call_contract(world, participants, &addr, chain, contract, call)? {
-                return Ok(Some(txid));
+            if let Some(submitted) =
+                self.bids.submit_call(world, participants, &addr, chain, contract, call)?
+            {
+                return Ok(Some(submitted));
             }
         }
         Ok(None)
+    }
+
+    /// Escalate stuck bids (replace-by-fee) and rewrite every stored copy
+    /// of a superseded transaction/contract id.
+    fn poll_bids(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<(), ProtocolError> {
+        let changes = self.bids.poll(world, participants)?;
+        for change in changes {
+            self.apply_bid_change(&change);
+        }
+        Ok(())
+    }
+
+    fn apply_bid_change(&mut self, change: &BidChange) {
+        change.apply_accounting(&mut self.fees, &mut self.fee_rebids);
+        let (old, new) = (change.old_txid, change.new_txid);
+        if change.deploy {
+            if self.scw == Some(change.old_contract()) {
+                self.scw = Some(change.new_contract());
+            }
+            for deploy in self.edge_deploys.iter_mut().flatten() {
+                if deploy.0 == old {
+                    *deploy = (new, change.new_contract());
+                }
+            }
+        }
+        if self.authorize_txid == Some(old) {
+            self.authorize_txid = Some(new);
+        }
+        for settlement in self.settlements.iter_mut().flatten() {
+            change.rewrite_txid(&mut settlement.1);
+        }
+        match &mut self.phase {
+            Phase::AwaitRegistration { reg_txid, .. } if *reg_txid == old => *reg_txid = new,
+            Phase::AwaitRecoveryInclusion { pending, .. } => {
+                for entry in pending.iter_mut() {
+                    change.rewrite_txid(&mut entry.1);
+                }
+            }
+            _ => {}
+        }
     }
 
     fn collect_outcomes(&self, world: &World) -> Vec<EdgeOutcome> {
@@ -256,6 +313,8 @@ impl Ac3wnMachine {
             deployments: self.deployments,
             calls: self.calls,
             fees_paid: self.fees,
+            fees_scheduled: self.fees_scheduled,
+            fee_rebids: self.fee_rebids,
             timeline: self.timeline.clone(),
         };
         self.report = Some(report.clone());
@@ -282,10 +341,15 @@ impl Ac3wnMachine {
                 min_depth: self.config.witness_depth,
                 witness_anchor,
             });
-            let deployed = deploy_contract(world, participants, &e.from, e.chain, &spec, e.amount)?;
-            if let Some((_, contract)) = &deployed {
+            let deployed =
+                self.bids.submit_deploy(world, participants, &e.from, e.chain, &spec, e.amount)?;
+            let deployed = deployed.map(|(txid, contract, fee)| {
                 self.deployments += 1;
-                self.fees += world.chain(e.chain)?.params().deploy_fee;
+                self.fees += fee;
+                (txid, contract)
+            });
+            if let Some((_, contract)) = &deployed {
+                self.fees_scheduled += world.chain(e.chain)?.params().deploy_fee;
                 let now = world.now();
                 self.record(
                     world,
@@ -333,16 +397,17 @@ impl Ac3wnMachine {
         };
 
         let scw = self.scw.expect("witness contract registered before authorize");
-        let authorize_txid =
+        let authorize =
             self.submit_from_any(world, participants, self.witness_chain, scw, &authorize_call)?;
-        let Some(authorize_txid) = authorize_txid else {
+        let Some((authorize_txid, fee)) = authorize else {
             // Nobody could reach the witness chain at all; the swap stays
             // locked (assets recoverable once someone can submit a refund
             // authorization later — outside this run).
             return Ok(Some(self.finish(world, None)));
         };
         self.calls += 1;
-        self.fees += world.chain(self.witness_chain)?.params().call_fee;
+        self.fees += fee;
+        self.fees_scheduled += world.chain(self.witness_chain)?.params().call_fee;
         self.authorize_txid = Some(authorize_txid);
         self.phase = Phase::AwaitDecision { deadline: world.now() + self.wait_cap };
         Ok(None)
@@ -374,11 +439,12 @@ impl Ac3wnMachine {
             let e = self.edges[i];
             let Some((_, contract)) = self.edge_deploys[i] else { continue };
             let (actor, call) = Self::settlement_action(commit, e.from, e.to, &evidence);
-            if let Some(txid) =
-                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            if let Some((txid, fee)) =
+                self.bids.submit_call(world, participants, &actor, e.chain, contract, &call)?
             {
                 self.calls += 1;
-                self.fees += world.chain(e.chain)?.params().call_fee;
+                self.fees += fee;
+                self.fees_scheduled += world.chain(e.chain)?.params().call_fee;
                 self.settlements[i] = Some((e.chain, txid));
             }
         }
@@ -401,11 +467,12 @@ impl Ac3wnMachine {
             let e = self.edges[i];
             let Some((_, contract)) = self.edge_deploys[i] else { continue };
             let (actor, call) = Self::settlement_action(commit, e.from, e.to, &evidence);
-            if let Some(txid) =
-                call_contract(world, participants, &actor, e.chain, contract, &call)?
+            if let Some((txid, fee)) =
+                self.bids.submit_call(world, participants, &actor, e.chain, contract, &call)?
             {
                 self.calls += 1;
-                self.fees += world.chain(e.chain)?.params().call_fee;
+                self.fees += fee;
+                self.fees_scheduled += world.chain(e.chain)?.params().call_fee;
                 pending.push((e.chain, txid));
             }
         }
@@ -437,6 +504,11 @@ impl SwapMachine for Ac3wnMachine {
         world: &mut World,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
+        if !matches!(self.phase, Phase::Finished) {
+            // Fee market: re-bid any submission stuck behind higher bids
+            // before doing phase work against possibly-stale ids.
+            self.poll_bids(world, participants)?;
+        }
         loop {
             match &self.phase {
                 Phase::Start => {
@@ -477,7 +549,7 @@ impl SwapMachine for Ac3wnMachine {
                     let Some(registrant) = self.first_available(world, participants) else {
                         return Ok(self.finish(world, None));
                     };
-                    let Some((reg_txid, scw)) = deploy_contract(
+                    let Some((reg_txid, scw, fee)) = self.bids.submit_deploy(
                         world,
                         participants,
                         &registrant,
@@ -489,7 +561,8 @@ impl SwapMachine for Ac3wnMachine {
                         return Ok(self.finish(world, None));
                     };
                     self.deployments += 1;
-                    self.fees += world.chain(self.witness_chain)?.params().deploy_fee;
+                    self.fees += fee;
+                    self.fees_scheduled += world.chain(self.witness_chain)?.params().deploy_fee;
                     self.scw = Some(scw);
                     self.phase =
                         Phase::AwaitRegistration { reg_txid, deadline: now + self.wait_cap };

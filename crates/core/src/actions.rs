@@ -11,7 +11,8 @@ use ac3_contracts::{ContractCall, ContractSpec};
 use ac3_sim::{ParticipantSet, World};
 
 /// Attempt to deploy a contract as `owner`, locking `lock` and paying the
-/// chain's deployment fee.
+/// chain's deployment fee (one-shot, fixed-fee — the non-bidding wrapper
+/// around [`crate::fee::BidBook::submit_deploy`]).
 ///
 /// Returns `Ok(None)` when the owner is crashed or the chain is unreachable
 /// — the caller decides what that means for the protocol (usually "this
@@ -24,27 +25,16 @@ pub fn deploy_contract(
     spec: &ContractSpec,
     lock: Amount,
 ) -> Result<Option<(TxId, ContractId)>, ProtocolError> {
-    let now = world.now();
-    let Some(participant) = participants.by_address_mut(owner) else {
-        return Err(ProtocolError::UnknownParticipant(format!("{owner}")));
-    };
-    if !participant.is_available(now) || !world.is_reachable(chain) {
-        return Ok(None);
-    }
-    let fee = world.chain(chain)?.params().deploy_fee;
-    let Some((inputs, change)) = world.chain(chain)?.plan_deploy(owner, lock, fee) else {
-        return Err(ProtocolError::InsufficientFunds { who: participant.name.clone(), chain });
-    };
-    let tx = participant.builder(chain).deploy(inputs, lock, change, spec.to_payload(), fee);
-    let txid = tx.id();
-    let contract = ContractId(txid.0);
-    world.submit(chain, tx)?;
-    Ok(Some((txid, contract)))
+    let mut book = crate::fee::BidBook::new(crate::fee::FeePolicy::Fixed);
+    Ok(book
+        .submit_deploy(world, participants, owner, chain, spec, lock)?
+        .map(|(txid, contract, _)| (txid, contract)))
 }
 
 /// Attempt a contract function call as `caller`, paying the chain's call
-/// fee. Returns `Ok(None)` when the caller is crashed or the chain is
-/// unreachable.
+/// fee (one-shot, fixed-fee — the non-bidding wrapper around
+/// [`crate::fee::BidBook::submit_call`]). Returns `Ok(None)` when the
+/// caller is crashed or the chain is unreachable.
 pub fn call_contract(
     world: &mut World,
     participants: &mut ParticipantSet,
@@ -53,18 +43,8 @@ pub fn call_contract(
     contract: ContractId,
     call: &ContractCall,
 ) -> Result<Option<TxId>, ProtocolError> {
-    let now = world.now();
-    let Some(participant) = participants.by_address_mut(caller) else {
-        return Err(ProtocolError::UnknownParticipant(format!("{caller}")));
-    };
-    if !participant.is_available(now) || !world.is_reachable(chain) {
-        return Ok(None);
-    }
-    let fee = world.chain(chain)?.params().call_fee;
-    let tx = participant.builder(chain).call(contract, call.to_payload(), fee);
-    let txid = tx.id();
-    world.submit(chain, tx)?;
-    Ok(Some(txid))
+    let mut book = crate::fee::BidBook::new(crate::fee::FeePolicy::Fixed);
+    Ok(book.submit_call(world, participants, caller, chain, contract, call)?.map(|(txid, _)| txid))
 }
 
 /// Read the disposition of an edge's contract from the chain.

@@ -150,6 +150,8 @@ mod tests {
                     deployments: 0,
                     calls: 0,
                     fees_paid: 0,
+                    fees_scheduled: 0,
+                    fee_rebids: 0,
                     timeline: ac3_sim::Timeline::new(),
                 };
                 return Ok(Step::Done(Box::new(report)));

@@ -24,8 +24,9 @@
 //! state machine (see [`crate::driver`]); [`Herlihy::execute`] is the
 //! single-swap wrapper.
 
-use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::actions::edge_disposition;
 use crate::driver::{drive, tx_at_depth, Step, SwapMachine};
+use crate::fee::{BidBook, BidChange};
 use crate::graph::{SwapEdge, SwapGraph};
 use crate::protocol::{
     EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
@@ -172,6 +173,10 @@ pub struct HerlihyMachine {
     deployments: u64,
     calls: u64,
     fees: u64,
+    fees_scheduled: u64,
+    fee_rebids: u64,
+    /// Live fee bids, escalated each poll under the configured policy.
+    bids: BidBook,
     secret: Vec<u8>,
     slots: Vec<EdgeSlot>,
     waves_len: usize,
@@ -185,6 +190,7 @@ pub struct HerlihyMachine {
 
 impl HerlihyMachine {
     fn new(config: ProtocolConfig, graph: SwapGraph, leader: Address, kind: ProtocolKind) -> Self {
+        let bids = BidBook::new(config.fee_policy);
         HerlihyMachine {
             config,
             graph,
@@ -198,6 +204,9 @@ impl HerlihyMachine {
             deployments: 0,
             calls: 0,
             fees: 0,
+            fees_scheduled: 0,
+            fee_rebids: 0,
+            bids,
             secret: Vec::new(),
             slots: Vec::new(),
             waves_len: 0,
@@ -221,6 +230,55 @@ impl HerlihyMachine {
 
     fn hashlock(&self) -> Hash256 {
         Hashlock::from_secret(&self.secret).lock
+    }
+
+    /// Escalate stuck bids (replace-by-fee) and rewrite every stored copy
+    /// of a superseded transaction/contract id.
+    fn poll_bids(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<(), ProtocolError> {
+        let changes = self.bids.poll(world, participants)?;
+        for change in changes {
+            self.apply_bid_change(&change);
+        }
+        Ok(())
+    }
+
+    fn apply_bid_change(&mut self, change: &BidChange) {
+        change.apply_accounting(&mut self.fees, &mut self.fee_rebids);
+        let (old, new) = (change.old_txid, change.new_txid);
+        if change.deploy {
+            for slot in &mut self.slots {
+                if let Some(deploy) = &mut slot.deploy {
+                    if deploy.0 == old {
+                        *deploy = (new, change.new_contract());
+                    }
+                }
+            }
+        }
+        for entry in self.cleanup_pending.iter_mut() {
+            change.rewrite_txid(&mut entry.1);
+        }
+        match &mut self.phase {
+            Phase::AwaitWaveDeploys { pending, .. }
+            | Phase::AwaitCleanupInclusion { pending, .. } => {
+                for entry in pending.iter_mut() {
+                    if entry.1 == old {
+                        entry.1 = new;
+                    }
+                }
+            }
+            Phase::AwaitWaveRedeems { pending, .. } => {
+                for entry in pending.iter_mut() {
+                    if entry.1 == old {
+                        entry.1 = new;
+                    }
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Record the publication events for every deployed contract (once, at
@@ -291,11 +349,17 @@ impl HerlihyMachine {
                 continue; // too late to redeem safely
             }
             let call = ContractCall::Htlc(HtlcCall::Redeem { preimage: self.secret.clone() });
-            if let Some(txid) =
-                call_contract(world, participants, &slot.edge.to, slot.edge.chain, contract, &call)?
-            {
+            if let Some((txid, fee)) = self.bids.submit_call(
+                world,
+                participants,
+                &slot.edge.to,
+                slot.edge.chain,
+                contract,
+                &call,
+            )? {
                 self.calls += 1;
-                self.fees += world.chain(slot.edge.chain)?.params().call_fee;
+                self.fees += fee;
+                self.fees_scheduled += world.chain(slot.edge.chain)?.params().call_fee;
                 self.secret_revealed = true;
                 let now = world.now();
                 self.record(
@@ -328,7 +392,7 @@ impl HerlihyMachine {
                 continue;
             }
             let call = ContractCall::Htlc(HtlcCall::Refund);
-            if let Some(txid) = call_contract(
+            if let Some((txid, fee)) = self.bids.submit_call(
                 world,
                 participants,
                 &slot.edge.from,
@@ -337,7 +401,8 @@ impl HerlihyMachine {
                 &call,
             )? {
                 self.calls += 1;
-                self.fees += world.chain(slot.edge.chain)?.params().call_fee;
+                self.fees += fee;
+                self.fees_scheduled += world.chain(slot.edge.chain)?.params().call_fee;
                 let at = world.now();
                 self.record(
                     world,
@@ -388,6 +453,8 @@ impl HerlihyMachine {
             deployments: self.deployments,
             calls: self.calls,
             fees_paid: self.fees,
+            fees_scheduled: self.fees_scheduled,
+            fee_rebids: self.fee_rebids,
             timeline: self.timeline.clone(),
         };
         self.report = Some(report.clone());
@@ -402,6 +469,11 @@ impl SwapMachine for HerlihyMachine {
         world: &mut World,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
+        if !matches!(self.phase, Phase::Finished) {
+            // Fee market: re-bid any submission stuck behind higher bids
+            // before doing phase work against possibly-stale ids.
+            self.poll_bids(world, participants)?;
+        }
         loop {
             match &self.phase {
                 Phase::Start => {
@@ -457,7 +529,7 @@ impl SwapMachine for HerlihyMachine {
                             hashlock,
                             timelock: slot.timelock,
                         });
-                        match deploy_contract(
+                        match self.bids.submit_deploy(
                             world,
                             participants,
                             &slot.edge.from,
@@ -465,10 +537,12 @@ impl SwapMachine for HerlihyMachine {
                             &spec,
                             slot.edge.amount,
                         )? {
-                            Some((txid, contract)) => {
+                            Some((txid, contract, fee)) => {
                                 self.slots[i].deploy = Some((txid, contract));
                                 self.deployments += 1;
-                                self.fees += world.chain(slot.edge.chain)?.params().deploy_fee;
+                                self.fees += fee;
+                                self.fees_scheduled +=
+                                    world.chain(slot.edge.chain)?.params().deploy_fee;
                                 pending.push((slot.edge.chain, txid));
                                 let now = world.now();
                                 self.record(

@@ -37,8 +37,9 @@
 //! mixed-protocol [`crate::scheduler::Scheduler`] batches;
 //! [`HerlihyMulti::execute`] is the single-swap [`drive`] wrapper.
 
-use crate::actions::{call_contract, deploy_contract, edge_disposition};
+use crate::actions::edge_disposition;
 use crate::driver::{drive, tx_at_depth, Step, SwapMachine};
+use crate::fee::{BidBook, BidChange};
 use crate::graph::{SwapEdge, SwapGraph};
 use crate::protocol::{
     EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
@@ -174,6 +175,10 @@ pub struct HerlihyMultiMachine {
     deployments: u64,
     calls: u64,
     fees: u64,
+    fees_scheduled: u64,
+    fee_rebids: u64,
+    /// Live fee bids, escalated each poll under the configured policy.
+    bids: BidBook,
     secrets: Vec<Vec<u8>>,
     hashlocks: Vec<Hash256>,
     slots: Vec<EdgeSlot>,
@@ -192,6 +197,7 @@ pub struct HerlihyMultiMachine {
 
 impl HerlihyMultiMachine {
     fn new(config: ProtocolConfig, graph: SwapGraph, leaders: Vec<Address>) -> Self {
+        let bids = BidBook::new(config.fee_policy);
         HerlihyMultiMachine {
             config,
             graph,
@@ -204,6 +210,9 @@ impl HerlihyMultiMachine {
             deployments: 0,
             calls: 0,
             fees: 0,
+            fees_scheduled: 0,
+            fee_rebids: 0,
+            bids,
             secrets: Vec::new(),
             hashlocks: Vec::new(),
             slots: Vec::new(),
@@ -261,6 +270,55 @@ impl HerlihyMultiMachine {
         (self.exchange_succeeded && self.leaders.contains(who)) || public
     }
 
+    /// Escalate stuck bids (replace-by-fee) and rewrite every stored copy
+    /// of a superseded transaction/contract id.
+    fn poll_bids(
+        &mut self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+    ) -> Result<(), ProtocolError> {
+        let changes = self.bids.poll(world, participants)?;
+        for change in changes {
+            self.apply_bid_change(&change);
+        }
+        Ok(())
+    }
+
+    fn apply_bid_change(&mut self, change: &BidChange) {
+        change.apply_accounting(&mut self.fees, &mut self.fee_rebids);
+        let (old, new) = (change.old_txid, change.new_txid);
+        if change.deploy {
+            for slot in &mut self.slots {
+                if let Some(deploy) = &mut slot.deploy {
+                    if deploy.0 == old {
+                        *deploy = (new, change.new_contract());
+                    }
+                }
+            }
+        }
+        for entry in self.cleanup_pending.iter_mut() {
+            change.rewrite_txid(&mut entry.1);
+        }
+        match &mut self.phase {
+            Phase::AwaitWaveDeploys { pending, .. }
+            | Phase::AwaitCleanupInclusion { pending, .. } => {
+                for entry in pending.iter_mut() {
+                    if entry.1 == old {
+                        entry.1 = new;
+                    }
+                }
+            }
+            Phase::AwaitWaveRedeems { pending, .. } => {
+                for entry in pending.iter_mut() {
+                    if entry.1 == old {
+                        entry.1 = new;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Enter phase C: the cleanup loop runs until every contract is settled
     /// or two Δ past the last timelock.
     fn enter_cleanup(&mut self) {
@@ -313,11 +371,17 @@ impl HerlihyMultiMachine {
             }
             let call =
                 ContractCall::MultiHtlc(MultiHtlcCall::Redeem { preimages: self.secrets.clone() });
-            if let Some(txid) =
-                call_contract(world, participants, &slot.edge.to, slot.edge.chain, contract, &call)?
-            {
+            if let Some((txid, fee)) = self.bids.submit_call(
+                world,
+                participants,
+                &slot.edge.to,
+                slot.edge.chain,
+                contract,
+                &call,
+            )? {
                 self.calls += 1;
-                self.fees += world.chain(slot.edge.chain)?.params().call_fee;
+                self.fees += fee;
+                self.fees_scheduled += world.chain(slot.edge.chain)?.params().call_fee;
                 self.secrets_public = true;
                 let now = world.now();
                 self.record(
@@ -350,7 +414,7 @@ impl HerlihyMultiMachine {
                 continue;
             }
             let call = ContractCall::MultiHtlc(MultiHtlcCall::Refund);
-            if let Some(txid) = call_contract(
+            if let Some((txid, fee)) = self.bids.submit_call(
                 world,
                 participants,
                 &slot.edge.from,
@@ -359,7 +423,8 @@ impl HerlihyMultiMachine {
                 &call,
             )? {
                 self.calls += 1;
-                self.fees += world.chain(slot.edge.chain)?.params().call_fee;
+                self.fees += fee;
+                self.fees_scheduled += world.chain(slot.edge.chain)?.params().call_fee;
                 let at = world.now();
                 self.record(
                     world,
@@ -410,6 +475,8 @@ impl HerlihyMultiMachine {
             deployments: self.deployments,
             calls: self.calls,
             fees_paid: self.fees,
+            fees_scheduled: self.fees_scheduled,
+            fee_rebids: self.fee_rebids,
             timeline: self.timeline.clone(),
         };
         self.report = Some(report.clone());
@@ -424,6 +491,11 @@ impl SwapMachine for HerlihyMultiMachine {
         world: &mut World,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
+        if !matches!(self.phase, Phase::Finished) {
+            // Fee market: re-bid any submission stuck behind higher bids
+            // before doing phase work against possibly-stale ids.
+            self.poll_bids(world, participants)?;
+        }
         loop {
             match &self.phase {
                 Phase::Start => {
@@ -479,7 +551,7 @@ impl SwapMachine for HerlihyMultiMachine {
                             hashlocks: self.hashlocks.clone(),
                             timelock: slot.timelock,
                         });
-                        match deploy_contract(
+                        match self.bids.submit_deploy(
                             world,
                             participants,
                             &slot.edge.from,
@@ -487,10 +559,12 @@ impl SwapMachine for HerlihyMultiMachine {
                             &spec,
                             slot.edge.amount,
                         )? {
-                            Some((txid, contract)) => {
+                            Some((txid, contract, fee)) => {
                                 self.slots[i].deploy = Some((txid, contract));
                                 self.deployments += 1;
-                                self.fees += world.chain(slot.edge.chain)?.params().deploy_fee;
+                                self.fees += fee;
+                                self.fees_scheduled +=
+                                    world.chain(slot.edge.chain)?.params().deploy_fee;
                                 pending.push((slot.edge.chain, txid));
                                 let now = world.now();
                                 self.record(

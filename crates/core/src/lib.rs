@@ -57,6 +57,7 @@ pub mod attack;
 pub mod audit;
 pub mod driver;
 pub mod evidence;
+pub mod fee;
 pub mod graph;
 pub mod herlihy;
 pub mod herlihy_multi;
@@ -73,6 +74,7 @@ pub use driver::{drive, Step, SwapMachine};
 pub use evidence::{
     validate_tx, validate_with_all, ValidationCost, ValidationReport, ValidationStrategy,
 };
+pub use fee::{BidBook, BidChange, FeePolicy};
 pub use graph::{
     figure7_cyclic, figure7_disconnected, ring_graph, GraphShape, SwapEdge, SwapGraph,
 };
@@ -87,4 +89,6 @@ pub use scenario::{
     concurrent_swaps_scenario, custom_scenario, figure7a_scenario, figure7b_scenario,
     ring_scenario, two_party_scenario, MultiSwapScenario, Scenario, ScenarioConfig, SwapSpec,
 };
-pub use scheduler::{BatchReport, Scheduler, SwapOutcome};
+pub use scheduler::{
+    BatchReport, FeeMarketStats, MachineSeed, Scheduler, SwapOutcome, WitnessAssignment,
+};

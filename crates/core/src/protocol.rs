@@ -110,8 +110,17 @@ pub struct SwapReport {
     pub deployments: u64,
     /// Number of contract function calls performed.
     pub calls: u64,
-    /// Total fees paid, in asset units.
+    /// Total fees paid, in asset units. Under an escalating
+    /// [`crate::fee::FeePolicy`] this includes every re-bid surcharge; only
+    /// the final bid of a replaced transaction counts.
     pub fees_paid: Amount,
+    /// Fees the static fd/ffc schedule (Section 6.2) prices the same
+    /// operations at — the fee-market baseline. `fees_paid /
+    /// fees_scheduled` is the swap's fee inflation under contention.
+    pub fees_scheduled: Amount,
+    /// Number of replace-by-fee escalations (and eviction re-submissions)
+    /// the swap's participants performed.
+    pub fee_rebids: u64,
     /// The protocol-level event timeline.
     pub timeline: Timeline,
 }
@@ -140,10 +149,19 @@ impl SwapReport {
         self.verdict().is_atomic()
     }
 
+    /// Fee inflation under contention: `fees_paid / fees_scheduled`
+    /// (1.0 when every bid cleared at the static schedule price).
+    pub fn fee_inflation(&self) -> f64 {
+        if self.fees_scheduled == 0 {
+            return 1.0;
+        }
+        self.fees_paid as f64 / self.fees_scheduled as f64
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} edges, decision={:?}, verdict={}, latency={:.2}Δ ({} ms), {} deployments, {} calls, fees={}",
+            "{}: {} edges, decision={:?}, verdict={}, latency={:.2}Δ ({} ms), {} deployments, {} calls, fees={} ({} rebids)",
             self.protocol,
             self.edges.len(),
             self.decision,
@@ -153,6 +171,7 @@ impl SwapReport {
             self.deployments,
             self.calls,
             self.fees_paid,
+            self.fee_rebids,
         )
     }
 }
@@ -179,6 +198,11 @@ pub struct ProtocolConfig {
     /// (exercises the *commitment* property: decisions must eventually take
     /// effect).
     pub allow_recovery_redemption: bool,
+    /// How participants bid for block space when their submissions queue
+    /// (see [`crate::fee::FeePolicy`]). The default
+    /// [`Fixed`](crate::fee::FeePolicy::Fixed) policy
+    /// reproduces the paper's static fee schedule exactly.
+    pub fee_policy: crate::fee::FeePolicy,
 }
 
 impl Default for ProtocolConfig {
@@ -189,6 +213,7 @@ impl Default for ProtocolConfig {
             abort_after_deltas: 4,
             wait_cap_deltas: 12,
             allow_recovery_redemption: true,
+            fee_policy: crate::fee::FeePolicy::Fixed,
         }
     }
 }
@@ -261,6 +286,8 @@ mod tests {
             deployments: 3,
             calls: 3,
             fees_paid: 18,
+            fees_scheduled: 18,
+            fee_rebids: 0,
             timeline: Timeline::new(),
         }
     }

@@ -160,6 +160,28 @@ impl MultiSwapScenario {
     {
         self.swaps.iter().map(|swap| (swap.id, make(swap))).collect()
     }
+
+    /// Build deferred machine seeds for
+    /// [`crate::scheduler::Scheduler::run_assigned`]: the scheduler picks
+    /// each swap's witness chain at launch time (ignoring the static
+    /// round-robin pre-assignment in [`SwapSpec::witness`]) and hands it to
+    /// `make`.
+    pub fn seeds_with<F>(&self, make: F) -> Vec<(SwapId, crate::scheduler::MachineSeed)>
+    where
+        F: Fn(&SwapSpec, ChainId) -> Box<dyn crate::driver::SwapMachine> + 'static,
+    {
+        let make = std::rc::Rc::new(make);
+        self.swaps
+            .iter()
+            .map(|swap| {
+                let spec = swap.clone();
+                let make = make.clone();
+                let seed: crate::scheduler::MachineSeed =
+                    Box::new(move |witness: ChainId| make(&spec, witness));
+                (swap.id, seed)
+            })
+            .collect()
+    }
 }
 
 /// Build a batch of `swaps` two-party AC2Ts over `chains` shared asset

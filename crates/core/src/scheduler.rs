@@ -43,8 +43,9 @@
 
 use crate::driver::{Step, SwapMachine};
 use crate::protocol::{ProtocolError, SwapReport};
-use ac3_chain::Timestamp;
+use ac3_chain::{Amount, ChainId, Timestamp};
 use ac3_sim::{ParticipantSet, SwapId, World};
+use std::collections::BTreeMap;
 
 /// Drives a batch of swap state machines over one shared world.
 #[derive(Debug, Clone)]
@@ -63,12 +64,33 @@ impl Default for Scheduler {
     }
 }
 
+/// How the scheduler assigns a witness chain to each swap of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WitnessAssignment {
+    /// Swap `i` is coordinated by witness chain `i mod k` — the static
+    /// split the Section 5.2 experiment uses.
+    #[default]
+    RoundRobin,
+    /// Each swap is assigned, at launch time, to the witness chain with
+    /// the shallowest mempool (ties broken by fewest assignments so far,
+    /// then chain order) — cross-witness load balancing that routes new
+    /// swaps away from congested witness networks.
+    LeastLoaded,
+}
+
+/// Deferred machine construction: called with the assigned witness chain
+/// when the swap is launched (see [`Scheduler::run_assigned`]).
+pub type MachineSeed = Box<dyn FnOnce(ChainId) -> Box<dyn SwapMachine>>;
+
 /// The terminal result of one swap in a scheduled batch.
 #[derive(Debug)]
 pub struct SwapOutcome {
     /// The swap's id (also the key for fee attribution in the world
     /// ledger).
     pub id: SwapId,
+    /// The witness chain the scheduler assigned (only for batches run via
+    /// [`Scheduler::run_assigned`]).
+    pub witness: Option<ChainId>,
     /// The swap's report, or the protocol error that ended it.
     pub result: Result<SwapReport, ProtocolError>,
 }
@@ -132,13 +154,91 @@ impl BatchReport {
         }
         self.committed() as f64 * 1_000.0 / ms as f64
     }
+
+    /// Per-swap fee-inflation statistics over the finished swaps — what
+    /// the batch actually paid for block space versus the paper's static
+    /// Section 6.2 schedule.
+    pub fn fee_stats(&self) -> FeeMarketStats {
+        let mut stats = FeeMarketStats::default();
+        let mut inflation_sum = 0.0;
+        let mut txs = 0u64;
+        for (_, r) in self.reports() {
+            stats.swaps += 1;
+            stats.fees_paid += r.fees_paid;
+            stats.fees_scheduled += r.fees_scheduled;
+            stats.rebids += r.fee_rebids;
+            txs += r.deployments + r.calls;
+            let inflation = r.fee_inflation();
+            inflation_sum += inflation;
+            if inflation > stats.max_inflation {
+                stats.max_inflation = inflation;
+            }
+        }
+        if stats.swaps > 0 {
+            stats.mean_inflation = inflation_sum / stats.swaps as f64;
+        }
+        if txs > 0 {
+            stats.mean_fee_per_tx = stats.fees_paid as f64 / txs as f64;
+        }
+        stats
+    }
+
+    /// Witness chains assigned by [`Scheduler::run_assigned`], with how
+    /// many swaps each received.
+    pub fn witness_assignments(&self) -> BTreeMap<ChainId, usize> {
+        let mut counts = BTreeMap::new();
+        for outcome in &self.outcomes {
+            if let Some(witness) = outcome.witness {
+                *counts.entry(witness).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Aggregate fee-market statistics of a scheduled batch (see
+/// [`BatchReport::fee_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FeeMarketStats {
+    /// Number of finished swaps the stats cover.
+    pub swaps: usize,
+    /// Total fees actually paid (final bids of every accepted transaction).
+    pub fees_paid: Amount,
+    /// What the static fd/ffc schedule prices the same operations at.
+    pub fees_scheduled: Amount,
+    /// Total replace-by-fee escalations across the batch.
+    pub rebids: u64,
+    /// Mean per-swap `fees_paid / fees_scheduled`.
+    pub mean_inflation: f64,
+    /// Worst per-swap fee inflation.
+    pub max_inflation: f64,
+    /// Mean fee per accepted transaction (deployments + calls).
+    pub mean_fee_per_tx: f64,
+}
+
+enum SlotMachine {
+    /// Machine not yet built: the seed runs with the assigned witness
+    /// chain at launch (first poll), so the assignment can observe the
+    /// mempool depths left by the swaps launched before it.
+    Deferred(Option<MachineSeed>),
+    Live(Box<dyn SwapMachine>),
 }
 
 struct Slot {
     id: SwapId,
-    machine: Box<dyn SwapMachine>,
+    machine: SlotMachine,
+    witness: Option<ChainId>,
     not_before: Timestamp,
     done: Option<Result<SwapReport, ProtocolError>>,
+}
+
+impl Slot {
+    fn phase_name(&self) -> &'static str {
+        match &self.machine {
+            SlotMachine::Deferred(_) => "unlaunched",
+            SlotMachine::Live(machine) => machine.phase_name(),
+        }
+    }
 }
 
 impl Scheduler {
@@ -162,12 +262,82 @@ impl Scheduler {
         participants: &mut ParticipantSet,
         machines: Vec<(SwapId, Box<dyn SwapMachine>)>,
     ) -> BatchReport {
-        let started_at = world.now();
-        let mut slots: Vec<Slot> = machines
+        let slots = machines
             .into_iter()
-            .map(|(id, machine)| Slot { id, machine, not_before: started_at, done: None })
+            .map(|(id, machine)| Slot {
+                id,
+                machine: SlotMachine::Live(machine),
+                witness: None,
+                not_before: world.now(),
+                done: None,
+            })
             .collect();
+        self.run_slots(world, participants, slots, &[], WitnessAssignment::RoundRobin)
+    }
+
+    /// Like [`Scheduler::run`], but the scheduler itself assigns each swap
+    /// a witness chain at launch time according to `strategy`, then builds
+    /// the machine from its seed. Under
+    /// [`WitnessAssignment::LeastLoaded`] each launch observes the witness
+    /// mempool depths left by every previously launched swap, so a batch
+    /// self-balances across the k witness networks instead of splitting
+    /// statically.
+    pub fn run_assigned(
+        &self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        witness_chains: &[ChainId],
+        strategy: WitnessAssignment,
+        seeds: Vec<(SwapId, MachineSeed)>,
+    ) -> BatchReport {
+        assert!(!witness_chains.is_empty(), "witness assignment needs at least one witness chain");
+        let slots = seeds
+            .into_iter()
+            .map(|(id, seed)| Slot {
+                id,
+                machine: SlotMachine::Deferred(Some(seed)),
+                witness: None,
+                not_before: world.now(),
+                done: None,
+            })
+            .collect();
+        self.run_slots(world, participants, slots, witness_chains, strategy)
+    }
+
+    /// Pick the witness chain for the `index`-th launched swap.
+    fn pick_witness(
+        world: &World,
+        witness_chains: &[ChainId],
+        strategy: WitnessAssignment,
+        index: usize,
+        assigned: &BTreeMap<ChainId, usize>,
+    ) -> ChainId {
+        match strategy {
+            WitnessAssignment::RoundRobin => witness_chains[index % witness_chains.len()],
+            WitnessAssignment::LeastLoaded => witness_chains
+                .iter()
+                .copied()
+                .min_by_key(|c| {
+                    let depth =
+                        world.chain(*c).map(|chain| chain.mempool_len()).unwrap_or(usize::MAX);
+                    (depth, assigned.get(c).copied().unwrap_or(0))
+                })
+                .expect("witness chain list is non-empty"),
+        }
+    }
+
+    fn run_slots(
+        &self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        mut slots: Vec<Slot>,
+        witness_chains: &[ChainId],
+        strategy: WitnessAssignment,
+    ) -> BatchReport {
+        let started_at = world.now();
         let mut ticks = 0u64;
+        let mut launched = 0usize;
+        let mut assigned: BTreeMap<ChainId, usize> = BTreeMap::new();
 
         loop {
             let now = world.now();
@@ -175,8 +345,18 @@ impl Scheduler {
                 if now < slot.not_before {
                     continue;
                 }
+                if let SlotMachine::Deferred(seed) = &mut slot.machine {
+                    let witness =
+                        Self::pick_witness(world, witness_chains, strategy, launched, &assigned);
+                    launched += 1;
+                    *assigned.entry(witness).or_insert(0) += 1;
+                    slot.witness = Some(witness);
+                    let seed = seed.take().expect("deferred seed consumed once");
+                    slot.machine = SlotMachine::Live(seed(witness));
+                }
+                let SlotMachine::Live(machine) = &mut slot.machine else { unreachable!() };
                 world.set_fee_attribution(Some(slot.id));
-                match slot.machine.poll(world, participants) {
+                match machine.poll(world, participants) {
                     Ok(Step::Done(report)) => slot.done = Some(Ok(*report)),
                     Ok(Step::Waiting { not_before }) => slot.not_before = not_before,
                     Err(e) => slot.done = Some(Err(e)),
@@ -192,7 +372,7 @@ impl Scheduler {
                     slot.done = Some(Err(ProtocolError::World(format!(
                         "scheduler budget of {} ms exhausted in phase {}",
                         self.max_ms,
-                        slot.machine.phase_name()
+                        slot.phase_name()
                     ))));
                 }
                 break;
@@ -214,7 +394,11 @@ impl Scheduler {
         BatchReport {
             outcomes: slots
                 .into_iter()
-                .map(|s| SwapOutcome { id: s.id, result: s.done.expect("loop ran to completion") })
+                .map(|s| SwapOutcome {
+                    id: s.id,
+                    witness: s.witness,
+                    result: s.done.expect("loop ran to completion"),
+                })
                 .collect(),
             started_at,
             finished_at: world.now(),
@@ -256,6 +440,173 @@ mod tests {
         let attributed: u64 = s.swaps.iter().map(|swap| s.world.fees.fees_for_swap(swap.id)).sum();
         assert_eq!(attributed, s.world.fees.total_fees());
         s.world.assert_state_integrity();
+    }
+
+    #[test]
+    fn uncontended_batch_pays_exactly_the_static_schedule() {
+        let mut s = concurrent_swaps_scenario(3, 3, &ScenarioConfig::default());
+        let driver = Ac3wn::new(ProtocolConfig {
+            fee_policy: crate::fee::FeePolicy::Exponential { cap: 64 },
+            ..protocol_cfg()
+        });
+        let machines =
+            s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), swap.witness)));
+        let batch = Scheduler::default().run(&mut s.world, &mut s.participants, machines);
+        assert_eq!(batch.committed(), 3);
+        let stats = batch.fee_stats();
+        // Generous throughput: nothing queues, so even an aggressive
+        // policy never re-bids and the Section 6.2 schedule is exact.
+        assert_eq!(stats.rebids, 0);
+        assert_eq!(stats.fees_paid, stats.fees_scheduled);
+        assert!((stats.mean_inflation - 1.0).abs() < 1e-9);
+        assert!((stats.max_inflation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contended_witness_chain_forces_fee_escalation() {
+        use ac3_chain::ChainParams;
+        // Eight swaps share ONE tps-starved witness chain: their SC_w
+        // registrations and authorize calls queue many blocks deep, so an
+        // escalating policy must re-bid — and every swap still commits.
+        let asset_params =
+            (0..2).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
+        let witness_params = ChainParams::fast("witness", 1);
+        let mut s =
+            crate::scenario::concurrent_swaps_over_chains(8, asset_params, witness_params, 1_000);
+        let cap = 64;
+        let driver = Ac3wn::new(ProtocolConfig {
+            wait_cap_deltas: 64,
+            fee_policy: crate::fee::FeePolicy::Exponential { cap },
+            ..protocol_cfg()
+        });
+        let machines =
+            s.machines_with(|swap| Box::new(driver.machine(swap.graph.clone(), swap.witness)));
+        let batch = Scheduler::default().run(&mut s.world, &mut s.participants, machines);
+        assert_eq!(batch.failed(), 0, "queueing must delay swaps, not fail them");
+        assert_eq!(batch.committed(), 8);
+        assert!(batch.all_atomic());
+        let stats = batch.fee_stats();
+        assert!(stats.rebids > 0, "a starved witness chain must force re-bids");
+        assert!(
+            stats.fees_paid > stats.fees_scheduled,
+            "re-bidding must show up as fee inflation ({} paid vs {} scheduled)",
+            stats.fees_paid,
+            stats.fees_scheduled
+        );
+        // The policy cap is a hard per-transaction ceiling: no canonical
+        // transaction on any chain ever paid more than the cap.
+        for chain in s.world.chain_ids() {
+            let c = s.world.chain(chain).unwrap();
+            for block in c.store().canonical_blocks() {
+                for tx in &block.transactions {
+                    if !tx.is_coinbase() {
+                        assert!(tx.fee <= cap, "tx paid {} above the cap {cap}", tx.fee);
+                    }
+                }
+            }
+        }
+        s.world.assert_state_integrity();
+    }
+
+    #[test]
+    fn least_loaded_assignment_routes_around_congestion() {
+        use ac3_chain::{ChainParams, TxBuilder};
+        use ac3_crypto::KeyPair;
+
+        fn scenario() -> crate::scenario::MultiSwapScenario {
+            let asset_params =
+                (0..2).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
+            let witness_params =
+                (0..2).map(|i| ChainParams::fast(&format!("witness-{i}"), 1_000)).collect();
+            crate::scenario::concurrent_swaps_multi_witness(4, asset_params, witness_params, 1_000)
+        }
+
+        fn congest_first_witness(s: &mut crate::scenario::MultiSwapScenario) {
+            // Pile junk (never-mineable, unfunded-input) transactions into
+            // witness 0's mempool; their fee of 0 never outbids real
+            // protocol traffic, but they keep the queue deep.
+            let mut junk = TxBuilder::new(KeyPair::from_seed(b"spammer"), 1 << 40);
+            for i in 0..50u8 {
+                let input = ac3_chain::OutPoint::new(
+                    ac3_chain::TxId(ac3_crypto::Hash256::digest(&[i, 0xaa])),
+                    0,
+                );
+                let tx = junk.transfer(vec![input], vec![], 0);
+                s.world.submit(s.witness_chains[0], tx).unwrap();
+            }
+        }
+
+        // Round-robin ignores congestion and splits 2/2.
+        let mut rr = scenario();
+        congest_first_witness(&mut rr);
+        let driver = Ac3wn::new(protocol_cfg());
+        let d = driver.clone();
+        let seeds =
+            rr.seeds_with(move |swap, witness| Box::new(d.machine(swap.graph.clone(), witness)));
+        let witness_chains = rr.witness_chains.clone();
+        let batch = Scheduler::default().run_assigned(
+            &mut rr.world,
+            &mut rr.participants,
+            &witness_chains,
+            WitnessAssignment::RoundRobin,
+            seeds,
+        );
+        assert_eq!(batch.committed(), 4);
+        let counts = batch.witness_assignments();
+        assert_eq!(counts.get(&witness_chains[0]), Some(&2));
+        assert_eq!(counts.get(&witness_chains[1]), Some(&2));
+
+        // Least-loaded sees witness 0's deep mempool and routes everything
+        // to witness 1.
+        let mut ll = scenario();
+        congest_first_witness(&mut ll);
+        let d = driver.clone();
+        let seeds =
+            ll.seeds_with(move |swap, witness| Box::new(d.machine(swap.graph.clone(), witness)));
+        let witness_chains = ll.witness_chains.clone();
+        let batch = Scheduler::default().run_assigned(
+            &mut ll.world,
+            &mut ll.participants,
+            &witness_chains,
+            WitnessAssignment::LeastLoaded,
+            seeds,
+        );
+        assert_eq!(batch.committed(), 4);
+        let counts = batch.witness_assignments();
+        assert_eq!(counts.get(&witness_chains[0]), None, "congested witness receives nothing");
+        assert_eq!(counts.get(&witness_chains[1]), Some(&4));
+        for outcome in &batch.outcomes {
+            assert_eq!(outcome.witness, Some(witness_chains[1]));
+        }
+    }
+
+    #[test]
+    fn least_loaded_balances_an_idle_witness_set() {
+        use ac3_chain::ChainParams;
+        // With no pre-existing congestion the tie-breaks (fewest
+        // assignments, then chain order) spread the batch evenly — least
+        // loaded degrades to a balanced split, never to a pile-up.
+        let asset_params =
+            (0..2).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
+        let witness_params =
+            (0..2).map(|i| ChainParams::fast(&format!("witness-{i}"), 1_000)).collect();
+        let mut s =
+            crate::scenario::concurrent_swaps_multi_witness(4, asset_params, witness_params, 1_000);
+        let driver = Ac3wn::new(protocol_cfg());
+        let seeds = s
+            .seeds_with(move |swap, witness| Box::new(driver.machine(swap.graph.clone(), witness)));
+        let witness_chains = s.witness_chains.clone();
+        let batch = Scheduler::default().run_assigned(
+            &mut s.world,
+            &mut s.participants,
+            &witness_chains,
+            WitnessAssignment::LeastLoaded,
+            seeds,
+        );
+        assert_eq!(batch.committed(), 4);
+        let counts = batch.witness_assignments();
+        assert_eq!(counts.get(&witness_chains[0]), Some(&2));
+        assert_eq!(counts.get(&witness_chains[1]), Some(&2));
     }
 
     #[test]

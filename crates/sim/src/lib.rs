@@ -21,7 +21,8 @@ pub mod world;
 
 pub use faults::{Fault, FaultPlan, OutageWindow};
 pub use metrics::{
-    EventKind, FeeLedger, LatencyStats, SubTransactionRecord, SwapId, Timeline, TimelineEvent,
+    EventKind, FeeKind, FeeLedger, LatencyStats, SubTransactionRecord, SwapId, Timeline,
+    TimelineEvent, TxBill,
 };
 pub use participant::{CrashWindow, Participant, ParticipantSet};
-pub use world::{World, WorldError};
+pub use world::{ChainCongestion, World, WorldError};

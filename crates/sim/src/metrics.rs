@@ -135,6 +135,34 @@ impl Timeline {
     }
 }
 
+/// The fee category of a billed transaction — the paper's Section 6.2 cost
+/// model distinguishes deployment fees `fd` from function-call fees `ffc`
+/// (plain transfers are the third, cheaper kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeeKind {
+    /// Smart-contract deployment (`fd`).
+    Deploy,
+    /// Smart-contract function call (`ffc`).
+    Call,
+    /// Plain asset transfer.
+    Transfer,
+}
+
+/// The live billing record of one pending transaction, kept so replacement
+/// (replace-by-fee) and eviction can correct the ledger: only the fee of
+/// the transaction that ultimately occupies the slot is owed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxBill {
+    /// The chain the transaction was submitted to.
+    pub chain: ChainId,
+    /// The fee category.
+    pub kind: FeeKind,
+    /// The billed fee.
+    pub fee: Amount,
+    /// The swap attributed with the fee, if attribution was active.
+    pub swap: Option<SwapId>,
+}
+
 /// Per-chain fee accounting, mirroring the paper's Section 6.2 cost model:
 /// every contract deployment costs `fd` and every function call costs `ffc`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -146,6 +174,15 @@ pub struct FeeLedger {
     /// Fees attributed to individual swaps of a concurrent batch (a second
     /// axis over the same payments, not an addition to the totals).
     by_swap: BTreeMap<SwapId, Amount>,
+    /// Billing records keyed by transaction id, so replace-by-fee and
+    /// eviction can reprice or refund exactly what was billed. Entries for
+    /// mined transactions are retained but inert (a canonical transaction
+    /// can no longer be replaced or evicted, and `reprice`/`refund` are
+    /// only reachable through mempool operations that verify membership);
+    /// growth is bounded by the total transactions billed in the world's
+    /// lifetime.
+    #[serde(skip)]
+    pending: BTreeMap<TxId, TxBill>,
 }
 
 impl FeeLedger {
@@ -176,6 +213,70 @@ impl FeeLedger {
     /// same payments the per-chain maps hold).
     pub fn attribute(&mut self, swap: SwapId, fee: Amount) {
         *self.by_swap.entry(swap).or_default() += fee;
+    }
+
+    /// Bill one submitted transaction: record its kind count, its fee on
+    /// the chain, optionally its swap attribution, and remember the bill so
+    /// a later replacement or eviction can correct the ledger.
+    pub fn bill(
+        &mut self,
+        chain: ChainId,
+        txid: TxId,
+        kind: FeeKind,
+        fee: Amount,
+        swap: Option<SwapId>,
+    ) {
+        match kind {
+            FeeKind::Deploy => self.record_deployment(chain, fee),
+            FeeKind::Call => self.record_call(chain, fee),
+            FeeKind::Transfer => self.record_transfer(chain, fee),
+        }
+        if let Some(swap) = swap {
+            self.attribute(swap, fee);
+        }
+        self.pending.insert(txid, TxBill { chain, kind, fee, swap });
+    }
+
+    /// Replace-by-fee repricing: the old transaction will never pay; the
+    /// replacement's (strictly higher) fee is owed instead. The billing
+    /// record moves to the new id. Returns the superseded bill.
+    pub fn reprice(&mut self, old: &TxId, new_txid: TxId, new_fee: Amount) -> Option<TxBill> {
+        let bill = self.pending.remove(old)?;
+        let paid = self.fees_paid.entry(bill.chain).or_default();
+        *paid = paid.saturating_sub(bill.fee) + new_fee;
+        if let Some(swap) = bill.swap {
+            let attributed = self.by_swap.entry(swap).or_default();
+            *attributed = attributed.saturating_sub(bill.fee) + new_fee;
+        }
+        self.pending.insert(new_txid, TxBill { fee: new_fee, ..bill });
+        Some(bill)
+    }
+
+    /// Whether a billing record for `txid` is still held. Distinguishes a
+    /// transaction the ledger still charges for (pending in a mempool, or
+    /// mined — possibly onto a since-reorged-out branch) from one whose
+    /// fee was refunded on eviction.
+    pub fn is_billed(&self, txid: &TxId) -> bool {
+        self.pending.contains_key(txid)
+    }
+
+    /// Refund an evicted (never-mined) transaction: its fee and its kind
+    /// count are rolled back. Returns the refunded bill.
+    pub fn refund(&mut self, txid: &TxId) -> Option<TxBill> {
+        let bill = self.pending.remove(txid)?;
+        let count = match bill.kind {
+            FeeKind::Deploy => self.deployments.entry(bill.chain).or_default(),
+            FeeKind::Call => self.calls.entry(bill.chain).or_default(),
+            FeeKind::Transfer => self.transfers.entry(bill.chain).or_default(),
+        };
+        *count = count.saturating_sub(1);
+        let paid = self.fees_paid.entry(bill.chain).or_default();
+        *paid = paid.saturating_sub(bill.fee);
+        if let Some(swap) = bill.swap {
+            let attributed = self.by_swap.entry(swap).or_default();
+            *attributed = attributed.saturating_sub(bill.fee);
+        }
+        Some(bill)
     }
 
     /// Fees attributed to one swap of a concurrent batch.

@@ -12,7 +12,7 @@
 //! machines then contend for block space in the shared mempools).
 
 use crate::faults::OutageWindow;
-use crate::metrics::{FeeLedger, SwapId, Timeline};
+use crate::metrics::{FeeKind, FeeLedger, SwapId, Timeline};
 use ac3_chain::{
     Address, Amount, Block, BlockHash, Blockchain, ChainError, ChainId, ChainParams, ContractId,
     Timestamp, Transaction, TxId, TxKind,
@@ -82,14 +82,27 @@ struct ChainSlot {
     outages: Vec<OutageWindow>,
 }
 
-/// Fee category of a transaction, captured before the transaction is moved
-/// into the chain so the ledger entry can be made after admission succeeds.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum FeeKind {
-    Deploy,
-    Call,
-    Transfer,
-    Coinbase,
+/// Snapshot of one chain's mempool congestion — the demand side of the fee
+/// market, read by protocol machines deciding whether to out-bid their own
+/// stuck submissions and by witness-assignment strategies routing new swaps
+/// to the least-loaded witness network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainCongestion {
+    /// The observed chain.
+    pub chain: ChainId,
+    /// Number of pending transactions.
+    pub depth: usize,
+    /// Mempool capacity.
+    pub capacity: usize,
+    /// Smallest fee among pending transactions (`None` when empty).
+    pub min_fee: Option<Amount>,
+    /// Smallest fee that would currently buy a mempool slot (0 while there
+    /// is room).
+    pub fee_floor: Amount,
+    /// Per-block transaction budget derived from the chain's tps cap — a
+    /// pending transaction ranked at or beyond this will not make the next
+    /// block.
+    pub block_budget: usize,
 }
 
 /// The simulated multi-chain world.
@@ -327,7 +340,8 @@ impl World {
     /// are recorded in the world ledger by transaction kind — but only for
     /// transactions the chain actually admits: a rejected submission (bad
     /// signature, mempool conflict, partitioned or unknown chain) costs
-    /// nothing.
+    /// nothing, and a pending transaction priced out of a full mempool by a
+    /// higher bid gets its fee refunded.
     pub fn submit(&mut self, chain: ChainId, tx: Transaction) -> Result<TxId, WorldError> {
         // An unknown chain is a caller bug, not a network partition; only
         // chains that exist can be unreachable.
@@ -339,25 +353,58 @@ impl World {
         }
         let fee = tx.fee;
         let kind = match &tx.kind {
-            TxKind::Deploy { .. } => FeeKind::Deploy,
-            TxKind::Call { .. } => FeeKind::Call,
-            TxKind::Transfer { .. } => FeeKind::Transfer,
-            TxKind::Coinbase { .. } => FeeKind::Coinbase,
+            TxKind::Deploy { .. } => Some(FeeKind::Deploy),
+            TxKind::Call { .. } => Some(FeeKind::Call),
+            TxKind::Transfer { .. } => Some(FeeKind::Transfer),
+            TxKind::Coinbase { .. } => None,
         };
         let slot = self.chains.get_mut(&chain).expect("checked above");
-        let txid = slot.chain.submit(tx)?;
-        match kind {
-            FeeKind::Deploy => self.fees.record_deployment(chain, fee),
-            FeeKind::Call => self.fees.record_call(chain, fee),
-            FeeKind::Transfer => self.fees.record_transfer(chain, fee),
-            FeeKind::Coinbase => {}
+        let (txid, evicted) = slot.chain.submit_with_evictions(tx)?;
+        for dropped in &evicted {
+            self.fees.refund(&dropped.id());
         }
-        if !matches!(kind, FeeKind::Coinbase) {
-            if let Some(swap) = self.fee_attribution {
-                self.fees.attribute(swap, fee);
-            }
+        if let Some(kind) = kind {
+            self.fees.bill(chain, txid, kind, fee, self.fee_attribution);
         }
         Ok(txid)
+    }
+
+    /// Replace-by-fee: swap a pending transaction for a strictly
+    /// higher-fee replacement (the client side of the fee market — a
+    /// submitter out-bidding its own stuck transaction). The ledger is
+    /// repriced: only the replacement's fee is owed, attributed to whatever
+    /// swap the original was billed to.
+    pub fn replace_tx(
+        &mut self,
+        chain: ChainId,
+        old: TxId,
+        tx: Transaction,
+    ) -> Result<TxId, WorldError> {
+        if !self.chains.contains_key(&chain) {
+            return Err(WorldError::UnknownChain(chain));
+        }
+        if !self.is_reachable(chain) {
+            return Err(WorldError::ChainUnreachable(chain));
+        }
+        let fee = tx.fee;
+        let slot = self.chains.get_mut(&chain).expect("checked above");
+        let (txid, _replaced) = slot.chain.replace(&old, tx)?;
+        self.fees.reprice(&old, txid, fee);
+        Ok(txid)
+    }
+
+    /// Observe one chain's mempool congestion (queue depth, fee floor,
+    /// block budget).
+    pub fn congestion(&self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
+        let c = self.chain(chain)?;
+        Ok(ChainCongestion {
+            chain,
+            depth: c.mempool_len(),
+            capacity: c.mempool_capacity(),
+            min_fee: c.mempool_min_fee(),
+            fee_floor: c.mempool_fee_floor(),
+            block_budget: c.params().max_txs_per_block(),
+        })
     }
 
     /// Wait until a transaction is buried under `depth` blocks on the
@@ -642,6 +689,97 @@ mod tests {
         assert_eq!(world.fees.fees_for_swap(SwapId(7)), 3);
         assert_eq!(world.fees.fees_for_swap(SwapId(8)), 0);
         assert_eq!(world.fees.total_fees(), 5, "attribution never double-counts totals");
+    }
+
+    #[test]
+    fn replace_by_fee_reprices_the_ledger() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+
+        world.set_fee_attribution(Some(SwapId(3)));
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 2).unwrap();
+        let old = world.submit(chain, kp.transfer(inputs.clone(), outputs, 2)).unwrap();
+        assert_eq!(world.fees.total_fees(), 2);
+
+        // Re-bid the same payment at a higher fee: only the new fee is
+        // owed, attributed to the same swap.
+        let rebid = kp.transfer(inputs, vec![ac3_chain::TxOutput::new(alice, 1)], 5);
+        let new = world.replace_tx(chain, old, rebid).unwrap();
+        assert_ne!(new, old);
+        assert_eq!(world.fees.total_fees(), 5, "old fee refunded, new fee billed");
+        assert_eq!(world.fees.fees_for_swap(SwapId(3)), 5);
+        assert!(!world.chain(chain).unwrap().mempool_contains(&old));
+        assert!(world.chain(chain).unwrap().mempool_contains(&new));
+
+        // A non-increasing re-bid is rejected and the ledger untouched.
+        let lower = kp.transfer(vec![], vec![], 1);
+        assert!(world.replace_tx(chain, new, lower).is_err());
+        assert_eq!(world.fees.total_fees(), 5);
+    }
+
+    #[test]
+    fn eviction_refunds_the_priced_out_transaction() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let mut params = fast_params("c");
+        params.mempool_capacity = 1;
+        let chain = world.add_chain(params, &[(alice, 100)]);
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+
+        world.set_fee_attribution(Some(SwapId(1)));
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 2).unwrap();
+        world.submit(chain, kp.transfer(inputs, outputs, 2)).unwrap();
+        world.set_fee_attribution(Some(SwapId(2)));
+        // A different (unfunded-input) transfer with a higher fee evicts
+        // swap 1's transaction from the single-slot pool.
+        let rich = kp.transfer(
+            vec![ac3_chain::OutPoint::new(TxId(ac3_crypto::Hash256::digest(b"x")), 0)],
+            vec![],
+            9,
+        );
+        world.submit(chain, rich).unwrap();
+        world.set_fee_attribution(None);
+
+        assert_eq!(world.fees.fees_for_swap(SwapId(1)), 0, "evicted fee refunded");
+        assert_eq!(world.fees.fees_for_swap(SwapId(2)), 9);
+        assert_eq!(world.fees.total_fees(), 9);
+    }
+
+    #[test]
+    fn congestion_snapshot_reports_queue_state() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let mut params = fast_params("c");
+        params.mempool_capacity = 2;
+        params.tps = 1;
+        let chain = world.add_chain(params, &[(alice, 100)]);
+
+        let empty = world.congestion(chain).unwrap();
+        assert_eq!(empty.depth, 0);
+        assert_eq!(empty.capacity, 2);
+        assert_eq!(empty.fee_floor, 0);
+        assert_eq!(empty.min_fee, None);
+        assert_eq!(empty.block_budget, 1, "1 tps × 1 s blocks");
+
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 3).unwrap();
+        world.submit(chain, kp.transfer(inputs, outputs, 3)).unwrap();
+        // A second pending tx on a distinct (synthetic) input — the mempool
+        // checks double-claims, not UTXO existence.
+        let other_input =
+            vec![ac3_chain::OutPoint::new(TxId(ac3_crypto::Hash256::digest(b"other")), 0)];
+        world.submit(chain, kp.transfer(other_input, vec![], 7)).unwrap();
+
+        let full = world.congestion(chain).unwrap();
+        assert_eq!(full.depth, 2);
+        assert_eq!(full.min_fee, Some(3));
+        assert_eq!(full.fee_floor, 4, "must out-bid the cheapest pending tx");
+        assert!(world.congestion(ChainId(99)).is_err());
     }
 
     #[test]

@@ -42,13 +42,19 @@ pub mod prelude {
     pub use ac3_chain::{Address, Amount, ChainId, ChainParams, ContractId, TxId};
     pub use ac3_client::{Negotiation, SessionPhase, SignedSwap, SwapSession, Wallet};
     pub use ac3_core::scenario::{
+        concurrent_swaps_multi_witness, concurrent_swaps_scenario, MultiSwapScenario, SwapSpec,
+    };
+    pub use ac3_core::scenario::{
         custom_scenario, figure7a_scenario, figure7b_scenario, ring_scenario, two_party_scenario,
         Scenario, ScenarioConfig,
     };
     pub use ac3_core::{
-        Ac3tw, Ac3wn, AtomicityVerdict, EdgeDisposition, GraphShape, Herlihy, HerlihyMulti, Nolan,
-        ProtocolConfig, ProtocolKind, SwapEdge, SwapGraph, SwapReport, ValidationStrategy,
+        Ac3tw, Ac3wn, AtomicityVerdict, BatchReport, EdgeDisposition, FeePolicy, GraphShape,
+        Herlihy, HerlihyMulti, Nolan, ProtocolConfig, ProtocolKind, Scheduler, SwapEdge, SwapGraph,
+        SwapMachine, SwapReport, ValidationStrategy, WitnessAssignment,
     };
     pub use ac3_crypto::{Hash256, Hashlock, KeyPair};
-    pub use ac3_sim::{CrashWindow, FaultPlan, OutageWindow, ParticipantSet, World};
+    pub use ac3_sim::{
+        ChainCongestion, CrashWindow, FaultPlan, OutageWindow, ParticipantSet, SwapId, World,
+    };
 }
