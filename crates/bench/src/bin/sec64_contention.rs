@@ -23,8 +23,9 @@
 //!    and shows throughput rising with the bottleneck's tps until protocol
 //!    latency, not block space, dominates.
 //!
-//! Three experiments:
-//! (numbering below: the third is the fee market.)
+//! Four experiments:
+//! (numbering below: the third is the fee market, the fourth the dynamic
+//! base fee.)
 //!
 //! 3. **Fee market under contention** — B swaps × k witness chains × fee
 //!    policy, with every witness chain tps-starved. Under the escalating
@@ -35,16 +36,28 @@
 //!    Section 6.2 prices. The sweep is written to `BENCH_fee_market.json`
 //!    so the fee-inflation trajectory is tracked across revisions.
 //!
+//! 4. **Dynamic base fee under sustained demand** — the miner-side half of
+//!    the fee market. (a) A chain under back-to-back full blocks must raise
+//!    its EIP-1559-style base fee monotonically, and decay it back to the
+//!    floor when demand stops (both asserted block by block). (b) B swaps
+//!    contending for one base-fee-priced witness chain, bid under
+//!    `FeePolicy::Adaptive` (read the congestion snapshot, pay the observed
+//!    price) versus `FeePolicy::Exponential` (blind doubling ladder):
+//!    Adaptive must commit with strictly lower mean fee inflation at
+//!    equal-or-better mean commit latency (asserted). Recorded in
+//!    `BENCH_base_fee.json`.
+//!
 //! Usage: `sec64_contention [swaps] [asset_chains]` (defaults: 64, 4).
 
 use ac3_bench::{f2, print_json_rows, print_table};
-use ac3_chain::ChainParams;
+use ac3_chain::{coinbase, BaseFeeSchedule, ChainParams, OutPoint, TxBuilder, TxOutput};
 use ac3_core::scenario::{
     concurrent_swaps_multi_witness, concurrent_swaps_over_chains, concurrent_swaps_scenario,
     MultiSwapScenario, ScenarioConfig,
 };
 use ac3_core::{Ac3wn, FeePolicy, ProtocolConfig, Scheduler, SwapMachine};
-use ac3_sim::SwapId;
+use ac3_crypto::KeyPair;
+use ac3_sim::{SwapId, World};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -226,6 +239,230 @@ fn main() {
     std::fs::write("BENCH_fee_market.json", format!("{json}\n"))
         .expect("BENCH_fee_market.json is writable");
     println!("\nFee-market sweep recorded in BENCH_fee_market.json");
+
+    // ------------------------------------------------------------------
+    // Experiment 4: the dynamic base fee under sustained demand.
+    // ------------------------------------------------------------------
+    let trajectory = base_fee_trajectory();
+    let table: Vec<Vec<String>> = trajectory
+        .iter()
+        .map(|p| vec![p.block.to_string(), p.phase.to_string(), p.base_fee.to_string()])
+        .collect();
+    print_table(
+        "Dynamic base fee: sustained full blocks vs idle blocks (4 tx/block budget, target 2)",
+        &["block", "phase", "base fee"],
+        &table,
+    );
+    print_json_rows("sec64_base_fee_trajectory", &trajectory);
+
+    let policy_rows = adaptive_vs_exponential();
+    let table: Vec<Vec<String>> = policy_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.swaps.to_string(),
+                r.committed.to_string(),
+                f2(r.mean_witness_fee),
+                f2(r.mean_inflation),
+                r.rebids.to_string(),
+                r.mean_latency_ms.to_string(),
+                r.makespan_ms.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Congestion-adaptive vs exponential bidding over a base-fee-priced witness chain",
+        &[
+            "policy",
+            "swaps",
+            "committed",
+            "mean witness fee",
+            "fee inflation",
+            "rebids",
+            "mean latency (ms)",
+            "makespan (ms)",
+        ],
+        &table,
+    );
+    println!(
+        "\nExpected shape: the base fee tracks sustained block utilisation (up under \
+         back-to-back full blocks, back to the floor when demand stops), and the Adaptive \
+         policy — which reads the congestion snapshot and pays the observed price plus one — \
+         commits the same contended batch at strictly lower mean fee inflation than the \
+         Exponential doubling ladder, at equal-or-better commit latency."
+    );
+    print_json_rows("sec64_adaptive_bidding", &policy_rows);
+
+    let report = BaseFeeReport { trajectory, policies: policy_rows };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_base_fee.json", format!("{json}\n"))
+        .expect("BENCH_base_fee.json is writable");
+    println!("\nBase-fee sweep recorded in BENCH_base_fee.json");
+}
+
+/// One sampled point of the base-fee trajectory (experiment 4a).
+#[derive(Serialize)]
+struct BaseFeePoint {
+    block: u64,
+    phase: &'static str,
+    base_fee: u64,
+}
+
+/// One policy row of the adaptive-vs-exponential comparison (experiment
+/// 4b).
+#[derive(Serialize)]
+struct PolicyRow {
+    policy: String,
+    swaps: usize,
+    committed: usize,
+    mean_witness_fee: f64,
+    mean_inflation: f64,
+    rebids: u64,
+    mean_latency_ms: u64,
+    makespan_ms: u64,
+}
+
+/// The combined experiment-4 record written to `BENCH_base_fee.json`.
+#[derive(Serialize)]
+struct BaseFeeReport {
+    trajectory: Vec<BaseFeePoint>,
+    policies: Vec<PolicyRow>,
+}
+
+/// Experiment 4a: drive one base-fee chain through a demand phase
+/// (back-to-back full blocks) and an idle phase, asserting in-binary that
+/// the base fee rises monotonically under sustained utilisation and decays
+/// back to the floor when demand stops.
+fn base_fee_trajectory() -> Vec<BaseFeePoint> {
+    const DEMAND_BLOCKS: u64 = 12;
+    const IDLE_BLOCKS: u64 = 24;
+    const OUTPUT_VALUE: u64 = 200;
+
+    let schedule = BaseFeeSchedule::eip1559_like();
+    let mut params = ChainParams::fast("base-fee", 4); // budget 4, target 2
+    params.base_fee_schedule = schedule;
+    let mut world = World::new();
+    let alice = ac3_chain::Address::from(KeyPair::from_seed(b"base-fee-demand").public());
+    let outputs = (DEMAND_BLOCKS as usize) * 4;
+    let chain = world.add_chain(params, &vec![(alice, OUTPUT_VALUE); outputs]);
+    let mut builder = TxBuilder::new(KeyPair::from_seed(b"base-fee-demand"), 0);
+
+    let mut points = Vec::new();
+    let base = |world: &World| world.chain(chain).unwrap().base_fee();
+    assert_eq!(base(&world), schedule.floor, "the base fee starts at the floor");
+    points.push(BaseFeePoint { block: 0, phase: "start", base_fee: base(&world) });
+
+    // Demand: fill every block (4 transfers against a target of 2), each
+    // spending its own genesis coinbase so pending demand never conflicts.
+    let mut spent = 0u64;
+    let mut prev = base(&world);
+    for b in 0..DEMAND_BLOCKS {
+        for _ in 0..4 {
+            let input = OutPoint::new(coinbase(alice, OUTPUT_VALUE, spent).id(), 0);
+            spent += 1;
+            let fee = world.congestion(chain).unwrap().fee_floor;
+            let change = vec![TxOutput::new(alice, OUTPUT_VALUE - fee)];
+            world.submit(chain, builder.transfer(vec![input], change, fee)).unwrap();
+        }
+        world.advance(1_000);
+        let now = base(&world);
+        assert!(now > prev, "block {b}: a full block must raise the base fee ({prev} -> {now})");
+        points.push(BaseFeePoint { block: b + 1, phase: "demand", base_fee: now });
+        prev = now;
+    }
+    assert!(
+        prev >= schedule.floor + DEMAND_BLOCKS,
+        "sustained demand moved the base fee well off the floor (reached {prev})"
+    );
+
+    // Idle: empty blocks decay the fee monotonically back to the floor.
+    for b in 0..IDLE_BLOCKS {
+        world.advance(1_000);
+        let now = base(&world);
+        assert!(now <= prev, "idle block {b}: the base fee must not rise ({prev} -> {now})");
+        points.push(BaseFeePoint { block: DEMAND_BLOCKS + b + 1, phase: "idle", base_fee: now });
+        prev = now;
+    }
+    assert_eq!(prev, schedule.floor, "demand gone: the base fee decayed back to the floor");
+    points
+}
+
+/// Experiment 4b: B swaps contending for one base-fee-priced witness
+/// chain, under congestion-adaptive vs exponential bidding. Asserts the
+/// headline claim: Adaptive commits with strictly lower mean fee inflation
+/// at equal-or-better mean commit latency.
+fn adaptive_vs_exponential() -> Vec<PolicyRow> {
+    // Fixed workload, whatever budgets the sweeps above ran at: enough
+    // swaps that witness bids are stuck for several blocks — the regime
+    // where the doubling ladder overshoots and the congestion reader pays
+    // the observed price — and invariant across invocations, so the
+    // committed `BENCH_base_fee.json` tracks the same sweep that CI's
+    // tiny-budget paper-repro run regenerates.
+    let b = 12;
+    let chains = 2;
+    let policies = [
+        ("exponential", FeePolicy::Exponential { cap: 64 }),
+        ("adaptive", FeePolicy::Adaptive { margin: 1, cap: 64 }),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let driver = Ac3wn::new(ProtocolConfig {
+            witness_depth: 3,
+            deployment_depth: 3,
+            wait_cap_deltas: 256,
+            fee_policy: policy,
+            ..Default::default()
+        });
+        let asset_params: Vec<ChainParams> =
+            (0..chains).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
+        // The witness chain prices block space dynamically: 2 tx/block
+        // budget (target 1), so the B swaps' registrations and authorize
+        // calls keep its blocks full and the base fee climbing.
+        let witness_params =
+            ChainParams::fast("witness", 2).with_base_fee(BaseFeeSchedule::eip1559_like());
+        let mut s = concurrent_swaps_over_chains(b, asset_params, witness_params, 10_000);
+        let ms = machines(&s, &driver);
+        let batch = Scheduler::default().run(&mut s.world, &mut s.participants, ms);
+        assert_eq!(batch.failed(), 0, "policy={name}: contention must delay swaps, not fail them");
+        assert_eq!(batch.committed(), b, "policy={name}: every swap commits");
+        assert!(batch.all_atomic(), "policy={name}: atomicity violated");
+        let stats = batch.fee_stats();
+        let latencies: Vec<u64> = batch.reports().map(|(_, r)| r.latency_ms()).collect();
+        let mean_latency_ms = latencies.iter().sum::<u64>() / latencies.len() as u64;
+        rows.push(PolicyRow {
+            policy: name.to_string(),
+            swaps: b,
+            committed: batch.committed(),
+            mean_witness_fee: mean_witness_fee(&s),
+            mean_inflation: stats.mean_inflation,
+            rebids: stats.rebids,
+            mean_latency_ms,
+            makespan_ms: batch.makespan_ms(),
+        });
+    }
+
+    let row = |policy: &str| rows.iter().find(|r| r.policy == policy).expect("both policies ran");
+    let (exp, ada) = (row("exponential"), row("adaptive"));
+    assert!(
+        exp.mean_inflation > 1.0,
+        "the doubling ladder must actually pay congestion prices (inflation {:.3})",
+        exp.mean_inflation
+    );
+    assert!(
+        ada.mean_inflation < exp.mean_inflation,
+        "Adaptive must commit at strictly lower mean fee inflation than Exponential \
+         ({:.3} vs {:.3})",
+        ada.mean_inflation,
+        exp.mean_inflation
+    );
+    assert!(
+        ada.mean_latency_ms <= exp.mean_latency_ms,
+        "Adaptive must be equal-or-better on commit latency ({} ms vs {} ms)",
+        ada.mean_latency_ms,
+        exp.mean_latency_ms
+    );
+    rows
 }
 
 #[derive(Serialize)]

@@ -69,6 +69,25 @@ pub enum ChainError {
         /// Chain id found in the block.
         got: ChainId,
     },
+    /// A block carried a transaction paying less than the base fee in
+    /// force for that block (derived from the parent block's fullness).
+    FeeBelowBase {
+        /// The offending transaction.
+        txid: TxId,
+        /// The fee it offered.
+        offered: Amount,
+        /// The base fee the block was priced at.
+        base_fee: Amount,
+    },
+    /// A block carried more non-coinbase transactions than the chain's
+    /// tps-derived per-block budget allows. Block fullness drives the base
+    /// fee, so the budget is consensus-enforced, not merely mining policy.
+    BlockOverBudget {
+        /// Non-coinbase transactions in the block.
+        txs: usize,
+        /// The per-block budget.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for ChainError {
@@ -85,6 +104,12 @@ impl fmt::Display for ChainError {
             ChainError::SealFailed => write!(f, "failed to seal block"),
             ChainError::WrongChain { expected, got } => {
                 write!(f, "block for {got} submitted to {expected}")
+            }
+            ChainError::FeeBelowBase { txid, offered, base_fee } => {
+                write!(f, "{txid} pays {offered}, below the block's base fee {base_fee}")
+            }
+            ChainError::BlockOverBudget { txs, budget } => {
+                write!(f, "block carries {txs} transactions, over the per-block budget {budget}")
             }
         }
     }
@@ -122,6 +147,13 @@ pub struct ChainState {
     pub contracts: BTreeMap<ContractId, ContractRecord>,
     /// Total fees collected by miners so far.
     pub fees_collected: Amount,
+    /// The dynamic base fee of the *next* block, derived from this chain's
+    /// block fullness history under
+    /// [`crate::params::BaseFeeSchedule`]. Living in the derived state
+    /// means it is maintained incrementally, snapshot-cached, and replayed
+    /// correctly from the fork point across reorgs — exactly like the UTXO
+    /// set. 0 under a disabled schedule.
+    pub base_fee: Amount,
 }
 
 /// Maximum number of post-block state snapshots retained for fork
@@ -240,6 +272,7 @@ impl Blockchain {
         let sealed = chain.seal(genesis).expect("genesis seals");
         let hash = chain.store.insert(sealed).expect("genesis inserts");
         chain.state = chain.replay_state_from_genesis();
+        chain.mempool.set_base_fee(chain.state.base_fee);
         chain.snapshots.insert(hash, chain.state.clone());
         chain
     }
@@ -317,9 +350,21 @@ impl Blockchain {
     }
 
     /// The smallest fee that would currently buy a mempool slot (see
-    /// [`Mempool::fee_floor`]).
+    /// [`Mempool::fee_floor`]; includes the dynamic base fee).
     pub fn mempool_fee_floor(&self) -> Amount {
         self.mempool.fee_floor()
+    }
+
+    /// The fee of the pending transaction ranked `rank` in miner priority
+    /// order (see [`Mempool::fee_at_rank`]).
+    pub fn mempool_fee_at_rank(&self, rank: usize) -> Option<Amount> {
+        self.mempool.fee_at_rank(rank)
+    }
+
+    /// The dynamic base fee the next block will be priced at (0 under a
+    /// disabled [`crate::params::BaseFeeSchedule`]).
+    pub fn base_fee(&self) -> Amount {
+        self.state.base_fee
     }
 
     /// The fee a pending transaction currently bids.
@@ -446,12 +491,19 @@ impl Blockchain {
 
         // Execute candidate transactions against the state as of `parent`.
         let mut scratch = self.state_at(&parent)?;
+        // The base fee this block is priced at: the parent state's. Bids
+        // below it are skipped (but stay pending — they become mineable
+        // again if the base fee decays).
+        let block_base_fee = scratch.base_fee;
         let budget = self.params.max_txs_per_block();
         let mut included = Vec::new();
         let mut fees: Amount = 0;
         for tx in self.mempool.select(budget * 2) {
             if included.len() >= budget {
                 break;
+            }
+            if tx.fee < block_base_fee {
+                continue;
             }
             match Self::execute_tx(&self.vm, self.id, &mut scratch, &tx, height, now) {
                 Ok(()) => {
@@ -473,6 +525,9 @@ impl Blockchain {
         // (they were validated without it), so the resulting state is
         // identical.
         Self::execute_tx(&self.vm, self.id, &mut scratch, &transactions[0], height, now)?;
+        // The mined block's fullness moves the base fee of its successor.
+        scratch.base_fee =
+            self.params.base_fee_schedule.next(block_base_fee, transactions.len() - 1, budget);
 
         let header = BlockHeader {
             chain: self.id,
@@ -487,12 +542,10 @@ impl Blockchain {
         #[cfg(debug_assertions)]
         {
             // The mining fast path must stay equivalent to full network
-            // validation.
+            // validation (including the base-fee check and update).
             let mut revalidated = self.state_at(&parent)?;
-            for tx in &block.transactions {
-                Self::execute_tx(&self.vm, self.id, &mut revalidated, tx, height, now)
-                    .expect("mined block re-validates");
-            }
+            Self::execute_block(&self.vm, self.id, &self.params, &mut revalidated, &block)
+                .expect("mined block re-validates");
             debug_assert_eq!(revalidated, scratch, "mining scratch diverged from validation");
         }
         self.commit_block(block.clone(), scratch)?;
@@ -532,16 +585,7 @@ impl Blockchain {
         // Stateful validation against the parent's state; genesis blocks are
         // only produced by the constructor.
         let mut scratch = self.state_at(&block.header.parent)?;
-        for tx in &block.transactions {
-            Self::execute_tx(
-                &self.vm,
-                self.id,
-                &mut scratch,
-                tx,
-                block.header.height,
-                block.header.timestamp,
-            )?;
-        }
+        Self::execute_block(&self.vm, self.id, &self.params, &mut scratch, &block)?;
         self.commit_block(block, scratch)
     }
 
@@ -598,6 +642,10 @@ impl Blockchain {
                 );
             }
             let prev = std::mem::replace(&mut self.state, post_state);
+            // The accepted block's fullness moved the base fee; the mempool
+            // gates admission on it (correct across reorgs too: the new
+            // canonical state's base fee is a from-fork-point replay).
+            self.mempool.set_base_fee(self.state.base_fee);
             if let Some(tip) = old_tip {
                 // The outgoing tip state serves later forks off that block.
                 // On plain extensions only every SNAPSHOT_STRIDE-th state is
@@ -634,21 +682,12 @@ impl Blockchain {
     pub fn replay_state_from_genesis(&self) -> ChainState {
         let mut state = ChainState::default();
         for block in self.store.canonical_blocks() {
-            for tx in &block.transactions {
-                // Canonical blocks were validated on acceptance; execution
-                // here cannot fail. If it somehow does, the chain state is
-                // the replay prefix — an internal invariant violation we
-                // surface loudly in debug builds.
-                let result = Self::execute_tx(
-                    &self.vm,
-                    self.id,
-                    &mut state,
-                    tx,
-                    block.header.height,
-                    block.header.timestamp,
-                );
-                debug_assert!(result.is_ok(), "canonical replay failed: {result:?}");
-            }
+            // Canonical blocks were validated on acceptance; execution
+            // here cannot fail. If it somehow does, the chain state is
+            // the replay prefix — an internal invariant violation we
+            // surface loudly in debug builds.
+            let result = Self::execute_block(&self.vm, self.id, &self.params, &mut state, block);
+            debug_assert!(result.is_ok(), "canonical replay failed: {result:?}");
         }
         state
     }
@@ -687,18 +726,49 @@ impl Blockchain {
             cursor = parent;
         };
         for block in suffix.iter().rev() {
-            for tx in &block.transactions {
-                Self::execute_tx(
-                    &self.vm,
-                    self.id,
-                    &mut state,
-                    tx,
-                    block.header.height,
-                    block.header.timestamp,
-                )?;
-            }
+            Self::execute_block(&self.vm, self.id, &self.params, &mut state, block)?;
         }
         Ok(state)
+    }
+
+    /// Execute a whole block against `state`: enforce the per-block
+    /// transaction budget and the base fee in force for the block (the
+    /// parent state's `base_fee`) on every non-coinbase transaction,
+    /// execute the transactions, then move the base fee according to the
+    /// block's fullness. Every path that derives state from blocks funnels
+    /// through here, so the base-fee trajectory is identical across
+    /// acceptance, fork validation, reorg replay and the from-genesis
+    /// oracle — and an oversized block no honest miner could produce is
+    /// rejected rather than fed into the fee schedule.
+    fn execute_block(
+        vm: &VmHandle,
+        chain: ChainId,
+        params: &ChainParams,
+        state: &mut ChainState,
+        block: &Block,
+    ) -> Result<(), ChainError> {
+        let base_fee = state.base_fee;
+        let budget = params.max_txs_per_block();
+        let txs = block.transactions.iter().filter(|tx| !tx.is_coinbase()).count();
+        if txs > budget {
+            return Err(ChainError::BlockOverBudget { txs, budget });
+        }
+        let mut used = 0usize;
+        for tx in &block.transactions {
+            if !tx.is_coinbase() {
+                if tx.fee < base_fee {
+                    return Err(ChainError::FeeBelowBase {
+                        txid: tx.id(),
+                        offered: tx.fee,
+                        base_fee,
+                    });
+                }
+                used += 1;
+            }
+            Self::execute_tx(vm, chain, state, tx, block.header.height, block.header.timestamp)?;
+        }
+        state.base_fee = params.base_fee_schedule.next(base_fee, used, budget);
+        Ok(())
     }
 
     /// Execute one transaction against `state`.
@@ -1046,6 +1116,201 @@ mod tests {
         // Stable block is 6 (stable_depth) behind the tip at height 10.
         let stable = chain.stable_block_hash();
         assert_eq!(chain.store().get(&stable).unwrap().header.height, 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic base fee
+    // ------------------------------------------------------------------
+
+    use crate::params::BaseFeeSchedule;
+
+    /// A chain with a dynamic base fee (floor 1, 50% target, 13%/block),
+    /// 4 transactions per block, and `outputs` genesis coinbases of
+    /// `value` each for alice — independent outputs so demand transactions
+    /// never conflict in the mempool.
+    fn base_fee_chain(outputs: usize, value: Amount) -> (Blockchain, Address) {
+        let alice = addr(b"alice");
+        let mut params = ChainParams::test("base-fee");
+        params.tps = 4;
+        params.block_interval_ms = 1_000;
+        params.base_fee_schedule = BaseFeeSchedule::eip1559_like();
+        let allocs = vec![(alice, value); outputs];
+        (Blockchain::new(ChainId(0), params, Arc::new(EchoVm), &allocs), alice)
+    }
+
+    /// The outpoint of the `i`-th genesis coinbase (they are constructed
+    /// deterministically by `Blockchain::new`).
+    fn genesis_outpoint(owner: Address, value: Amount, i: usize) -> OutPoint {
+        OutPoint::new(crate::transaction::coinbase(owner, value, i as u64).id(), 0)
+    }
+
+    #[test]
+    fn sustained_full_blocks_raise_the_base_fee_and_idle_blocks_decay_it() {
+        let (mut chain, alice) = base_fee_chain(64, 100);
+        let miner = addr(b"miner");
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        assert_eq!(chain.base_fee(), 1, "starts at the floor");
+
+        // Demand phase: keep every block full (4 txs against a target of
+        // 2) — the base fee must rise monotonically, block over block.
+        let mut spent = 0usize;
+        let mut prev = chain.base_fee();
+        for b in 0..8u64 {
+            for _ in 0..4 {
+                let input = genesis_outpoint(alice, 100, spent);
+                spent += 1;
+                let fee = chain.base_fee().max(chain.mempool_fee_floor());
+                let change = vec![TxOutput::new(alice, 100 - fee)];
+                chain.submit(builder.transfer(vec![input], change, fee)).unwrap();
+            }
+            chain.mine_block(miner, 1_000 * (b + 1)).unwrap();
+            let now = chain.base_fee();
+            assert!(now > prev, "block {b}: full block must raise the base fee ({prev} -> {now})");
+            prev = now;
+        }
+        let peak = chain.base_fee();
+        assert!(peak > 1 + 7, "eight full blocks move the fee well off the floor, got {peak}");
+
+        // Idle phase: empty blocks decay the fee back to the floor.
+        for b in 0..20u64 {
+            chain.mine_block(miner, 100_000 + 1_000 * b).unwrap();
+            let now = chain.base_fee();
+            assert!(now <= prev, "block {b}: empty block must not raise the base fee");
+            prev = now;
+        }
+        assert_eq!(chain.base_fee(), 1, "demand gone: the base fee is back at the floor");
+        // The mempool's admission gate tracked every move.
+        assert_eq!(chain.mempool_fee_floor(), 1);
+    }
+
+    #[test]
+    fn miners_skip_bids_below_the_base_fee_and_blocks_reject_them() {
+        let (mut chain, alice) = base_fee_chain(40, 100);
+        let miner = addr(b"miner");
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+
+        // Raise the base fee with a few full blocks.
+        let mut spent = 0usize;
+        for b in 0..6u64 {
+            for _ in 0..4 {
+                let input = genesis_outpoint(alice, 100, spent);
+                spent += 1;
+                let fee = chain.base_fee();
+                chain
+                    .submit(builder.transfer(
+                        vec![input],
+                        vec![TxOutput::new(alice, 100 - fee)],
+                        fee,
+                    ))
+                    .unwrap();
+            }
+            chain.mine_block(miner, 1_000 * (b + 1)).unwrap();
+        }
+        let base = chain.base_fee();
+        assert!(base > 2);
+
+        // A bid below the base fee is refused admission outright...
+        let cheap_input = genesis_outpoint(alice, 100, spent);
+        let cheap = builder.transfer(vec![cheap_input], vec![TxOutput::new(alice, 99)], 1);
+        assert!(matches!(
+            chain.submit(cheap.clone()).unwrap_err(),
+            ChainError::Mempool(MempoolError::FeeTooLow { .. })
+        ));
+        // ...and a block smuggling one in is rejected by validation.
+        let height = chain.height() + 1;
+        let parent = chain.tip();
+        let transactions = vec![coinbase(miner, chain.params().block_reward, height), cheap];
+        let header = BlockHeader {
+            chain: chain.id(),
+            parent,
+            tx_root: Block::compute_tx_root(&transactions),
+            height,
+            timestamp: 50_000,
+            target: chain.params().target(),
+            nonce: 0,
+        };
+        let err = chain.accept_block(Block { header, transactions }).unwrap_err();
+        assert!(matches!(err, ChainError::FeeBelowBase { offered: 1, .. }), "got {err}");
+    }
+
+    #[test]
+    fn oversized_blocks_are_rejected_by_validation() {
+        // Block fullness drives the base fee, so the tps-derived budget is
+        // consensus-enforced: a block no honest miner could produce (more
+        // non-coinbase txs than the budget) must be rejected even though
+        // every transaction in it is individually valid.
+        let alice = addr(b"alice");
+        let miner = addr(b"miner");
+        let mut params = ChainParams::test("tight");
+        params.tps = 2; // budget 2
+        params.block_interval_ms = 1_000;
+        let allocs = vec![(alice, 100); 3];
+        let mut chain = Blockchain::new(ChainId(0), params, Arc::new(EchoVm), &allocs);
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+
+        let height = chain.height() + 1;
+        let parent = chain.tip();
+        let mut transactions = vec![coinbase(miner, chain.params().block_reward, height)];
+        for i in 0..3u64 {
+            let input = OutPoint::new(coinbase(alice, 100, i).id(), 0);
+            transactions.push(builder.transfer(vec![input], vec![TxOutput::new(alice, 99)], 1));
+        }
+        let header = BlockHeader {
+            chain: chain.id(),
+            parent,
+            tx_root: Block::compute_tx_root(&transactions),
+            height,
+            timestamp: 1_000,
+            target: chain.params().target(),
+            nonce: 0,
+        };
+        let err = chain.accept_block(Block { header, transactions }).unwrap_err();
+        assert!(matches!(err, ChainError::BlockOverBudget { txs: 3, budget: 2 }), "got {err}");
+        assert_eq!(chain.height(), 0, "the oversized block was not accepted");
+    }
+
+    #[test]
+    fn base_fee_replays_identically_across_a_reorg() {
+        // Grow a demand-heavy canonical chain, then reorg onto an idle
+        // branch rooted below the demand: the materialized base fee must
+        // equal the from-fork-point replay (checked against the oracle).
+        let (mut chain, alice) = base_fee_chain(40, 100);
+        let miner = addr(b"miner");
+        let mut builder = TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let mut spent = 0usize;
+        for b in 0..5u64 {
+            for _ in 0..4 {
+                let input = genesis_outpoint(alice, 100, spent);
+                spent += 1;
+                let fee = chain.base_fee();
+                chain
+                    .submit(builder.transfer(
+                        vec![input],
+                        vec![TxOutput::new(alice, 100 - fee)],
+                        fee,
+                    ))
+                    .unwrap();
+            }
+            chain.mine_block(miner, 1_000 * (b + 1)).unwrap();
+        }
+        let elevated = chain.base_fee();
+        assert!(elevated > 2);
+
+        // Empty attacker branch from height 2 outgrows the demand branch.
+        let fork_base = chain.store().canonical_block_at_height(2).unwrap();
+        let mut parent = fork_base;
+        for i in 0..6u64 {
+            let block = chain.mine_block_on(parent, miner, 50_000 + i).unwrap();
+            parent = block.hash();
+        }
+        assert_eq!(chain.height(), 8, "fork won");
+        let oracle = chain.replay_state_from_genesis();
+        assert_eq!(chain.state(), &oracle, "reorged state equals from-genesis replay");
+        assert!(
+            chain.base_fee() < elevated,
+            "the idle branch must not inherit the demand branch's base fee"
+        );
+        assert_eq!(chain.mempool_fee_floor().max(chain.base_fee()), chain.base_fee());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use contracts::{
 };
 pub use light::{HeaderEvidence, LightClient, LightClientError};
 pub use mempool::{Mempool, MempoolError};
-pub use params::{ChainParams, SealPolicy};
+pub use params::{BaseFeeSchedule, ChainParams, SealPolicy};
 pub use store::{BlockStore, StoreError};
 pub use transaction::{coinbase, Transaction, TxBuilder, TxKind, TxOutput};
 pub use types::{

@@ -10,6 +10,11 @@
 //! * **Capacity** is finite ([`Mempool::with_capacity`]). A submission to a
 //!   full pool must outbid the cheapest *evictable* pending transaction or
 //!   it is rejected with [`MempoolError::FeeTooLow`].
+//! * **Base fee** ([`Mempool::base_fee`]): the chain's dynamic per-block
+//!   base fee (pushed in by the owning `Blockchain` on every canonical
+//!   block) is the first gate of the admission price — bids below it are
+//!   rejected even while the pool has room, and
+//!   [`Mempool::fee_floor`] reports `max(base fee, eviction floor)`.
 //! * **Eviction** never drops a transaction that another pending
 //!   transaction depends on — one whose output is spent by a pending input,
 //!   or whose deployed contract is the target of a pending call (a swap
@@ -37,7 +42,8 @@ pub enum MempoolError {
     ConflictingInput(OutPoint),
     /// Coinbase transactions cannot be submitted by users.
     CoinbaseNotAllowed,
-    /// The pool is full and the fee does not beat the cheapest evictable
+    /// The fee is below the admission price: under the chain's dynamic base
+    /// fee, or — in a full pool — not beating the cheapest evictable
     /// pending transaction.
     FeeTooLow {
         /// The fee the rejected transaction offered.
@@ -78,7 +84,7 @@ impl std::fmt::Display for MempoolError {
                 write!(f, "coinbase transactions cannot be submitted")
             }
             MempoolError::FeeTooLow { offered, floor } => {
-                write!(f, "pool full: fee {offered} below the admission floor {floor}")
+                write!(f, "fee {offered} below the admission floor {floor}")
             }
             MempoolError::Full => write!(f, "pool full and every pending tx is protected"),
             MempoolError::NotPending(id) => write!(f, "{id} is not pending"),
@@ -123,6 +129,11 @@ pub struct Mempool {
     /// eviction and replacement.
     dependents: HashMap<TxId, u32>,
     capacity: usize,
+    /// The chain's current dynamic base fee (see
+    /// [`crate::params::BaseFeeSchedule`]): the minimum fee admitted even
+    /// while the pool has room. Pushed in by the owning `Blockchain` on
+    /// every canonical state change; 0 under a disabled schedule.
+    base_fee: Amount,
     next_seq: u64,
 }
 
@@ -147,8 +158,22 @@ impl Mempool {
             claimed_inputs: HashSet::new(),
             dependents: HashMap::new(),
             capacity,
+            base_fee: 0,
             next_seq: 0,
         }
+    }
+
+    /// The current dynamic base fee gating admission.
+    pub fn base_fee(&self) -> Amount {
+        self.base_fee
+    }
+
+    /// Update the dynamic base fee (called by the owning chain whenever an
+    /// accepted canonical block moves it). Already-pending transactions are
+    /// not retroactively dropped: a bid below a risen base fee simply cannot
+    /// be mined until the fee decays, and stays exposed to eviction.
+    pub fn set_base_fee(&mut self, base_fee: Amount) {
+        self.base_fee = base_fee;
     }
 
     /// Number of pending transactions.
@@ -181,17 +206,34 @@ impl Mempool {
         self.order.iter().next_back().map(|(key, _)| (-key.neg_fee) as Amount)
     }
 
-    /// The smallest fee that would currently buy a slot: zero while the
-    /// pool has room, one above the cheapest evictable transaction when it
-    /// is full, and `Amount::MAX` when full of protected transactions.
+    /// The smallest fee that would currently buy a slot: the dynamic base
+    /// fee while the pool has room, the larger of the base fee and one
+    /// above the cheapest evictable transaction when it is full, and
+    /// `Amount::MAX` when full of protected transactions. A submission
+    /// bidding exactly this floor is always admitted (unless the floor is
+    /// `Amount::MAX`) — under-reporting it would make rational bidders
+    /// open with a bid the pool immediately rejects.
+    ///
+    /// One caller-specific caveat the aggregate quote cannot see: a
+    /// submission never evicts its *own* pending parents, so when the
+    /// pool-wide eviction candidate happens to be the submitter's parent,
+    /// that submission's true floor is one above the next-cheapest victim
+    /// (the rejection's [`MempoolError::FeeTooLow::floor`] reports the
+    /// caller-specific price).
     pub fn fee_floor(&self) -> Amount {
         if self.txs.len() < self.capacity {
-            return 0;
+            return self.base_fee;
         }
         match self.eviction_candidate() {
-            Some((_, fee)) => fee.saturating_add(1),
+            Some((_, fee)) => fee.saturating_add(1).max(self.base_fee),
             None => Amount::MAX,
         }
+    }
+
+    /// The fee of the pending transaction at `rank` in miner priority order
+    /// (0 = mined first), or `None` when the queue is shallower. O(rank).
+    pub fn fee_at_rank(&self, rank: usize) -> Option<Amount> {
+        self.order.iter().nth(rank).map(|(key, _)| (-key.neg_fee) as Amount)
     }
 
     /// Rank of a pending transaction in miner priority order (0 = mined
@@ -247,6 +289,12 @@ impl Mempool {
         let txid = tx.id();
         if !tx.signature_valid() {
             return Err(MempoolError::InvalidSignature(txid));
+        }
+        if tx.fee < self.base_fee {
+            // The dynamic base fee is the first gate of the admission
+            // price; miners skip sub-base bids, so admitting one would
+            // strand it.
+            return Err(MempoolError::FeeTooLow { offered: tx.fee, floor: self.fee_floor() });
         }
         if self.txs.contains_key(&txid) {
             return Err(MempoolError::AlreadyPending(txid));
@@ -318,7 +366,7 @@ impl Mempool {
             if tx.fee <= victim_fee {
                 return Err(MempoolError::FeeTooLow {
                     offered: tx.fee,
-                    floor: victim_fee.saturating_add(1),
+                    floor: victim_fee.saturating_add(1).max(self.base_fee),
                 });
             }
             evicted.push(self.remove(&victim).expect("candidate is pending"));
@@ -774,5 +822,100 @@ mod tests {
         assert_eq!(pool.position(&t3.id()), Some(1));
         assert_eq!(pool.position(&t1.id()), Some(2));
         assert_eq!(pool.position(&TxId(Hash256::digest(b"ghost"))), None);
+    }
+
+    #[test]
+    fn fee_at_rank_walks_priority_order() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        pool.submit(alice.transfer(vec![outpoint(1)], vec![], 2)).unwrap();
+        pool.submit(alice.transfer(vec![outpoint(2)], vec![], 8)).unwrap();
+        pool.submit(alice.transfer(vec![outpoint(3)], vec![], 5)).unwrap();
+        assert_eq!(pool.fee_at_rank(0), Some(8));
+        assert_eq!(pool.fee_at_rank(1), Some(5));
+        assert_eq!(pool.fee_at_rank(2), Some(2));
+        assert_eq!(pool.fee_at_rank(3), None, "queue is only three deep");
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic base fee
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn base_fee_gates_admission_even_with_room() {
+        let mut pool = Mempool::with_capacity(10);
+        pool.set_base_fee(5);
+        assert_eq!(pool.base_fee(), 5);
+        assert_eq!(pool.fee_floor(), 5, "room left: the floor is the base fee");
+
+        let mut alice = builder(b"alice");
+        let cheap = alice.transfer(vec![outpoint(1)], vec![], 4);
+        assert_eq!(
+            pool.submit(cheap).unwrap_err(),
+            MempoolError::FeeTooLow { offered: 4, floor: 5 }
+        );
+        assert!(pool.is_empty());
+        // A bid at exactly the floor is admitted.
+        pool.submit(alice.transfer(vec![outpoint(2)], vec![], 5)).unwrap();
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn fee_floor_is_max_of_base_fee_and_eviction_floor() {
+        // Regression: `fee_floor` used to return 0 whenever the pool had
+        // room, under-reporting the admission price once a base fee exists —
+        // an adaptive bidder opening at the reported floor would be
+        // immediately rejected.
+        let mut pool = Mempool::with_capacity(2);
+        let mut alice = builder(b"alice");
+        pool.set_base_fee(3);
+        pool.submit(alice.transfer(vec![outpoint(1)], vec![], 4)).unwrap();
+        pool.submit(alice.transfer(vec![outpoint(2)], vec![], 6)).unwrap();
+        // Full pool, eviction floor 5 > base fee 3.
+        assert_eq!(pool.fee_floor(), 5);
+        // Base fee above the eviction floor dominates.
+        pool.set_base_fee(9);
+        assert_eq!(pool.fee_floor(), 9);
+        assert_eq!(
+            pool.submit(alice.transfer(vec![outpoint(3)], vec![], 8)).unwrap_err(),
+            MempoolError::FeeTooLow { offered: 8, floor: 9 }
+        );
+    }
+
+    #[test]
+    fn a_bid_at_the_reported_floor_is_always_admitted() {
+        // The floor is an honest quote across every regime: room +
+        // base fee, full + eviction floor, full + dominating base fee.
+        for base_fee in [0u64, 2, 7, 11] {
+            let mut pool = Mempool::with_capacity(2);
+            pool.set_base_fee(base_fee);
+            let mut alice = builder(b"alice");
+            for round in 0..4u8 {
+                let floor = pool.fee_floor();
+                let tx = alice.transfer(vec![outpoint(round * 4 + 1)], vec![], floor);
+                pool.submit(tx).unwrap_or_else(|e| {
+                    panic!("base={base_fee} round={round}: floor bid rejected: {e}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn replacement_must_also_clear_the_base_fee() {
+        let mut pool = Mempool::new();
+        let mut alice = builder(b"alice");
+        let original = alice.transfer(vec![outpoint(1)], vec![], 5);
+        pool.submit(original.clone()).unwrap();
+        // The base fee rises past the original's fee; a re-bid that beats
+        // the original but not the base fee is still unmineable.
+        pool.set_base_fee(8);
+        let weak = alice.transfer(vec![outpoint(1)], vec![], 6);
+        assert_eq!(
+            pool.replace(&original.id(), weak).unwrap_err(),
+            MempoolError::FeeTooLow { offered: 6, floor: 8 }
+        );
+        let strong = alice.transfer(vec![outpoint(1)], vec![], 8);
+        pool.replace(&original.id(), strong.clone()).unwrap();
+        assert!(pool.contains(&strong.id()));
     }
 }

@@ -48,6 +48,112 @@ impl SealPolicy {
     }
 }
 
+/// The dynamic per-block base-fee schedule (EIP-1559-style): the minimum
+/// fee the mempool admits, updated on every accepted canonical block from
+/// the *parent* block's fullness. Sustained demand above the target
+/// utilisation raises the price of block space even while the mempool has
+/// room; when demand stops the base fee decays back to the floor.
+///
+/// The update rule is pure integer arithmetic over
+/// `(current, used, budget)` — see [`BaseFeeSchedule::next`] — so the base
+/// fee is a deterministic function of the canonical chain and is replayed
+/// identically across reorgs (it lives in
+/// [`crate::chain::ChainState`], covered by the incremental-state
+/// differential oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaseFeeSchedule {
+    /// The base fee never drops below this floor (and starts there).
+    pub floor: Amount,
+    /// Target block utilisation in percent of the per-block transaction
+    /// budget. Blocks fuller than the target raise the base fee, emptier
+    /// blocks lower it. Clamped so the target is at least one transaction —
+    /// a budget-1 chain has no headroom above target, so its base fee can
+    /// only decay (dynamic pricing needs a budget of at least 2).
+    pub target_utilisation_pct: u32,
+    /// Maximum per-block adjustment in percent of the current base fee
+    /// (both directions). `0` disables the dynamics entirely: the base fee
+    /// is pinned (at the floor) and never moves. Off-target blocks always
+    /// move the fee by at least 1 unit, so small fees still adjust.
+    pub max_change_pct: u32,
+}
+
+impl BaseFeeSchedule {
+    /// A static schedule: base fee pinned at 0, never moving — the paper's
+    /// fixed fd/ffc fee world. The default for every preset.
+    pub const fn disabled() -> Self {
+        BaseFeeSchedule { floor: 0, target_utilisation_pct: 50, max_change_pct: 0 }
+    }
+
+    /// An EIP-1559-like schedule: floor 1, 50% target utilisation, at most
+    /// ~1/8 (13%) adjustment per block.
+    pub const fn eip1559_like() -> Self {
+        BaseFeeSchedule { floor: 1, target_utilisation_pct: 50, max_change_pct: 13 }
+    }
+
+    /// Whether the schedule ever moves the base fee.
+    pub fn is_dynamic(&self) -> bool {
+        self.max_change_pct > 0
+    }
+
+    /// The target transaction count for a block with `budget` slots.
+    pub fn target_txs(&self, budget: usize) -> usize {
+        let budget = budget.max(1);
+        (budget * self.target_utilisation_pct as usize / 100).clamp(1, budget)
+    }
+
+    /// The largest single-block movement allowed from `current`:
+    /// `max_change_pct` percent of it, but at least 1 so small fees can
+    /// still adjust.
+    pub fn max_step(&self, current: Amount) -> Amount {
+        Self::narrow(current as u128 * self.max_change_pct as u128 / 100).max(1)
+    }
+
+    /// Saturating u128 → [`Amount`] narrowing: schedules with a
+    /// `max_change_pct` above 100 on astronomically large fees must
+    /// saturate, not wrap.
+    fn narrow(value: u128) -> Amount {
+        Amount::try_from(value).unwrap_or(Amount::MAX)
+    }
+
+    /// The base fee of the block after one whose `used` non-coinbase
+    /// transaction slots are measured against a `budget`-slot block.
+    ///
+    /// Movement is proportional to the distance from the target (like
+    /// EIP-1559's `base * excess / target / 8`), clamped to
+    /// [`BaseFeeSchedule::max_step`] and floored at
+    /// [`BaseFeeSchedule::floor`].
+    pub fn next(&self, current: Amount, used: usize, budget: usize) -> Amount {
+        let current = current.max(self.floor);
+        if self.max_change_pct == 0 {
+            return current;
+        }
+        let budget = budget.max(1);
+        let target = self.target_txs(budget);
+        let max_step = self.max_step(current);
+        if used > target {
+            let excess = (used - target) as u128;
+            let span = (budget - target).max(1) as u128;
+            let delta =
+                Self::narrow(current as u128 * self.max_change_pct as u128 * excess / (span * 100));
+            current.saturating_add(delta.clamp(1, max_step))
+        } else if used < target {
+            let shortfall = (target - used) as u128;
+            let delta = Self::narrow(
+                current as u128 * self.max_change_pct as u128 * shortfall / (target as u128 * 100),
+            );
+            current.saturating_sub(delta.clamp(1, max_step).min(current)).max(self.floor)
+        } else {
+            current
+        }
+    }
+}
+
+impl Default for BaseFeeSchedule {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Configuration of one simulated blockchain.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChainParams {
@@ -75,6 +181,10 @@ pub struct ChainParams {
     /// (fee-based eviction) or they are rejected — the supply side of the
     /// fee market.
     pub mempool_capacity: usize,
+    /// The dynamic per-block base-fee schedule: the miner-side half of the
+    /// fee market. [`BaseFeeSchedule::disabled`] (the preset default)
+    /// reproduces the paper's static fee world exactly.
+    pub base_fee_schedule: BaseFeeSchedule,
     /// How blocks are sealed.
     pub seal: SealPolicy,
 }
@@ -109,6 +219,7 @@ impl ChainParams {
             block_reward: 50,
             stable_depth: 6,
             mempool_capacity: 100_000,
+            base_fee_schedule: BaseFeeSchedule::disabled(),
             seal: SealPolicy::Instant,
         }
     }
@@ -126,6 +237,14 @@ impl ChainParams {
         p
     }
 
+    /// The same parameters with a dynamic base-fee schedule — the opt-in
+    /// for the miner-side fee market (presets default to
+    /// [`BaseFeeSchedule::disabled`], the paper's static fee world).
+    pub fn with_base_fee(mut self, schedule: BaseFeeSchedule) -> Self {
+        self.base_fee_schedule = schedule;
+        self
+    }
+
     /// Bitcoin-like parameters (Table 1: 7 tps; 6 blocks/hour; d = 6).
     pub fn bitcoin_like() -> Self {
         ChainParams {
@@ -138,6 +257,7 @@ impl ChainParams {
             block_reward: 625,
             stable_depth: 6,
             mempool_capacity: 100_000,
+            base_fee_schedule: BaseFeeSchedule::disabled(),
             seal: SealPolicy::Instant,
         }
     }
@@ -154,6 +274,7 @@ impl ChainParams {
             block_reward: 2,
             stable_depth: 12,
             mempool_capacity: 100_000,
+            base_fee_schedule: BaseFeeSchedule::disabled(),
             seal: SealPolicy::Instant,
         }
     }
@@ -170,6 +291,7 @@ impl ChainParams {
             block_reward: 12,
             stable_depth: 6,
             mempool_capacity: 100_000,
+            base_fee_schedule: BaseFeeSchedule::disabled(),
             seal: SealPolicy::Instant,
         }
     }
@@ -186,6 +308,7 @@ impl ChainParams {
             block_reward: 625,
             stable_depth: 6,
             mempool_capacity: 100_000,
+            base_fee_schedule: BaseFeeSchedule::disabled(),
             seal: SealPolicy::Instant,
         }
     }
@@ -253,5 +376,76 @@ mod tests {
     fn pow_target_handles_byte_aligned_difficulty() {
         let t = SealPolicy::ProofOfWork { difficulty_bits: 16 }.target();
         assert_eq!(t.leading_zero_bits(), 16);
+    }
+
+    #[test]
+    fn disabled_schedule_never_moves() {
+        let s = BaseFeeSchedule::disabled();
+        assert!(!s.is_dynamic());
+        for used in 0..10 {
+            assert_eq!(s.next(0, used, 4), 0);
+            assert_eq!(s.next(7, used, 4), 7, "a pinned base fee never moves");
+        }
+    }
+
+    #[test]
+    fn full_blocks_raise_and_empty_blocks_lower_the_base_fee() {
+        let s = BaseFeeSchedule::eip1559_like();
+        let budget = 8; // target 4
+        assert_eq!(s.target_txs(budget), 4);
+        // At target: unchanged. Above: rises. Below: falls, never under the
+        // floor.
+        assert_eq!(s.next(100, 4, budget), 100);
+        assert!(s.next(100, 8, budget) > 100);
+        assert!(s.next(100, 0, budget) < 100);
+        assert_eq!(s.next(1, 0, budget), 1, "floor holds");
+        // Small fees still move by at least one unit in both directions.
+        assert_eq!(s.next(1, 8, budget), 2);
+        assert_eq!(s.next(3, 0, budget), 2);
+    }
+
+    #[test]
+    fn base_fee_movement_is_bounded_by_max_step() {
+        let s = BaseFeeSchedule { floor: 1, target_utilisation_pct: 50, max_change_pct: 13 };
+        for current in [1u64, 7, 100, 10_000, u64::MAX / 2] {
+            let bound = s.max_step(current);
+            for used in 0..=12usize {
+                let next = s.next(current, used, 12);
+                assert!(next >= s.floor);
+                assert!(
+                    next.abs_diff(current) <= bound,
+                    "base fee moved {current} -> {next}, beyond max step {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_one_chains_cannot_rise_above_target() {
+        // target_txs clamps to at least 1, so a 1-slot block is never
+        // *above* target: the base fee can only decay on such chains.
+        let s = BaseFeeSchedule::eip1559_like();
+        assert_eq!(s.target_txs(1), 1);
+        assert_eq!(s.next(10, 1, 1), 10);
+        assert_eq!(s.next(10, 0, 1), 9);
+    }
+
+    #[test]
+    fn uninitialised_base_fee_snaps_to_the_floor() {
+        let s = BaseFeeSchedule { floor: 5, target_utilisation_pct: 50, max_change_pct: 13 };
+        assert_eq!(s.next(0, 0, 4), 5, "pre-genesis 0 is clamped to the floor");
+    }
+
+    #[test]
+    fn oversized_adjustments_saturate_instead_of_wrapping() {
+        // max_change_pct > 100 on an astronomically large fee must not
+        // truncate the u128 intermediate back into u64 (which would turn a
+        // doubling schedule into a ±1 crawl).
+        let s = BaseFeeSchedule { floor: 1, target_utilisation_pct: 50, max_change_pct: 200 };
+        let huge = 1u64 << 63;
+        assert_eq!(s.max_step(huge), Amount::MAX, "2^63 × 200% saturates");
+        let next = s.next(huge, 4, 4);
+        assert!(next >= huge, "a full block still raises the fee");
+        assert!(s.next(huge, 0, 4) < huge, "an empty block still lowers it");
     }
 }

@@ -10,7 +10,12 @@
 //! at a higher fee; the per-machine [`BidBook`] polls every live bid once
 //! per machine poll, escalating stuck submissions through
 //! [`ac3_sim::World::replace_tx`] (replace-by-fee) and re-submitting bids
-//! that were priced out of a bounded mempool entirely.
+//! that were priced out of a bounded mempool entirely. Every escalation
+//! decision consults the chain's [`ChainCongestion`] snapshot: schedule
+//! policies use it to skip re-bids the dynamic base fee would refuse, and
+//! [`FeePolicy::Adaptive`] uses it as the schedule itself — opening at the
+//! observed floor plus a margin and escalating to the observed marginal
+//! price of next-block inclusion instead of a blind doubling ladder.
 //!
 //! Machines apply the returned [`BidChange`]s to whatever copies of the
 //! transaction (and, for deployments, contract) ids they hold — a replaced
@@ -22,7 +27,7 @@ use ac3_chain::{
     TxOutput,
 };
 use ac3_contracts::{ContractCall, ContractSpec};
-use ac3_sim::{ParticipantSet, World, WorldError};
+use ac3_sim::{ChainCongestion, ParticipantSet, World, WorldError};
 use serde::{Deserialize, Serialize};
 
 /// How a participant bids for block space when its submissions queue.
@@ -51,20 +56,52 @@ pub enum FeePolicy {
         /// Hard per-transaction fee ceiling (never exceeded).
         cap: Amount,
     },
+    /// Congestion-adaptive bidding: read the chain's
+    /// [`ChainCongestion`] snapshot instead of climbing a blind
+    /// escalation ladder. The opening bid is the observed admission floor
+    /// (which includes the dynamic base fee) plus `margin`; a stuck bid
+    /// escalates to one above the observed marginal price of next-block
+    /// inclusion (the fee at the last in-budget mempool rank, probed via
+    /// `Blockchain::mempool_fee_at_rank`), not to double its own fee — it
+    /// pays what the market asks, nothing more.
+    Adaptive {
+        /// Paid on top of the observed floor when opening under congestion
+        /// (an uncongested chain is bid at exactly the scheduled fee).
+        margin: Amount,
+        /// Hard per-transaction fee ceiling (never exceeded).
+        cap: Amount,
+    },
 }
 
 impl FeePolicy {
     /// The fee bid on `attempt` (0 = initial submission) for a transaction
     /// whose scheduled fee is `base`.
+    ///
+    /// Escalation from a zero scheduled fee starts at 1: a free-schedule
+    /// chain still has a working fee market (a re-bid of 0 could never
+    /// out-bid a positive floor). [`FeePolicy::Adaptive`] has no attempt
+    /// schedule — all of its movement comes from escalation-time
+    /// congestion reads — so it reports the scheduled fee for every
+    /// attempt.
     pub fn fee_for_attempt(&self, base: Amount, attempt: u32) -> Amount {
         match self {
-            FeePolicy::Fixed => base,
+            FeePolicy::Fixed | FeePolicy::Adaptive { .. } => base,
             FeePolicy::Linear { step, .. } => {
                 base.saturating_add(step.saturating_mul(attempt as Amount)).min(self.cap(base))
             }
             FeePolicy::Exponential { .. } => {
-                let factor = 1u64.checked_shl(attempt).unwrap_or(Amount::MAX);
-                base.saturating_mul(factor).min(self.cap(base))
+                let fee = if base == 0 {
+                    if attempt == 0 {
+                        0
+                    } else {
+                        // 1, 2, 4, ... — the doubling ladder grounded at 1.
+                        1u64.checked_shl(attempt - 1).unwrap_or(Amount::MAX)
+                    }
+                } else {
+                    let factor = 1u64.checked_shl(attempt).unwrap_or(Amount::MAX);
+                    base.saturating_mul(factor)
+                };
+                fee.min(self.cap(base))
             }
         }
     }
@@ -75,7 +112,9 @@ impl FeePolicy {
     pub fn cap(&self, base: Amount) -> Amount {
         match self {
             FeePolicy::Fixed => base,
-            FeePolicy::Linear { cap, .. } | FeePolicy::Exponential { cap } => (*cap).max(base),
+            FeePolicy::Linear { cap, .. }
+            | FeePolicy::Exponential { cap }
+            | FeePolicy::Adaptive { cap, .. } => (*cap).max(base),
         }
     }
 
@@ -361,15 +400,44 @@ impl BidBook {
 
     /// The policy's next bid *strictly above* the bid's current fee
     /// (replace-by-fee requires it), with the attempt counter it lands on.
-    /// The current fee can sit above the attempt schedule — a floor-raised
-    /// opening bid or an eviction re-entry — so the schedule is walked
-    /// forward past it rather than read at `attempt + 1` (which would
-    /// stall escalation forever below an already-raised fee). `None` when
-    /// the policy has no headroom left.
-    fn next_escalation(&self, bid: &Bid) -> Option<(u32, Amount)> {
+    /// Consults the escalation-time `congestion` snapshot:
+    ///
+    /// * [`FeePolicy::Adaptive`] bids one above `marginal` — the observed
+    ///   price of next-block inclusion, probed from the mempool by the
+    ///   caller (stuck bids only: the probe is O(block budget)) — raised
+    ///   to the admission floor; the observed market *is* its schedule;
+    /// * schedule policies walk their ladder forward past the current fee
+    ///   (which can sit above the schedule after a floor-raised opening
+    ///   bid or an eviction re-entry) *and* past the chain's dynamic base
+    ///   fee — a re-bid below the base fee would be refused admission, so
+    ///   stopping there would stall the escalation.
+    ///
+    /// `None` when the policy has no headroom left.
+    fn next_escalation(
+        &self,
+        bid: &Bid,
+        congestion: &ChainCongestion,
+        marginal: Option<Amount>,
+    ) -> Option<(u32, Amount)> {
         let cap = self.policy.cap(bid.base_fee);
         if !self.policy.escalates() || bid.fee >= cap {
             return None;
+        }
+        if matches!(self.policy, FeePolicy::Adaptive { .. }) {
+            let observed = marginal
+                .map(|f| f.saturating_add(1))
+                .unwrap_or(0)
+                .max(congestion.fee_floor)
+                .max(bid.fee.saturating_add(1))
+                .min(cap);
+            if observed < congestion.base_fee {
+                // The cap clamped the re-bid under the chain's admission
+                // price: the replacement would be refused, so go quiet
+                // (the next poll re-reads the snapshot — escalation
+                // resumes if the base fee decays back under the cap).
+                return None;
+            }
+            return (observed > bid.fee).then_some((bid.attempt + 1, observed));
         }
         let mut attempt = bid.attempt + 1;
         let mut next = self.policy.fee_for_attempt(bid.base_fee, attempt);
@@ -377,7 +445,7 @@ impl BidBook {
         // iteration bound guards degenerate policies (e.g. a zero linear
         // step) that never grow.
         for _ in 0..128 {
-            if next > bid.fee {
+            if next > bid.fee && next >= congestion.base_fee {
                 return Some((attempt, next));
             }
             if next >= cap {
@@ -393,8 +461,11 @@ impl BidBook {
         None
     }
 
-    /// The opening bid: the scheduled fee, raised to a full pool's
-    /// admission floor when the policy allows it.
+    /// The opening bid: the scheduled fee, raised to the chain's admission
+    /// floor (dynamic base fee, or a full pool's eviction floor) when the
+    /// policy allows it. [`FeePolicy::Adaptive`] additionally pays its
+    /// configured margin on top of a non-zero floor, buying next-block
+    /// headroom up front instead of discovering the price by re-bidding.
     fn opening_fee(
         &self,
         world: &World,
@@ -402,10 +473,12 @@ impl BidBook {
         base: Amount,
     ) -> Result<Amount, ProtocolError> {
         let floor = world.congestion(chain)?.fee_floor;
-        if floor > base && floor <= self.policy.cap(base) {
-            Ok(floor)
-        } else {
-            Ok(base)
+        match self.policy {
+            FeePolicy::Adaptive { margin, .. } if floor > 0 => {
+                Ok(base.max(floor.saturating_add(margin)).min(self.policy.cap(base)))
+            }
+            _ if floor > base && floor <= self.policy.cap(base) => Ok(floor),
+            _ => Ok(base),
         }
     }
 
@@ -444,14 +517,27 @@ impl BidBook {
             let budget = c.params().max_txs_per_block();
             let in_pool = c.mempool_contains(&txid);
             if in_pool {
-                // Stuck only if it would miss the next block (O(budget)
-                // probe, not an O(depth) rank scan).
+                // Stuck if it would miss the next block (O(budget) probe,
+                // not an O(depth) rank scan) — or if the chain's base fee
+                // has risen past its bid (O(1) probe), which miners skip
+                // outright.
+                let below_base = self.bids[i].fee < c.base_fee();
                 let deep = !c.mempool_position_within(&txid, budget).unwrap_or(true);
-                if !deep {
+                if !below_base && !deep {
                     continue;
                 }
+                // The escalation-time congestion read. Reachability was
+                // checked above, and only genuinely stuck Adaptive bids
+                // pay the O(budget) marginal-price probe — settled and
+                // on-schedule bids stay on the cheap path.
+                let congestion = world.congestion(chain)?;
+                let marginal = if matches!(self.policy, FeePolicy::Adaptive { .. }) {
+                    c.mempool_fee_at_rank(budget.saturating_sub(1))
+                } else {
+                    None
+                };
                 let bid = &self.bids[i];
-                let Some((attempt, next)) = self.next_escalation(bid) else {
+                let Some((attempt, next)) = self.next_escalation(bid, &congestion, marginal) else {
                     continue; // fixed policy, or the cap is reached
                 };
                 let Some(tx) = bid.build(participants, next)? else { continue };
@@ -491,11 +577,13 @@ impl BidBook {
                 }
                 // Priced out of a bounded pool: the ledger refunded the
                 // evicted fee. Re-enter at an escalated bid that beats the
-                // current admission floor, if the policy affords it;
-                // otherwise surrender the refund to the owner's tally and
-                // hold the bid for a later retry.
+                // current admission floor (which includes the dynamic base
+                // fee), if the policy affords it; otherwise surrender the
+                // refund to the owner's tally and hold the bid for a later
+                // retry.
+                let congestion = world.congestion(chain)?;
                 let bid = &self.bids[i];
-                let floor = c.mempool_fee_floor();
+                let floor = congestion.fee_floor;
                 let was_billed = bid.billed;
                 let old_fee = bid.fee;
                 // Bid the escalation schedule's next step, raised to the
@@ -608,6 +696,133 @@ mod tests {
     }
 
     #[test]
+    fn exponential_escalation_from_a_zero_base_starts_at_one() {
+        // Regression: `base.saturating_mul(2^attempt)` with base = 0
+        // re-bids 0 forever — a zero-schedule bid could never out-bid a
+        // positive floor. The ladder must ground itself at 1.
+        let p = FeePolicy::Exponential { cap: 30 };
+        assert_eq!(p.fee_for_attempt(0, 0), 0, "the opening bid stays at the schedule");
+        assert_eq!(p.fee_for_attempt(0, 1), 1);
+        assert_eq!(p.fee_for_attempt(0, 2), 2);
+        assert_eq!(p.fee_for_attempt(0, 3), 4);
+        assert_eq!(p.fee_for_attempt(0, 5), 16);
+        assert_eq!(p.fee_for_attempt(0, 6), 30, "clamped at the cap");
+        assert_eq!(p.fee_for_attempt(0, 63), 30, "huge attempts saturate safely");
+    }
+
+    #[test]
+    fn zero_base_bid_escalates_past_a_positive_queue() {
+        // End-to-end regression for the zero-base stall: a bid whose
+        // scheduled fee is 0 enters a pool, gets out-ranked by paid
+        // traffic deeper than the block budget, and must start the doubling
+        // ladder at 1 instead of re-bidding 0 forever.
+        use ac3_chain::{ChainParams, TxBuilder};
+        use ac3_contracts::HtlcCall;
+        use ac3_crypto::{Hash256, KeyPair};
+
+        let mut world = World::new();
+        let mut params = ChainParams::fast("freebie", 1); // 1 tx per block
+        params.call_fee = 0; // the zero-base schedule
+        params.mempool_capacity = 4; // the bid plus the junk fill the pool
+        let mut participants = ParticipantSet::new();
+        let alice = participants.add("alice");
+        let chain = world.add_chain(params, &[(alice, 1_000)]);
+
+        let mut book = BidBook::new(FeePolicy::Exponential { cap: 8 });
+        let phantom = ContractId(Hash256::digest(b"phantom"));
+        let call = ContractCall::Htlc(HtlcCall::Refund);
+        let (txid, fee) = book
+            .submit_call(&mut world, &mut participants, &alice, chain, phantom, &call)
+            .unwrap()
+            .expect("empty pool admits the zero bid");
+        assert_eq!(fee, 0);
+
+        // Paid junk out-ranks the free bid far beyond the 1-tx budget and
+        // fills the pool to capacity — escalation must work replace-by-fee
+        // against a full pool.
+        let mut junk = TxBuilder::new(KeyPair::from_seed(b"spammer"), 1 << 40);
+        for i in 0..3u8 {
+            let phantom_input =
+                vec![ac3_chain::OutPoint::new(ac3_chain::TxId(Hash256::digest(&[i, 0x99])), 0)];
+            world.submit(chain, junk.transfer(phantom_input, vec![], 5)).unwrap();
+        }
+        assert_eq!(world.congestion(chain).unwrap().depth, 4, "pool is full");
+
+        // 0 -> 1 -> 2 -> 4 -> 8 (cap): every poll escalates, none re-bids 0.
+        let mut last = 0;
+        for expected in [1u64, 2, 4, 8] {
+            world.advance(1_000);
+            let changes = book.poll(&mut world, &mut participants).unwrap();
+            assert_eq!(changes.len(), 1, "bid at {last} must escalate");
+            assert!(changes[0].rebid);
+            assert_eq!(changes[0].fee_delta, (expected - last) as i64);
+            last = expected;
+        }
+        assert_eq!(book.total_fees(), 8);
+        // At the cap the ladder ends.
+        world.advance(1_000);
+        assert!(book.poll(&mut world, &mut participants).unwrap().is_empty());
+        assert_ne!(
+            world.chain(chain).unwrap().mempool_fee_of(&txid),
+            Some(0),
+            "the original zero bid was superseded"
+        );
+    }
+
+    #[test]
+    fn adaptive_opens_at_the_floor_plus_margin_and_escalates_to_the_observed_price() {
+        // Adaptive reads the congestion snapshot instead of doubling: the
+        // opening bid is floor + margin, and a stuck bid re-bids to one
+        // above the marginal price of next-block inclusion.
+        use ac3_chain::{ChainParams, TxBuilder};
+        use ac3_contracts::HtlcCall;
+        use ac3_crypto::{Hash256, KeyPair};
+
+        let mut world = World::new();
+        let mut params = ChainParams::fast("adaptive", 1); // 1 tx per block
+        params.mempool_capacity = 4;
+        let mut participants = ParticipantSet::new();
+        let alice = participants.add("alice");
+        let chain = world.add_chain(params, &[(alice, 1_000)]);
+
+        // Fill the pool: fees 9/9/9/3 → eviction floor 4.
+        let mut junk = TxBuilder::new(KeyPair::from_seed(b"spammer"), 1 << 40);
+        for (i, fee) in [(0u8, 9u64), (1, 9), (2, 9), (3, 3)] {
+            let phantom =
+                vec![ac3_chain::OutPoint::new(ac3_chain::TxId(Hash256::digest(&[i, 0x44])), 0)];
+            world.submit(chain, junk.transfer(phantom, vec![], fee)).unwrap();
+        }
+        assert_eq!(world.congestion(chain).unwrap().fee_floor, 4);
+
+        let mut book = BidBook::new(FeePolicy::Adaptive { margin: 1, cap: 64 });
+        let phantom_contract = ContractId(Hash256::digest(b"phantom"));
+        let call = ContractCall::Htlc(HtlcCall::Refund);
+        let (_, fee) = book
+            .submit_call(&mut world, &mut participants, &alice, chain, phantom_contract, &call)
+            .unwrap()
+            .expect("the floor bid plus margin buys the slot");
+        assert_eq!(fee, 5, "opened at floor 4 + margin 1 (evicting the fee-3 junk)");
+
+        // Still ranked behind three fee-9 transactions (budget 1): the
+        // escalation consults the snapshot — marginal next-block price is
+        // 9 — and bids exactly 10, not 2 × 5.
+        world.advance(1_000);
+        let changes = book.poll(&mut world, &mut participants).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert!(changes[0].rebid);
+        assert_eq!(changes[0].fee_delta, 5, "5 -> 10: one above the observed price");
+        assert_eq!(book.total_fees(), 10);
+
+        // Now at the head of the queue: no further escalation, and the bid
+        // mines at the adaptive price.
+        world.advance(1_000);
+        assert!(book.poll(&mut world, &mut participants).unwrap().is_empty());
+        world.advance(1_000);
+        assert!(book.poll(&mut world, &mut participants).unwrap().is_empty());
+        assert_eq!(book.total_fees(), 10);
+    }
+
+    #[test]
     fn escalation_resumes_above_a_floor_raised_opening_bid() {
         // Regression: a bid whose opening fee was raised to a full pool's
         // admission floor sits *above* its attempt schedule; escalation
@@ -672,6 +887,70 @@ mod tests {
         // At the cap there is no headroom left: no further re-bids.
         world.advance(1_000);
         assert!(book.poll(&mut world, &mut participants).unwrap().is_empty());
+    }
+
+    #[test]
+    fn adaptive_goes_quiet_when_the_base_fee_exceeds_its_cap_and_resumes_on_decay() {
+        // Regression: when the chain's base fee rises above an Adaptive
+        // bid's cap, the clamped re-bid would be refused admission — the
+        // book must stop attempting the doomed replace-by-fee (no change,
+        // no churn) and resume escalating once the base fee decays back
+        // under the cap.
+        use ac3_chain::{coinbase, BaseFeeSchedule, ChainParams, OutPoint, TxBuilder, TxOutput};
+        use ac3_contracts::HtlcCall;
+        use ac3_crypto::{Hash256, KeyPair};
+
+        let mut world = World::new();
+        let mut params = ChainParams::fast("pricey", 2); // budget 2, target 1
+        params.base_fee_schedule = BaseFeeSchedule::eip1559_like();
+        let mut participants = ParticipantSet::new();
+        let alice = participants.add("alice");
+        let funder = ac3_chain::Address::from(KeyPair::from_seed(b"funder").public());
+        let mut genesis = vec![(alice, 1_000)];
+        genesis.extend(std::iter::repeat_n((funder, 100), 8));
+        let chain = world.add_chain(params, &genesis);
+
+        // Open an Adaptive bid with a tight cap of 3 (floor 1 + margin 1 = 2).
+        let mut book = BidBook::new(FeePolicy::Adaptive { margin: 1, cap: 3 });
+        let phantom = ContractId(Hash256::digest(b"phantom"));
+        let call = ContractCall::Htlc(HtlcCall::Refund);
+        let (txid, fee) = book
+            .submit_call(&mut world, &mut participants, &alice, chain, phantom, &call)
+            .unwrap()
+            .expect("floor 1 + margin 1 is under the cap");
+        assert_eq!(fee, 2);
+
+        // Full blocks of funded demand push the base fee past the cap.
+        let mut spam = TxBuilder::new(KeyPair::from_seed(b"funder"), 0);
+        for block in 0..3u64 {
+            for i in 0..2u64 {
+                let input = OutPoint::new(coinbase(funder, 100, 1 + block * 2 + i).id(), 0);
+                world
+                    .submit(chain, spam.transfer(vec![input], vec![TxOutput::new(funder, 95)], 5))
+                    .unwrap();
+            }
+            world.advance(1_000);
+        }
+        assert!(world.congestion(chain).unwrap().base_fee > 3, "base fee rose past the cap");
+
+        // The bid is stuck below the base fee, but the cap makes any
+        // re-bid inadmissible: the book must go quiet, not churn.
+        let changes = book.poll(&mut world, &mut participants).unwrap();
+        assert!(changes.is_empty(), "no doomed replace-by-fee attempts");
+        assert_eq!(world.chain(chain).unwrap().mempool_fee_of(&txid), Some(2), "bid untouched");
+        assert_eq!(book.total_fees(), 2);
+
+        // Demand gone, the base fee decays back under the cap: escalation
+        // resumes at the cap and the bid becomes mineable again.
+        world
+            .advance_until("base fee decays under the cap", 20_000, |w| {
+                w.congestion(chain).map(|c| c.base_fee <= 3).unwrap_or(false)
+            })
+            .unwrap();
+        let changes = book.poll(&mut world, &mut participants).unwrap();
+        assert_eq!(changes.len(), 1, "escalation resumed");
+        assert!(changes[0].rebid);
+        assert_eq!(book.total_fees(), 3, "re-bid at the cap");
     }
 
     #[test]

@@ -200,8 +200,11 @@ pub struct ProtocolConfig {
     pub allow_recovery_redemption: bool,
     /// How participants bid for block space when their submissions queue
     /// (see [`crate::fee::FeePolicy`]). The default
-    /// [`Fixed`](crate::fee::FeePolicy::Fixed) policy
-    /// reproduces the paper's static fee schedule exactly.
+    /// [`Fixed`](crate::fee::FeePolicy::Fixed) policy reproduces the
+    /// paper's static fee schedule exactly;
+    /// [`Adaptive`](crate::fee::FeePolicy::Adaptive) reads the chain's
+    /// congestion snapshot (dynamic base fee, marginal next-block price)
+    /// instead of climbing a blind escalation ladder.
     pub fee_policy: crate::fee::FeePolicy,
 }
 

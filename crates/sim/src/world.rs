@@ -96,12 +96,22 @@ pub struct ChainCongestion {
     pub capacity: usize,
     /// Smallest fee among pending transactions (`None` when empty).
     pub min_fee: Option<Amount>,
-    /// Smallest fee that would currently buy a mempool slot (0 while there
-    /// is room).
+    /// Smallest fee that would currently buy a mempool slot: the chain's
+    /// dynamic base fee while there is room, otherwise the larger of the
+    /// base fee and the eviction floor. An opening bid at this price is
+    /// always admitted.
     pub fee_floor: Amount,
+    /// The chain's dynamic per-block base fee
+    /// ([`ac3_chain::BaseFeeSchedule`]): the admission price driven by
+    /// sustained block utilisation rather than pool fullness. 0 under a
+    /// disabled schedule.
+    pub base_fee: Amount,
     /// Per-block transaction budget derived from the chain's tps cap — a
     /// pending transaction ranked at or beyond this will not make the next
-    /// block.
+    /// block. The *marginal price* of next-block inclusion (the fee at
+    /// rank `block_budget - 1`) is deliberately not part of the snapshot:
+    /// it costs an O(budget) mempool walk, so callers that need it probe
+    /// [`ac3_chain::Blockchain::mempool_fee_at_rank`] explicitly.
     pub block_budget: usize,
 }
 
@@ -393,16 +403,26 @@ impl World {
         Ok(txid)
     }
 
-    /// Observe one chain's mempool congestion (queue depth, fee floor,
-    /// block budget).
+    /// Observe one chain's mempool congestion (queue depth, base fee, fee
+    /// floor, block budget).
+    ///
+    /// Respects injected outages exactly like [`World::submit`]: a
+    /// partitioned chain's mempool cannot be observed, so the call fails
+    /// with [`WorldError::ChainUnreachable`] for the duration of the
+    /// outage window (and [`WorldError::UnknownChain`] for chains that do
+    /// not exist — an unknown chain is a caller bug, not a partition).
     pub fn congestion(&self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
         let c = self.chain(chain)?;
+        if !self.is_reachable(chain) {
+            return Err(WorldError::ChainUnreachable(chain));
+        }
         Ok(ChainCongestion {
             chain,
             depth: c.mempool_len(),
             capacity: c.mempool_capacity(),
             min_fee: c.mempool_min_fee(),
             fee_floor: c.mempool_fee_floor(),
+            base_fee: c.base_fee(),
             block_budget: c.params().max_txs_per_block(),
         })
     }
@@ -779,7 +799,70 @@ mod tests {
         assert_eq!(full.depth, 2);
         assert_eq!(full.min_fee, Some(3));
         assert_eq!(full.fee_floor, 4, "must out-bid the cheapest pending tx");
-        assert!(world.congestion(ChainId(99)).is_err());
+        assert_eq!(full.base_fee, 0, "static schedule: no base fee");
+        assert_eq!(
+            world.chain(chain).unwrap().mempool_fee_at_rank(full.block_budget - 1),
+            Some(7),
+            "1-slot blocks: the top bid is the marginal price of inclusion"
+        );
+        assert_eq!(
+            world.congestion(ChainId(99)).unwrap_err(),
+            WorldError::UnknownChain(ChainId(99))
+        );
+    }
+
+    #[test]
+    fn congestion_is_unobservable_during_an_outage_window() {
+        // Pinned semantics: observing a partitioned chain's mempool fails
+        // with `ChainUnreachable` exactly like `submit` does, over exactly
+        // the half-open window [from, until).
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[]);
+        world.schedule_outage(chain, OutageWindow { from: 2_000, until: 5_000 }).unwrap();
+
+        assert!(world.congestion(chain).is_ok(), "before the window");
+        world.advance(2_000);
+        assert_eq!(
+            world.congestion(chain).unwrap_err(),
+            WorldError::ChainUnreachable(chain),
+            "window start is inclusive"
+        );
+        world.advance(2_999);
+        assert!(world.congestion(chain).is_err(), "last covered instant");
+        world.advance(1);
+        assert!(world.congestion(chain).is_ok(), "window end is exclusive");
+    }
+
+    #[test]
+    fn congestion_surfaces_the_dynamic_base_fee() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let mut params = fast_params("c");
+        params.tps = 4;
+        params.base_fee_schedule = ac3_chain::BaseFeeSchedule::eip1559_like();
+        let chain = world.add_chain(params, &vec![(alice, 100); 16]);
+        assert_eq!(world.congestion(chain).unwrap().base_fee, 1, "schedule floor");
+        assert_eq!(world.congestion(chain).unwrap().fee_floor, 1, "floor folds in the base fee");
+
+        // Four full blocks of demand push the base fee off the floor. Each
+        // transfer spends its own genesis coinbase so the pending demand
+        // never conflicts in the mempool.
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let mut spent = 0u64;
+        for _ in 0..4 {
+            for _ in 0..4 {
+                let input =
+                    ac3_chain::OutPoint::new(ac3_chain::coinbase(alice, 100, spent).id(), 0);
+                spent += 1;
+                let fee = world.congestion(chain).unwrap().fee_floor;
+                let change = vec![ac3_chain::TxOutput::new(alice, 100 - fee)];
+                world.submit(chain, kp.transfer(vec![input], change, fee)).unwrap();
+            }
+            world.advance(1_000);
+        }
+        let snapshot = world.congestion(chain).unwrap();
+        assert!(snapshot.base_fee > 1, "sustained full blocks raised the base fee");
+        assert_eq!(snapshot.fee_floor, snapshot.base_fee);
     }
 
     #[test]

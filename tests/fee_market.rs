@@ -26,8 +26,9 @@ fn machines(s: &MultiSwapScenario, driver: &Ac3wn) -> Vec<(SwapId, Box<dyn SwapM
 }
 
 /// Property: random batch size × witness-chain count × witness tps ×
-/// escalation policy — accepted fees never exceed the policy cap and every
-/// swap ends atomically (commit-or-refund-all).
+/// base-fee schedule × escalation policy — accepted fees never exceed the
+/// policy cap and every swap ends atomically (commit-or-refund-all), with
+/// the dynamic base fee moving the admission floor under the batch's feet.
 ///
 /// Uses the deterministic proptest generator directly so the number of
 /// simulated batches stays bounded.
@@ -38,17 +39,29 @@ fn property_escalating_fees_respect_the_cap_and_atomicity() {
         let swaps = 2 + gen.below(7) as usize; // 2..=8
         let witnesses = 1 + gen.below(3) as usize; // 1..=3
         let witness_tps = 1 + gen.below(4); // 1..=4 — the contention level
-        let cap = 8 + gen.below(120); // 8..=127
-        let policy = if gen.below(2) == 0 {
-            FeePolicy::Exponential { cap }
-        } else {
-            FeePolicy::Linear { step: 1 + gen.below(8), cap }
+
+        // Caps stay far above any base fee the bounded schedules below can
+        // reach, so the contention delays swaps instead of failing them.
+        let cap = 48 + gen.below(80); // 48..=127
+        let policy = match gen.below(3) {
+            0 => FeePolicy::Exponential { cap },
+            1 => FeePolicy::Linear { step: 1 + gen.below(8), cap },
+            _ => FeePolicy::Adaptive { margin: gen.below(4), cap },
+        };
+        // Random miner-side schedule: the base fee may be pinned at zero
+        // (disabled), pinned at a positive floor, or fully dynamic.
+        let schedule = BaseFeeSchedule {
+            floor: gen.below(3),
+            target_utilisation_pct: 25 + (25 * gen.below(3)) as u32,
+            max_change_pct: gen.below(16) as u32,
         };
 
         let asset_params: Vec<ChainParams> =
             (0..2).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
         let witness_params: Vec<ChainParams> = (0..witnesses)
-            .map(|i| ChainParams::fast(&format!("witness-{i}"), witness_tps))
+            .map(|i| {
+                ChainParams::fast(&format!("witness-{i}"), witness_tps).with_base_fee(schedule)
+            })
             .collect();
         let mut s = concurrent_swaps_multi_witness(swaps, asset_params, witness_params, 10_000);
         let driver = Ac3wn::new(protocol_cfg(policy));
@@ -56,7 +69,7 @@ fn property_escalating_fees_respect_the_cap_and_atomicity() {
         let batch = Scheduler::default().run(&mut s.world, &mut s.participants, ms);
 
         let ctx = format!(
-            "case {case}: swaps={swaps} witnesses={witnesses} tps={witness_tps} {policy:?}"
+            "case {case}: swaps={swaps} witnesses={witnesses} tps={witness_tps} {policy:?} {schedule:?}"
         );
         assert_eq!(batch.failed(), 0, "{ctx}: contention must delay, not fail");
         assert!(batch.all_atomic(), "{ctx}: atomicity (commit-or-refund-all) violated");
