@@ -1,0 +1,139 @@
+//! Criterion bench of the parallel sharded scheduler's raw throughput:
+//! wall-clock time to drive the acceptance batch — 50 disjoint clusters,
+//! 200 chains, 1,000 mixed-protocol swaps — serially versus with a worker
+//! pool. The simulated outcome is bitwise identical at every worker count
+//! (the determinism suite proves it); this bench measures only the
+//! scheduler loop's real-time cost.
+//!
+//! On hosts with ≥ 4 available cores the bench *asserts* the ISSUE's
+//! acceptance bound — at least 2× speedup at 4 workers over serial — after
+//! the criterion samples are reported. On smaller hosts (CI shared
+//! runners, containers pinned to one core) the assertion is skipped with a
+//! note: threads timeslicing a single core cannot demonstrate a physical
+//! speedup, only the overhead of trying.
+
+use ac3_chain::ChainParams;
+use ac3_core::scenario::{clustered_swaps_scenario, MultiSwapScenario, ScenarioConfig};
+use ac3_core::{Ac3tw, Ac3wn, Herlihy, HerlihyMulti, ProtocolConfig, Scheduler, SwapMachine};
+use ac3_sim::SwapId;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::{Duration, Instant};
+
+const CLUSTERS: usize = 50;
+const SWAPS_PER_CLUSTER: usize = 20;
+/// 3 asset chains + 1 witness chain per cluster × 50 clusters = 200 chains.
+const CHAINS_PER_CLUSTER: usize = 3;
+
+fn protocol_cfg() -> ProtocolConfig {
+    ProtocolConfig {
+        witness_depth: 3,
+        deployment_depth: 3,
+        wait_cap_deltas: 64,
+        ..Default::default()
+    }
+}
+
+fn build_scenario() -> MultiSwapScenario {
+    let cfg = ScenarioConfig {
+        asset_chain_template: ChainParams::fast("asset", 1_000),
+        witness_chain_template: ChainParams::fast("witness", 2),
+        funding: 1_000,
+    };
+    clustered_swaps_scenario(CLUSTERS, SWAPS_PER_CLUSTER, CHAINS_PER_CLUSTER, &cfg)
+}
+
+fn mixed_machines(s: &MultiSwapScenario) -> Vec<(SwapId, Box<dyn SwapMachine>)> {
+    let ac3wn = Ac3wn::new(protocol_cfg());
+    let ac3tw = Ac3tw::new(protocol_cfg());
+    let herlihy = Herlihy::new(protocol_cfg());
+    let herlihy_multi = HerlihyMulti::new(protocol_cfg());
+    s.swaps
+        .iter()
+        .enumerate()
+        .map(|(i, swap)| {
+            let machine: Box<dyn SwapMachine> = match i % 4 {
+                0 => Box::new(ac3wn.machine(swap.graph.clone(), swap.witness)),
+                1 => Box::new(ac3tw.machine(swap.graph.clone())),
+                2 => Box::new(herlihy.machine(swap.graph.clone()).expect("two-party has a leader")),
+                _ => Box::new(herlihy_multi.machine(swap.graph.clone()).expect("valid graph")),
+            };
+            (swap.id, machine)
+        })
+        .collect()
+}
+
+/// One full scheduled run at `workers` threads; returns its wall time.
+fn run_batch(workers: usize) -> Duration {
+    let mut s = build_scenario();
+    let machines = mixed_machines(&s);
+    let t0 = Instant::now();
+    let batch =
+        Scheduler::default().with_workers(workers).run(&mut s.world, &mut s.participants, machines);
+    let wall = t0.elapsed();
+    assert_eq!(batch.failed(), 0, "workers={workers}: no swap may error");
+    assert!(batch.all_atomic(), "workers={workers}: atomicity audit failed");
+    wall
+}
+
+fn bench_parallel_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scale");
+    group.sample_size(2);
+    for workers in [1usize, 4] {
+        group.bench_function(format!("{CLUSTERS}clusters_1k_swaps/{workers}workers"), |b| {
+            b.iter_batched(
+                build_scenario,
+                |mut s| {
+                    let machines = mixed_machines(&s);
+                    let batch = Scheduler::default().with_workers(workers).run(
+                        &mut s.world,
+                        &mut s.participants,
+                        machines,
+                    );
+                    assert_eq!(batch.failed(), 0);
+                    std::hint::black_box(batch.ticks)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The acceptance gate, measured outside criterion's sampling loop
+    // (best of 2 per configuration keeps noise down at this batch size).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let serial = run_batch(1).min(run_batch(1));
+    let parallel = run_batch(4).min(run_batch(4));
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    println!(
+        "parallel_scale: serial {:.0} ms, 4 workers {:.0} ms — {speedup:.2}x speedup \
+         ({cores} cores available)",
+        serial.as_secs_f64() * 1e3,
+        parallel.as_secs_f64() * 1e3,
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "4 workers must be at least 2x faster than serial on the 200-chain/1k-swap \
+             batch (got {speedup:.2}x on {cores} cores)"
+        );
+    } else {
+        println!(
+            "parallel_scale: < 4 cores available — speedup assertion skipped \
+             (threads timeslicing {cores} core(s) cannot show a physical speedup)"
+        );
+    }
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(2)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_parallel_scale
+}
+criterion_main!(benches);

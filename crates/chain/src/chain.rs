@@ -372,6 +372,12 @@ impl Blockchain {
         self.mempool.fee_of(txid)
     }
 
+    /// Monotonic counter of mempool mutations (see [`Mempool::revision`]):
+    /// unchanged revision ⇒ every mempool-derived view is unchanged.
+    pub fn mempool_revision(&self) -> u64 {
+        self.mempool.revision()
+    }
+
     /// Balance of an address on the canonical chain.
     pub fn balance_of(&self, address: &Address) -> Amount {
         self.state.utxos.balance_of(address)

@@ -135,6 +135,12 @@ pub struct Mempool {
     /// every canonical state change; 0 under a disabled schedule.
     base_fee: Amount,
     next_seq: u64,
+    /// Monotonic mutation counter: bumped on every insert, removal, and
+    /// base-fee change. Lets observers (the sim layer's congestion cache)
+    /// memoise derived views and invalidate them precisely when the pool
+    /// actually changed, instead of re-walking the priority order on every
+    /// probe.
+    revision: u64,
 }
 
 impl Default for Mempool {
@@ -160,7 +166,16 @@ impl Mempool {
             capacity,
             base_fee: 0,
             next_seq: 0,
+            revision: 0,
         }
+    }
+
+    /// Monotonic counter of pool mutations (admissions, removals,
+    /// base-fee updates). Two equal revisions on the same pool bracket a
+    /// window in which every derived view (depth, floor, ranks) was
+    /// unchanged.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// The current dynamic base fee gating admission.
@@ -173,6 +188,9 @@ impl Mempool {
     /// not retroactively dropped: a bid below a risen base fee simply cannot
     /// be mined until the fee decays, and stays exposed to eviction.
     pub fn set_base_fee(&mut self, base_fee: Amount) {
+        if self.base_fee != base_fee {
+            self.revision += 1;
+        }
         self.base_fee = base_fee;
     }
 
@@ -335,6 +353,7 @@ impl Mempool {
         }
         let key = PriorityKey { neg_fee: -(tx.fee as i128), seq: self.next_seq };
         self.next_seq += 1;
+        self.revision += 1;
         self.order.insert((key, txid));
         self.keys.insert(txid, key);
         self.txs.insert(txid, tx);
@@ -413,6 +432,7 @@ impl Mempool {
     /// Remove a transaction (because it was mined or became invalid).
     pub fn remove(&mut self, txid: &TxId) -> Option<Transaction> {
         let tx = self.txs.remove(txid)?;
+        self.revision += 1;
         if let Some(key) = self.keys.remove(txid) {
             self.order.remove(&(key, *txid));
         }

@@ -475,6 +475,15 @@ impl Ac3twMachine {
 }
 
 impl SwapMachine for Ac3twMachine {
+    fn footprint(&self) -> crate::driver::MachineFootprint {
+        // Only the graph's asset chains: Trent is an off-chain coordinator
+        // embedded in the machine, not a world resource.
+        crate::driver::MachineFootprint {
+            chains: self.graph.chains(),
+            actors: self.graph.participants().to_vec(),
+        }
+    }
+
     fn poll(
         &mut self,
         world: &mut World,

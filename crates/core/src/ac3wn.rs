@@ -499,6 +499,16 @@ impl Ac3wnMachine {
 }
 
 impl SwapMachine for Ac3wnMachine {
+    fn footprint(&self) -> crate::driver::MachineFootprint {
+        // Asset chains from the graph plus the coordinating witness chain;
+        // every graph participant may sign (deploys, redeems, recovery).
+        let mut chains = self.graph.chains();
+        if !chains.contains(&self.witness_chain) {
+            chains.push(self.witness_chain);
+        }
+        crate::driver::MachineFootprint { chains, actors: self.graph.participants().to_vec() }
+    }
+
     fn poll(
         &mut self,
         world: &mut World,

@@ -20,7 +20,7 @@
 //! the deadline before the wait is declared failed.
 
 use crate::protocol::{ProtocolError, SwapReport};
-use ac3_chain::{ChainId, Timestamp, TxId};
+use ac3_chain::{Address, ChainId, Timestamp, TxId};
 use ac3_sim::{ParticipantSet, World, WorldError};
 
 /// The observable state of an in-flight swap after one [`SwapMachine::poll`].
@@ -38,6 +38,23 @@ pub enum Step {
     Done(Box<SwapReport>),
 }
 
+/// The complete set of world resources a machine may ever touch: the
+/// chains it submits to or reads from, and the participant addresses it
+/// signs on behalf of. Declared up front (it is derivable from the swap
+/// graph before the first poll) so the parallel scheduler can partition a
+/// batch into data-disjoint shards — two machines whose footprints share
+/// no chain and no actor can run on different threads with no possibility
+/// of observing each other.
+#[derive(Debug, Clone, Default)]
+pub struct MachineFootprint {
+    /// Every chain the machine submits transactions to or reads state
+    /// from, over its whole lifetime (including recovery paths).
+    pub chains: Vec<ChainId>,
+    /// Every participant address the machine looks up in the
+    /// [`ParticipantSet`] (to sign, or to check crash availability).
+    pub actors: Vec<Address>,
+}
+
 /// A protocol driver decomposed into a resumable state machine.
 ///
 /// Implementations must never advance the world clock; they may submit
@@ -46,13 +63,18 @@ pub enum Step {
 /// return the same terminal result (or a cheap copy of it) without side
 /// effects.
 ///
+/// Machines are `Send` (the supertrait bound): the parallel scheduler
+/// moves them to worker threads, each of which polls its shard of the
+/// batch against a shard of the world. They are never *shared* between
+/// threads mid-poll, so `Sync` is not required.
+///
 /// Every protocol in the reproduction implements this trait —
 /// [`crate::ac3wn::Ac3wnMachine`], [`crate::ac3tw::Ac3twMachine`],
 /// [`crate::herlihy::HerlihyMachine`] and
 /// [`crate::herlihy_multi::HerlihyMultiMachine`] — so heterogeneous
 /// protocol mixes can share one [`crate::scheduler::Scheduler`] batch; see
 /// the scheduler module docs for a two-machine example.
-pub trait SwapMachine {
+pub trait SwapMachine: Send {
     /// Advance the machine as far as possible at the world's current time.
     fn poll(
         &mut self,
@@ -64,6 +86,14 @@ pub trait SwapMachine {
     fn phase_name(&self) -> &'static str {
         "unknown"
     }
+
+    /// The chains and actors this machine may ever touch (see
+    /// [`MachineFootprint`]). Must be stable across the machine's lifetime
+    /// and conservative: declaring too much merely costs parallelism;
+    /// declaring too little would let the partitioner co-schedule machines
+    /// that actually alias, which the shard split turns into a hard
+    /// `UnknownChain` error rather than a silent race.
+    fn footprint(&self) -> MachineFootprint;
 }
 
 /// Drive a single machine to completion, advancing the world clock between
@@ -158,6 +188,11 @@ mod tests {
             }
             self.polls_left -= 1;
             Ok(Step::Waiting { not_before: world.now() + world.min_block_interval_ms() })
+        }
+
+        fn footprint(&self) -> crate::driver::MachineFootprint {
+            // Touches no chain and signs for no one — schedulable anywhere.
+            crate::driver::MachineFootprint::default()
         }
     }
 

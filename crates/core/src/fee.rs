@@ -468,11 +468,11 @@ impl BidBook {
     /// headroom up front instead of discovering the price by re-bidding.
     fn opening_fee(
         &self,
-        world: &World,
+        world: &mut World,
         chain: ChainId,
         base: Amount,
     ) -> Result<Amount, ProtocolError> {
-        let floor = world.congestion(chain)?.fee_floor;
+        let floor = world.congestion_cached(chain)?.fee_floor;
         match self.policy {
             FeePolicy::Adaptive { margin, .. } if floor > 0 => {
                 Ok(base.max(floor.saturating_add(margin)).min(self.policy.cap(base)))
@@ -529,10 +529,14 @@ impl BidBook {
                 // The escalation-time congestion read. Reachability was
                 // checked above, and only genuinely stuck Adaptive bids
                 // pay the O(budget) marginal-price probe — settled and
-                // on-schedule bids stay on the cheap path.
-                let congestion = world.congestion(chain)?;
+                // on-schedule bids stay on the cheap path. Both reads are
+                // memoised per (chain, tick): with thousands of machines
+                // stuck behind the same congested mempool, only the first
+                // poller of a tick derives the snapshot and walks the
+                // priority order for the marginal price.
+                let congestion = world.congestion_cached(chain)?;
                 let marginal = if matches!(self.policy, FeePolicy::Adaptive { .. }) {
-                    c.mempool_fee_at_rank(budget.saturating_sub(1))
+                    world.marginal_fee_cached(chain)?
                 } else {
                     None
                 };
@@ -581,7 +585,7 @@ impl BidBook {
                 // fee), if the policy affords it; otherwise surrender the
                 // refund to the owner's tally and hold the bid for a later
                 // retry.
-                let congestion = world.congestion(chain)?;
+                let congestion = world.congestion_cached(chain)?;
                 let bid = &self.bids[i];
                 let floor = congestion.fee_floor;
                 let was_billed = bid.billed;

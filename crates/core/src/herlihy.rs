@@ -464,6 +464,15 @@ impl HerlihyMachine {
 }
 
 impl SwapMachine for HerlihyMachine {
+    fn footprint(&self) -> crate::driver::MachineFootprint {
+        // Pure HTLC protocol: only the graph's chains and participants
+        // (the leader is one of them).
+        crate::driver::MachineFootprint {
+            chains: self.graph.chains(),
+            actors: self.graph.participants().to_vec(),
+        }
+    }
+
     fn poll(
         &mut self,
         world: &mut World,

@@ -486,6 +486,15 @@ impl HerlihyMultiMachine {
 }
 
 impl SwapMachine for HerlihyMultiMachine {
+    fn footprint(&self) -> crate::driver::MachineFootprint {
+        // The leader set is a subset of the graph's participants, so the
+        // graph alone bounds every chain and actor the machine touches.
+        crate::driver::MachineFootprint {
+            chains: self.graph.chains(),
+            actors: self.graph.participants().to_vec(),
+        }
+    }
+
     fn poll(
         &mut self,
         world: &mut World,

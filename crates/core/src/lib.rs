@@ -62,6 +62,7 @@ pub mod graph;
 pub mod herlihy;
 pub mod herlihy_multi;
 pub mod nolan;
+pub mod partition;
 pub mod protocol;
 pub mod scenario;
 pub mod scheduler;
@@ -70,7 +71,7 @@ pub use ac3tw::{Ac3tw, Ac3twMachine, Trent, TrentError};
 pub use ac3wn::{Ac3wn, Ac3wnMachine};
 pub use attack::{execute_fork_attack, ForkAttackConfig, ForkAttackReport};
 pub use audit::AtomicityVerdict;
-pub use driver::{drive, Step, SwapMachine};
+pub use driver::{drive, MachineFootprint, Step, SwapMachine};
 pub use evidence::{
     validate_tx, validate_with_all, ValidationCost, ValidationReport, ValidationStrategy,
 };
@@ -81,13 +82,15 @@ pub use graph::{
 pub use herlihy::{Herlihy, HerlihyMachine};
 pub use herlihy_multi::{HerlihyMulti, HerlihyMultiMachine};
 pub use nolan::Nolan;
+pub use partition::{partition_batch, Shard};
 pub use protocol::{
     EdgeDisposition, EdgeOutcome, ProtocolConfig, ProtocolError, ProtocolKind, SwapReport,
 };
 pub use scenario::{
-    concurrent_custom_swaps, concurrent_swaps_multi_witness, concurrent_swaps_over_chains,
-    concurrent_swaps_scenario, custom_scenario, figure7a_scenario, figure7b_scenario,
-    ring_scenario, two_party_scenario, MultiSwapScenario, Scenario, ScenarioConfig, SwapSpec,
+    clustered_swaps_scenario, concurrent_custom_swaps, concurrent_swaps_multi_witness,
+    concurrent_swaps_over_chains, concurrent_swaps_scenario, custom_scenario, figure7a_scenario,
+    figure7b_scenario, ring_scenario, two_party_scenario, MultiSwapScenario, Scenario,
+    ScenarioConfig, SwapSpec,
 };
 pub use scheduler::{
     BatchReport, FeeMarketStats, MachineSeed, Scheduler, SwapOutcome, WitnessAssignment,

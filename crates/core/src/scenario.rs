@@ -335,6 +335,78 @@ pub fn concurrent_custom_swaps(
     MultiSwapScenario { world, participants, swaps: specs, witness_chains, asset_chains }
 }
 
+/// A batch of two-party AC2Ts grouped into mutually *disjoint* clusters —
+/// the sharded scale workload of the parallel scheduler. Each cluster owns
+/// `chains_per_cluster` asset chains plus one witness chain, and those
+/// chains are genesis-funded **only** with that cluster's participants:
+/// genesis size stays `O(swaps_per_cluster)` per chain instead of
+/// `O(total swaps)`, which is what makes worlds with hundreds of chains
+/// and 10k+ swaps buildable at all. Because no chain or participant is
+/// shared across clusters, [`crate::partition::partition_batch`] splits
+/// the batch into exactly one data-disjoint shard per cluster.
+///
+/// Within a cluster the wiring matches [`concurrent_swaps_scenario`]:
+/// swap `j`'s two edges land on the cluster's chains `j % m` and
+/// `(j + 1) % m`, so clustermates genuinely contend for block space.
+/// Swap ids are global (`cluster * swaps_per_cluster + j`) and specs come
+/// back in id order.
+pub fn clustered_swaps_scenario(
+    clusters: usize,
+    swaps_per_cluster: usize,
+    chains_per_cluster: usize,
+    cfg: &ScenarioConfig,
+) -> MultiSwapScenario {
+    assert!(clusters >= 1, "a clustered batch needs at least one cluster");
+    assert!(swaps_per_cluster >= 1, "each cluster needs at least one swap");
+    assert!(chains_per_cluster >= 1, "each cluster needs at least one asset chain");
+
+    let mut world = World::new();
+    let mut participants = ParticipantSet::new();
+    let mut specs = Vec::with_capacity(clusters * swaps_per_cluster);
+    let mut witness_chains = Vec::with_capacity(clusters);
+    let mut asset_chains = Vec::with_capacity(clusters * chains_per_cluster);
+    for c in 0..clusters {
+        let pairs: Vec<(Address, Address)> = (0..swaps_per_cluster)
+            .map(|j| {
+                (participants.add(&format!("c{c}s{j}a")), participants.add(&format!("c{c}s{j}b")))
+            })
+            .collect();
+        // Cluster-local genesis: only this cluster's cast holds balances on
+        // this cluster's chains.
+        let genesis: Vec<(Address, Amount)> =
+            pairs.iter().flat_map(|(a, b)| [(*a, cfg.funding), (*b, cfg.funding)]).collect();
+
+        let cluster_chains: Vec<ChainId> = (0..chains_per_cluster)
+            .map(|i| {
+                let mut p = cfg.asset_chain_template.clone();
+                p.name = format!("{}-c{c}-{i}", cfg.asset_chain_template.name);
+                world.add_chain(p, &genesis)
+            })
+            .collect();
+        let mut witness_params = cfg.witness_chain_template.clone();
+        witness_params.name = format!("{}-c{c}-witness", cfg.witness_chain_template.name);
+        let witness = world.add_chain(witness_params, &genesis);
+
+        let m = cluster_chains.len();
+        for (j, (a, b)) in pairs.iter().enumerate() {
+            let id = SwapId((c * swaps_per_cluster + j) as u64);
+            let edges = vec![
+                SwapEdge { from: *a, to: *b, amount: 50, chain: cluster_chains[j % m] },
+                SwapEdge { from: *b, to: *a, amount: 80, chain: cluster_chains[(j + 1) % m] },
+            ];
+            specs.push(SwapSpec {
+                id,
+                graph: SwapGraph::new(edges, id.0 + 1).expect("two-party graphs are valid"),
+                witness,
+            });
+        }
+        witness_chains.push(witness);
+        asset_chains.extend(cluster_chains);
+    }
+
+    MultiSwapScenario { world, participants, swaps: specs, witness_chains, asset_chains }
+}
+
 /// The paper's running example (Figure 4): Alice swaps `x` for Bob's `y`,
 /// each asset on its own chain.
 pub fn two_party_scenario(x: Amount, y: Amount, cfg: &ScenarioConfig) -> Scenario {
@@ -415,6 +487,34 @@ mod tests {
         let b = figure7b_scenario(&ScenarioConfig::default());
         assert_eq!(b.graph.shape(), GraphShape::Disconnected);
         assert_eq!(b.graph.contract_count(), 4);
+    }
+
+    #[test]
+    fn clustered_scenario_funds_only_clustermates() {
+        let s = clustered_swaps_scenario(3, 2, 2, &ScenarioConfig::default());
+        assert_eq!(s.swaps.len(), 6);
+        assert_eq!(s.witness_chains.len(), 3);
+        assert_eq!(s.asset_chains.len(), 6);
+        assert_eq!(s.participants.len(), 12);
+        // Ids are global and in order.
+        for (i, swap) in s.swaps.iter().enumerate() {
+            assert_eq!(swap.id, SwapId(i as u64));
+        }
+        // Cluster 0's first sender is funded on cluster 0's chains only.
+        let a0 = s.participants.get("c0s0a").unwrap().address();
+        assert_eq!(s.world.chain(s.asset_chains[0]).unwrap().balance_of(&a0), 1_000);
+        assert_eq!(s.world.chain(s.witness_chains[0]).unwrap().balance_of(&a0), 1_000);
+        assert_eq!(s.world.chain(s.asset_chains[2]).unwrap().balance_of(&a0), 0);
+        assert_eq!(s.world.chain(s.witness_chains[1]).unwrap().balance_of(&a0), 0);
+        // Swaps never cross clusters: each swap's chains and witness belong
+        // to its own cluster.
+        for (i, swap) in s.swaps.iter().enumerate() {
+            let c = i / 2;
+            assert_eq!(swap.witness, s.witness_chains[c]);
+            for edge in swap.graph.edges() {
+                assert!(s.asset_chains[c * 2..(c + 1) * 2].contains(&edge.chain));
+            }
+        }
     }
 
     #[test]

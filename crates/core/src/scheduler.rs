@@ -41,7 +41,8 @@
 //! assert!(s.swaps.iter().all(|swap| s.world.fees.fees_for_swap(swap.id) > 0));
 //! ```
 
-use crate::driver::{Step, SwapMachine};
+use crate::driver::{MachineFootprint, Step, SwapMachine};
+use crate::partition::partition_batch;
 use crate::protocol::{ProtocolError, SwapReport};
 use ac3_chain::{Amount, ChainId, Timestamp};
 use ac3_sim::{ParticipantSet, SwapId, World};
@@ -54,13 +55,19 @@ pub struct Scheduler {
     /// still unfinished when it is exhausted fail with a timeout error
     /// (protects callers from a livelocked machine).
     pub max_ms: u64,
+    /// Worker threads for [`Scheduler::run`]: 1 polls every machine on the
+    /// calling thread (the serial reference loop); above 1 the batch is
+    /// partitioned into data-disjoint shards (see [`crate::partition`])
+    /// polled concurrently, with results bitwise identical to the serial
+    /// loop at any worker count.
+    pub workers: usize,
 }
 
 impl Default for Scheduler {
     fn default() -> Self {
         // One simulated day — far beyond any protocol wait cap, so the
         // budget only triggers on genuine livelock.
-        Scheduler { max_ms: 86_400_000 }
+        Scheduler { max_ms: 86_400_000, workers: 1 }
     }
 }
 
@@ -72,9 +79,13 @@ pub enum WitnessAssignment {
     #[default]
     RoundRobin,
     /// Each swap is assigned, at launch time, to the witness chain with
-    /// the shallowest mempool (ties broken by fewest assignments so far,
-    /// then chain order) — cross-witness load balancing that routes new
-    /// swaps away from congested witness networks.
+    /// the lowest *predicted cost of coordination*: the chain's dynamic
+    /// base fee (floored at 1 so fee-free chains still rank by queue)
+    /// times its mempool depth (plus one, so an empty queue still prices
+    /// the base fee in). Ties break by fewest assignments so far, then
+    /// chain order. Routes new swaps away from witness networks that are
+    /// *expensive* — deep-queued, base-fee-spiked, or both — not merely
+    /// deep ones.
     LeastLoaded,
 }
 
@@ -244,7 +255,14 @@ impl Slot {
 impl Scheduler {
     /// A scheduler with the given simulated-time budget.
     pub fn new(max_ms: u64) -> Self {
-        Scheduler { max_ms }
+        Scheduler { max_ms, workers: 1 }
+    }
+
+    /// This scheduler with its worker-thread count set (see
+    /// [`Scheduler::workers`]).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Run `machines` to completion over the shared `world`, interleaving
@@ -256,12 +274,19 @@ impl Scheduler {
     /// mempools; block production happens inside [`World::advance`] exactly
     /// as it does for a single swap, so an N = 1 batch reproduces
     /// [`crate::driver::drive`] tick for tick.
+    ///
+    /// With [`Scheduler::workers`] above 1 the batch runs through
+    /// [`Scheduler::run_parallel`] instead; swap outcomes, fee ledgers and
+    /// tick counts are identical either way.
     pub fn run(
         &self,
         world: &mut World,
         participants: &mut ParticipantSet,
         machines: Vec<(SwapId, Box<dyn SwapMachine>)>,
     ) -> BatchReport {
+        if self.workers > 1 {
+            return self.run_parallel(world, participants, machines, self.workers);
+        }
         let slots = machines
             .into_iter()
             .map(|(id, machine)| Slot {
@@ -318,9 +343,19 @@ impl Scheduler {
                 .iter()
                 .copied()
                 .min_by_key(|c| {
-                    let depth =
-                        world.chain(*c).map(|chain| chain.mempool_len()).unwrap_or(usize::MAX);
-                    (depth, assigned.get(c).copied().unwrap_or(0))
+                    // Predicted coordination cost: base fee × queue depth.
+                    // A deep queue on a cheap chain and a shallow queue on
+                    // an expensive one both price worse than a shallow
+                    // cheap one.
+                    let cost = world
+                        .chain(*c)
+                        .map(|chain| {
+                            let depth = chain.mempool_len() as u128 + 1;
+                            let base_fee = (chain.base_fee() as u128).max(1);
+                            base_fee.saturating_mul(depth)
+                        })
+                        .unwrap_or(u128::MAX);
+                    (cost, assigned.get(c).copied().unwrap_or(0))
                 })
                 .expect("witness chain list is non-empty"),
         }
@@ -403,6 +438,212 @@ impl Scheduler {
             started_at,
             finished_at: world.now(),
             ticks,
+        }
+    }
+
+    /// Run a batch across `workers` threads by splitting it into
+    /// data-disjoint shards.
+    ///
+    /// Machines are grouped into connected components of footprint overlap
+    /// ([`crate::partition::partition_batch`]); each component's chains,
+    /// actors, and fee-ledger slices are *moved* out of the world
+    /// ([`World::split_shard`]) into a shard a worker owns outright. Every
+    /// tick has two phases in lockstep:
+    ///
+    /// 1. **Parallel phase** — each worker advances its shards' clocks by
+    ///    the batch-wide `dt` (mining, base-fee updates, and mempool
+    ///    maintenance run concurrently across shards, and chains that no
+    ///    machine touches mine on the scheduler thread), then polls its
+    ///    shards' due machines in submission order.
+    /// 2. **Merge barrier** — the scheduler thread joins the scope, folds
+    ///    the per-shard done flags and wake-up times, and picks the next
+    ///    batch-wide `dt` exactly as the serial loop does.
+    ///
+    /// **Determinism.** Within a shard, machines poll in submission order
+    /// against state only they can reach — the same instruction stream the
+    /// serial loop would execute for those machines. Across shards there
+    /// is no shared state at all, so thread interleaving has nothing to
+    /// observe. Swap reports, fee ledgers, tick counts, and outcome order
+    /// are therefore bitwise identical at *any* worker count, and identical
+    /// to [`Scheduler::run`]'s serial loop; the one permitted difference
+    /// from the serial loop is the relative order of *same-timestamp*
+    /// events from unrelated shards in the world's global timeline (shards
+    /// are absorbed in first-machine order, not poll-interleaving order).
+    ///
+    /// A footprint naming a chain the world does not hold falls back to
+    /// the serial loop, which surfaces the error per machine.
+    pub fn run_parallel(
+        &self,
+        world: &mut World,
+        participants: &mut ParticipantSet,
+        machines: Vec<(SwapId, Box<dyn SwapMachine>)>,
+        workers: usize,
+    ) -> BatchReport {
+        let footprints: Vec<MachineFootprint> =
+            machines.iter().map(|(_, m)| m.footprint()).collect();
+        if footprints.iter().flat_map(|f| f.chains.iter()).any(|c| world.chain(*c).is_err()) {
+            let serial = Scheduler { max_ms: self.max_ms, workers: 1 };
+            return serial.run(world, participants, machines);
+        }
+        let components = partition_batch(&footprints);
+
+        // Carve one shard task per component out of the world.
+        let mut machines: Vec<Option<(SwapId, Box<dyn SwapMachine>)>> =
+            machines.into_iter().map(Some).collect();
+        let started_at = world.now();
+        let mut tasks: Vec<ShardTask> = Vec::with_capacity(components.len());
+        for component in &components {
+            let swaps: Vec<SwapId> = component
+                .machines
+                .iter()
+                .map(|&i| machines[i].as_ref().expect("each machine joins one shard").0)
+                .collect();
+            let shard_world = world
+                .split_shard(&component.chains, &swaps)
+                .expect("footprint chains verified above");
+            let shard_participants = participants.split_off(&component.actors);
+            let slots = component
+                .machines
+                .iter()
+                .map(|&i| {
+                    let (id, machine) = machines[i].take().expect("each machine joins one shard");
+                    ParSlot { index: i, id, machine, not_before: started_at, done: None }
+                })
+                .collect();
+            tasks.push(ShardTask { world: shard_world, participants: shard_participants, slots });
+        }
+
+        let mut ticks = 0u64;
+        let mut dt = 0u64;
+        loop {
+            // Parallel phase: advance every shard by the batch-wide dt,
+            // then poll due machines — shard-local serial order inside,
+            // no shared state across.
+            let stripe = tasks.len().div_ceil(workers.max(1).min(tasks.len().max(1)));
+            std::thread::scope(|scope| {
+                let mut chunks = tasks.chunks_mut(stripe.max(1));
+                // Run the first stripe on the scheduler thread (alongside
+                // the residual, machine-free chains) instead of parking it
+                // at the join barrier.
+                let local = chunks.next();
+                for chunk in chunks {
+                    scope.spawn(move || {
+                        for task in chunk {
+                            task.step(dt);
+                        }
+                    });
+                }
+                if dt > 0 {
+                    world.advance(dt);
+                }
+                if let Some(chunk) = local {
+                    for task in chunk {
+                        task.step(dt);
+                    }
+                }
+            });
+            if dt > 0 {
+                ticks += 1;
+            }
+
+            // Merge barrier: fold shard summaries, decide the next dt —
+            // the same decisions, in the same order, as the serial loop.
+            if tasks.iter().all(|t| t.slots.iter().all(|s| s.done.is_some())) {
+                break;
+            }
+            if world.now().saturating_sub(started_at) >= self.max_ms {
+                for task in &mut tasks {
+                    for slot in task.slots.iter_mut().filter(|s| s.done.is_none()) {
+                        slot.done = Some(Err(ProtocolError::World(format!(
+                            "scheduler budget of {} ms exhausted in phase {}",
+                            self.max_ms,
+                            slot.machine.phase_name()
+                        ))));
+                    }
+                }
+                break;
+            }
+            let next = tasks
+                .iter()
+                .flat_map(|t| t.slots.iter())
+                .filter(|s| s.done.is_none())
+                .map(|s| s.not_before)
+                .min()
+                .expect("pending slots exist");
+            dt = next.saturating_sub(world.now()).max(1);
+        }
+
+        // Reassemble: absorb shards in deterministic component order and
+        // restore the original outcome order.
+        let finished_at = world.now();
+        let mut outcomes: Vec<Option<SwapOutcome>> = Vec::new();
+        outcomes.resize_with(machines.len(), || None);
+        for task in tasks {
+            world.absorb_shard(task.world);
+            participants.absorb(task.participants);
+            for slot in task.slots {
+                outcomes[slot.index] = Some(SwapOutcome {
+                    id: slot.id,
+                    witness: None,
+                    result: slot.done.expect("loop ran to completion"),
+                });
+            }
+        }
+        BatchReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every machine joined exactly one shard"))
+                .collect(),
+            started_at,
+            finished_at,
+            ticks,
+        }
+    }
+}
+
+/// A slot of the parallel scheduler: one machine, owned by exactly one
+/// shard (no deferred seeds — witness assignment is a global decision the
+/// serial launcher makes; see [`Scheduler::run_assigned`]).
+struct ParSlot {
+    /// Index in the batch's submission order, to restore outcome order
+    /// after shards complete out of order.
+    index: usize,
+    id: SwapId,
+    machine: Box<dyn SwapMachine>,
+    not_before: Timestamp,
+    done: Option<Result<SwapReport, ProtocolError>>,
+}
+
+/// One worker-owned shard: a split-off world, the participants its
+/// machines sign for, and the machines themselves. `Send` because every
+/// constituent is (`World` and `ParticipantSet` own their data; machines
+/// carry the `SwapMachine: Send` supertrait bound).
+struct ShardTask {
+    world: World,
+    participants: ParticipantSet,
+    slots: Vec<ParSlot>,
+}
+
+impl ShardTask {
+    /// One lockstep tick of this shard: advance the shard clock by the
+    /// batch-wide `dt`, then poll due machines in submission order —
+    /// verbatim the serial loop's poll pass restricted to this shard.
+    fn step(&mut self, dt: u64) {
+        if dt > 0 {
+            self.world.advance(dt);
+        }
+        let now = self.world.now();
+        for slot in self.slots.iter_mut().filter(|s| s.done.is_none()) {
+            if now < slot.not_before {
+                continue;
+            }
+            self.world.set_fee_attribution(Some(slot.id));
+            match slot.machine.poll(&mut self.world, &mut self.participants) {
+                Ok(Step::Done(report)) => slot.done = Some(Ok(*report)),
+                Ok(Step::Waiting { not_before }) => slot.not_before = not_before,
+                Err(e) => slot.done = Some(Err(e)),
+            }
+            self.world.set_fee_attribution(None);
         }
     }
 }
@@ -578,6 +819,65 @@ mod tests {
         for outcome in &batch.outcomes {
             assert_eq!(outcome.witness, Some(witness_chains[1]));
         }
+    }
+
+    #[test]
+    fn least_loaded_avoids_a_base_fee_spiked_witness() {
+        use ac3_chain::{BaseFeeSchedule, ChainParams};
+
+        // Witness 0 runs an EIP-1559-like fee market; sustained full blocks
+        // spike its base fee while its mempool fully drains. A depth-only
+        // ranking would see two idle queues and split the batch — the
+        // predicted-cost ranking must see the spiked base fee and send
+        // every swap to witness 1.
+        let asset_params =
+            (0..2).map(|i| ChainParams::fast(&format!("asset-{i}"), 1_000)).collect();
+        let witness_params = vec![
+            ChainParams::fast("witness-0", 2).with_base_fee(BaseFeeSchedule::eip1559_like()),
+            ChainParams::fast("witness-1", 1_000),
+        ];
+        let mut s =
+            crate::scenario::concurrent_swaps_multi_witness(4, asset_params, witness_params, 5_000);
+        let w0 = s.witness_chains[0];
+
+        // Fill witness 0's two-transaction blocks for a dozen intervals:
+        // the base fee climbs ~13% (min +1) per full block, and every
+        // spammed transaction is mined, so the queue ends empty.
+        for _ in 0..12 {
+            for name in ["s0a", "s0b"] {
+                let addr = s.participants.get(name).unwrap().address();
+                let chain = s.world.chain(w0).unwrap();
+                let fee = chain.base_fee().max(chain.mempool_fee_floor());
+                let (inputs, outputs) = chain.plan_payment(&addr, &addr, 1, fee).unwrap();
+                let tx = s
+                    .participants
+                    .get_mut(name)
+                    .unwrap()
+                    .builder(w0)
+                    .transfer(inputs, outputs, fee);
+                s.world.submit(w0, tx).unwrap();
+            }
+            s.world.advance(1_000);
+        }
+        let spiked = s.world.chain(w0).unwrap();
+        assert!(spiked.base_fee() > 1, "sustained full blocks must spike the base fee");
+        assert_eq!(spiked.mempool_len(), 0, "the spike is pure price, not queue depth");
+
+        let driver = Ac3wn::new(protocol_cfg());
+        let seeds = s
+            .seeds_with(move |swap, witness| Box::new(driver.machine(swap.graph.clone(), witness)));
+        let witness_chains = s.witness_chains.clone();
+        let batch = Scheduler::default().run_assigned(
+            &mut s.world,
+            &mut s.participants,
+            &witness_chains,
+            WitnessAssignment::LeastLoaded,
+            seeds,
+        );
+        assert_eq!(batch.committed(), 4);
+        let counts = batch.witness_assignments();
+        assert_eq!(counts.get(&w0), None, "base-fee-spiked witness receives zero swaps");
+        assert_eq!(counts.get(&witness_chains[1]), Some(&4));
     }
 
     #[test]

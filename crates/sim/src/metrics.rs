@@ -279,6 +279,66 @@ impl FeeLedger {
         Some(bill)
     }
 
+    /// Split out the slices belonging to `chains` and `swaps`: the
+    /// per-chain counters and payments of the named chains, the per-swap
+    /// attributions of the named swaps, and every live billing record on
+    /// one of the named chains. The moved slices leave this ledger, so a
+    /// shard world (see `World::split_shard`) can bill, reprice, and
+    /// refund against real records — an eviction-refund or reorg-
+    /// abandonment probe (`is_billed`) inside the shard must see exactly
+    /// the history the full world saw.
+    pub fn split_off(&mut self, chains: &[ChainId], swaps: &[SwapId]) -> FeeLedger {
+        let mut out = FeeLedger::new();
+        for chain in chains {
+            if let Some(v) = self.deployments.remove(chain) {
+                out.deployments.insert(*chain, v);
+            }
+            if let Some(v) = self.calls.remove(chain) {
+                out.calls.insert(*chain, v);
+            }
+            if let Some(v) = self.transfers.remove(chain) {
+                out.transfers.insert(*chain, v);
+            }
+            if let Some(v) = self.fees_paid.remove(chain) {
+                out.fees_paid.insert(*chain, v);
+            }
+        }
+        for swap in swaps {
+            if let Some(v) = self.by_swap.remove(swap) {
+                out.by_swap.insert(*swap, v);
+            }
+        }
+        let chain_set: std::collections::BTreeSet<ChainId> = chains.iter().copied().collect();
+        let (moved, kept) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|(_, bill)| chain_set.contains(&bill.chain));
+        out.pending = moved;
+        self.pending = kept;
+        out
+    }
+
+    /// Fold a split-off slice back in. Every map is keyed (by chain, swap,
+    /// or transaction id), so absorption is additive merging — the result
+    /// is independent of the order shards are absorbed in.
+    pub fn absorb(&mut self, other: FeeLedger) {
+        for (chain, v) in other.deployments {
+            *self.deployments.entry(chain).or_default() += v;
+        }
+        for (chain, v) in other.calls {
+            *self.calls.entry(chain).or_default() += v;
+        }
+        for (chain, v) in other.transfers {
+            *self.transfers.entry(chain).or_default() += v;
+        }
+        for (chain, v) in other.fees_paid {
+            *self.fees_paid.entry(chain).or_default() += v;
+        }
+        for (swap, v) in other.by_swap {
+            *self.by_swap.entry(swap).or_default() += v;
+        }
+        self.pending.extend(other.pending);
+    }
+
     /// Fees attributed to one swap of a concurrent batch.
     pub fn fees_for_swap(&self, swap: SwapId) -> Amount {
         self.by_swap.get(&swap).copied().unwrap_or(0)

@@ -154,6 +154,35 @@ impl ParticipantSet {
         self.participants.keys().cloned().collect()
     }
 
+    /// Move the participants owning the given addresses out into their own
+    /// set. The participants themselves move — per-chain transaction
+    /// builders and their nonce state travel along — so a shard worker can
+    /// sign on behalf of its actors exactly as the full set would have,
+    /// and [`ParticipantSet::absorb`] returns them with the nonces they
+    /// advanced to.
+    pub fn split_off(&mut self, addresses: &[Address]) -> ParticipantSet {
+        let wanted: std::collections::BTreeSet<Address> = addresses.iter().copied().collect();
+        let names: Vec<String> = self
+            .participants
+            .iter()
+            .filter(|(_, p)| wanted.contains(&p.address()))
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut out = ParticipantSet::new();
+        for name in names {
+            if let Some(p) = self.participants.remove(&name) {
+                out.participants.insert(name, p);
+            }
+        }
+        out
+    }
+
+    /// Fold a split-off set back in (names are globally unique, so this
+    /// never overwrites a live participant).
+    pub fn absorb(&mut self, other: ParticipantSet) {
+        self.participants.extend(other.participants);
+    }
+
     /// Number of participants.
     pub fn len(&self) -> usize {
         self.participants.len()

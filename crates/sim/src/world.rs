@@ -82,6 +82,22 @@ struct ChainSlot {
     outages: Vec<OutageWindow>,
 }
 
+/// Memoised congestion view of one chain, keyed by the (clock, mempool
+/// revision) pair it was derived at. At 10k concurrent machines the
+/// stuck-bid escalation path probes congestion once per poll; within one
+/// scheduler tick the clock is frozen and most mempools are untouched, so
+/// the snapshot — and the O(block budget) marginal-price walk — can be
+/// derived once per (chain, tick) and replayed from here.
+struct CongestionCacheEntry {
+    now: Timestamp,
+    revision: u64,
+    snapshot: ChainCongestion,
+    /// The marginal price of next-block inclusion (the fee at mempool rank
+    /// `block_budget - 1`), computed lazily on the first probe at this
+    /// (clock, revision) — non-Adaptive pollers never pay for it.
+    marginal: Option<Option<Amount>>,
+}
+
 /// Snapshot of one chain's mempool congestion — the demand side of the fee
 /// market, read by protocol machines deciding whether to out-bid their own
 /// stuck submissions and by witness-assignment strategies routing new swaps
@@ -127,6 +143,16 @@ pub struct World {
     /// The swap currently charged for submitted fees (set by the scheduler
     /// around each machine poll so concurrent AC2Ts get separate bills).
     fee_attribution: Option<SwapId>,
+    /// Per-chain congestion snapshots memoised by (clock, mempool
+    /// revision); see [`World::congestion_cached`].
+    congestion_cache: BTreeMap<ChainId, CongestionCacheEntry>,
+    /// Pinned Δ (see [`World::pin_timing`]): a shard world split off a
+    /// larger world must keep using the full world's Δ — timelocks are
+    /// commitments against global publication time, not against whichever
+    /// chains happen to share the shard.
+    delta_override: Option<u64>,
+    /// Pinned minimum block interval (see [`World::pin_timing`]).
+    min_interval_override: Option<u64>,
 }
 
 impl fmt::Debug for World {
@@ -154,6 +180,9 @@ impl World {
             timeline: Timeline::new(),
             fees: FeeLedger::new(),
             fee_attribution: None,
+            congestion_cache: BTreeMap::new(),
+            delta_override: None,
+            min_interval_override: None,
         }
     }
 
@@ -210,6 +239,9 @@ impl World {
     /// publication to be publicly recognised* (i.e. buried under the chain's
     /// stable depth). We take the maximum over all chains.
     pub fn delta_ms(&self) -> u64 {
+        if let Some(delta) = self.delta_override {
+            return delta;
+        }
         self.chains
             .values()
             .map(|s| s.chain.params().block_interval_ms * (s.chain.params().stable_depth + 1))
@@ -220,7 +252,21 @@ impl World {
     /// The smallest block interval across chains — the natural polling step
     /// for waits on on-chain conditions (nothing can change between blocks).
     pub fn min_block_interval_ms(&self) -> u64 {
+        if let Some(interval) = self.min_interval_override {
+            return interval;
+        }
         self.chains.values().map(|s| s.chain.params().block_interval_ms).min().unwrap_or(1_000)
+    }
+
+    /// Pin Δ and the minimum block interval to explicit values, overriding
+    /// the per-chain derivations. A shard world split off a larger world
+    /// (see [`World::split_shard`]) holds only its own chains, but the
+    /// machines it runs negotiated their timelocks against the *full*
+    /// world's Δ — deriving a smaller Δ from the shard's chains would
+    /// silently shrink every safety margin.
+    pub fn pin_timing(&mut self, delta_ms: u64, min_block_interval_ms: u64) {
+        self.delta_override = Some(delta_ms);
+        self.min_interval_override = Some(min_block_interval_ms);
     }
 
     // ------------------------------------------------------------------
@@ -303,6 +349,49 @@ impl World {
                 }
                 None => break,
             }
+        }
+        self.now = target;
+    }
+
+    /// Run one chain's mining loop up to `target`: exactly the per-chain
+    /// projection of [`World::advance`]'s event loop (same block times,
+    /// same miner, same interval arithmetic), just without the cross-chain
+    /// interleaving — which is unobservable, since mining one chain never
+    /// reads or writes another.
+    fn advance_slot(slot: &mut ChainSlot, target: Timestamp) {
+        while slot.next_block_at <= target {
+            let at = slot.next_block_at;
+            let miner = slot.miner;
+            let _ = slot.chain.mine_block(miner, at);
+            slot.next_block_at = at + slot.chain.params().block_interval_ms;
+        }
+    }
+
+    /// Advance simulated time by `ms` exactly like [`World::advance`], with
+    /// the per-chain mining loops spread across up to `threads` scoped OS
+    /// threads. Chains are independent within a tick — a block mined on one
+    /// chain never touches another chain's mempool, store, or state — so
+    /// the per-chain loops commute and the post-advance world is bitwise
+    /// identical to the serial schedule at any thread count (including 1).
+    pub fn advance_parallel(&mut self, ms: u64, threads: usize) {
+        let target = self.now + ms;
+        let mut slots: Vec<&mut ChainSlot> = self.chains.values_mut().collect();
+        let workers = threads.max(1).min(slots.len().max(1));
+        if workers <= 1 {
+            for slot in slots {
+                Self::advance_slot(slot, target);
+            }
+        } else {
+            let chunk = slots.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for shard in slots.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for slot in shard {
+                            Self::advance_slot(slot, target);
+                        }
+                    });
+                }
+            });
         }
         self.now = target;
     }
@@ -427,6 +516,51 @@ impl World {
         })
     }
 
+    /// [`World::congestion`] behind a per-chain memo keyed by (clock,
+    /// mempool revision): within one scheduler tick the clock is frozen,
+    /// so every poller after the first reads the cached snapshot instead
+    /// of re-deriving depth, floor, and base fee. Any mempool mutation
+    /// (admission, eviction, mining, base-fee move) bumps the revision and
+    /// transparently invalidates the entry — there is no explicit flush.
+    pub fn congestion_cached(&mut self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
+        let revision = self.chain(chain)?.mempool_revision();
+        if !self.is_reachable(chain) {
+            return Err(WorldError::ChainUnreachable(chain));
+        }
+        if let Some(entry) = self.congestion_cache.get(&chain) {
+            if entry.now == self.now && entry.revision == revision {
+                return Ok(entry.snapshot);
+            }
+        }
+        let snapshot = self.congestion(chain)?;
+        self.congestion_cache.insert(
+            chain,
+            CongestionCacheEntry { now: self.now, revision, snapshot, marginal: None },
+        );
+        Ok(snapshot)
+    }
+
+    /// The marginal price of next-block inclusion on `chain`: the fee bid
+    /// by the pending transaction at the last in-budget mempool rank
+    /// (`None` when the queue is shallower than a block). The underlying
+    /// probe is an O(block budget) walk of the priority order, so the
+    /// result is memoised alongside [`World::congestion_cached`] and
+    /// recomputed only when the clock or the mempool revision moves.
+    pub fn marginal_fee_cached(&mut self, chain: ChainId) -> Result<Option<Amount>, WorldError> {
+        let snapshot = self.congestion_cached(chain)?;
+        if let Some(entry) = self.congestion_cache.get(&chain) {
+            if let Some(marginal) = entry.marginal {
+                return Ok(marginal);
+            }
+        }
+        let rank = snapshot.block_budget.saturating_sub(1);
+        let marginal = self.chain(chain)?.mempool_fee_at_rank(rank);
+        if let Some(entry) = self.congestion_cache.get_mut(&chain) {
+            entry.marginal = Some(marginal);
+        }
+        Ok(marginal)
+    }
+
     /// Wait until a transaction is buried under `depth` blocks on the
     /// canonical chain (or time out after `max_ms`).
     pub fn wait_for_depth(
@@ -512,6 +646,55 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Sharding (parallel scheduler support)
+    // ------------------------------------------------------------------
+
+    /// Split the named chains — and the fee-ledger slices of the named
+    /// swaps — out of this world into a self-contained shard world sharing
+    /// the same clock. The chains *move* (blocks, mempools, outage
+    /// schedules, miner state and all), so a shard can be handed to a
+    /// worker thread and run exactly as the full world would have run it;
+    /// there is no cross-shard aliasing to synchronise. Δ and the minimum
+    /// block interval are pinned to the full world's values on both sides
+    /// (see [`World::pin_timing`]).
+    ///
+    /// The shard's timeline starts empty and its fee ledger holds exactly
+    /// the moved slices; [`World::absorb_shard`] folds both back.
+    pub fn split_shard(
+        &mut self,
+        chains: &[ChainId],
+        swaps: &[SwapId],
+    ) -> Result<World, WorldError> {
+        let delta = self.delta_ms();
+        let min_interval = self.min_block_interval_ms();
+        self.pin_timing(delta, min_interval);
+        let mut shard = World::new();
+        shard.now = self.now;
+        shard.next_chain_id = self.next_chain_id;
+        shard.pin_timing(delta, min_interval);
+        for id in chains {
+            let slot = self.chains.remove(id).ok_or(WorldError::UnknownChain(*id))?;
+            self.congestion_cache.remove(id);
+            shard.chains.insert(*id, slot);
+        }
+        shard.fees = self.fees.split_off(chains, swaps);
+        Ok(shard)
+    }
+
+    /// Fold a shard world back in: its chains return with their advanced
+    /// state, its timeline events are merged (timestamp order), and its
+    /// fee-ledger slices are added back. The shard must have rejoined at
+    /// the same clock it is absorbed at.
+    pub fn absorb_shard(&mut self, shard: World) {
+        assert_eq!(self.now, shard.now, "shards must rejoin at the same clock");
+        for (id, slot) in shard.chains {
+            self.chains.insert(id, slot);
+        }
+        self.timeline.merge(&shard.timeline);
+        self.fees.absorb(shard.fees);
+    }
+
+    // ------------------------------------------------------------------
     // Diagnostics
     // ------------------------------------------------------------------
 
@@ -532,6 +715,16 @@ impl World {
         }
     }
 }
+
+// The parallel scheduler moves whole worlds (shards) and `&mut ChainSlot`s
+// across scoped threads; keep the thread-safety of the simulation core a
+// compile-time fact rather than an accident of field types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<World>();
+    assert_send_sync::<Blockchain>();
+    assert_send_sync::<ChainCongestion>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -863,6 +1056,152 @@ mod tests {
         let snapshot = world.congestion(chain).unwrap();
         assert!(snapshot.base_fee > 1, "sustained full blocks raised the base fee");
         assert_eq!(snapshot.fee_floor, snapshot.base_fee);
+    }
+
+    /// Differential check: advancing with per-chain parallel loops must be
+    /// bitwise identical to the serial global-event-order loop, at every
+    /// thread count (including more threads than chains).
+    #[test]
+    fn advance_parallel_matches_serial_bitwise() {
+        let alice = addr(b"alice");
+        let build = || {
+            let mut world = World::new();
+            for i in 0..5u64 {
+                let mut p = fast_params(&format!("c{i}"));
+                p.block_interval_ms = 700 + 300 * i; // deliberately ragged intervals
+                world.add_chain(p, &[(alice, 100)]);
+            }
+            let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+            for id in world.chain_ids() {
+                let (inputs, outputs) =
+                    world.chain(id).unwrap().plan_payment(&alice, &alice, 1, 2).unwrap();
+                world.submit(id, kp.transfer(inputs, outputs, 2)).unwrap();
+            }
+            world
+        };
+
+        let mut serial = build();
+        serial.advance(9_999);
+        for threads in [1, 2, 4, 8] {
+            let mut parallel = build();
+            parallel.advance_parallel(9_999, threads);
+            assert_eq!(parallel.now(), serial.now());
+            for id in serial.chain_ids() {
+                let s = serial.chain(id).unwrap();
+                let p = parallel.chain(id).unwrap();
+                assert_eq!(s.tip(), p.tip(), "{id} tip diverged at {threads} threads");
+                assert_eq!(s.height(), p.height());
+                assert_eq!(s.state(), p.state(), "{id} state diverged at {threads} threads");
+                assert_eq!(s.mempool_len(), p.mempool_len());
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_cache_tracks_clock_and_mempool_revision() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
+
+        let empty = world.congestion_cached(chain).unwrap();
+        assert_eq!(empty, world.congestion(chain).unwrap(), "cache agrees with the derivation");
+        assert_eq!(world.marginal_fee_cached(chain).unwrap(), None);
+
+        // A submission at the same clock must invalidate via the revision.
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) =
+            world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 3).unwrap();
+        world.submit(chain, kp.transfer(inputs, outputs, 3)).unwrap();
+        let after_submit = world.congestion_cached(chain).unwrap();
+        assert_eq!(after_submit.depth, 1, "stale snapshot would still say empty");
+        assert_eq!(after_submit, world.congestion(chain).unwrap());
+
+        // Mining drains the pool; the clock moved, so the cache refreshes.
+        world.advance(1_000);
+        let after_block = world.congestion_cached(chain).unwrap();
+        assert_eq!(after_block.depth, 0);
+        assert_eq!(after_block, world.congestion(chain).unwrap());
+    }
+
+    #[test]
+    fn marginal_fee_cache_reports_the_last_in_budget_rank() {
+        let alice = addr(b"alice");
+        let mut world = World::new();
+        let mut params = fast_params("c");
+        params.tps = 2; // block budget 2 at 1 s blocks
+        let chain = world.add_chain(params, &[(alice, 100)]);
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        for (tag, fee) in [(1u8, 9u64), (2, 7), (3, 2)] {
+            let input =
+                vec![ac3_chain::OutPoint::new(TxId(ac3_crypto::Hash256::digest(&[tag])), 0)];
+            world.submit(chain, kp.transfer(input, vec![], fee)).unwrap();
+        }
+        assert_eq!(world.marginal_fee_cached(chain).unwrap(), Some(7));
+        // Cached replay at the same (clock, revision).
+        assert_eq!(world.marginal_fee_cached(chain).unwrap(), Some(7));
+        // A higher bid displaces the marginal rank; the revision refreshes
+        // the memo.
+        let input = vec![ac3_chain::OutPoint::new(TxId(ac3_crypto::Hash256::digest(&[4u8])), 0)];
+        world.submit(chain, kp.transfer(input, vec![], 8)).unwrap();
+        assert_eq!(world.marginal_fee_cached(chain).unwrap(), Some(8));
+    }
+
+    #[test]
+    fn shard_split_and_absorb_round_trips_state() {
+        let alice = addr(b"alice");
+        let bob = addr(b"bob");
+        let mut world = World::new();
+        let c0 = world.add_chain(fast_params("c0"), &[(alice, 100)]);
+        let mut slow = fast_params("c1");
+        slow.block_interval_ms = 10_000;
+        slow.stable_depth = 5;
+        let c1 = world.add_chain(slow, &[(bob, 100)]);
+        let full_delta = world.delta_ms();
+        let full_interval = world.min_block_interval_ms();
+
+        world.set_fee_attribution(Some(SwapId(1)));
+        let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
+        let (inputs, outputs) =
+            world.chain(c0).unwrap().plan_payment(&alice, &alice, 1, 4).unwrap();
+        let billed = world.submit(c0, kp.transfer(inputs, outputs, 4)).unwrap();
+        world.set_fee_attribution(None);
+
+        let mut shard = world.split_shard(&[c0], &[SwapId(1)]).unwrap();
+        // The fast chain moved, yet both sides keep the full world's timing.
+        assert_eq!(shard.delta_ms(), full_delta, "shard pins the full world's Δ");
+        assert_eq!(world.delta_ms(), full_delta, "residual master pins Δ too");
+        assert_eq!(shard.min_block_interval_ms(), full_interval);
+        assert!(world.chain(c0).is_err(), "the chain moved out");
+        assert!(shard.chain(c1).is_err(), "only the named chains moved");
+        // The billing record moved with the chain: the shard can refund it.
+        assert!(shard.fees.is_billed(&billed));
+        assert!(!world.fees.is_billed(&billed));
+        assert_eq!(shard.fees.fees_for_swap(SwapId(1)), 4);
+        assert_eq!(world.fees.total_fees(), 0);
+
+        // Both halves advance in lockstep; the shard mines its chain.
+        shard.advance(3_000);
+        world.advance(3_000);
+        let height = shard.chain(c0).unwrap().height();
+        assert_eq!(height, 3);
+
+        world.absorb_shard(shard);
+        assert_eq!(world.chain(c0).unwrap().height(), height, "advanced state returned");
+        assert_eq!(world.fees.fees_for_swap(SwapId(1)), 4);
+        assert_eq!(world.fees.total_fees(), 4);
+        assert!(world.fees.is_billed(&billed));
+        assert_eq!(world.chain_ids(), vec![c0, c1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same clock")]
+    fn absorbing_a_shard_at_a_different_clock_panics() {
+        let mut world = World::new();
+        let c0 = world.add_chain(fast_params("c0"), &[]);
+        world.add_chain(fast_params("c1"), &[]);
+        let mut shard = world.split_shard(&[c0], &[]).unwrap();
+        shard.advance(1_000);
+        world.absorb_shard(shard);
     }
 
     #[test]
