@@ -28,6 +28,7 @@ use crate::block::{Block, BlockHeader};
 use crate::contracts::{CallContext, ContractRecord, DeployContext, VmError, VmHandle};
 use crate::mempool::{Mempool, MempoolError};
 use crate::params::{ChainParams, SealPolicy};
+use crate::storage::{StoreConfig, StoreStats};
 use crate::store::{BlockStore, StoreError};
 use crate::transaction::{coinbase, Transaction, TxKind, TxOutput};
 use crate::types::{
@@ -238,11 +239,28 @@ impl Blockchain {
     /// asset allocations ("new bitcoins are generated and registered in the
     /// blockchain through mining"; genesis allocations model pre-existing
     /// balances).
+    /// The block-body storage backend is selected by the environment
+    /// ([`StoreConfig::from_env`]): the in-memory map unless
+    /// `AC3_STORE_BACKEND=paged`. Use [`Blockchain::with_store_config`]
+    /// to pin a backend explicitly.
     pub fn new(
         id: ChainId,
         params: ChainParams,
         vm: VmHandle,
         genesis_allocations: &[(Address, Amount)],
+    ) -> Self {
+        Self::with_store_config(id, params, vm, genesis_allocations, StoreConfig::from_env())
+    }
+
+    /// [`Blockchain::new`] with an explicit block-body storage backend.
+    /// Simulation results are bitwise identical across backends; the choice
+    /// affects only memory footprint and storage counters.
+    pub fn with_store_config(
+        id: ChainId,
+        params: ChainParams,
+        vm: VmHandle,
+        genesis_allocations: &[(Address, Amount)],
+        store_config: StoreConfig,
     ) -> Self {
         let genesis_txs: Vec<Transaction> = genesis_allocations
             .iter()
@@ -264,7 +282,7 @@ impl Blockchain {
             id,
             params,
             vm,
-            store: BlockStore::new(),
+            store: BlockStore::with_config(store_config),
             mempool,
             state: ChainState::default(),
             snapshots: SnapshotCache::default(),
@@ -310,6 +328,13 @@ impl Blockchain {
     /// The underlying block store (read-only).
     pub fn store(&self) -> &BlockStore {
         &self.store
+    }
+
+    /// Counters and shape of the block-body storage backend (buffer-pool
+    /// hits/misses/evictions on the paged backend; all-zero counters on
+    /// the in-memory backend).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// The currently derived canonical state (read-only).
@@ -692,7 +717,7 @@ impl Blockchain {
             // here cannot fail. If it somehow does, the chain state is
             // the replay prefix — an internal invariant violation we
             // surface loudly in debug builds.
-            let result = Self::execute_block(&self.vm, self.id, &self.params, &mut state, block);
+            let result = Self::execute_block(&self.vm, self.id, &self.params, &mut state, &block);
             debug_assert!(result.is_ok(), "canonical replay failed: {result:?}");
         }
         state
@@ -714,15 +739,16 @@ impl Blockchain {
         }
         // Walk back until a covered ancestor (or genesis) is found; the
         // uncovered blocks collect in `suffix`, newest first.
-        let mut suffix: Vec<&Block> = Vec::new();
+        let mut suffix: Vec<std::sync::Arc<Block>> = Vec::new();
         let mut cursor = *at;
         let mut state = loop {
             let block = self.store.get(&cursor).ok_or(ChainError::UnknownBlock(cursor))?;
+            let header = block.header;
             suffix.push(block);
-            if block.header.is_genesis() {
+            if header.is_genesis() {
                 break ChainState::default();
             }
-            let parent = block.header.parent;
+            let parent = header.parent;
             if self.store.best_tip() == Some(parent) {
                 break self.state.clone();
             }
@@ -1100,7 +1126,7 @@ mod tests {
             Arc::new(EchoVm),
             &[(alice, 100)],
         );
-        let foreign_genesis = chain_b.store().get(&chain_b.tip()).unwrap().clone();
+        let foreign_genesis = (*chain_b.store().get(&chain_b.tip()).unwrap()).clone();
         assert!(matches!(
             chain_a.accept_block(foreign_genesis).unwrap_err(),
             ChainError::WrongChain { .. }

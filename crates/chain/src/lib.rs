@@ -32,6 +32,7 @@ pub mod contracts;
 pub mod light;
 pub mod mempool;
 pub mod params;
+pub mod storage;
 pub mod store;
 pub mod transaction;
 pub mod types;
@@ -46,6 +47,10 @@ pub use contracts::{
 pub use light::{HeaderEvidence, LightClient, LightClientError};
 pub use mempool::{Mempool, MempoolError};
 pub use params::{BaseFeeSchedule, ChainParams, SealPolicy};
+pub use storage::{
+    BufferPool, MemoryStore, PagedStore, PolicyKind, ReplacementPolicy, Store, StoreConfig,
+    StoreStats,
+};
 pub use store::{BlockStore, StoreError};
 pub use transaction::{coinbase, Transaction, TxBuilder, TxKind, TxOutput};
 pub use types::{

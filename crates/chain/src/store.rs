@@ -5,12 +5,25 @@
 //! resolved. The store therefore keeps *every* block it has seen — not just
 //! the canonical chain — tracks all tips, and resolves forks with the
 //! longest-chain rule (ties broken by lowest hash, deterministically).
+//!
+//! Storage is split in two (DESIGN.md §11):
+//!
+//! * **metadata** — headers, chain lengths, the child/tip sets and the
+//!   canonical indexes — lives in memory, always. It is small and touched
+//!   on every fork-choice decision and every header query, so header-only
+//!   paths ([`BlockStore::header`], [`BlockStore::headers_since`]) never
+//!   materialize a block body;
+//! * **bodies** — the transaction payloads — go through the pluggable
+//!   [`Store`] trait: the in-memory map by default, or the paged
+//!   file-backed backend ([`crate::storage::PagedStore`]) whose buffer
+//!   pool bounds resident memory regardless of chain length.
 
 use crate::block::{Block, BlockHeader};
+use crate::storage::{Store, StoreConfig, StoreStats};
 use crate::types::{BlockHash, BlockHeight, TxId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised when inserting blocks into the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +45,9 @@ pub enum StoreError {
     InsufficientWork(BlockHash),
     /// A genesis block was inserted into a store that already has one.
     DuplicateGenesis,
+    /// The body backend failed to persist or retrieve a block (file-backed
+    /// backends only; the in-memory backend never raises this).
+    Io(String),
 }
 
 impl fmt::Display for StoreError {
@@ -45,16 +61,18 @@ impl fmt::Display for StoreError {
             StoreError::BadTxRoot(h) => write!(f, "bad tx root in {h}"),
             StoreError::InsufficientWork(h) => write!(f, "insufficient proof of work in {h}"),
             StoreError::DuplicateGenesis => write!(f, "store already has a genesis block"),
+            StoreError::Io(e) => write!(f, "block storage io error: {e}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
-/// Summary information about one stored block.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct BlockEntry {
-    block: Block,
+/// In-memory metadata of one stored block: everything fork choice and
+/// header queries need, without the body.
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    header: BlockHeader,
     /// Cumulative chain length (number of blocks from genesis, inclusive).
     chain_len: u64,
 }
@@ -74,9 +92,13 @@ struct BlockEntry {
 ///   canonical chain.
 ///
 /// On a reorg only the divergent suffix of the canonical chain is reindexed.
-#[derive(Debug, Clone, Default)]
+///
+/// Block *bodies* are held by a pluggable [`Store`] backend — see the
+/// module docs and [`BlockStore::with_config`].
+#[derive(Debug)]
 pub struct BlockStore {
-    blocks: HashMap<BlockHash, BlockEntry>,
+    meta: HashMap<BlockHash, BlockMeta>,
+    bodies: Box<dyn Store>,
     /// Children of each block, used to enumerate forks.
     children: HashMap<BlockHash, Vec<BlockHash>>,
     /// All current tips (blocks without children), kept sorted for
@@ -93,20 +115,42 @@ pub struct BlockStore {
     canonical_txs: HashMap<TxId, (BlockHash, usize)>,
 }
 
+impl Default for BlockStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl BlockStore {
-    /// An empty store.
+    /// An empty store on the backend selected by the environment
+    /// ([`StoreConfig::from_env`]; the in-memory map unless
+    /// `AC3_STORE_BACKEND=paged`).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(StoreConfig::from_env())
+    }
+
+    /// An empty store on an explicit body backend.
+    pub fn with_config(config: StoreConfig) -> Self {
+        BlockStore {
+            meta: HashMap::new(),
+            bodies: config.build(),
+            children: HashMap::new(),
+            tips: BTreeMap::new(),
+            genesis: None,
+            best_tip: None,
+            canonical: Vec::new(),
+            canonical_txs: HashMap::new(),
+        }
     }
 
     /// Number of blocks stored (across all forks).
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.meta.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.meta.is_empty()
     }
 
     /// The genesis block hash, if a genesis has been inserted.
@@ -121,7 +165,7 @@ impl BlockStore {
 
     /// Height of the canonical tip.
     pub fn best_height(&self) -> Option<BlockHeight> {
-        self.best_tip.and_then(|h| self.blocks.get(&h)).map(|e| e.block.header.height)
+        self.best_tip.and_then(|h| self.meta.get(&h)).map(|m| m.header.height)
     }
 
     /// All current tips (canonical and fork tips).
@@ -129,19 +173,48 @@ impl BlockStore {
         self.tips.keys().copied().collect()
     }
 
-    /// Fetch a block by hash.
-    pub fn get(&self, hash: &BlockHash) -> Option<&Block> {
-        self.blocks.get(hash).map(|e| &e.block)
+    /// Fetch a block by hash. On the paged backend this faults the block's
+    /// page(s) into the buffer pool; the returned block is shared, not
+    /// copied, on the in-memory backend.
+    pub fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        // The metadata map is the source of truth for membership; the body
+        // backend must agree.
+        if !self.meta.contains_key(hash) {
+            return None;
+        }
+        self.bodies.body(hash)
     }
 
-    /// Fetch a header by hash.
+    /// Fetch a header by hash. Served from in-memory metadata: never
+    /// materializes a body, regardless of backend.
     pub fn header(&self, hash: &BlockHash) -> Option<BlockHeader> {
-        self.get(hash).map(|b| b.header)
+        self.meta.get(hash).map(|m| m.header)
     }
 
     /// Whether `hash` is stored.
     pub fn contains(&self, hash: &BlockHash) -> bool {
-        self.blocks.contains_key(hash)
+        self.meta.contains_key(hash)
+    }
+
+    /// Counters and shape of the body backend (all-zero counters on the
+    /// in-memory backend).
+    pub fn stats(&self) -> StoreStats {
+        self.bodies.stats()
+    }
+
+    /// The body backend's name: `"memory"` or `"paged"`.
+    pub fn backend(&self) -> &'static str {
+        self.bodies.stats().backend
+    }
+
+    /// Write any buffered dirty pages back to the backing file.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.bodies.flush().map_err(|e| StoreError::Io(e.to_string()))
+    }
+
+    /// The body of a block that is known to be stored.
+    fn body(&self, hash: &BlockHash) -> Arc<Block> {
+        self.bodies.body(hash).expect("indexed block has a stored body")
     }
 
     /// Insert a block, performing structural validation (parent link,
@@ -150,8 +223,8 @@ impl BlockStore {
     /// [`crate::chain::Blockchain`].
     pub fn insert(&mut self, block: Block) -> Result<BlockHash, StoreError> {
         let hash = block.hash();
-        if let Some(existing) = self.blocks.get(&hash) {
-            if existing.block == block {
+        if self.meta.contains_key(&hash) {
+            if *self.body(&hash) == block {
                 return Ok(hash); // idempotent re-insert
             }
             return Err(StoreError::DuplicateBlock(hash));
@@ -170,10 +243,10 @@ impl BlockStore {
             1
         } else {
             let parent = self
-                .blocks
+                .meta
                 .get(&block.header.parent)
                 .ok_or(StoreError::UnknownParent(block.header.parent))?;
-            let expected = parent.block.header.height + 1;
+            let expected = parent.header.height + 1;
             if block.header.height != expected {
                 return Err(StoreError::BadHeight { got: block.header.height, expected });
             }
@@ -187,7 +260,8 @@ impl BlockStore {
             self.tips.remove(&block.header.parent);
         }
         self.tips.insert(hash, ());
-        self.blocks.insert(hash, BlockEntry { block, chain_len });
+        self.meta.insert(hash, BlockMeta { header: block.header, chain_len });
+        self.bodies.insert_body(hash, block).map_err(|e| StoreError::Io(e.to_string()))?;
         self.update_best_tip();
         Ok(hash)
     }
@@ -202,8 +276,8 @@ impl BlockStore {
             .tips
             .keys()
             .max_by(|a, b| {
-                let la = self.blocks[*a].chain_len;
-                let lb = self.blocks[*b].chain_len;
+                let la = self.meta[*a].chain_len;
+                let lb = self.meta[*b].chain_len;
                 // Longest first; on equal length prefer the smaller hash
                 // (max_by keeps the "greater", so invert the hash ordering).
                 la.cmp(&lb).then_with(|| b.cmp(a))
@@ -217,7 +291,9 @@ impl BlockStore {
     /// Repair `canonical` and `canonical_txs` after a best-tip change.
     /// Walks back from the new tip only until it rejoins the previously
     /// indexed chain, so extending the tip is O(1) and a reorg is
-    /// O(divergent suffix), never O(chain length).
+    /// O(divergent suffix), never O(chain length). The fork walk itself
+    /// uses only in-memory metadata; bodies are read just for the blocks
+    /// whose transactions are (un)indexed.
     fn reindex_canonical(&mut self) {
         let Some(tip) = self.best_tip else {
             self.canonical.clear();
@@ -229,26 +305,28 @@ impl BlockStore {
         let mut fresh: Vec<BlockHash> = Vec::new();
         let mut cursor = tip;
         let fork_height = loop {
-            let entry = &self.blocks[&cursor];
-            let height = entry.block.header.height as usize;
+            let meta = &self.meta[&cursor];
+            let height = meta.header.height as usize;
             if self.canonical.get(height) == Some(&cursor) {
                 break height as u64;
             }
             fresh.push(cursor);
-            if entry.block.header.is_genesis() {
+            if meta.header.is_genesis() {
                 break 0;
             }
-            cursor = entry.block.header.parent;
+            cursor = meta.header.parent;
         };
         // Un-index the abandoned suffix (strictly above the fork point, or
         // the whole chain when the new branch roots at a fresh genesis).
-        let keep = if fresh.last().map(|h| self.blocks[h].block.header.is_genesis()) == Some(true) {
+        let keep = if fresh.last().map(|h| self.meta[h].header.is_genesis()) == Some(true) {
             0
         } else {
             fork_height as usize + 1
         };
-        for hash in self.canonical.drain(keep..) {
-            for tx in &self.blocks[&hash].block.transactions {
+        let abandoned: Vec<BlockHash> = self.canonical.drain(keep..).collect();
+        for hash in abandoned {
+            let block = self.body(&hash);
+            for tx in &block.transactions {
                 // Remove only entries still pointing at the abandoned block;
                 // a duplicate txid re-indexed by the new branch must stay.
                 if let Some((owner, _)) = self.canonical_txs.get(&tx.id()) {
@@ -260,16 +338,25 @@ impl BlockStore {
         }
         // Index the new suffix in ascending height order.
         for hash in fresh.into_iter().rev() {
-            let entry = &self.blocks[&hash];
-            debug_assert_eq!(entry.block.header.height as usize, self.canonical.len());
-            for (idx, tx) in entry.block.transactions.iter().enumerate() {
+            let block = self.body(&hash);
+            debug_assert_eq!(block.header.height as usize, self.canonical.len());
+            for (idx, tx) in block.transactions.iter().enumerate() {
                 self.canonical_txs.insert(tx.id(), (hash, idx));
             }
             self.canonical.push(hash);
         }
     }
 
-    /// The canonical chain from genesis to the best tip (inclusive).
+    /// The canonical chain from genesis to the best tip (inclusive), as a
+    /// borrowed slice — the allocation-free accessor; prefer it over
+    /// [`BlockStore::canonical_chain`].
+    pub fn canonical_hashes(&self) -> &[BlockHash] {
+        &self.canonical
+    }
+
+    /// The canonical chain from genesis to the best tip (inclusive),
+    /// cloned into a fresh `Vec`. Callers that only iterate should use
+    /// [`BlockStore::canonical_hashes`].
     pub fn canonical_chain(&self) -> Vec<BlockHash> {
         self.canonical.clone()
     }
@@ -277,8 +364,8 @@ impl BlockStore {
     /// Whether `hash` lies on the canonical chain. O(1) via the height
     /// index.
     pub fn is_canonical(&self, hash: &BlockHash) -> bool {
-        let Some(entry) = self.blocks.get(hash) else { return false };
-        self.canonical.get(entry.block.header.height as usize) == Some(hash)
+        let Some(meta) = self.meta.get(hash) else { return false };
+        self.canonical.get(meta.header.height as usize) == Some(hash)
     }
 
     /// The canonical block at a given height, if the chain is that long.
@@ -295,7 +382,7 @@ impl BlockStore {
         if !self.is_canonical(hash) {
             return None;
         }
-        let height = self.blocks.get(hash)?.block.header.height;
+        let height = self.meta.get(hash)?.header.height;
         Some(self.best_height()? - height)
     }
 
@@ -310,19 +397,22 @@ impl BlockStore {
     /// ascending height order. Returns `None` if `from` is not canonical.
     /// This is the evidence payload of Section 4.3: "the headers of all the
     /// blocks that follow the stored stable block".
+    ///
+    /// Served entirely from in-memory metadata: no block body is
+    /// materialized on any backend (the header-only read path).
     pub fn headers_since(&self, from: &BlockHash) -> Option<Vec<BlockHeader>> {
         if !self.is_canonical(from) {
             return None;
         }
-        let from_height = self.blocks.get(from)?.block.header.height as usize;
-        Some(
-            self.canonical[from_height + 1..].iter().map(|h| self.blocks[h].block.header).collect(),
-        )
+        let from_height = self.meta.get(from)?.header.height as usize;
+        Some(self.canonical[from_height + 1..].iter().map(|h| self.meta[h].header).collect())
     }
 
-    /// Iterate canonical blocks in ascending height order.
-    pub fn canonical_blocks(&self) -> impl Iterator<Item = &Block> {
-        self.canonical.iter().map(move |h| &self.blocks[h].block)
+    /// Iterate canonical blocks in ascending height order. Each step
+    /// fetches one body through the backend (a sequential page scan on the
+    /// paged backend).
+    pub fn canonical_blocks(&self) -> impl Iterator<Item = Arc<Block>> + '_ {
+        self.canonical.iter().map(move |h| self.body(h))
     }
 }
 
@@ -330,6 +420,7 @@ impl BlockStore {
 mod tests {
     use super::*;
     use crate::block::{Block, BlockHeader};
+    use crate::storage::PolicyKind;
     use crate::transaction::{coinbase, Transaction};
     use crate::types::{Address, ChainId};
     use ac3_crypto::{Hash256, KeyPair};
@@ -372,7 +463,7 @@ mod tests {
     fn linear_chain_is_canonical() {
         let (store, blocks) = chain_of(5);
         assert_eq!(store.best_height(), Some(4));
-        assert_eq!(store.canonical_chain().len(), 5);
+        assert_eq!(store.canonical_hashes().len(), 5);
         for b in &blocks {
             assert!(store.is_canonical(&b.hash()));
         }
@@ -488,5 +579,44 @@ mod tests {
         let mut genesis = make_block(None, 0, vec![]);
         genesis.header.target = Hash256::ZERO;
         assert!(matches!(store.insert(genesis).unwrap_err(), StoreError::InsufficientWork(_)));
+    }
+
+    /// The full store test-surface above runs on whatever backend the
+    /// environment selects (the CI backend matrix sets
+    /// `AC3_STORE_BACKEND=paged`); this test pins the paged backend
+    /// explicitly, with a pool an order of magnitude smaller than the
+    /// chain, and checks the fork-choice surface plus the counters.
+    #[test]
+    fn paged_backend_with_tiny_pool_serves_a_much_larger_chain() {
+        let config =
+            StoreConfig::Paged { pool_pages: 4, page_size: 512, policy: PolicyKind::Sieve };
+        let mut store = BlockStore::with_config(config);
+        let mut blocks = Vec::new();
+        for i in 0..200 {
+            let block = make_block(blocks.last(), i as u64, vec![]);
+            store.insert(block.clone()).unwrap();
+            blocks.push(block);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.backend, "paged");
+        assert_eq!(stats.blocks, 200);
+        assert!(
+            stats.bytes_stored > 10 * 4 * 512,
+            "chain must be ≥ 10× the pool, got {} bytes",
+            stats.bytes_stored
+        );
+        assert!(stats.evictions > 0, "eviction must actually be exercised");
+        assert!(stats.misses > 0);
+        // Every block — resident or spilled — reads back intact.
+        for b in &blocks {
+            assert_eq!(*store.get(&b.hash()).unwrap(), *b);
+        }
+        // Header-only paths do not touch the pool.
+        let pins_before = store.stats();
+        let headers = store.headers_since(&blocks[0].hash()).unwrap();
+        assert_eq!(headers.len(), 199);
+        let pins_after = store.stats();
+        assert_eq!(pins_after.hits, pins_before.hits, "headers_since reads no pages");
+        assert_eq!(pins_after.misses, pins_before.misses);
     }
 }

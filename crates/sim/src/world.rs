@@ -14,7 +14,7 @@
 use crate::faults::OutageWindow;
 use crate::metrics::{FeeKind, FeeLedger, SwapId, Timeline};
 use ac3_chain::{
-    Address, Amount, Block, BlockHash, Blockchain, ChainError, ChainId, ChainParams, ContractId,
+    Address, Amount, BlockHash, Blockchain, ChainError, ChainId, ChainParams, ContractId,
     Timestamp, Transaction, TxId, TxKind,
 };
 use ac3_contracts::{ChainAnchor, SwapVm, TxInclusionEvidence};
@@ -626,7 +626,7 @@ impl World {
             .store()
             .find_canonical_tx(&txid)
             .ok_or_else(|| WorldError::EvidenceUnavailable(format!("{txid} not canonical")))?;
-        let block: &Block = c
+        let block = c
             .store()
             .get(&block_hash)
             .ok_or_else(|| WorldError::EvidenceUnavailable("block missing".to_string()))?;

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Perf/quality ratchet over committed BENCH_*.json reports.
+
+Usage: compare_bench.py BASELINE.json FRESH.json [--tolerance PCT]
+
+Compares the ``ratchet`` object of a freshly generated bench report against
+the committed baseline and exits nonzero when any metric regresses by more
+than the tolerance (default 15%). Direction is inferred from the key name:
+keys ending in ``_ns``/``_us``/``_ms`` are timings (lower is better);
+everything else — hit rates, throughputs — is higher-is-better.
+
+Only deterministic metrics belong in ``ratchet`` (the buffer-pool bench
+puts buffer-pool hit rates of fixed access sequences there, which are
+machine-independent); wall-clock timings live in informational fields that
+this script never compares, so shared CI runners cannot flake the gate.
+
+Improvements are reported but never fail the run; a new key in the fresh
+report (no baseline entry) is reported and skipped; a key that *vanished*
+from the fresh report fails — silently dropping a metric is how ratchets
+rot.
+
+The vendored serde serializes Rust maps as arrays of ``[key, value]``
+pairs; plain JSON objects are accepted too.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_ratchet(path):
+    with open(path) as f:
+        report = json.load(f)
+    ratchet = report.get("ratchet")
+    if ratchet is None:
+        sys.exit(f"error: {path} has no 'ratchet' object")
+    if isinstance(ratchet, list):  # vendored-serde map shape
+        ratchet = {str(k): v for k, v in ratchet}
+    return {k: float(v) for k, v in ratchet.items()}
+
+
+def lower_is_better(key):
+    return key.rsplit("/", 1)[0].endswith(("_ns", "_us", "_ms")) or key.endswith(
+        ("_ns", "_us", "_ms")
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=15.0, help="allowed regression, percent")
+    args = ap.parse_args()
+
+    base = load_ratchet(args.baseline)
+    fresh = load_ratchet(args.fresh)
+    tol = args.tolerance / 100.0
+
+    failures = []
+    for key in sorted(base):
+        if key not in fresh:
+            failures.append(f"{key}: present in baseline but missing from fresh report")
+            continue
+        b, f = base[key], fresh[key]
+        if lower_is_better(key):
+            regressed = f > b * (1.0 + tol)
+            delta = (f - b) / b * 100.0 if b else 0.0
+        else:
+            regressed = f < b * (1.0 - tol)
+            delta = (f - b) / b * 100.0 if b else 0.0
+        marker = "FAIL" if regressed else ("  ok" if abs(delta) <= args.tolerance else "  up")
+        print(f"{marker}  {key}: baseline {b:.6g} -> fresh {f:.6g} ({delta:+.1f}%)")
+        if regressed:
+            failures.append(f"{key}: {b:.6g} -> {f:.6g} ({delta:+.1f}%)")
+    for key in sorted(set(fresh) - set(base)):
+        print(f" new  {key}: {fresh[key]:.6g} (no baseline, skipped)")
+
+    if failures:
+        print(f"\n{len(failures)} ratchet regression(s) beyond {args.tolerance:.0f}%:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nratchet ok: {len(base)} metrics within {args.tolerance:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
