@@ -261,6 +261,8 @@ impl SwapSession {
             // graph, as in Algorithm 3's constructor.
             graph_digest: self.multisig.digest(),
             expected_contracts: expected.clone(),
+            operator: None,
+            stake: 0,
         });
         let registrant = self.first_available(world, participants).ok_or_else(|| {
             ClientError::Protocol(ProtocolError::World("no participant available".into()))

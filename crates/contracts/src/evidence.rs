@@ -25,7 +25,10 @@ use ac3_chain::light::verify_header_chain;
 use ac3_chain::{
     Address, Amount, BlockHash, BlockHeader, ChainId, ContractId, Transaction, TxKind, VmError,
 };
-use ac3_crypto::{MerkleProof, WitnessState};
+use ac3_crypto::{
+    Hash256, KeyPair, MerkleProof, PublicKey, Signature, SignatureLock, WitnessDecision,
+    WitnessState,
+};
 use serde::{Deserialize, Serialize};
 
 /// A stable block of some chain, stored inside a validator contract at
@@ -238,11 +241,103 @@ impl WitnessStateEvidence {
     }
 }
 
+/// A witness-network operator's signed attestation of an AC2T decision —
+/// the testimony object of the Byzantine fault model.
+///
+/// The message signed is exactly [`SignatureLock::signed_message`], the
+/// same domain-separated payload an AC3TW trusted witness signs to release
+/// a commitment, so one proof format covers both the centralized witness
+/// and a witness-network operator attesting its network's decision
+/// off-chain. The attestation is *self-incriminating by pairing*: two
+/// valid [`SignedDecision`]s by the same key over the same graph with
+/// different decisions form an [`EquivocationProof`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedDecision {
+    /// The attesting operator's public key.
+    pub witness: PublicKey,
+    /// The multisigned-graph digest `ms(D)` the decision is about.
+    pub graph_digest: Hash256,
+    /// The attested decision.
+    pub decision: WitnessDecision,
+    /// Schnorr signature over [`SignatureLock::signed_message`].
+    pub signature: Signature,
+}
+
+impl SignedDecision {
+    /// Sign a decision with the operator's key.
+    pub fn sign(operator: &KeyPair, graph_digest: Hash256, decision: WitnessDecision) -> Self {
+        let msg = SignatureLock::signed_message(&graph_digest, decision);
+        SignedDecision {
+            witness: operator.public(),
+            graph_digest,
+            decision,
+            signature: operator.sign(&msg),
+        }
+    }
+
+    /// Verify the signature against the embedded key, digest and decision.
+    pub fn verify(&self) -> Result<(), VmError> {
+        let msg = SignatureLock::signed_message(&self.graph_digest, self.decision);
+        if !self.witness.verifies(&msg, &self.signature) {
+            return Err(VmError::RequirementFailed(
+                "decision signature does not verify".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether `other` contradicts this attestation: same key, same graph,
+    /// opposite decision. (Signatures are checked separately by
+    /// [`EquivocationProof::verify`].)
+    pub fn conflicts_with(&self, other: &SignedDecision) -> bool {
+        self.witness == other.witness
+            && self.graph_digest == other.graph_digest
+            && self.decision != other.decision
+    }
+}
+
+/// Fraud proof of witness equivocation: two validly signed, conflicting
+/// decisions by the same operator over the same graph. Submitted on-chain
+/// via `WitnessCall::ReportEquivocation`, it forfeits the operator's stake
+/// to the reporter (the slashing flow of DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EquivocationProof {
+    /// One signed decision.
+    pub first: SignedDecision,
+    /// The conflicting signed decision.
+    pub second: SignedDecision,
+}
+
+impl EquivocationProof {
+    /// Verify the proof against the contract's registered operator key and
+    /// graph digest: both attestations must be validly signed by exactly
+    /// that key over exactly that graph, and contradict each other.
+    pub fn verify(&self, operator: &PublicKey, graph_digest: &Hash256) -> Result<(), VmError> {
+        if self.first.witness != *operator || self.second.witness != *operator {
+            return Err(VmError::RequirementFailed(
+                "attestation key is not the registered operator".to_string(),
+            ));
+        }
+        if self.first.graph_digest != *graph_digest || self.second.graph_digest != *graph_digest {
+            return Err(VmError::RequirementFailed(
+                "attestation is about a different graph".to_string(),
+            ));
+        }
+        if !self.first.conflicts_with(&self.second) {
+            return Err(VmError::RequirementFailed(
+                "attestations do not contradict each other".to_string(),
+            ));
+        }
+        self.first.verify()?;
+        self.second.verify()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ac3_chain::{TxBuilder, TxOutput};
-    use ac3_crypto::{Hash256, KeyPair, MerkleTree};
+    use ac3_crypto::MerkleTree;
 
     fn addr(seed: &[u8]) -> Address {
         Address::from(KeyPair::from_seed(seed).public())
@@ -337,5 +432,61 @@ mod tests {
         let (anchor, mut ev) = fabricate_evidence(sample_transfer(), 2);
         ev.headers.clear();
         assert!(ev.verify(&anchor, 0).is_err());
+    }
+
+    #[test]
+    fn signed_decision_round_trip() {
+        let op = KeyPair::from_seed(b"operator");
+        let digest = Hash256::digest(b"ms(D)");
+        let d = SignedDecision::sign(&op, digest, WitnessDecision::Redeem);
+        d.verify().unwrap();
+        // Tampering with any field breaks the signature.
+        let mut forged = d;
+        forged.decision = WitnessDecision::Refund;
+        assert!(forged.verify().is_err());
+        let mut forged = d;
+        forged.graph_digest = Hash256::digest(b"other");
+        assert!(forged.verify().is_err());
+        let mut forged = d;
+        forged.witness = KeyPair::from_seed(b"mallory").public();
+        assert!(forged.verify().is_err());
+    }
+
+    #[test]
+    fn conflicting_decisions_form_a_valid_equivocation_proof() {
+        let op = KeyPair::from_seed(b"operator");
+        let digest = Hash256::digest(b"ms(D)");
+        let rd = SignedDecision::sign(&op, digest, WitnessDecision::Redeem);
+        let rf = SignedDecision::sign(&op, digest, WitnessDecision::Refund);
+        assert!(rd.conflicts_with(&rf));
+        EquivocationProof { first: rd, second: rf }.verify(&op.public(), &digest).unwrap();
+        // Order does not matter.
+        EquivocationProof { first: rf, second: rd }.verify(&op.public(), &digest).unwrap();
+    }
+
+    #[test]
+    fn equivocation_proof_rejects_non_conflicts_and_wrong_bindings() {
+        let op = KeyPair::from_seed(b"operator");
+        let digest = Hash256::digest(b"ms(D)");
+        let rd = SignedDecision::sign(&op, digest, WitnessDecision::Redeem);
+        let rf = SignedDecision::sign(&op, digest, WitnessDecision::Refund);
+
+        // Two copies of the same decision are not an equivocation.
+        assert!(EquivocationProof { first: rd, second: rd }.verify(&op.public(), &digest).is_err());
+        // A proof about a different graph digest does not slash this contract.
+        assert!(EquivocationProof { first: rd, second: rf }
+            .verify(&op.public(), &Hash256::digest(b"other"))
+            .is_err());
+        // A proof signed by a different key does not slash this operator.
+        let mallory = KeyPair::from_seed(b"mallory");
+        assert!(EquivocationProof { first: rd, second: rf }
+            .verify(&mallory.public(), &digest)
+            .is_err());
+        // A forged (unsigned) conflict is rejected even though it "conflicts".
+        let mut forged = rf;
+        forged.signature = mallory.sign(b"junk");
+        assert!(EquivocationProof { first: rd, second: forged }
+            .verify(&op.public(), &digest)
+            .is_err());
     }
 }

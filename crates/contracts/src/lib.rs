@@ -30,7 +30,8 @@ pub mod witness;
 
 pub use centralized::{CentralizedCall, CentralizedSpec, CentralizedState};
 pub use evidence::{
-    verify_deployment, ChainAnchor, ExpectedContract, TxInclusionEvidence, WitnessStateEvidence,
+    verify_deployment, ChainAnchor, EquivocationProof, ExpectedContract, SignedDecision,
+    TxInclusionEvidence, WitnessStateEvidence,
 };
 pub use htlc::{HtlcCall, HtlcSpec, HtlcState};
 pub use multihtlc::{MultiHtlcCall, MultiHtlcSpec, MultiHtlcState};

@@ -154,6 +154,15 @@ impl ContractVm for SwapVm {
                 ))
             }
             ContractSpec::Witness(spec) => {
+                // The deployment must lock exactly the declared stake (zero
+                // for the paper's unstaked base protocol), so the slashing
+                // payout is always covered by the contract's locked value.
+                if ctx.value != spec.stake {
+                    return Err(VmError::RequirementFailed(format!(
+                        "witness deployment locks {} but declares a stake of {}",
+                        ctx.value, spec.stake
+                    )));
+                }
                 ContractState::Witness(WitnessContractState::publish(spec)?)
             }
         };
@@ -228,6 +237,14 @@ impl ContractVm for SwapVm {
                 WitnessCall::AuthorizeRefund => {
                     s.authorize_refund()?;
                     (ContractState::Witness(s), vec![], "witness authorized refund".to_string())
+                }
+                WitnessCall::ReportEquivocation { proof } => {
+                    let stake = s.report_equivocation(&proof)?;
+                    (
+                        ContractState::Witness(s),
+                        vec![Payout { to: ctx.sender, amount: stake }],
+                        "witness operator slashed".to_string(),
+                    )
                 }
             },
             (state, _) => {
@@ -392,6 +409,8 @@ mod tests {
                 },
                 required_depth: 0,
             }],
+            operator: None,
+            stake: 0,
         });
         // The witness contract locks no value.
         let state = vm.deploy(&deploy_ctx(alice, 0), &spec.to_payload()).unwrap();
@@ -405,6 +424,54 @@ mod tests {
         // A second decision attempt fails: states are mutually exclusive.
         let redeem = ContractCall::Witness(WitnessCall::AuthorizeRedeem { deployments: vec![] });
         assert!(vm.call(&call_ctx(alice, 0), &outcome.new_state, &redeem.to_payload()).is_err());
+    }
+
+    #[test]
+    fn staked_witness_slash_through_the_vm() {
+        use crate::evidence::{ChainAnchor, EquivocationProof, ExpectedContract, SignedDecision};
+        use ac3_chain::BlockHash;
+        use ac3_crypto::WitnessDecision;
+
+        let vm = SwapVm::new();
+        let alice = addr(b"alice");
+        let watchdog = addr(b"watchdog");
+        let operator = KeyPair::from_seed(b"operator");
+        let digest = Hash256::digest(b"ms(D)");
+        let spec = ContractSpec::Witness(WitnessSpec {
+            participants: vec![alice],
+            graph_digest: digest,
+            expected_contracts: vec![ExpectedContract {
+                chain: ChainId(1),
+                sender: alice,
+                recipient: addr(b"bob"),
+                amount: 10,
+                anchor: ChainAnchor {
+                    chain: ChainId(1),
+                    hash: BlockHash::GENESIS_PARENT,
+                    height: 0,
+                },
+                required_depth: 0,
+            }],
+            operator: Some(operator.public()),
+            stake: 250,
+        });
+
+        // The locked value must match the declared stake exactly.
+        assert!(vm.deploy(&deploy_ctx(alice, 0), &spec.to_payload()).is_err());
+        assert!(vm.deploy(&deploy_ctx(alice, 500), &spec.to_payload()).is_err());
+        let state = vm.deploy(&deploy_ctx(alice, 250), &spec.to_payload()).unwrap();
+
+        let proof = EquivocationProof {
+            first: SignedDecision::sign(&operator, digest, WitnessDecision::Redeem),
+            second: SignedDecision::sign(&operator, digest, WitnessDecision::Refund),
+        };
+        let call = ContractCall::Witness(WitnessCall::ReportEquivocation { proof });
+        let outcome = vm.call(&call_ctx(watchdog, 0), &state, &call.to_payload()).unwrap();
+        assert_eq!(outcome.payouts, vec![Payout { to: watchdog, amount: 250 }]);
+        assert_eq!(outcome.events, vec!["witness operator slashed".to_string()]);
+
+        // A duplicate report against the new state fails: one slash only.
+        assert!(vm.call(&call_ctx(alice, 0), &outcome.new_state, &call.to_payload()).is_err());
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //! commitment-scheme instances of the asset contracts mutually exclusive
 //! (Lemma 5.1).
 
-use crate::evidence::{verify_deployment, ExpectedContract, TxInclusionEvidence};
-use ac3_chain::{Address, ChainId, ContractId, VmError};
-use ac3_crypto::{Hash256, WitnessState};
+use crate::evidence::{
+    verify_deployment, EquivocationProof, ExpectedContract, TxInclusionEvidence,
+};
+use ac3_chain::{Address, Amount, ChainId, ContractId, VmError};
+use ac3_crypto::{Hash256, PublicKey, WitnessState};
 use serde::{Deserialize, Serialize};
 
 /// Constructor payload for the witness contract (Algorithm 3, lines 5–9).
@@ -29,6 +31,14 @@ pub struct WitnessSpec {
     pub graph_digest: Hash256,
     /// One expected asset contract per edge of the graph, in edge order.
     pub expected_contracts: Vec<ExpectedContract>,
+    /// Off-chain attestation key of the witness-network operator. `None`
+    /// means no Byzantine accountability layer: nothing to slash (the
+    /// paper's base protocol, where the witness *is* the chain).
+    pub operator: Option<PublicKey>,
+    /// Stake locked at deployment and forfeited to whoever submits a valid
+    /// [`EquivocationProof`] against the operator. Deployment must lock
+    /// exactly this value.
+    pub stake: Amount,
 }
 
 /// Function-call payloads accepted by the witness contract.
@@ -42,6 +52,13 @@ pub enum WitnessCall {
     },
     /// Request the abort decision (Algorithm 3, lines 14–17).
     AuthorizeRefund,
+    /// Report operator equivocation: two validly signed conflicting
+    /// decisions over this contract's graph. Slashes the stake to the
+    /// caller. Accepted at most once per contract.
+    ReportEquivocation {
+        /// The fraud proof.
+        proof: EquivocationProof,
+    },
 }
 
 /// The on-chain state of the witness contract.
@@ -51,6 +68,10 @@ pub struct WitnessContractState {
     pub spec: WitnessSpec,
     /// The coordination state (`P`, `RDauth` or `RFauth`).
     pub state: WitnessState,
+    /// Whether the operator's stake has already been slashed. Slashing is
+    /// orthogonal to the coordination state: the decision (if any) stands,
+    /// only the operator's bond is forfeited.
+    pub slashed: bool,
 }
 
 impl WitnessContractState {
@@ -62,7 +83,12 @@ impl WitnessContractState {
         if spec.expected_contracts.is_empty() {
             return Err(VmError::RequirementFailed("no contracts to coordinate".to_string()));
         }
-        Ok(WitnessContractState { spec, state: WitnessState::Published })
+        if spec.stake > 0 && spec.operator.is_none() {
+            return Err(VmError::RequirementFailed(
+                "a staked witness contract needs an operator key to hold accountable".to_string(),
+            ));
+        }
+        Ok(WitnessContractState { spec, state: WitnessState::Published, slashed: false })
     }
 
     /// `VerifyContracts` (Algorithm 3, lines 18–23): every expected contract
@@ -118,6 +144,28 @@ impl WitnessContractState {
         Ok(())
     }
 
+    /// Slash the operator's stake on a verified [`EquivocationProof`]
+    /// (DESIGN.md §12). Requires a registered operator, an unslashed bond,
+    /// and a proof binding exactly this contract's operator and graph.
+    /// Returns the forfeited stake, to be paid out to the reporter; exactly
+    /// one report per contract can ever succeed.
+    pub fn report_equivocation(&mut self, proof: &EquivocationProof) -> Result<Amount, VmError> {
+        let Some(operator) = self.spec.operator else {
+            return Err(VmError::RequirementFailed(
+                "witness contract has no registered operator".to_string(),
+            ));
+        };
+        if self.slashed {
+            return Err(VmError::RequirementFailed("operator stake already slashed".to_string()));
+        }
+        if self.spec.stake == 0 {
+            return Err(VmError::RequirementFailed("witness contract holds no stake".to_string()));
+        }
+        proof.verify(&operator, &self.spec.graph_digest)?;
+        self.slashed = true;
+        Ok(self.spec.stake)
+    }
+
     /// The short state tag ("P", "RDauth", "RFauth") used in cross-chain
     /// queries and metrics.
     pub fn state_tag(&self) -> &'static str {
@@ -153,7 +201,13 @@ mod tests {
                 anchor,
                 required_depth: 0,
             }],
+            operator: None,
+            stake: 0,
         }
+    }
+
+    fn staked_spec(operator: &KeyPair, stake: Amount) -> WitnessSpec {
+        WitnessSpec { operator: Some(operator.public()), stake, ..spec() }
     }
 
     #[test]
@@ -202,5 +256,62 @@ mod tests {
         let before = sc.state;
         let _ = sc.authorize_redeem(&[], ChainId(0), ContractId(Hash256::ZERO));
         assert_eq!(sc.state, before);
+    }
+
+    #[test]
+    fn stake_without_operator_rejected_at_publish() {
+        let s = WitnessSpec { stake: 100, ..spec() };
+        assert!(WitnessContractState::publish(s).is_err());
+    }
+
+    #[test]
+    fn equivocation_slashes_the_stake_exactly_once() {
+        use crate::evidence::{EquivocationProof, SignedDecision};
+        use ac3_crypto::WitnessDecision;
+
+        let op = KeyPair::from_seed(b"operator");
+        let mut sc = WitnessContractState::publish(staked_spec(&op, 500)).unwrap();
+        let digest = sc.spec.graph_digest;
+        let proof = EquivocationProof {
+            first: SignedDecision::sign(&op, digest, WitnessDecision::Redeem),
+            second: SignedDecision::sign(&op, digest, WitnessDecision::Refund),
+        };
+        assert_eq!(sc.report_equivocation(&proof).unwrap(), 500);
+        assert!(sc.slashed);
+        // The bond can only be taken once — a duplicate report fails.
+        assert!(sc.report_equivocation(&proof).is_err());
+        // Slashing does not consume the coordination state machine.
+        sc.authorize_refund().unwrap();
+    }
+
+    #[test]
+    fn slash_requires_operator_stake_and_a_binding_proof() {
+        use crate::evidence::{EquivocationProof, SignedDecision};
+        use ac3_crypto::WitnessDecision;
+
+        let op = KeyPair::from_seed(b"operator");
+        let digest = Hash256::digest(b"ms(D)");
+        let proof = EquivocationProof {
+            first: SignedDecision::sign(&op, digest, WitnessDecision::Redeem),
+            second: SignedDecision::sign(&op, digest, WitnessDecision::Refund),
+        };
+
+        // No operator registered: nothing to slash.
+        let mut plain = WitnessContractState::publish(spec()).unwrap();
+        assert!(plain.report_equivocation(&proof).is_err());
+
+        // Operator registered but zero stake: nothing to pay out.
+        let mut unstaked = WitnessContractState::publish(staked_spec(&op, 0)).unwrap();
+        assert!(unstaked.report_equivocation(&proof).is_err());
+
+        // A proof about some other operator's equivocation slashes nothing.
+        let mallory = KeyPair::from_seed(b"mallory");
+        let foreign = EquivocationProof {
+            first: SignedDecision::sign(&mallory, digest, WitnessDecision::Redeem),
+            second: SignedDecision::sign(&mallory, digest, WitnessDecision::Refund),
+        };
+        let mut staked = WitnessContractState::publish(staked_spec(&op, 500)).unwrap();
+        assert!(staked.report_equivocation(&foreign).is_err());
+        assert!(!staked.slashed);
     }
 }

@@ -554,6 +554,8 @@ impl SwapMachine for Ac3wnMachine {
                         participants: self.graph.participants().to_vec(),
                         graph_digest: ms.digest(),
                         expected_contracts: self.expected.clone(),
+                        operator: None,
+                        stake: 0,
                     });
 
                     let Some(registrant) = self.first_available(world, participants) else {

@@ -146,6 +146,8 @@ pub fn execute_fork_attack(cfg: &ForkAttackConfig) -> Result<ForkAttackReport, P
         participants: s.graph.participants().to_vec(),
         graph_digest: ms.digest(),
         expected_contracts: expected.clone(),
+        operator: None,
+        stake: 0,
     });
     let (reg_txid, scw) = deploy_contract(
         &mut s.world,

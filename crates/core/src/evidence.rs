@@ -14,8 +14,9 @@
 //!    continuous following at all; the cost is proportional to the evidence
 //!    length only.
 
-use ac3_chain::{Blockchain, ChainId, LightClient, TxId};
-use ac3_contracts::{ChainAnchor, TxInclusionEvidence};
+use ac3_chain::{Blockchain, ChainId, ContractId, LightClient, TxId};
+use ac3_contracts::{ChainAnchor, EquivocationProof, SignedDecision, TxInclusionEvidence};
+use ac3_crypto::WitnessDecision;
 use ac3_sim::{World, WorldError};
 use serde::{Deserialize, Serialize};
 
@@ -200,6 +201,85 @@ pub fn validate_with_all(
         .collect()
 }
 
+/// An honest party's append-only log of witness-operator attestations —
+/// the testimony side of the Byzantine fault model (DESIGN.md §12).
+///
+/// Watchdogs feed every [`SignedDecision`] they see (gossip, mempools,
+/// bribed-operator side channels) into the log. The log discards forgeries,
+/// and the moment two validly signed attestations by the same key over the
+/// same graph contradict each other it hands back the
+/// [`EquivocationProof`] ready for on-chain submission
+/// (`WitnessCall::ReportEquivocation`). Attestations that merely contradict
+/// *observed chain state* — a bribed operator signing a decision the
+/// witness contract never reached — are not slashable (one signature is
+/// not self-incriminating) but are surfaced by
+/// [`TestimonyLog::unsupported_by`] so honest parties can refuse to act on
+/// them.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestimonyLog {
+    decisions: Vec<SignedDecision>,
+}
+
+impl TestimonyLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TestimonyLog::default()
+    }
+
+    /// Record an attestation. Forgeries (invalid signatures) are dropped.
+    /// Returns a fraud proof the first time the attestation contradicts an
+    /// earlier validly signed one.
+    pub fn observe(&mut self, decision: SignedDecision) -> Option<EquivocationProof> {
+        if decision.verify().is_err() {
+            return None;
+        }
+        let conflict = self.decisions.iter().find(|prior| prior.conflicts_with(&decision)).copied();
+        self.decisions.push(decision);
+        conflict.map(|first| EquivocationProof { first, second: decision })
+    }
+
+    /// The validly signed attestations observed so far, in arrival order.
+    pub fn decisions(&self) -> &[SignedDecision] {
+        &self.decisions
+    }
+
+    /// Number of recorded attestations.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Attestations not supported by the on-chain state of the given
+    /// witness contract: a `Redeem` attestation while the contract is not
+    /// `RDauth`, or a `Refund` attestation while it is not `RFauth`. These
+    /// are the bribed-witness testimonies — evidence of misbehavior an
+    /// honest party records and refuses to act on, even though no stake can
+    /// be slashed for them.
+    pub fn unsupported_by(
+        &self,
+        world: &World,
+        chain: ChainId,
+        contract: ContractId,
+    ) -> Vec<SignedDecision> {
+        let tag = world.contract_state(chain, contract).map(|(tag, _)| tag);
+        self.decisions
+            .iter()
+            .filter(|d| {
+                let required = match d.decision {
+                    WitnessDecision::Redeem => "RDauth",
+                    WitnessDecision::Refund => "RFauth",
+                };
+                tag.as_deref() != Some(required)
+            })
+            .copied()
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +345,67 @@ mod tests {
         assert!(light.cost.headers_verified >= contract.cost.headers_verified);
         assert_eq!(contract.cost.blocks_stored, 1);
         assert!(full.cost.transactions_inspected >= contract.cost.transactions_inspected);
+    }
+
+    #[test]
+    fn testimony_log_detects_equivocation_and_discards_forgeries() {
+        let op = KeyPair::from_seed(b"operator");
+        let digest = Hash256::digest(b"ms(D)");
+        let mut log = TestimonyLog::new();
+
+        let rd = SignedDecision::sign(&op, digest, WitnessDecision::Redeem);
+        assert!(log.observe(rd).is_none(), "a single decision is not a conflict");
+        // A forged conflicting attestation is dropped, not treated as fraud.
+        let mut forged = SignedDecision::sign(&op, digest, WitnessDecision::Refund);
+        forged.signature = KeyPair::from_seed(b"mallory").sign(b"junk");
+        assert!(log.observe(forged).is_none());
+        assert_eq!(log.len(), 1);
+        // A decision about a *different* graph does not conflict.
+        let other = SignedDecision::sign(&op, Hash256::digest(b"other"), WitnessDecision::Refund);
+        assert!(log.observe(other).is_none());
+
+        // The genuine conflicting signature yields a verifying fraud proof.
+        let rf = SignedDecision::sign(&op, digest, WitnessDecision::Refund);
+        let proof = log.observe(rf).expect("conflict detected");
+        proof.verify(&op.public(), &digest).unwrap();
+    }
+
+    #[test]
+    fn testimony_log_flags_decisions_unsupported_by_chain_state() {
+        use crate::actions::deploy_contract;
+        use ac3_contracts::{ContractSpec, ExpectedContract, WitnessSpec};
+        use ac3_sim::ParticipantSet;
+
+        let mut participants = ParticipantSet::new();
+        let alice = participants.add("alice");
+        let mut world = World::new();
+        let chain = world.add_chain(ChainParams::test("w"), &[(alice, 100)]);
+        let anchor = world.anchor(chain).unwrap();
+        let op = KeyPair::from_seed(b"operator");
+        let digest = Hash256::digest(b"ms(D)");
+        let spec = ContractSpec::Witness(WitnessSpec {
+            participants: vec![alice],
+            graph_digest: digest,
+            expected_contracts: vec![ExpectedContract {
+                chain,
+                sender: alice,
+                recipient: addr(b"bob"),
+                amount: 10,
+                anchor,
+                required_depth: 0,
+            }],
+            operator: Some(op.public()),
+            stake: 0,
+        });
+        let (_, contract) = deploy_contract(&mut world, &mut participants, &alice, chain, &spec, 0)
+            .unwrap()
+            .expect("alice is available");
+        world.advance_blocks(chain, 2).unwrap();
+
+        // The contract sits in P: *any* decision attestation is unsupported.
+        let mut log = TestimonyLog::new();
+        log.observe(SignedDecision::sign(&op, digest, WitnessDecision::Redeem));
+        assert_eq!(log.unsupported_by(&world, chain, contract).len(), 1);
     }
 
     #[test]

@@ -260,7 +260,7 @@ impl BidChange {
 /// Whether a world submission failed for fee-market reasons (pool full,
 /// out-bid) or transient reachability — soft failures a bidder retries
 /// later rather than errors that fail the protocol.
-fn is_soft_submit_error(e: &WorldError) -> bool {
+pub(crate) fn is_soft_submit_error(e: &WorldError) -> bool {
     matches!(
         e,
         WorldError::ChainUnreachable(_)

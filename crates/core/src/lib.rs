@@ -55,6 +55,7 @@ pub mod actions;
 pub mod analysis;
 pub mod attack;
 pub mod audit;
+pub mod campaign;
 pub mod driver;
 pub mod evidence;
 pub mod fee;
@@ -71,6 +72,10 @@ pub use ac3tw::{Ac3tw, Ac3twMachine, Trent, TrentError};
 pub use ac3wn::{Ac3wn, Ac3wnMachine};
 pub use attack::{execute_fork_attack, ForkAttackConfig, ForkAttackReport};
 pub use audit::AtomicityVerdict;
+pub use campaign::{
+    build_campaign, run_campaign, Campaign, CampaignConfig, CampaignEvent, CampaignPlan,
+    CampaignReport, CampaignRng, CampaignSpace, ProtocolLane, WitnessBond,
+};
 pub use driver::{drive, MachineFootprint, Step, SwapMachine};
 pub use evidence::{
     validate_tx, validate_with_all, ValidationCost, ValidationReport, ValidationStrategy,

@@ -207,6 +207,44 @@ fn parallel_budget_exhaustion_matches_serial() {
     assert_eq!(run(4), serial);
 }
 
+/// Differential determinism under adversity: a fixed Byzantine + griefing
+/// campaign — crashes, partitions, forks, an equivocating witness, a
+/// bribed attestation, a mempool flood and a base-fee spike, all injected
+/// mid-batch through the scheduler — fingerprints bitwise-identically at
+/// 1, 2 and 4 workers (+ the CI matrix). The campaign fingerprint folds in
+/// the slash count and final chain state on top of the batch observables,
+/// and CI re-runs this test under both `AC3_STORE_BACKEND` values.
+#[test]
+fn adversarial_campaign_is_bitwise_identical_at_every_worker_count() {
+    use ac3_core::CampaignConfig;
+
+    let run = |workers: usize| {
+        let mut cfg = CampaignConfig::new(0xD1FF);
+        cfg.swaps = 6;
+        cfg.workers = workers;
+        let report = ac3_core::run_campaign(&cfg).expect("campaign executes");
+        assert_eq!(report.failed, 0, "workers={workers}: honest swap failed");
+        assert_eq!(report.adversary_failures, 0, "workers={workers}: adversary errored");
+        assert!(report.atomic, "workers={workers}: atomicity audit failed");
+        assert_eq!(
+            report.slashes_accepted, report.equivocations,
+            "workers={workers}: slash count diverged from the plan's equivocations"
+        );
+        report.fingerprint
+    };
+    let mut counts = worker_counts();
+    counts.retain(|w| *w <= 4);
+    let reference = run(counts[0]);
+    for &w in &counts[1..] {
+        assert_eq!(
+            run(w),
+            reference,
+            "workers={w} diverged from workers={} on the same campaign",
+            counts[0]
+        );
+    }
+}
+
 /// A footprint naming a chain the world does not hold must fall back to
 /// the serial loop and surface per-machine errors rather than panicking.
 #[test]

@@ -15,7 +15,7 @@
 
 use crate::participant::{CrashWindow, ParticipantSet};
 use crate::world::{World, WorldError};
-use ac3_chain::{ChainId, Timestamp};
+use ac3_chain::{Amount, ChainId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// A half-open interval `[from, until)` of simulated time during which a
@@ -62,6 +62,76 @@ pub enum Fault {
         /// Length of the adversarial branch.
         length: u64,
     },
+    /// A Byzantine witness network equivocates: its operator signs *both*
+    /// the commit and the abort decision for the same graph. Behavioral —
+    /// deferred to a campaign machine that emits the conflicting
+    /// attestations and lets honest watchdogs assemble the fraud proof.
+    Equivocate {
+        /// The witness chain whose operator misbehaves.
+        witness_chain: ChainId,
+    },
+    /// A bribed witness operator signs one decision *against* observed
+    /// evidence (commit without deployments, or abort despite them).
+    /// A single signature is not self-incriminating, so this is detectable
+    /// (testimony vs. on-chain state) but not slashable.
+    Bribe {
+        /// The witness chain whose operator is bribed.
+        witness_chain: ChainId,
+        /// `true`: attest commit against evidence; `false`: attest abort.
+        commit: bool,
+    },
+    /// An eviction-flooder keeps a chain's bounded mempool full of
+    /// just-above-floor bids for the duration of the window, forcing
+    /// honest bidders to outbid it or be delayed.
+    FloodMempool {
+        /// The flooded chain.
+        chain: ChainId,
+        /// When the flooding runs.
+        window: OutageWindow,
+        /// Maximum total fees the flooder may spend.
+        budget: Amount,
+    },
+    /// A base-fee spiker fills every block of a chain during the window,
+    /// driving the EIP-1559-style base fee up under the victims' feet.
+    SpikeBaseFee {
+        /// The spiked chain.
+        chain: ChainId,
+        /// When the spiking runs.
+        window: OutageWindow,
+        /// Maximum total fees the spiker may spend.
+        budget: Amount,
+    },
+}
+
+impl Fault {
+    /// The chain this fault touches, if any — campaign machines use this to
+    /// declare scheduler footprints.
+    pub fn chain(&self) -> Option<ChainId> {
+        match self {
+            Fault::Crash { .. } => None,
+            Fault::Partition { chain, .. }
+            | Fault::Fork { chain, .. }
+            | Fault::FloodMempool { chain, .. }
+            | Fault::SpikeBaseFee { chain, .. } => Some(*chain),
+            Fault::Equivocate { witness_chain } | Fault::Bribe { witness_chain, .. } => {
+                Some(*witness_chain)
+            }
+        }
+    }
+
+    /// Whether this fault is *behavioral* — it describes ongoing adversary
+    /// conduct rather than a one-shot world mutation, so [`FaultPlan::apply`]
+    /// defers it to the caller (a campaign machine) like forks.
+    pub fn is_behavioral(&self) -> bool {
+        matches!(
+            self,
+            Fault::Fork { .. }
+                | Fault::Equivocate { .. }
+                | Fault::Bribe { .. }
+                | Fault::FloodMempool { .. }
+                | Fault::SpikeBaseFee { .. }
+        )
+    }
 }
 
 /// A named collection of faults applied to a scenario.
@@ -98,9 +168,11 @@ impl FaultPlan {
         self
     }
 
-    /// Apply crash and partition faults up front. Fork faults are returned
-    /// so the caller can trigger them at the appropriate protocol step
-    /// (they are time-of-attack dependent).
+    /// Apply crash and partition faults up front. Behavioral faults (forks,
+    /// Byzantine witness conduct and fee-market griefing — see
+    /// [`Fault::is_behavioral`]) are returned so the caller can drive them
+    /// at the appropriate protocol step: they are time-of-attack dependent
+    /// and, for the griefing faults, require a funded adversary actor.
     pub fn apply(
         &self,
         world: &mut World,
@@ -117,7 +189,7 @@ impl FaultPlan {
                 Fault::Partition { chain, window } => {
                     world.schedule_outage(*chain, *window)?;
                 }
-                Fault::Fork { .. } => deferred.push(fault.clone()),
+                _ => deferred.push(fault.clone()),
             }
         }
         Ok(deferred)
@@ -205,5 +277,34 @@ mod tests {
     fn empty_plan_reports_empty() {
         assert!(FaultPlan::none().is_empty());
         assert!(!FaultPlan::crash("bob", 0, 1).is_empty());
+    }
+
+    #[test]
+    fn behavioral_faults_are_deferred_with_their_chains() {
+        let mut world = World::new();
+        let chain = world.add_chain(ChainParams::test("c"), &[]);
+        let mut participants = ParticipantSet::new();
+        let window = OutageWindow { from: 5_000, until: 9_000 };
+        let plan = FaultPlan::none()
+            .with(Fault::Equivocate { witness_chain: chain })
+            .with(Fault::Bribe { witness_chain: chain, commit: true })
+            .with(Fault::FloodMempool { chain, window, budget: 500 })
+            .with(Fault::SpikeBaseFee { chain, window, budget: 500 })
+            .with(Fault::Crash {
+                participant: "alice".to_string(),
+                window: CrashWindow { from: 0, until: 1 },
+            });
+        let deferred = plan.apply(&mut world, &mut participants).unwrap();
+        // The crash applies up front; everything behavioral is handed back.
+        assert_eq!(deferred.len(), 4);
+        for fault in &deferred {
+            assert!(fault.is_behavioral());
+            assert_eq!(fault.chain(), Some(chain));
+        }
+        assert!(!Fault::Crash {
+            participant: "alice".to_string(),
+            window: CrashWindow { from: 0, until: 1 }
+        }
+        .is_behavioral());
     }
 }

@@ -7,6 +7,8 @@ Compares the ``ratchet`` object of a freshly generated bench report against
 the committed baseline and exits nonzero when any metric regresses by more
 than the tolerance (default 15%). Direction is inferred from the key name:
 keys ending in ``_ns``/``_us``/``_ms`` are timings (lower is better);
+keys ending in ``_count`` are exact invariants (slash counts, determinism
+agreements — any drift in either direction fails, tolerance ignored);
 everything else — hit rates, throughputs — is higher-is-better.
 
 Only deterministic metrics belong in ``ratchet`` (the buffer-pool bench
@@ -45,6 +47,10 @@ def lower_is_better(key):
     )
 
 
+def exact_match(key):
+    return key.rsplit("/", 1)[0].endswith("_count") or key.endswith("_count")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -62,6 +68,13 @@ def main():
             failures.append(f"{key}: present in baseline but missing from fresh report")
             continue
         b, f = base[key], fresh[key]
+        if exact_match(key):
+            regressed = f != b
+            marker = "FAIL" if regressed else "  ok"
+            print(f"{marker}  {key}: baseline {b:.6g} -> fresh {f:.6g} (exact)")
+            if regressed:
+                failures.append(f"{key}: {b:.6g} -> {f:.6g} (exact-match key drifted)")
+            continue
         if lower_is_better(key):
             regressed = f > b * (1.0 + tol)
             delta = (f - b) / b * 100.0 if b else 0.0

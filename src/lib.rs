@@ -49,9 +49,10 @@ pub mod prelude {
         Scenario, ScenarioConfig,
     };
     pub use ac3_core::{
-        Ac3tw, Ac3wn, AtomicityVerdict, BatchReport, EdgeDisposition, FeePolicy, GraphShape,
-        Herlihy, HerlihyMulti, Nolan, ProtocolConfig, ProtocolKind, Scheduler, SwapEdge, SwapGraph,
-        SwapMachine, SwapReport, ValidationStrategy, WitnessAssignment,
+        run_campaign, Ac3tw, Ac3wn, AtomicityVerdict, BatchReport, CampaignConfig, CampaignPlan,
+        CampaignReport, CampaignSpace, EdgeDisposition, FeePolicy, GraphShape, Herlihy,
+        HerlihyMulti, Nolan, ProtocolConfig, ProtocolKind, ProtocolLane, Scheduler, SwapEdge,
+        SwapGraph, SwapMachine, SwapReport, ValidationStrategy, WitnessAssignment,
     };
     pub use ac3_crypto::{Hash256, Hashlock, KeyPair};
     pub use ac3_sim::{

@@ -67,6 +67,8 @@ fn deployed_two_party_swap() -> DeployedSwap {
         participants: scenario.graph.participants().to_vec(),
         graph_digest: ms.digest(),
         expected_contracts: expected.clone(),
+        operator: None,
+        stake: 0,
     });
     let (reg_txid, scw) = deploy_contract(
         &mut scenario.world,
@@ -193,6 +195,8 @@ fn evidence_from_a_different_witness_contract_is_rejected() {
         participants: vec![swap.alice, swap.bob],
         graph_digest: Hash256::digest(b"a different graph"),
         expected_contracts: swap.expected.clone(),
+        operator: None,
+        stake: 0,
     });
     let (rogue_reg, rogue_scw) = deploy_contract(
         &mut swap.scenario.world,

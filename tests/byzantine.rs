@@ -1,0 +1,235 @@
+//! Byzantine campaign property tests: under any seeded random campaign of
+//! crashes, partitions, 51% forks, equivocating witnesses, bribed
+//! attestations and fee-market griefing, no honest participant loses
+//! principal within its timelock margin — every honest machine reaches
+//! commit-or-refund-all (the atomicity audit passes and nobody times out
+//! past its wait cap), and every slashable Byzantine act leaves exactly one
+//! accepted on-chain evidence object.
+//!
+//! The vendored `proptest` has no shrinking, so failures shrink at the
+//! *plan* level: a greedy pass zeroes and halves the campaign space's fault
+//! classes, keeping each move only if the property still fails, and reports
+//! the minimal failing `(seed, space, swaps)` triple as the panic message.
+
+use ac3wn::prelude::*;
+use proptest::Gen;
+
+/// One sampled campaign: everything needed to reproduce a failure.
+#[derive(Clone, Debug)]
+struct Trial {
+    seed: u64,
+    swaps: usize,
+    space: CampaignSpace,
+}
+
+impl Trial {
+    fn config(&self) -> CampaignConfig {
+        let mut cfg = CampaignConfig::new(self.seed);
+        cfg.swaps = self.swaps;
+        cfg.space = self.space.clone();
+        cfg
+    }
+}
+
+/// Sample a campaign from the generator: a mixed-protocol batch under the
+/// default (adaptive-fee) posture, with every fault class drawn
+/// independently.
+fn sample_trial(gen: &mut Gen) -> Trial {
+    // Field order matters: each field is one draw from the generator.
+    let space = CampaignSpace {
+        crashes: gen.below(3) as usize,
+        partitions: gen.below(2) as usize,
+        forks: gen.below(2) as usize,
+        equivocations: gen.below(3) as usize,
+        bribes: gen.below(2) as usize,
+        floods: gen.below(2) as usize,
+        spikes: gen.below(2) as usize,
+        griefing_budget: [0, 500, 1_000, 2_000][gen.below(4) as usize],
+        ..CampaignSpace::default()
+    };
+    Trial { seed: gen.next_u64(), swaps: 4 + gen.below(5) as usize, space }
+}
+
+/// The property. `Err` carries a diagnosis; the campaign report's failure
+/// list names the machine and error for honest losses.
+fn holds(trial: &Trial) -> Result<(), String> {
+    let report = run_campaign(&trial.config()).map_err(|e| format!("campaign errored: {e}"))?;
+    if report.failed > 0 {
+        return Err(format!(
+            "{} honest machine(s) lost liveness past the timelock margin: {:?}",
+            report.failed, report.failures
+        ));
+    }
+    if report.adversary_failures > 0 {
+        return Err(format!("adversary machine errored: {:?}", report.failures));
+    }
+    if !report.atomic {
+        return Err("commit-or-refund-all violated: atomicity audit failed".to_string());
+    }
+    if report.slashes_accepted != report.equivocations {
+        return Err(format!(
+            "equivocations {} but accepted slashes {}: a Byzantine witness escaped \
+             without a slashable evidence object",
+            report.equivocations, report.slashes_accepted
+        ));
+    }
+    if report.bonds_slashed != report.equivocations {
+        return Err(format!(
+            "equivocations {} but slashed bonds {}",
+            report.equivocations, report.bonds_slashed
+        ));
+    }
+    if report.duplicate_slash_reports_rejected != report.equivocations {
+        return Err(format!(
+            "equivocations {} but duplicate reports rejected {}: a bond was slashed twice",
+            report.equivocations, report.duplicate_slash_reports_rejected
+        ));
+    }
+    if report.bribes_detected != report.bribes {
+        return Err(format!(
+            "bribed attestations {} but detected {}",
+            report.bribes, report.bribes_detected
+        ));
+    }
+    if report.equivocations > 0 && report.stake_slashed == 0 {
+        return Err("a slashed equivocation must forfeit stake".to_string());
+    }
+    Ok(())
+}
+
+/// Greedy plan-level shrinking: try to zero each fault class, then halve
+/// the griefing budget and the batch size, keeping each move only if the
+/// trial still fails `check`. Runs to a fixpoint (bounded by `budget`
+/// re-executions) and returns the minimal failing trial.
+fn shrink<F: Fn(&Trial) -> Result<(), String>>(mut trial: Trial, check: F, budget: usize) -> Trial {
+    let mut runs = 0usize;
+    let still_fails = |t: &Trial, runs: &mut usize| {
+        *runs += 1;
+        check(t).is_err()
+    };
+    loop {
+        let mut improved = false;
+        type Move = fn(&mut CampaignSpace);
+        let moves: &[Move] = &[
+            |s| s.crashes = 0,
+            |s| s.partitions = 0,
+            |s| s.forks = 0,
+            |s| s.equivocations = 0,
+            |s| s.bribes = 0,
+            |s| s.floods = 0,
+            |s| s.spikes = 0,
+            |s| s.griefing_budget /= 2,
+        ];
+        for mv in moves {
+            let mut candidate = trial.clone();
+            mv(&mut candidate.space);
+            if candidate.space == trial.space {
+                continue;
+            }
+            if runs >= budget {
+                return trial;
+            }
+            if still_fails(&candidate, &mut runs) {
+                trial = candidate;
+                improved = true;
+            }
+        }
+        if trial.swaps > 4 {
+            let mut candidate = trial.clone();
+            candidate.swaps = 4.max(trial.swaps / 2);
+            if runs < budget && still_fails(&candidate, &mut runs) {
+                trial = candidate;
+                improved = true;
+            }
+        }
+        if !improved || runs >= budget {
+            return trial;
+        }
+    }
+}
+
+/// The tentpole property: 20 independently sampled campaigns, all holding
+/// principal-safety and exactly-once slashing. On failure, the panic
+/// message is the *shrunk* minimal reproduction.
+#[test]
+fn no_honest_principal_lost_under_any_seeded_campaign() {
+    let mut gen = Gen::deterministic("byzantine-campaigns-v1");
+    for case in 0..20 {
+        let trial = sample_trial(&mut gen);
+        if let Err(first) = holds(&trial) {
+            let minimal = shrink(trial, holds, 48);
+            let diagnosis = holds(&minimal).err().unwrap_or(first);
+            panic!(
+                "case {case}: property violated.\n  minimal repro: seed={} swaps={} space={:?}\n  \
+                 diagnosis: {diagnosis}",
+                minimal.seed, minimal.swaps, minimal.space
+            );
+        }
+    }
+}
+
+/// A campaign with every fault class active at once (the kitchen sink)
+/// still commits its unharassed lanes and slashes exactly once per
+/// equivocation.
+#[test]
+fn kitchen_sink_campaign_holds_every_invariant() {
+    let trial = Trial {
+        seed: 0xB12A,
+        swaps: 8,
+        space: CampaignSpace {
+            crashes: 2,
+            partitions: 1,
+            forks: 1,
+            equivocations: 2,
+            bribes: 1,
+            floods: 1,
+            spikes: 1,
+            griefing_budget: 2_000,
+            ..CampaignSpace::default()
+        },
+    };
+    holds(&trial).expect("kitchen-sink campaign holds");
+    let report = run_campaign(&trial.config()).expect("campaign executes");
+    assert_eq!(report.equivocations, 2, "two equivocations planned");
+    assert_eq!(report.slashes_accepted, 2, "both slashed exactly once");
+    assert!(report.adversary_fees > 0, "griefing spend is attributed to the adversary");
+}
+
+/// The shrinker itself: against a synthetic predicate that fails exactly
+/// when floods and spikes are both present, the greedy pass strips every
+/// irrelevant fault class and shrinks the batch to its floor.
+#[test]
+fn plan_shrinking_strips_irrelevant_fault_classes() {
+    let failing = Trial {
+        seed: 7,
+        swaps: 8,
+        space: CampaignSpace {
+            crashes: 2,
+            partitions: 1,
+            forks: 1,
+            equivocations: 1,
+            bribes: 1,
+            floods: 1,
+            spikes: 1,
+            griefing_budget: 2_000,
+            ..CampaignSpace::default()
+        },
+    };
+    let synthetic = |t: &Trial| -> Result<(), String> {
+        if t.space.floods > 0 && t.space.spikes > 0 {
+            Err("synthetic: floods × spikes interact".to_string())
+        } else {
+            Ok(())
+        }
+    };
+    let minimal = shrink(failing, synthetic, 64);
+    assert_eq!(minimal.space.crashes, 0);
+    assert_eq!(minimal.space.partitions, 0);
+    assert_eq!(minimal.space.forks, 0);
+    assert_eq!(minimal.space.equivocations, 0);
+    assert_eq!(minimal.space.bribes, 0);
+    assert_eq!(minimal.space.floods, 1, "the culprit class survives shrinking");
+    assert_eq!(minimal.space.spikes, 1, "the culprit class survives shrinking");
+    assert_eq!(minimal.swaps, 4, "batch size shrinks to its floor");
+    assert!(minimal.space.griefing_budget < 2_000, "budget halves while still failing");
+}

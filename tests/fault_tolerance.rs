@@ -88,6 +88,102 @@ fn everyone_crashing_after_decision_is_still_atomic() {
     assert!(!matches!(report.verdict(), AtomicityVerdict::Violated { .. }));
 }
 
+/// A mid-batch asset-chain partition that opens *after* the witness
+/// decision and closes long before the wait cap: the settlement
+/// submissions treat the unreachable chain as a soft error, keep re-bidding
+/// from inside the scheduler loop, and wake up as soon as the outage
+/// window closes — the swap still commits, finishing only after the
+/// partition lifts.
+#[test]
+fn settlement_outage_swap_wakes_after_the_window_closes_and_commits() {
+    let cfg = ProtocolConfig { wait_cap_deltas: 64, ..protocol_cfg() };
+    let outage = OutageWindow { from: 8_500, until: 28_000 };
+
+    let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+    s.world.schedule_outage(s.asset_chains[0], outage).unwrap();
+    let machine = Ac3wn::new(cfg).machine(s.graph.clone(), s.witness_chain);
+    let batch = Scheduler::default().run(
+        &mut s.world,
+        &mut s.participants,
+        vec![(SwapId(0), Box::new(machine))],
+    );
+
+    let report = batch.report_for(SwapId(0)).expect("swap survives the outage");
+    assert_eq!(report.decision, Some(true));
+    assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+    // The settlement on the partitioned chain could not land inside the
+    // window: commit time proves the machine waited it out and resumed.
+    assert!(
+        batch.finished_at >= outage.until,
+        "finished at {} — inside the outage window ending {}",
+        batch.finished_at,
+        outage.until
+    );
+}
+
+/// The witness chain becoming unreachable *between* deployment and the
+/// decision submission is the one partition the protocol cannot ride out
+/// within the run: no participant can reach the witness, so the machine
+/// parks the swap with no decision. Both deployments stay locked — assets
+/// are delayed, never conflicting, and the atomicity audit still passes.
+#[test]
+fn witness_unreachable_at_decision_time_parks_the_swap_without_conflict() {
+    let cfg = ProtocolConfig { wait_cap_deltas: 64, ..protocol_cfg() };
+    let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+    s.world.schedule_outage(s.witness_chain, OutageWindow { from: 6_000, until: 60_000 }).unwrap();
+    let machine = Ac3wn::new(cfg).machine(s.graph.clone(), s.witness_chain);
+    let batch = Scheduler::default().run(
+        &mut s.world,
+        &mut s.participants,
+        vec![(SwapId(0), Box::new(machine))],
+    );
+
+    let report = batch.report_for(SwapId(0)).expect("parking is graceful, not an error");
+    assert_eq!(report.decision, None, "no decision without the witness");
+    assert!(
+        matches!(report.verdict(), AtomicityVerdict::Incomplete { .. }),
+        "verdict: {}",
+        report.verdict()
+    );
+    assert!(report.is_atomic(), "locked-but-undecided must never count as a violation");
+}
+
+/// Mid-batch fault injection through the scheduler itself: a seeded
+/// campaign whose plan is two participant crashes plus two chain
+/// partitions, all initiated by the fault-injector machine *while* the
+/// mixed-protocol batch runs. Every honest swap settles (commit or clean
+/// abort), nothing errors, and the atomicity audit passes. The exact
+/// outcome split is pinned — the campaign is deterministic by seed.
+#[test]
+fn scheduler_injected_crashes_and_partitions_settle_every_swap() {
+    let mut cfg = CampaignConfig::new(3);
+    cfg.swaps = 6;
+    cfg.space = CampaignSpace { crashes: 2, partitions: 2, ..CampaignSpace::quiet() };
+    let report = run_campaign(&cfg).expect("campaign executes");
+
+    let crashes = report
+        .plan
+        .events
+        .iter()
+        .filter(|e| matches!(e.fault, ac3wn::sim::Fault::Crash { .. }))
+        .count();
+    let partitions = report
+        .plan
+        .events
+        .iter()
+        .filter(|e| matches!(e.fault, ac3wn::sim::Fault::Partition { .. }))
+        .count();
+    assert_eq!((crashes, partitions), (2, 2), "the plan drew every requested fault");
+
+    assert_eq!(report.failed, 0, "honest machine errored: {:?}", report.failures);
+    assert_eq!(report.adversary_failures, 0);
+    assert!(report.atomic, "atomicity audit failed");
+    // Seed 3 drives two swaps into the crash/partition windows hard enough
+    // to abort and leaves the rest to commit — both paths exercised.
+    assert_eq!(report.committed, 2);
+    assert_eq!(report.aborted, 2);
+}
+
 /// AC3TW is atomic under participant crashes too — but a single unavailable
 /// witness stalls it completely, which AC3WN avoids by construction.
 #[test]

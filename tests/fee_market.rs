@@ -148,6 +148,130 @@ fn escalation_is_visible_in_reports_and_ledger() {
     assert_eq!(market_stats.fees_scheduled, fixed_stats.fees_scheduled);
 }
 
+/// Griefing economics at the ledger level: to displace honest
+/// transactions from a bounded mempool the flooder must strictly outbid
+/// every resident it evicts, and evicted victims are refunded by the fee
+/// ledger — so a full displacement costs the attacker strictly more than
+/// the fee mass it displaced, and the victims end up paying nothing.
+#[test]
+fn mempool_flooding_costs_more_than_the_fees_it_displaces() {
+    const VICTIMS: SwapId = SwapId(1);
+    const FLOODER: SwapId = SwapId(2);
+
+    let mut world = World::new();
+    let mut params = ChainParams::fast("griefed", 1_000);
+    params.mempool_capacity = 6;
+    // Nothing mines during the exchange: the pool is the battleground.
+    params.block_interval_ms = 1_000_000;
+    let chain = world.add_chain(params, &[]);
+
+    // Six honest bidders at fees 2..=7 fill the pool.
+    let mut honest = ac3wn::chain::TxBuilder::new(KeyPair::from_seed(b"honest"), 0);
+    world.set_fee_attribution(Some(VICTIMS));
+    let mut victim_fees: Amount = 0;
+    let mut victim_txs = Vec::new();
+    for i in 0..6u8 {
+        let phantom = ac3wn::chain::OutPoint::new(TxId(Hash256::digest(&[i, 0xAA])), 0);
+        let fee = 2 + Amount::from(i);
+        victim_fees += fee;
+        victim_txs.push(world.submit(chain, honest.transfer(vec![phantom], vec![], fee)).unwrap());
+    }
+    assert_eq!(world.fees.fees_for_swap(VICTIMS), victim_fees);
+
+    // Matching the cheapest resident's fee is not enough: admission into a
+    // full pool demands strictly more than the eviction candidate.
+    let mut flooder = ac3wn::chain::TxBuilder::new(KeyPair::from_seed(b"flooder"), 1 << 40);
+    world.set_fee_attribution(Some(FLOODER));
+    let tie = ac3wn::chain::OutPoint::new(TxId(Hash256::digest(b"tie")), 0);
+    assert!(world.submit(chain, flooder.transfer(vec![tie], vec![], 2)).is_err());
+    assert_eq!(world.fees.fees_for_swap(FLOODER), 0, "a rejected bid is never billed");
+
+    // Displace the whole pool: each flood transaction outbids the highest
+    // victim fee, so all six evictions hit victims (never the flooder's
+    // own earlier bids).
+    let flood_fee = 8;
+    for i in 0..6u8 {
+        let phantom = ac3wn::chain::OutPoint::new(TxId(Hash256::digest(&[i, 0xBB])), 0);
+        world.submit(chain, flooder.transfer(vec![phantom], vec![], flood_fee)).unwrap();
+    }
+    world.set_fee_attribution(None);
+
+    let pool = world.chain(chain).unwrap();
+    assert_eq!(pool.mempool_len(), 6);
+    for tx in &victim_txs {
+        assert!(!pool.mempool_contains(tx), "every victim was displaced");
+    }
+    // The attack's economics, straight from the attributed ledger: the
+    // victims were refunded in full, and the flooder's net spend strictly
+    // exceeds the displaced fee mass (each eviction outbids its victim).
+    assert_eq!(world.fees.fees_for_swap(VICTIMS), 0, "evicted victims are refunded");
+    let flood_cost = world.fees.fees_for_swap(FLOODER);
+    assert_eq!(flood_cost, 6 * flood_fee);
+    assert!(
+        flood_cost > victim_fees,
+        "displacing {victim_fees} in honest fees cost the flooder only {flood_cost}"
+    );
+}
+
+/// The escalation policy buys liveness under a griefing campaign: the
+/// *same* seeded flood + base-fee-spike attack, run once under `Fixed`
+/// bidding and once under `Adaptive`, leaves the fixed AC3WN lane priced
+/// out (zero commits — every swap falls back to refund-all when its
+/// witness traffic can't get mined) while the adaptive lane commits every
+/// swap, paying a measurable fee premium for it. Safety holds in both
+/// worlds; only the escalating bidder keeps liveness.
+///
+/// Seed 23 is pinned because its griefing windows overlap the witness
+/// traffic of both AC3WN swaps in the mixed batch (probed over 0..30).
+#[test]
+fn adaptive_bidding_out_survives_fixed_under_a_griefing_spike() {
+    let run = |policy: FeePolicy| {
+        let mut cfg = CampaignConfig::new(23);
+        cfg.swaps = 6;
+        cfg.space = CampaignSpace { floods: 1, spikes: 1, ..CampaignSpace::quiet() };
+        cfg.space.griefing_budget = 4_000;
+        cfg.protocol.fee_policy = policy;
+        run_campaign(&cfg).expect("campaign executes")
+    };
+    let fixed = run(FeePolicy::Fixed);
+    let adaptive = run(FeePolicy::Adaptive { margin: 1, cap: 64 });
+
+    // Safety is policy-independent: both runs settle every honest swap
+    // atomically with no protocol errors.
+    for (name, r) in [("fixed", &fixed), ("adaptive", &adaptive)] {
+        assert_eq!(r.failed, 0, "{name}: honest machine errored: {:?}", r.failures);
+        assert_eq!(r.adversary_failures, 0, "{name}: adversary errored: {:?}", r.failures);
+        assert!(r.atomic, "{name}: atomicity audit failed");
+    }
+
+    // Liveness is not: the fixed AC3WN lane is priced out of its witness
+    // chain and refunds everything, the adaptive lane commits everything.
+    fn lane(r: &CampaignReport) -> &ProtocolLane {
+        r.per_protocol.get("Ac3Wn").expect("AC3WN lane present")
+    }
+    assert_eq!(lane(&fixed).committed, 0, "fixed bidders must be priced out under the spike");
+    let survived = lane(&adaptive);
+    assert_eq!(survived.committed, survived.swaps, "every adaptive AC3WN swap commits");
+
+    // And the premium the adaptive batch paid for that liveness is visible
+    // in the ledger: paid above schedule, while the priced-out fixed batch
+    // paid nothing beyond it.
+    assert!(
+        adaptive.honest_fees_paid > adaptive.honest_fees_scheduled,
+        "escalation premium must be visible ({} paid vs {} scheduled)",
+        adaptive.honest_fees_paid,
+        adaptive.honest_fees_scheduled
+    );
+    assert!(
+        fixed.honest_fees_paid <= fixed.honest_fees_scheduled,
+        "a fixed-fee batch never pays above schedule"
+    );
+    assert!(
+        adaptive.honest_fees_paid > fixed.honest_fees_paid,
+        "liveness under the spike is bought, not free"
+    );
+}
+
 /// Least-loaded witness assignment beats static round-robin when one
 /// witness network is congested: the scheduler observes mempool depths at
 /// launch and routes every swap to the healthy chain.
