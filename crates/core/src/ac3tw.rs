@@ -22,7 +22,7 @@ use crate::scenario::Scenario;
 use ac3_chain::{ChainId, ContractId, Timestamp, TxId};
 use ac3_contracts::{CentralizedCall, CentralizedSpec, ContractCall, ContractSpec};
 use ac3_crypto::{Hash256, KeyPair, Signature, SignatureLock, WitnessDecision};
-use ac3_sim::{EventKind, ParticipantSet, Timeline, World};
+use ac3_sim::{ChainApi, EventKind, ParticipantSet, Timeline};
 use std::collections::BTreeMap;
 
 /// Errors returned by Trent.
@@ -274,12 +274,12 @@ impl Ac3twMachine {
         }
     }
 
-    fn record(&mut self, world: &mut World, at: Timestamp, kind: EventKind) {
+    fn record(&mut self, world: &mut dyn ChainApi, at: Timestamp, kind: EventKind) {
         self.timeline.record(at, kind.clone());
-        world.timeline.record(at, kind);
+        world.record(at, kind);
     }
 
-    fn poll_step(&self, world: &World) -> Step {
+    fn poll_step(&self, world: &dyn ChainApi) -> Step {
         Step::Waiting { not_before: world.now() + world.min_block_interval_ms() }
     }
 
@@ -295,7 +295,7 @@ impl Ac3twMachine {
         }
     }
 
-    fn unsettled(&self, world: &World) -> Vec<usize> {
+    fn unsettled(&self, world: &dyn ChainApi) -> Vec<usize> {
         crate::driver::unsettled_edges(world, &self.edges, &self.edge_deploys)
     }
 
@@ -303,7 +303,7 @@ impl Ac3twMachine {
     /// of a superseded transaction/contract id.
     fn poll_bids(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<(), ProtocolError> {
         let changes = self.bids.poll(world, participants)?;
@@ -335,7 +335,7 @@ impl Ac3twMachine {
         }
     }
 
-    fn finish(&mut self, world: &World) -> Step {
+    fn finish(&mut self, world: &dyn ChainApi) -> Step {
         let outcomes: Vec<EdgeOutcome> = self
             .edges
             .iter()
@@ -372,7 +372,7 @@ impl Ac3twMachine {
     /// as a trusted observer of all chains), then submit every settlement.
     fn decide_and_settle(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         stable: bool,
     ) -> Result<(), ProtocolError> {
@@ -433,7 +433,7 @@ impl Ac3twMachine {
     /// late without losing assets.
     fn attempt_recovery(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         rounds_left: u64,
     ) -> Result<(), ProtocolError> {
@@ -465,7 +465,7 @@ impl Ac3twMachine {
         Ok(())
     }
 
-    fn next_recovery_phase(&self, world: &World, rounds_left: u64) -> Phase {
+    fn next_recovery_phase(&self, world: &dyn ChainApi, rounds_left: u64) -> Phase {
         if rounds_left == 0 || self.unsettled(world).is_empty() {
             Phase::Finished
         } else {
@@ -486,7 +486,7 @@ impl SwapMachine for Ac3twMachine {
 
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
         if !matches!(self.phase, Phase::Finished) {

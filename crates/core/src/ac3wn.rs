@@ -40,7 +40,7 @@ use ac3_contracts::{
     PermissionlessSpec, WitnessCall, WitnessSpec, WitnessStateEvidence,
 };
 use ac3_crypto::{KeyPair, WitnessState};
-use ac3_sim::{EventKind, ParticipantSet, Timeline, World};
+use ac3_sim::{ChainApi, EventKind, ParticipantSet, Timeline};
 
 impl From<GraphError> for ProtocolError {
     fn from(e: GraphError) -> Self {
@@ -90,6 +90,11 @@ enum Phase {
     /// Some participant failed to publish; idling through the configured
     /// grace period before requesting an abort.
     AbortGrace { until: Timestamp },
+    /// Nobody could reach the witness chain to submit the authorize call;
+    /// retrying once per block interval until the wait cap. A partition
+    /// that heals inside the cap converts what used to be a parked swap
+    /// into a late decision instead.
+    RetryAuthorize { commit: bool, deadline: Timestamp },
     /// Authorize call submitted; waiting for the decision to be buried.
     AwaitDecision { deadline: Timestamp },
     /// Settlement calls submitted; waiting for them to stabilise.
@@ -172,12 +177,12 @@ impl Ac3wnMachine {
         }
     }
 
-    fn record(&mut self, world: &mut World, at: Timestamp, kind: EventKind) {
+    fn record(&mut self, world: &mut dyn ChainApi, at: Timestamp, kind: EventKind) {
         self.timeline.record(at, kind.clone());
-        world.timeline.record(at, kind);
+        world.record(at, kind);
     }
 
-    fn poll_step(&self, world: &World) -> Step {
+    fn poll_step(&self, world: &dyn ChainApi) -> Step {
         Step::Waiting { not_before: world.now() + world.min_block_interval_ms() }
     }
 
@@ -207,7 +212,11 @@ impl Ac3wnMachine {
     }
 
     /// The first participant of the graph that is currently available.
-    fn first_available(&self, world: &World, participants: &ParticipantSet) -> Option<Address> {
+    fn first_available(
+        &self,
+        world: &dyn ChainApi,
+        participants: &ParticipantSet,
+    ) -> Option<Address> {
         let now = world.now();
         self.graph
             .participants()
@@ -220,7 +229,7 @@ impl Ac3wnMachine {
     /// opening a fee bid for it. Returns the txid and the opening fee.
     fn submit_from_any(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         chain: ChainId,
         contract: ContractId,
@@ -240,7 +249,7 @@ impl Ac3wnMachine {
     /// of a superseded transaction/contract id.
     fn poll_bids(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<(), ProtocolError> {
         let changes = self.bids.poll(world, participants)?;
@@ -280,7 +289,7 @@ impl Ac3wnMachine {
         }
     }
 
-    fn collect_outcomes(&self, world: &World) -> Vec<EdgeOutcome> {
+    fn collect_outcomes(&self, world: &dyn ChainApi) -> Vec<EdgeOutcome> {
         self.edges
             .iter()
             .zip(&self.edge_deploys)
@@ -296,11 +305,11 @@ impl Ac3wnMachine {
     }
 
     /// Indices of deployed edges whose contract is still locked in `P`.
-    fn unsettled(&self, world: &World) -> Vec<usize> {
+    fn unsettled(&self, world: &dyn ChainApi) -> Vec<usize> {
         crate::driver::unsettled_edges(world, &self.edges, &self.edge_deploys)
     }
 
-    fn finish(&mut self, world: &World, decision: Option<bool>) -> Step {
+    fn finish(&mut self, world: &dyn ChainApi, decision: Option<bool>) -> Step {
         let outcomes = self.collect_outcomes(world);
         let finished_at = self.finished_at.unwrap_or_else(|| world.now());
         let report = SwapReport {
@@ -327,7 +336,7 @@ impl Ac3wnMachine {
     /// period otherwise.
     fn submit_deployments(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<(), ProtocolError> {
         let scw = self.scw.expect("witness contract registered before deployments");
@@ -368,14 +377,16 @@ impl Ac3wnMachine {
         Ok(())
     }
 
-    /// Record the publication events and submit the authorize call (step 4),
-    /// or finish early when nobody can reach the witness chain.
+    /// Record the publication events and submit the authorize call (step 4).
+    /// When nobody can reach the witness chain, the swap does not park:
+    /// it enters [`Phase::RetryAuthorize`] and re-attempts the submission
+    /// until the wait cap expires.
     fn submit_authorize(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         commit: bool,
-    ) -> Result<Option<Step>, ProtocolError> {
+    ) -> Result<(), ProtocolError> {
         self.commit = Some(commit);
         let now = world.now();
         for i in 0..self.edges.len() {
@@ -384,7 +395,23 @@ impl Ac3wnMachine {
                 self.record(world, now, EventKind::ContractPublished { chain, contract });
             }
         }
+        if !self.try_submit_authorize(world, participants, commit)? {
+            self.phase = Phase::RetryAuthorize { commit, deadline: now + self.wait_cap };
+        }
+        Ok(())
+    }
 
+    /// One attempt at submitting the authorize call. `Ok(true)` means the
+    /// call is in flight and the machine moved to [`Phase::AwaitDecision`];
+    /// `Ok(false)` means no participant could reach the witness chain right
+    /// now (crashed, or the chain is partitioned) — the caller decides
+    /// whether to retry.
+    fn try_submit_authorize(
+        &mut self,
+        world: &mut dyn ChainApi,
+        participants: &mut ParticipantSet,
+        commit: bool,
+    ) -> Result<bool, ProtocolError> {
         let authorize_call = if commit {
             let mut evidence = Vec::with_capacity(self.edges.len());
             for (i, e) in self.edges.iter().enumerate() {
@@ -400,24 +427,21 @@ impl Ac3wnMachine {
         let authorize =
             self.submit_from_any(world, participants, self.witness_chain, scw, &authorize_call)?;
         let Some((authorize_txid, fee)) = authorize else {
-            // Nobody could reach the witness chain at all; the swap stays
-            // locked (assets recoverable once someone can submit a refund
-            // authorization later — outside this run).
-            return Ok(Some(self.finish(world, None)));
+            return Ok(false);
         };
         self.calls += 1;
         self.fees += fee;
         self.fees_scheduled += world.chain(self.witness_chain)?.params().call_fee;
         self.authorize_txid = Some(authorize_txid);
         self.phase = Phase::AwaitDecision { deadline: world.now() + self.wait_cap };
-        Ok(None)
+        Ok(true)
     }
 
     /// Build the witness-state evidence and submit every settlement call
     /// (step 5).
     fn submit_settlements(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<(), ProtocolError> {
         let commit = self.commit.expect("decision reached before settlement");
@@ -456,7 +480,7 @@ impl Ac3wnMachine {
     /// Re-attempt settlement of the still-locked edges (recovery pass).
     fn attempt_recovery(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         rounds_left: u64,
     ) -> Result<(), ProtocolError> {
@@ -489,7 +513,7 @@ impl Ac3wnMachine {
     }
 
     /// Decide whether another recovery round is warranted.
-    fn next_recovery_phase(&self, world: &World, rounds_left: u64) -> Phase {
+    fn next_recovery_phase(&self, world: &dyn ChainApi, rounds_left: u64) -> Phase {
         if rounds_left == 0 || self.unsettled(world).is_empty() {
             Phase::Finished
         } else {
@@ -511,7 +535,7 @@ impl SwapMachine for Ac3wnMachine {
 
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
         if !matches!(self.phase, Phase::Finished) {
@@ -607,15 +631,11 @@ impl SwapMachine for Ac3wnMachine {
                         })
                     });
                     if all_deep {
-                        if let Some(step) = self.submit_authorize(world, participants, true)? {
-                            return Ok(step);
-                        }
+                        self.submit_authorize(world, participants, true)?;
                     } else if world.now() >= deadline {
                         // The deployments never stabilised within the cap:
                         // request an abort rather than fail the run.
-                        if let Some(step) = self.submit_authorize(world, participants, false)? {
-                            return Ok(step);
-                        }
+                        self.submit_authorize(world, participants, false)?;
                     } else {
                         return Ok(self.poll_step(world));
                     }
@@ -623,12 +643,24 @@ impl SwapMachine for Ac3wnMachine {
                 Phase::AbortGrace { until } => {
                     let until = *until;
                     if world.now() >= until {
-                        if let Some(step) = self.submit_authorize(world, participants, false)? {
-                            return Ok(step);
-                        }
+                        self.submit_authorize(world, participants, false)?;
                     } else {
                         return Ok(Step::Waiting { not_before: until });
                     }
+                }
+                Phase::RetryAuthorize { commit, deadline } => {
+                    let (commit, deadline) = (*commit, *deadline);
+                    if self.try_submit_authorize(world, participants, commit)? {
+                        continue; // now awaiting the decision
+                    }
+                    if world.now() >= deadline {
+                        // The witness chain stayed unreachable for the whole
+                        // wait cap; the swap stays locked (assets recoverable
+                        // once someone can submit a refund authorization
+                        // later — outside this run).
+                        return Ok(self.finish(world, None));
+                    }
+                    return Ok(self.poll_step(world));
                 }
                 Phase::AwaitDecision { deadline } => {
                     let deadline = *deadline;
@@ -718,6 +750,7 @@ impl SwapMachine for Ac3wnMachine {
             Phase::AwaitRegistration { .. } => "await-registration",
             Phase::AwaitDeployments { .. } => "await-deployments",
             Phase::AbortGrace { .. } => "abort-grace",
+            Phase::RetryAuthorize { .. } => "retry-authorize",
             Phase::AwaitDecision { .. } => "await-decision",
             Phase::AwaitSettlements { .. } => "await-settlements",
             Phase::RecoveryIdle { .. } => "recovery-idle",

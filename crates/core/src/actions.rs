@@ -8,7 +8,7 @@
 use crate::protocol::{EdgeDisposition, ProtocolError};
 use ac3_chain::{Address, Amount, ChainId, ContractId, TxId};
 use ac3_contracts::{ContractCall, ContractSpec};
-use ac3_sim::{ParticipantSet, World};
+use ac3_sim::{ChainApi, ParticipantSet};
 
 /// Attempt to deploy a contract as `owner`, locking `lock` and paying the
 /// chain's deployment fee (one-shot, fixed-fee — the non-bidding wrapper
@@ -18,7 +18,7 @@ use ac3_sim::{ParticipantSet, World};
 /// — the caller decides what that means for the protocol (usually "this
 /// participant declined/failed to publish").
 pub fn deploy_contract(
-    world: &mut World,
+    world: &mut dyn ChainApi,
     participants: &mut ParticipantSet,
     owner: &Address,
     chain: ChainId,
@@ -36,7 +36,7 @@ pub fn deploy_contract(
 /// [`crate::fee::BidBook::submit_call`]). Returns `Ok(None)` when the
 /// caller is crashed or the chain is unreachable.
 pub fn call_contract(
-    world: &mut World,
+    world: &mut dyn ChainApi,
     participants: &mut ParticipantSet,
     caller: &Address,
     chain: ChainId,
@@ -49,7 +49,7 @@ pub fn call_contract(
 
 /// Read the disposition of an edge's contract from the chain.
 pub fn edge_disposition(
-    world: &World,
+    world: &dyn ChainApi,
     chain: ChainId,
     contract: Option<ContractId>,
 ) -> EdgeDisposition {

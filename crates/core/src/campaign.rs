@@ -55,7 +55,8 @@ use ac3_contracts::{
 };
 use ac3_crypto::{Hash256, KeyPair, WitnessDecision};
 use ac3_sim::{
-    CrashWindow, EventKind, Fault, OutageWindow, ParticipantSet, SwapId, Timeline, World,
+    ChainApi, CrashWindow, EventKind, Fault, NetworkProfile, OutageWindow, ParticipantSet, SwapId,
+    Timeline, World,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -366,6 +367,9 @@ pub struct CampaignConfig {
     pub workers: usize,
     /// Scheduler time budget.
     pub max_ms: u64,
+    /// Message-level network conditions for every client→chain
+    /// interaction, or `None` for synchronous (direct) submission.
+    pub network: Option<NetworkProfile>,
 }
 
 impl CampaignConfig {
@@ -391,6 +395,7 @@ impl CampaignConfig {
             witness_mempool_capacity: 32,
             workers: 1,
             max_ms: 1_200_000,
+            network: None,
         }
     }
 }
@@ -528,7 +533,7 @@ impl FaultInjector {
 impl SwapMachine for FaultInjector {
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
         let now = world.now();
@@ -659,7 +664,7 @@ impl Equivocator {
 
     fn submit_report(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Option<TxId>, ProtocolError> {
         let proof = self.proof.expect("proof assembled before submission");
@@ -680,7 +685,7 @@ impl Equivocator {
 impl SwapMachine for Equivocator {
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
         let now = world.now();
@@ -820,7 +825,7 @@ struct Briber {
 impl SwapMachine for Briber {
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         _participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
         let now = world.now();
@@ -966,7 +971,7 @@ impl Griefer {
 impl SwapMachine for Griefer {
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
         let now = world.now();
@@ -1457,7 +1462,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, ProtocolErro
     let mut machines = honest_machines(cfg, &campaign.scenario);
     machines.extend(adversary_machines(&campaign, cfg.stake));
 
-    let scheduler = Scheduler { max_ms: cfg.max_ms, workers: cfg.workers };
+    let scheduler = Scheduler { max_ms: cfg.max_ms, workers: cfg.workers, network: cfg.network };
     let batch =
         scheduler.run(&mut campaign.scenario.world, &mut campaign.scenario.participants, machines);
     let world = &campaign.scenario.world;

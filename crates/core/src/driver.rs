@@ -21,7 +21,7 @@
 
 use crate::protocol::{ProtocolError, SwapReport};
 use ac3_chain::{Address, ChainId, Timestamp, TxId};
-use ac3_sim::{ParticipantSet, World, WorldError};
+use ac3_sim::{ChainApi, DirectApi, NetworkedApi, ParticipantSet, World, WorldError};
 
 /// The observable state of an in-flight swap after one [`SwapMachine::poll`].
 #[derive(Debug)]
@@ -76,9 +76,14 @@ pub struct MachineFootprint {
 /// the scheduler module docs for a two-machine example.
 pub trait SwapMachine: Send {
     /// Advance the machine as far as possible at the world's current time.
+    ///
+    /// Machines observe and mutate chains exclusively through the
+    /// [`ChainApi`] seam — never `&mut World` — so the same machine runs
+    /// unchanged against the synchronous [`DirectApi`], the message-routed
+    /// [`NetworkedApi`], or (in tests, via coercion) a bare `&mut World`.
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError>;
 
@@ -105,7 +110,7 @@ pub fn drive(
     participants: &mut ParticipantSet,
 ) -> Result<SwapReport, ProtocolError> {
     loop {
-        match machine.poll(world, participants)? {
+        match poll_machine(machine, world, participants)? {
             Step::Done(report) => return Ok(*report),
             Step::Waiting { not_before } => {
                 let dt = not_before.saturating_sub(world.now()).max(1);
@@ -115,13 +120,31 @@ pub fn drive(
     }
 }
 
+/// Poll a machine against `world` through the appropriate [`ChainApi`]
+/// implementation: the message-routed [`NetworkedApi`] when a network
+/// profile is attached ([`World::attach_network`]), the synchronous
+/// [`DirectApi`] otherwise. Every driver loop — [`drive`] and both
+/// scheduler paths — polls through here, so attaching a network reroutes
+/// an entire batch without touching machine code.
+pub fn poll_machine(
+    machine: &mut dyn SwapMachine,
+    world: &mut World,
+    participants: &mut ParticipantSet,
+) -> Result<Step, ProtocolError> {
+    if world.network_attached() {
+        machine.poll(&mut NetworkedApi::new(world), participants)
+    } else {
+        machine.poll(&mut DirectApi::new(world), participants)
+    }
+}
+
 /// Whether a transaction is buried under at least `depth` canonical blocks.
-pub(crate) fn tx_at_depth(world: &World, chain: ChainId, txid: &TxId, depth: u64) -> bool {
+pub(crate) fn tx_at_depth(world: &dyn ChainApi, chain: ChainId, txid: &TxId, depth: u64) -> bool {
     world.chain(chain).ok().and_then(|c| c.tx_depth(txid)).is_some_and(|d| d >= depth)
 }
 
 /// Whether a transaction has reached its chain's configured stable depth.
-pub(crate) fn tx_stable(world: &World, chain: ChainId, txid: &TxId) -> bool {
+pub(crate) fn tx_stable(world: &dyn ChainApi, chain: ChainId, txid: &TxId) -> bool {
     let Ok(c) = world.chain(chain) else { return false };
     tx_at_depth(world, chain, txid, c.params().stable_depth)
 }
@@ -129,7 +152,7 @@ pub(crate) fn tx_stable(world: &World, chain: ChainId, txid: &TxId) -> bool {
 /// Indices of deployed edges whose contract is still locked in `P` — the
 /// candidates of a recovery pass (shared by the AC3WN and AC3TW machines).
 pub(crate) fn unsettled_edges(
-    world: &World,
+    world: &dyn ChainApi,
     edges: &[crate::graph::SwapEdge],
     deploys: &[Option<(TxId, ac3_chain::ContractId)>],
 ) -> Vec<usize> {
@@ -165,7 +188,7 @@ mod tests {
     impl SwapMachine for Countdown {
         fn poll(
             &mut self,
-            world: &mut World,
+            world: &mut dyn ChainApi,
             _participants: &mut ParticipantSet,
         ) -> Result<Step, ProtocolError> {
             if self.polls_left == 0 {

@@ -17,7 +17,7 @@
 use ac3_chain::{Blockchain, ChainId, ContractId, LightClient, TxId};
 use ac3_contracts::{ChainAnchor, EquivocationProof, SignedDecision, TxInclusionEvidence};
 use ac3_crypto::WitnessDecision;
-use ac3_sim::{World, WorldError};
+use ac3_sim::{ChainApi, World, WorldError};
 use serde::{Deserialize, Serialize};
 
 /// Which validation strategy to use.
@@ -261,7 +261,7 @@ impl TestimonyLog {
     /// be slashed for them.
     pub fn unsupported_by(
         &self,
-        world: &World,
+        world: &dyn ChainApi,
         chain: ChainId,
         contract: ContractId,
     ) -> Vec<SignedDecision> {

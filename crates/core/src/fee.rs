@@ -27,7 +27,7 @@ use ac3_chain::{
     TxOutput,
 };
 use ac3_contracts::{ContractCall, ContractSpec};
-use ac3_sim::{ChainCongestion, ParticipantSet, World, WorldError};
+use ac3_sim::{ChainApi, ChainCongestion, ParticipantSet, WorldError};
 use serde::{Deserialize, Serialize};
 
 /// How a participant bids for block space when its submissions queue.
@@ -306,7 +306,7 @@ impl BidBook {
     /// protocol.
     pub fn submit_deploy(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         owner: &Address,
         chain: ChainId,
@@ -360,7 +360,7 @@ impl BidBook {
     /// same conditions as [`BidBook::submit_deploy`].
     pub fn submit_call(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         caller: &Address,
         chain: ChainId,
@@ -468,11 +468,11 @@ impl BidBook {
     /// headroom up front instead of discovering the price by re-bidding.
     fn opening_fee(
         &self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         chain: ChainId,
         base: Amount,
     ) -> Result<Amount, ProtocolError> {
-        let floor = world.congestion_cached(chain)?.fee_floor;
+        let floor = world.congestion(chain)?.fee_floor;
         match self.policy {
             FeePolicy::Adaptive { margin, .. } if floor > 0 => {
                 Ok(base.max(floor.saturating_add(margin)).min(self.policy.cap(base)))
@@ -489,7 +489,7 @@ impl BidBook {
     /// changes so the owning machine can rewrite its stored ids.
     pub fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Vec<BidChange>, ProtocolError> {
         let mut changes = Vec::new();
@@ -534,9 +534,9 @@ impl BidBook {
                 // stuck behind the same congested mempool, only the first
                 // poller of a tick derives the snapshot and walks the
                 // priority order for the marginal price.
-                let congestion = world.congestion_cached(chain)?;
+                let congestion = world.congestion(chain)?;
                 let marginal = if matches!(self.policy, FeePolicy::Adaptive { .. }) {
-                    world.marginal_fee_cached(chain)?
+                    world.marginal_fee(chain)?
                 } else {
                     None
                 };
@@ -566,7 +566,15 @@ impl BidBook {
                     deploy: matches!(bid.kind, BidKind::Deploy { .. }),
                 });
             } else {
-                if self.bids[i].billed && world.fees.is_billed(&txid) {
+                if world.tx_in_flight(chain, &txid) {
+                    // The submission (or its latest re-bid) is still riding
+                    // the network link — absent from both the mempool and
+                    // the canonical chain only because it has not arrived
+                    // yet. Re-submitting now would double-spend the bid's
+                    // inputs against its own in-flight copy.
+                    continue;
+                }
+                if self.bids[i].billed && world.is_billed(&txid) {
                     // Neither pending nor canonical, yet the ledger still
                     // charges for it: the transaction was mined onto a
                     // branch that has since been reorged out (the sim does
@@ -585,7 +593,7 @@ impl BidBook {
                 // fee), if the policy affords it; otherwise surrender the
                 // refund to the owner's tally and hold the bid for a later
                 // retry.
-                let congestion = world.congestion_cached(chain)?;
+                let congestion = world.congestion(chain)?;
                 let bid = &self.bids[i];
                 let floor = congestion.fee_floor;
                 let was_billed = bid.billed;
@@ -660,6 +668,7 @@ impl BidBook {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ac3_sim::World;
 
     #[test]
     fn fixed_policy_never_escalates() {
@@ -948,7 +957,7 @@ mod tests {
         // resumes at the cap and the bid becomes mineable again.
         world
             .advance_until("base fee decays under the cap", 20_000, |w| {
-                w.congestion(chain).map(|c| c.base_fee <= 3).unwrap_or(false)
+                w.chain(chain).map(|c| c.base_fee() <= 3).unwrap_or(false)
             })
             .unwrap();
         let changes = book.poll(&mut world, &mut participants).unwrap();

@@ -35,7 +35,7 @@ use crate::scenario::Scenario;
 use ac3_chain::{Address, ChainId, ContractId, Timestamp, TxId};
 use ac3_contracts::{ContractCall, ContractSpec, HtlcCall, HtlcSpec};
 use ac3_crypto::{Hash256, Hashlock, Sha256};
-use ac3_sim::{EventKind, ParticipantSet, Timeline, World};
+use ac3_sim::{ChainApi, EventKind, ParticipantSet, Timeline};
 
 /// The Herlihy single-leader protocol driver.
 #[derive(Debug, Clone, Default)]
@@ -219,12 +219,12 @@ impl HerlihyMachine {
         }
     }
 
-    fn record(&mut self, world: &mut World, at: Timestamp, kind: EventKind) {
+    fn record(&mut self, world: &mut dyn ChainApi, at: Timestamp, kind: EventKind) {
         self.timeline.record(at, kind.clone());
-        world.timeline.record(at, kind);
+        world.record(at, kind);
     }
 
-    fn poll_step(&self, world: &World) -> Step {
+    fn poll_step(&self, world: &dyn ChainApi) -> Step {
         Step::Waiting { not_before: world.now() + world.min_block_interval_ms() }
     }
 
@@ -236,7 +236,7 @@ impl HerlihyMachine {
     /// of a superseded transaction/contract id.
     fn poll_bids(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<(), ProtocolError> {
         let changes = self.bids.poll(world, participants)?;
@@ -283,7 +283,7 @@ impl HerlihyMachine {
 
     /// Record the publication events for every deployed contract (once, at
     /// the end of phase A — successful or not).
-    fn record_published(&mut self, world: &mut World) {
+    fn record_published(&mut self, world: &mut dyn ChainApi) {
         let now = world.now();
         for i in 0..self.slots.len() {
             let slot = self.slots[i].clone();
@@ -305,7 +305,7 @@ impl HerlihyMachine {
         self.phase = Phase::CleanupRound;
     }
 
-    fn all_settled(&self, world: &World) -> bool {
+    fn all_settled(&self, world: &dyn ChainApi) -> bool {
         self.slots.iter().all(|s| {
             edge_disposition(world, s.edge.chain, s.deploy.map(|(_, c)| c))
                 != EdgeDisposition::Locked
@@ -321,7 +321,7 @@ impl HerlihyMachine {
     /// revelation (including one made earlier in the same pass) suffices.
     fn attempt_redeems(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         wave: Option<usize>,
     ) -> Result<Vec<(ChainId, TxId)>, ProtocolError> {
@@ -377,7 +377,7 @@ impl HerlihyMachine {
     /// of whichever senders are currently available.
     fn refund_expired(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Vec<(ChainId, TxId)>, ProtocolError> {
         let now = world.now();
@@ -417,7 +417,7 @@ impl HerlihyMachine {
 
     /// Move to the next (lower) redemption wave, or into cleanup after the
     /// last one.
-    fn next_redeem_phase(&mut self, world: &World, k: usize) {
+    fn next_redeem_phase(&mut self, world: &dyn ChainApi, k: usize) {
         if k == 0 {
             self.finished_at = Some(world.now());
             self.enter_cleanup();
@@ -426,7 +426,7 @@ impl HerlihyMachine {
         }
     }
 
-    fn finish(&mut self, world: &World) -> Step {
+    fn finish(&mut self, world: &dyn ChainApi) -> Step {
         let outcomes: Vec<EdgeOutcome> = self
             .slots
             .iter()
@@ -475,7 +475,7 @@ impl SwapMachine for HerlihyMachine {
 
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
         if !matches!(self.phase, Phase::Finished) {

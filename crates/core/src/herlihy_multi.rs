@@ -48,7 +48,7 @@ use crate::scenario::Scenario;
 use ac3_chain::{Address, ChainId, ContractId, Timestamp, TxId};
 use ac3_contracts::{ContractCall, ContractSpec, MultiHtlcCall, MultiHtlcSpec};
 use ac3_crypto::{Hash256, Hashlock, Sha256};
-use ac3_sim::{EventKind, ParticipantSet, Timeline, World};
+use ac3_sim::{ChainApi, EventKind, ParticipantSet, Timeline};
 
 /// The Herlihy multi-leader protocol driver.
 #[derive(Debug, Clone, Default)]
@@ -227,18 +227,18 @@ impl HerlihyMultiMachine {
         }
     }
 
-    fn record(&mut self, world: &mut World, at: Timestamp, kind: EventKind) {
+    fn record(&mut self, world: &mut dyn ChainApi, at: Timestamp, kind: EventKind) {
         self.timeline.record(at, kind.clone());
-        world.timeline.record(at, kind);
+        world.record(at, kind);
     }
 
-    fn poll_step(&self, world: &World) -> Step {
+    fn poll_step(&self, world: &dyn ChainApi) -> Step {
         Step::Waiting { not_before: world.now() + world.min_block_interval_ms() }
     }
 
     /// Record the publication events for every deployed contract (once, at
     /// the end of phase A — successful or not).
-    fn record_published(&mut self, world: &mut World) {
+    fn record_published(&mut self, world: &mut dyn ChainApi) {
         let now = world.now();
         for i in 0..self.slots.len() {
             let slot = self.slots[i].clone();
@@ -254,7 +254,7 @@ impl HerlihyMultiMachine {
 
     /// The off-chain leader secret exchange, evaluated once when phase A
     /// completes: it succeeds iff every leader is currently available.
-    fn exchange_secrets(&mut self, world: &World, participants: &ParticipantSet) {
+    fn exchange_secrets(&mut self, world: &dyn ChainApi, participants: &ParticipantSet) {
         let now = world.now();
         self.exchange_succeeded = !self.deployment_failed
             && self
@@ -274,7 +274,7 @@ impl HerlihyMultiMachine {
     /// of a superseded transaction/contract id.
     fn poll_bids(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<(), ProtocolError> {
         let changes = self.bids.poll(world, participants)?;
@@ -327,7 +327,7 @@ impl HerlihyMultiMachine {
         self.phase = Phase::CleanupRound;
     }
 
-    fn all_settled(&self, world: &World) -> bool {
+    fn all_settled(&self, world: &dyn ChainApi) -> bool {
         self.slots.iter().all(|s| {
             edge_disposition(world, s.edge.chain, s.deploy.map(|(_, c)| c))
                 != EdgeDisposition::Locked
@@ -344,7 +344,7 @@ impl HerlihyMultiMachine {
     /// suffices.
     fn attempt_redeems(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
         wave: Option<usize>,
     ) -> Result<Vec<(ChainId, TxId)>, ProtocolError> {
@@ -399,7 +399,7 @@ impl HerlihyMultiMachine {
     /// of whichever senders are currently available.
     fn refund_expired(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Vec<(ChainId, TxId)>, ProtocolError> {
         let now = world.now();
@@ -439,7 +439,7 @@ impl HerlihyMultiMachine {
 
     /// Move to the next (lower) redemption wave, or into cleanup after the
     /// last one.
-    fn next_redeem_phase(&mut self, world: &World, k: usize) {
+    fn next_redeem_phase(&mut self, world: &dyn ChainApi, k: usize) {
         if k == 0 {
             self.finished_at = Some(world.now());
             self.enter_cleanup();
@@ -448,7 +448,7 @@ impl HerlihyMultiMachine {
         }
     }
 
-    fn finish(&mut self, world: &World) -> Step {
+    fn finish(&mut self, world: &dyn ChainApi) -> Step {
         let outcomes: Vec<EdgeOutcome> = self
             .slots
             .iter()
@@ -497,7 +497,7 @@ impl SwapMachine for HerlihyMultiMachine {
 
     fn poll(
         &mut self,
-        world: &mut World,
+        world: &mut dyn ChainApi,
         participants: &mut ParticipantSet,
     ) -> Result<Step, ProtocolError> {
         if !matches!(self.phase, Phase::Finished) {

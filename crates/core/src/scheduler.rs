@@ -45,7 +45,7 @@ use crate::driver::{MachineFootprint, Step, SwapMachine};
 use crate::partition::partition_batch;
 use crate::protocol::{ProtocolError, SwapReport};
 use ac3_chain::{Amount, ChainId, Timestamp};
-use ac3_sim::{ParticipantSet, SwapId, World};
+use ac3_sim::{NetworkProfile, ParticipantSet, SwapId, World};
 use std::collections::BTreeMap;
 
 /// Drives a batch of swap state machines over one shared world.
@@ -61,13 +61,20 @@ pub struct Scheduler {
     /// polled concurrently, with results bitwise identical to the serial
     /// loop at any worker count.
     pub workers: usize,
+    /// Message-level network conditions attached to the world before the
+    /// batch starts (see [`ac3_sim::World::attach_network`]): every machine
+    /// submission routes through a per-chain link with seeded delivery
+    /// delay and loss. `None` (the default) polls machines through the
+    /// synchronous [`ac3_sim::DirectApi`]. Results remain bitwise
+    /// deterministic at any worker count either way.
+    pub network: Option<NetworkProfile>,
 }
 
 impl Default for Scheduler {
     fn default() -> Self {
         // One simulated day — far beyond any protocol wait cap, so the
         // budget only triggers on genuine livelock.
-        Scheduler { max_ms: 86_400_000, workers: 1 }
+        Scheduler { max_ms: 86_400_000, workers: 1, network: None }
     }
 }
 
@@ -255,7 +262,7 @@ impl Slot {
 impl Scheduler {
     /// A scheduler with the given simulated-time budget.
     pub fn new(max_ms: u64) -> Self {
-        Scheduler { max_ms, workers: 1 }
+        Scheduler { max_ms, workers: 1, network: None }
     }
 
     /// This scheduler with its worker-thread count set (see
@@ -263,6 +270,24 @@ impl Scheduler {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
+    }
+
+    /// This scheduler with a network profile set (see
+    /// [`Scheduler::network`]).
+    pub fn with_network(mut self, profile: NetworkProfile) -> Self {
+        self.network = Some(profile);
+        self
+    }
+
+    /// Attach the configured network profile to the world, once, before
+    /// the first poll — so both batch entry points and the parallel path's
+    /// shard splitting all see the links in place.
+    fn attach_network(&self, world: &mut World) {
+        if let Some(profile) = self.network {
+            if !world.network_attached() {
+                world.attach_network(profile);
+            }
+        }
     }
 
     /// Run `machines` to completion over the shared `world`, interleaving
@@ -284,6 +309,7 @@ impl Scheduler {
         participants: &mut ParticipantSet,
         machines: Vec<(SwapId, Box<dyn SwapMachine>)>,
     ) -> BatchReport {
+        self.attach_network(world);
         if self.workers > 1 {
             return self.run_parallel(world, participants, machines, self.workers);
         }
@@ -316,6 +342,7 @@ impl Scheduler {
         seeds: Vec<(SwapId, MachineSeed)>,
     ) -> BatchReport {
         assert!(!witness_chains.is_empty(), "witness assignment needs at least one witness chain");
+        self.attach_network(world);
         let slots = seeds
             .into_iter()
             .map(|(id, seed)| Slot {
@@ -391,7 +418,7 @@ impl Scheduler {
                 }
                 let SlotMachine::Live(machine) = &mut slot.machine else { unreachable!() };
                 world.set_fee_attribution(Some(slot.id));
-                match machine.poll(world, participants) {
+                match crate::driver::poll_machine(machine.as_mut(), world, participants) {
                     Ok(Step::Done(report)) => slot.done = Some(Ok(*report)),
                     Ok(Step::Waiting { not_before }) => slot.not_before = not_before,
                     Err(e) => slot.done = Some(Err(e)),
@@ -482,7 +509,7 @@ impl Scheduler {
         let footprints: Vec<MachineFootprint> =
             machines.iter().map(|(_, m)| m.footprint()).collect();
         if footprints.iter().flat_map(|f| f.chains.iter()).any(|c| world.chain(*c).is_err()) {
-            let serial = Scheduler { max_ms: self.max_ms, workers: 1 };
+            let serial = Scheduler { max_ms: self.max_ms, workers: 1, network: self.network };
             return serial.run(world, participants, machines);
         }
         let components = partition_batch(&footprints);
@@ -638,7 +665,11 @@ impl ShardTask {
                 continue;
             }
             self.world.set_fee_attribution(Some(slot.id));
-            match slot.machine.poll(&mut self.world, &mut self.participants) {
+            match crate::driver::poll_machine(
+                slot.machine.as_mut(),
+                &mut self.world,
+                &mut self.participants,
+            ) {
                 Ok(Step::Done(report)) => slot.done = Some(Ok(*report)),
                 Ok(Step::Waiting { not_before }) => slot.not_before = not_before,
                 Err(e) => slot.done = Some(Err(e)),

@@ -1,0 +1,464 @@
+//! The narrowed machine-facing chain API.
+//!
+//! Protocol state machines used to poke the simulator directly through
+//! `&mut World`; [`ChainApi`] is the explicit seam instead: everything a
+//! swap machine may do to a chain — submit, replace-by-fee, probe
+//! congestion, observe tips and evidence, record timeline events, and (for
+//! adversary machines) inject faults — and nothing else. No clock
+//! advancement, no shard surgery, no direct ledger or mempool access.
+//!
+//! Three implementations share the surface:
+//!
+//! * [`World`] itself — so existing call sites (tests, the client crate,
+//!   benches) that hold a `&mut World` coerce to `&mut dyn ChainApi`
+//!   unchanged;
+//! * [`DirectApi`] — an explicit synchronous wrapper, the default path and
+//!   the serial reference semantics;
+//! * [`NetworkedApi`] — routes submissions and re-bids through the
+//!   per-chain `Link`s as in-flight messages with seeded
+//!   delivery delay and drop probability; replies are optimistic (the
+//!   transaction id is client-computable), so a machine can be mid-flight
+//!   on a submit when it next polls.
+//!
+//! Reads (`chain`, `anchor`, `tx_evidence_since`, `contract_state`, …) stay
+//! synchronous under every implementation: they model a local light-client
+//! view the machine already holds. The *messages* of the network model are
+//! the mempool mutations — submit and replace — plus the congestion probe,
+//! which is counted per link.
+
+use crate::faults::OutageWindow;
+use crate::metrics::EventKind;
+use crate::network::Payload;
+use crate::world::{ChainCongestion, World, WorldError};
+use ac3_chain::{Amount, BlockHash, Blockchain, ChainId, ContractId, Timestamp, Transaction, TxId};
+use ac3_contracts::{ChainAnchor, TxInclusionEvidence};
+
+/// Everything a swap machine may ask of the chains it coordinates.
+///
+/// Semantics are pinned by [`World`]'s inherent methods of the same names;
+/// see each one for details. The contract every implementation upholds:
+/// *machines never advance the clock*, and a seeded run is deterministic —
+/// two polls at the same instant against the same state return the same
+/// answers.
+pub trait ChainApi {
+    /// Current simulated time in milliseconds.
+    fn now(&self) -> Timestamp;
+
+    /// The paper's Δ: the time to publish on any chain and have the
+    /// publication publicly recognised.
+    fn delta_ms(&self) -> u64;
+
+    /// The smallest block interval across chains — the natural polling
+    /// step for waits on on-chain conditions.
+    fn min_block_interval_ms(&self) -> u64;
+
+    /// Whether a chain is reachable right now (no partition window covers
+    /// the current instant).
+    fn is_reachable(&self, chain: ChainId) -> bool;
+
+    /// Borrow a chain for reading (tip, heights, balances, mempool
+    /// introspection).
+    fn chain(&self, chain: ChainId) -> Result<&Blockchain, WorldError>;
+
+    /// A stable anchor for `chain` (the canonical block at stable depth).
+    fn anchor(&self, chain: ChainId) -> Result<ChainAnchor, WorldError>;
+
+    /// Self-contained inclusion evidence for `txid` relative to `anchor`.
+    fn tx_evidence_since(
+        &self,
+        chain: ChainId,
+        anchor: &ChainAnchor,
+        txid: TxId,
+    ) -> Result<TxInclusionEvidence, WorldError>;
+
+    /// The state tag and burial depth of a contract.
+    fn contract_state(&self, chain: ChainId, contract: ContractId) -> Option<(String, u64)>;
+
+    /// Whether the world's fee ledger currently bills `txid`.
+    fn is_billed(&self, txid: &TxId) -> bool;
+
+    /// Whether a message carrying `txid` is still in flight to `chain`.
+    /// Always false for synchronous implementations.
+    fn tx_in_flight(&self, _chain: ChainId, _txid: &TxId) -> bool {
+        false
+    }
+
+    /// Observe one chain's mempool congestion, memoised per (clock,
+    /// mempool revision).
+    fn congestion(&mut self, chain: ChainId) -> Result<ChainCongestion, WorldError>;
+
+    /// The marginal price of next-block inclusion on `chain`, memoised
+    /// alongside [`ChainApi::congestion`].
+    fn marginal_fee(&mut self, chain: ChainId) -> Result<Option<Amount>, WorldError>;
+
+    /// Submit a transaction. Synchronous implementations return the
+    /// admission result; networked ones return the (client-computable)
+    /// transaction id optimistically once the message is in flight.
+    fn submit(&mut self, chain: ChainId, tx: Transaction) -> Result<TxId, WorldError>;
+
+    /// Replace-by-fee: out-bid a pending transaction with a strictly
+    /// higher-fee replacement.
+    fn replace_tx(
+        &mut self,
+        chain: ChainId,
+        old: TxId,
+        tx: Transaction,
+    ) -> Result<TxId, WorldError>;
+
+    /// Record a protocol-level event on the world's global timeline.
+    fn record(&mut self, at: Timestamp, kind: EventKind);
+
+    /// Make a chain unreachable during a window of simulated time
+    /// (adversary machines; routed through the link layer when a network
+    /// is attached).
+    fn schedule_outage(&mut self, chain: ChainId, window: OutageWindow) -> Result<(), WorldError>;
+
+    /// Mine a competing branch forking `fork_depth` below the tip
+    /// (adversary machines; the Section 6.3 attacker).
+    fn inject_fork(
+        &mut self,
+        chain: ChainId,
+        fork_depth: u64,
+        length: u64,
+    ) -> Result<Vec<BlockHash>, WorldError>;
+}
+
+impl ChainApi for World {
+    fn now(&self) -> Timestamp {
+        World::now(self)
+    }
+
+    fn delta_ms(&self) -> u64 {
+        World::delta_ms(self)
+    }
+
+    fn min_block_interval_ms(&self) -> u64 {
+        World::min_block_interval_ms(self)
+    }
+
+    fn is_reachable(&self, chain: ChainId) -> bool {
+        World::is_reachable(self, chain)
+    }
+
+    fn chain(&self, chain: ChainId) -> Result<&Blockchain, WorldError> {
+        World::chain(self, chain)
+    }
+
+    fn anchor(&self, chain: ChainId) -> Result<ChainAnchor, WorldError> {
+        World::anchor(self, chain)
+    }
+
+    fn tx_evidence_since(
+        &self,
+        chain: ChainId,
+        anchor: &ChainAnchor,
+        txid: TxId,
+    ) -> Result<TxInclusionEvidence, WorldError> {
+        World::tx_evidence_since(self, chain, anchor, txid)
+    }
+
+    fn contract_state(&self, chain: ChainId, contract: ContractId) -> Option<(String, u64)> {
+        World::contract_state(self, chain, contract)
+    }
+
+    fn is_billed(&self, txid: &TxId) -> bool {
+        self.fees.is_billed(txid)
+    }
+
+    fn congestion(&mut self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
+        World::congestion(self, chain)
+    }
+
+    fn marginal_fee(&mut self, chain: ChainId) -> Result<Option<Amount>, WorldError> {
+        World::marginal_fee(self, chain)
+    }
+
+    fn submit(&mut self, chain: ChainId, tx: Transaction) -> Result<TxId, WorldError> {
+        World::submit(self, chain, tx)
+    }
+
+    fn replace_tx(
+        &mut self,
+        chain: ChainId,
+        old: TxId,
+        tx: Transaction,
+    ) -> Result<TxId, WorldError> {
+        World::replace_tx(self, chain, old, tx)
+    }
+
+    fn record(&mut self, at: Timestamp, kind: EventKind) {
+        self.timeline.record(at, kind);
+    }
+
+    fn schedule_outage(&mut self, chain: ChainId, window: OutageWindow) -> Result<(), WorldError> {
+        World::schedule_outage(self, chain, window)
+    }
+
+    fn inject_fork(
+        &mut self,
+        chain: ChainId,
+        fork_depth: u64,
+        length: u64,
+    ) -> Result<Vec<BlockHash>, WorldError> {
+        World::inject_fork(self, chain, fork_depth, length)
+    }
+}
+
+/// The synchronous [`ChainApi`]: every call is applied to the [`World`]
+/// immediately, exactly as machines did when they held `&mut World`. The
+/// default path, and the reference semantics the networked path must match
+/// bitwise under a zero profile.
+pub struct DirectApi<'a> {
+    world: &'a mut World,
+}
+
+impl<'a> DirectApi<'a> {
+    /// Wrap a world for direct synchronous access.
+    pub fn new(world: &'a mut World) -> Self {
+        DirectApi { world }
+    }
+}
+
+impl ChainApi for DirectApi<'_> {
+    fn now(&self) -> Timestamp {
+        self.world.now()
+    }
+
+    fn delta_ms(&self) -> u64 {
+        self.world.delta_ms()
+    }
+
+    fn min_block_interval_ms(&self) -> u64 {
+        self.world.min_block_interval_ms()
+    }
+
+    fn is_reachable(&self, chain: ChainId) -> bool {
+        self.world.is_reachable(chain)
+    }
+
+    fn chain(&self, chain: ChainId) -> Result<&Blockchain, WorldError> {
+        self.world.chain(chain)
+    }
+
+    fn anchor(&self, chain: ChainId) -> Result<ChainAnchor, WorldError> {
+        self.world.anchor(chain)
+    }
+
+    fn tx_evidence_since(
+        &self,
+        chain: ChainId,
+        anchor: &ChainAnchor,
+        txid: TxId,
+    ) -> Result<TxInclusionEvidence, WorldError> {
+        self.world.tx_evidence_since(chain, anchor, txid)
+    }
+
+    fn contract_state(&self, chain: ChainId, contract: ContractId) -> Option<(String, u64)> {
+        self.world.contract_state(chain, contract)
+    }
+
+    fn is_billed(&self, txid: &TxId) -> bool {
+        self.world.fees.is_billed(txid)
+    }
+
+    fn congestion(&mut self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
+        self.world.congestion(chain)
+    }
+
+    fn marginal_fee(&mut self, chain: ChainId) -> Result<Option<Amount>, WorldError> {
+        self.world.marginal_fee(chain)
+    }
+
+    fn submit(&mut self, chain: ChainId, tx: Transaction) -> Result<TxId, WorldError> {
+        self.world.submit(chain, tx)
+    }
+
+    fn replace_tx(
+        &mut self,
+        chain: ChainId,
+        old: TxId,
+        tx: Transaction,
+    ) -> Result<TxId, WorldError> {
+        self.world.replace_tx(chain, old, tx)
+    }
+
+    fn record(&mut self, at: Timestamp, kind: EventKind) {
+        self.world.timeline.record(at, kind);
+    }
+
+    fn schedule_outage(&mut self, chain: ChainId, window: OutageWindow) -> Result<(), WorldError> {
+        self.world.schedule_outage(chain, window)
+    }
+
+    fn inject_fork(
+        &mut self,
+        chain: ChainId,
+        fork_depth: u64,
+        length: u64,
+    ) -> Result<Vec<BlockHash>, WorldError> {
+        self.world.inject_fork(chain, fork_depth, length)
+    }
+}
+
+/// The message-routed [`ChainApi`]: submissions and re-bids become
+/// `Message`s on the target chain's link, with delivery
+/// delay and drop probability sampled at send time from the world's
+/// attached [`crate::network::NetworkProfile`].
+///
+/// * A **zero-delay, undropped** message is applied inline — bitwise
+///   identical to [`DirectApi`], including the admission result.
+/// * A **delayed** message returns `Ok(tx.id())` optimistically after the
+///   synchronous unknown-chain / reachability checks; admission happens at
+///   delivery inside `World::advance`, and a rejection there counts as a
+///   nack on the link (the bid book recovers through its eviction
+///   re-entry path).
+/// * A **dropped** message also returns optimistically — the client cannot
+///   know the network ate it; it is counted on the link and recovered the
+///   same way.
+///
+/// Requires [`World::attach_network`] to have been called; constructing a
+/// `NetworkedApi` over a world without links panics on first send.
+pub struct NetworkedApi<'a> {
+    world: &'a mut World,
+}
+
+impl<'a> NetworkedApi<'a> {
+    /// Wrap a world whose network is attached.
+    pub fn new(world: &'a mut World) -> Self {
+        NetworkedApi { world }
+    }
+
+    /// Common send path for submit / replace messages.
+    fn send(&mut self, chain: ChainId, payload: Payload) -> Result<TxId, WorldError> {
+        if self.world.chain(chain).is_err() {
+            return Err(WorldError::UnknownChain(chain));
+        }
+        if !self.world.is_reachable(chain) {
+            return Err(WorldError::ChainUnreachable(chain));
+        }
+        let profile =
+            *self.world.network_profile().expect("NetworkedApi requires World::attach_network");
+        let now = self.world.now();
+        let attribution = self.world.fee_attribution();
+        let link = self.world.link_mut(chain).expect("attached network creates every link");
+        let (delay, dropped) = link.sample(&profile);
+        match &payload {
+            Payload::Submit { .. } => link.stats.submits += 1,
+            Payload::Replace { .. } => link.stats.replaces += 1,
+        }
+        if dropped {
+            link.stats.dropped += 1;
+            let txid = match &payload {
+                Payload::Submit { tx } | Payload::Replace { tx, .. } => tx.id(),
+            };
+            return Ok(txid);
+        }
+        if delay == 0 {
+            // Apply inline: the zero-latency path must be bitwise identical
+            // to DirectApi, including synchronous admission errors.
+            let result = match payload {
+                Payload::Submit { tx } => self.world.submit(chain, tx),
+                Payload::Replace { old, tx } => self.world.replace_tx(chain, old, tx),
+            };
+            let link = self.world.link_mut(chain).expect("attached");
+            match &result {
+                Ok(_) => link.stats.delivered += 1,
+                Err(_) => link.stats.nacked += 1,
+            }
+            return result;
+        }
+        let txid = match &payload {
+            Payload::Submit { tx } | Payload::Replace { tx, .. } => tx.id(),
+        };
+        link.enqueue(now + delay, attribution, payload);
+        Ok(txid)
+    }
+}
+
+impl ChainApi for NetworkedApi<'_> {
+    fn now(&self) -> Timestamp {
+        self.world.now()
+    }
+
+    fn delta_ms(&self) -> u64 {
+        self.world.delta_ms()
+    }
+
+    fn min_block_interval_ms(&self) -> u64 {
+        self.world.min_block_interval_ms()
+    }
+
+    fn is_reachable(&self, chain: ChainId) -> bool {
+        self.world.is_reachable(chain)
+    }
+
+    fn chain(&self, chain: ChainId) -> Result<&Blockchain, WorldError> {
+        self.world.chain(chain)
+    }
+
+    fn anchor(&self, chain: ChainId) -> Result<ChainAnchor, WorldError> {
+        self.world.anchor(chain)
+    }
+
+    fn tx_evidence_since(
+        &self,
+        chain: ChainId,
+        anchor: &ChainAnchor,
+        txid: TxId,
+    ) -> Result<TxInclusionEvidence, WorldError> {
+        self.world.tx_evidence_since(chain, anchor, txid)
+    }
+
+    fn contract_state(&self, chain: ChainId, contract: ContractId) -> Option<(String, u64)> {
+        self.world.contract_state(chain, contract)
+    }
+
+    fn is_billed(&self, txid: &TxId) -> bool {
+        self.world.fees.is_billed(txid)
+    }
+
+    fn tx_in_flight(&self, chain: ChainId, txid: &TxId) -> bool {
+        self.world.tx_in_flight(chain, txid)
+    }
+
+    fn congestion(&mut self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
+        if let Some(link) = self.world.link_mut(chain) {
+            link.stats.probes += 1;
+        }
+        self.world.congestion(chain)
+    }
+
+    fn marginal_fee(&mut self, chain: ChainId) -> Result<Option<Amount>, WorldError> {
+        self.world.marginal_fee(chain)
+    }
+
+    fn submit(&mut self, chain: ChainId, tx: Transaction) -> Result<TxId, WorldError> {
+        self.send(chain, Payload::Submit { tx })
+    }
+
+    fn replace_tx(
+        &mut self,
+        chain: ChainId,
+        old: TxId,
+        tx: Transaction,
+    ) -> Result<TxId, WorldError> {
+        self.send(chain, Payload::Replace { old, tx })
+    }
+
+    fn record(&mut self, at: Timestamp, kind: EventKind) {
+        self.world.timeline.record(at, kind);
+    }
+
+    fn schedule_outage(&mut self, chain: ChainId, window: OutageWindow) -> Result<(), WorldError> {
+        self.world.schedule_outage(chain, window)
+    }
+
+    fn inject_fork(
+        &mut self,
+        chain: ChainId,
+        fork_depth: u64,
+        length: u64,
+    ) -> Result<Vec<BlockHash>, WorldError> {
+        self.world.inject_fork(chain, fork_depth, length)
+    }
+}

@@ -14,15 +14,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod faults;
 pub mod metrics;
+pub mod network;
 pub mod participant;
 pub mod world;
 
+pub use api::{ChainApi, DirectApi, NetworkedApi};
 pub use faults::{Fault, FaultPlan, OutageWindow};
 pub use metrics::{
     EventKind, FeeKind, FeeLedger, LatencyStats, SubTransactionRecord, SwapId, Timeline,
     TimelineEvent, TxBill,
 };
+pub use network::{LinkStats, NetworkProfile};
 pub use participant::{CrashWindow, Participant, ParticipantSet};
 pub use world::{ChainCongestion, World, WorldError};

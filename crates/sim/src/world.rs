@@ -13,6 +13,7 @@
 
 use crate::faults::OutageWindow;
 use crate::metrics::{FeeKind, FeeLedger, SwapId, Timeline};
+use crate::network::{FeeEvent, Link, LinkStats, NetworkProfile, Payload};
 use ac3_chain::{
     Address, Amount, BlockHash, Blockchain, ChainError, ChainId, ChainParams, ContractId,
     Timestamp, Transaction, TxId, TxKind,
@@ -80,6 +81,11 @@ struct ChainSlot {
     miner: Address,
     next_block_at: Timestamp,
     outages: Vec<OutageWindow>,
+    /// The message link to this chain; `Some` once a network profile is
+    /// attached to the world. Moves with the slot across shard splits, so
+    /// its RNG stream and in-flight queue stay with whichever worker owns
+    /// the chain.
+    link: Option<Link>,
 }
 
 /// Memoised congestion view of one chain, keyed by the (clock, mempool
@@ -144,7 +150,7 @@ pub struct World {
     /// around each machine poll so concurrent AC2Ts get separate bills).
     fee_attribution: Option<SwapId>,
     /// Per-chain congestion snapshots memoised by (clock, mempool
-    /// revision); see [`World::congestion_cached`].
+    /// revision); see [`World::congestion`].
     congestion_cache: BTreeMap<ChainId, CongestionCacheEntry>,
     /// Pinned Δ (see [`World::pin_timing`]): a shard world split off a
     /// larger world must keep using the full world's Δ — timelocks are
@@ -153,6 +159,10 @@ pub struct World {
     delta_override: Option<u64>,
     /// Pinned minimum block interval (see [`World::pin_timing`]).
     min_interval_override: Option<u64>,
+    /// The attached network profile, if any (see
+    /// [`World::attach_network`]): every chain slot then carries a
+    /// [`Link`] and the networked API routes submissions through it.
+    network: Option<NetworkProfile>,
 }
 
 impl fmt::Debug for World {
@@ -183,6 +193,7 @@ impl World {
             congestion_cache: BTreeMap::new(),
             delta_override: None,
             min_interval_override: None,
+            network: None,
         }
     }
 
@@ -211,9 +222,16 @@ impl World {
             Address::from(KeyPair::from_seed(format!("miner-{}", params.name).as_bytes()).public());
         let interval = params.block_interval_ms;
         let chain = Blockchain::new(id, params, Arc::new(SwapVm::new()), genesis);
+        let link = self.network.as_ref().map(|profile| Link::new(profile, id));
         self.chains.insert(
             id,
-            ChainSlot { chain, miner, next_block_at: self.now + interval, outages: Vec::new() },
+            ChainSlot {
+                chain,
+                miner,
+                next_block_at: self.now + interval,
+                outages: Vec::new(),
+                link,
+            },
         );
         id
     }
@@ -270,25 +288,87 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Network
+    // ------------------------------------------------------------------
+
+    /// Attach a network profile: every chain (existing and future) gets a
+    /// message `Link` seeded from the profile, and the networked API
+    /// (`NetworkedApi`) routes submissions and re-bids through those links
+    /// as delayed, droppable messages. Re-attaching replaces the links
+    /// (fresh RNG streams, empty queues).
+    pub fn attach_network(&mut self, profile: NetworkProfile) {
+        self.network = Some(profile);
+        for (id, slot) in self.chains.iter_mut() {
+            slot.link = Some(Link::new(&profile, *id));
+        }
+    }
+
+    /// Whether a network profile is attached (links exist).
+    pub fn network_attached(&self) -> bool {
+        self.network.is_some()
+    }
+
+    /// The attached network profile, if any.
+    pub fn network_profile(&self) -> Option<&NetworkProfile> {
+        self.network.as_ref()
+    }
+
+    /// Aggregate delivery counters over every chain's link, folded in
+    /// chain-id order. Zero when no network is attached.
+    pub fn network_stats(&self) -> LinkStats {
+        let mut stats = LinkStats::default();
+        for slot in self.chains.values() {
+            if let Some(link) = &slot.link {
+                stats.absorb(&link.stats);
+            }
+        }
+        stats
+    }
+
+    /// Mutable access to a chain's link (send path of the networked API).
+    pub(crate) fn link_mut(&mut self, chain: ChainId) -> Option<&mut Link> {
+        self.chains.get_mut(&chain).and_then(|s| s.link.as_mut())
+    }
+
+    /// Whether a message carrying `txid` is still in flight to `chain`.
+    pub fn tx_in_flight(&self, chain: ChainId, txid: &TxId) -> bool {
+        self.chains.get(&chain).and_then(|s| s.link.as_ref()).is_some_and(|l| l.tx_in_flight(txid))
+    }
+
+    // ------------------------------------------------------------------
     // Faults
     // ------------------------------------------------------------------
 
     /// Make a chain unreachable (network partition) during a window of
-    /// simulated time: submissions during the window fail.
+    /// simulated time: submissions during the window fail. With a network
+    /// attached the window lives on the chain's `Link` — fault-injected
+    /// partitions and modeled message loss share the one mechanism — and
+    /// on the slot's own outage list otherwise.
     pub fn schedule_outage(
         &mut self,
         chain: ChainId,
         window: OutageWindow,
     ) -> Result<(), WorldError> {
-        self.chains.get_mut(&chain).ok_or(WorldError::UnknownChain(chain))?.outages.push(window);
+        let slot = self.chains.get_mut(&chain).ok_or(WorldError::UnknownChain(chain))?;
+        match slot.link.as_mut() {
+            Some(link) => link.partitions.push(window),
+            None => slot.outages.push(window),
+        }
         Ok(())
     }
 
-    /// Whether a chain is reachable right now.
+    /// Whether a chain is reachable right now. Checks both the slot's
+    /// outage windows and, when a network is attached, the link's
+    /// partition windows. Messages already in flight still deliver during
+    /// a partition — the gate is at send time, like the paper's model of a
+    /// partitioned *submitter*.
     pub fn is_reachable(&self, chain: ChainId) -> bool {
         self.chains
             .get(&chain)
-            .map(|s| !s.outages.iter().any(|o| o.covers(self.now)))
+            .map(|s| {
+                !s.outages.iter().any(|o| o.covers(self.now))
+                    && !s.link.as_ref().is_some_and(|l| l.is_partitioned(self.now))
+            })
             .unwrap_or(false)
     }
 
@@ -325,45 +405,132 @@ impl World {
     // Time
     // ------------------------------------------------------------------
 
-    /// Advance simulated time by `ms`, mining blocks on every chain whenever
-    /// its block interval elapses.
+    /// Advance simulated time by `ms`, mining blocks on every chain
+    /// whenever its block interval elapses and delivering due network
+    /// messages in between.
+    ///
+    /// Chains are advanced one at a time with the per-chain event loop of
+    /// `World::advance_slot`; cross-chain interleaving is unobservable
+    /// (mining or delivering on one chain never reads or writes another),
+    /// so this is bitwise identical to a global time-ordered event loop —
+    /// the differential test `advance_parallel_matches_serial_bitwise`
+    /// pins exactly this equivalence.
     pub fn advance(&mut self, ms: u64) {
         let target = self.now + ms;
+        for slot in self.chains.values_mut() {
+            Self::advance_slot(slot, target);
+        }
+        self.now = target;
+        self.drain_network_outboxes();
+    }
+
+    /// Run one chain's event loop up to `target`: block production at the
+    /// chain's interval, interleaved in time order with the delivery of
+    /// the link's due messages. A message and a block due at the same
+    /// instant deliver the message first — a submission arriving "as the
+    /// block is mined" can still make that block, matching the synchronous
+    /// path where the submit call precedes the advance.
+    ///
+    /// Mining ignores outages: the chain's own miners are not partitioned
+    /// from themselves, only submitters may be. In-flight messages deliver
+    /// during partitions too — the reachability gate is at send time.
+    fn advance_slot(slot: &mut ChainSlot, target: Timestamp) {
         loop {
-            // Find the earliest pending block production at or before target.
-            let next = self
-                .chains
-                .iter()
-                .map(|(id, s)| (s.next_block_at, *id))
-                .filter(|(at, _)| *at <= target)
-                .min();
-            match next {
-                Some((at, id)) => {
-                    self.now = at;
-                    let slot = self.chains.get_mut(&id).expect("chain exists");
+            let next_block = (slot.next_block_at <= target).then_some(slot.next_block_at);
+            let next_msg =
+                slot.link.as_ref().and_then(|l| l.next_delivery_at()).filter(|at| *at <= target);
+            match (next_msg, next_block) {
+                (Some(m), Some(b)) if m <= b => Self::deliver_one(slot, m),
+                (Some(m), None) => Self::deliver_one(slot, m),
+                (_, Some(at)) => {
                     let miner = slot.miner;
-                    // Mining ignores outages: the chain's own miners are not
-                    // partitioned from themselves, only submitters may be.
                     let _ = slot.chain.mine_block(miner, at);
                     slot.next_block_at = at + slot.chain.params().block_interval_ms;
                 }
-                None => break,
+                (None, None) => break,
             }
         }
-        self.now = target;
     }
 
-    /// Run one chain's mining loop up to `target`: exactly the per-chain
-    /// projection of [`World::advance`]'s event loop (same block times,
-    /// same miner, same interval arithmetic), just without the cross-chain
-    /// interleaving — which is unobservable, since mining one chain never
-    /// reads or writes another.
-    fn advance_slot(slot: &mut ChainSlot, target: Timestamp) {
-        while slot.next_block_at <= target {
-            let at = slot.next_block_at;
-            let miner = slot.miner;
-            let _ = slot.chain.mine_block(miner, at);
-            slot.next_block_at = at + slot.chain.params().block_interval_ms;
+    /// Apply the earliest due message on `slot`'s link to its chain,
+    /// recording admission results as stats and fee-ledger events on the
+    /// link (the world drains them after the advance — see
+    /// [`World::drain_network_outboxes`]).
+    fn deliver_one(slot: &mut ChainSlot, at: Timestamp) {
+        let link = slot.link.as_mut().expect("deliver_one only runs with a link");
+        let msg = link.pop_due(at).expect("caller checked a message is due");
+        match msg.payload {
+            Payload::Submit { tx } => {
+                let fee = tx.fee;
+                let kind = match &tx.kind {
+                    TxKind::Deploy { .. } => Some(FeeKind::Deploy),
+                    TxKind::Call { .. } => Some(FeeKind::Call),
+                    TxKind::Transfer { .. } => Some(FeeKind::Transfer),
+                    TxKind::Coinbase { .. } => None,
+                };
+                match slot.chain.submit_with_evictions(tx) {
+                    Ok((txid, evicted)) => {
+                        let link = slot.link.as_mut().expect("checked above");
+                        link.stats.delivered += 1;
+                        link.outbox.push(FeeEvent::Bill {
+                            txid,
+                            kind,
+                            fee,
+                            swap: msg.attribution,
+                            evicted: evicted.iter().map(|t| t.id()).collect(),
+                        });
+                    }
+                    Err(_) => {
+                        slot.link.as_mut().expect("checked above").stats.nacked += 1;
+                    }
+                }
+            }
+            Payload::Replace { old, tx } => {
+                let fee = tx.fee;
+                match slot.chain.replace(&old, tx) {
+                    Ok((new, _replaced)) => {
+                        let link = slot.link.as_mut().expect("checked above");
+                        link.stats.delivered += 1;
+                        link.outbox.push(FeeEvent::Reprice { old, new, fee });
+                    }
+                    Err(_) => {
+                        slot.link.as_mut().expect("checked above").stats.nacked += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold every link's pending fee events into the world ledger, in
+    /// chain-id order. Deliveries run inside per-chain advancement —
+    /// possibly on a worker thread that owns only the slot — so they
+    /// cannot bill the shared ledger directly; draining here, in the same
+    /// deterministic order serially and in parallel, keeps the ledger
+    /// bitwise identical at any thread count.
+    fn drain_network_outboxes(&mut self) {
+        if self.network.is_none() {
+            return;
+        }
+        let mut events: Vec<(ChainId, FeeEvent)> = Vec::new();
+        for (id, slot) in self.chains.iter_mut() {
+            if let Some(link) = slot.link.as_mut() {
+                events.extend(link.outbox.drain(..).map(|e| (*id, e)));
+            }
+        }
+        for (chain, event) in events {
+            match event {
+                FeeEvent::Bill { txid, kind, fee, swap, evicted } => {
+                    for dropped in &evicted {
+                        self.fees.refund(dropped);
+                    }
+                    if let Some(kind) = kind {
+                        self.fees.bill(chain, txid, kind, fee, swap);
+                    }
+                }
+                FeeEvent::Reprice { old, new, fee } => {
+                    self.fees.reprice(&old, new, fee);
+                }
+            }
         }
     }
 
@@ -394,6 +561,7 @@ impl World {
             });
         }
         self.now = target;
+        self.drain_network_outboxes();
     }
 
     /// Advance in steps of one block interval until `pred` is true or
@@ -492,15 +660,8 @@ impl World {
         Ok(txid)
     }
 
-    /// Observe one chain's mempool congestion (queue depth, base fee, fee
-    /// floor, block budget).
-    ///
-    /// Respects injected outages exactly like [`World::submit`]: a
-    /// partitioned chain's mempool cannot be observed, so the call fails
-    /// with [`WorldError::ChainUnreachable`] for the duration of the
-    /// outage window (and [`WorldError::UnknownChain`] for chains that do
-    /// not exist — an unknown chain is a caller bug, not a partition).
-    pub fn congestion(&self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
+    /// Derive one chain's congestion snapshot from scratch (no memo).
+    fn congestion_uncached(&self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
         let c = self.chain(chain)?;
         if !self.is_reachable(chain) {
             return Err(WorldError::ChainUnreachable(chain));
@@ -516,13 +677,20 @@ impl World {
         })
     }
 
-    /// [`World::congestion`] behind a per-chain memo keyed by (clock,
-    /// mempool revision): within one scheduler tick the clock is frozen,
-    /// so every poller after the first reads the cached snapshot instead
-    /// of re-deriving depth, floor, and base fee. Any mempool mutation
+    /// Observe one chain's mempool congestion (queue depth, base fee, fee
+    /// floor, block budget), memoised per chain by (clock, mempool
+    /// revision): within one scheduler tick the clock is frozen, so every
+    /// poller after the first reads the cached snapshot instead of
+    /// re-deriving depth, floor, and base fee. Any mempool mutation
     /// (admission, eviction, mining, base-fee move) bumps the revision and
     /// transparently invalidates the entry — there is no explicit flush.
-    pub fn congestion_cached(&mut self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
+    ///
+    /// Respects injected outages exactly like [`World::submit`]: a
+    /// partitioned chain's mempool cannot be observed, so the call fails
+    /// with [`WorldError::ChainUnreachable`] for the duration of the
+    /// outage window (and [`WorldError::UnknownChain`] for chains that do
+    /// not exist — an unknown chain is a caller bug, not a partition).
+    pub fn congestion(&mut self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
         let revision = self.chain(chain)?.mempool_revision();
         if !self.is_reachable(chain) {
             return Err(WorldError::ChainUnreachable(chain));
@@ -532,7 +700,7 @@ impl World {
                 return Ok(entry.snapshot);
             }
         }
-        let snapshot = self.congestion(chain)?;
+        let snapshot = self.congestion_uncached(chain)?;
         self.congestion_cache.insert(
             chain,
             CongestionCacheEntry { now: self.now, revision, snapshot, marginal: None },
@@ -544,10 +712,10 @@ impl World {
     /// by the pending transaction at the last in-budget mempool rank
     /// (`None` when the queue is shallower than a block). The underlying
     /// probe is an O(block budget) walk of the priority order, so the
-    /// result is memoised alongside [`World::congestion_cached`] and
-    /// recomputed only when the clock or the mempool revision moves.
-    pub fn marginal_fee_cached(&mut self, chain: ChainId) -> Result<Option<Amount>, WorldError> {
-        let snapshot = self.congestion_cached(chain)?;
+    /// result is memoised alongside [`World::congestion`] and recomputed
+    /// only when the clock or the mempool revision moves.
+    pub fn marginal_fee(&mut self, chain: ChainId) -> Result<Option<Amount>, WorldError> {
+        let snapshot = self.congestion(chain)?;
         if let Some(entry) = self.congestion_cache.get(&chain) {
             if let Some(marginal) = entry.marginal {
                 return Ok(marginal);
@@ -671,6 +839,7 @@ impl World {
         let mut shard = World::new();
         shard.now = self.now;
         shard.next_chain_id = self.next_chain_id;
+        shard.network = self.network;
         shard.pin_timing(delta, min_interval);
         for id in chains {
             let slot = self.chains.remove(id).ok_or(WorldError::UnknownChain(*id))?;
@@ -1103,24 +1272,28 @@ mod tests {
         let mut world = World::new();
         let chain = world.add_chain(fast_params("c"), &[(alice, 100)]);
 
-        let empty = world.congestion_cached(chain).unwrap();
-        assert_eq!(empty, world.congestion(chain).unwrap(), "cache agrees with the derivation");
-        assert_eq!(world.marginal_fee_cached(chain).unwrap(), None);
+        let empty = world.congestion(chain).unwrap();
+        assert_eq!(
+            empty,
+            world.congestion_uncached(chain).unwrap(),
+            "cache agrees with the derivation"
+        );
+        assert_eq!(world.marginal_fee(chain).unwrap(), None);
 
         // A submission at the same clock must invalidate via the revision.
         let mut kp = ac3_chain::TxBuilder::new(KeyPair::from_seed(b"alice"), 0);
         let (inputs, outputs) =
             world.chain(chain).unwrap().plan_payment(&alice, &alice, 1, 3).unwrap();
         world.submit(chain, kp.transfer(inputs, outputs, 3)).unwrap();
-        let after_submit = world.congestion_cached(chain).unwrap();
+        let after_submit = world.congestion(chain).unwrap();
         assert_eq!(after_submit.depth, 1, "stale snapshot would still say empty");
-        assert_eq!(after_submit, world.congestion(chain).unwrap());
+        assert_eq!(after_submit, world.congestion_uncached(chain).unwrap());
 
         // Mining drains the pool; the clock moved, so the cache refreshes.
         world.advance(1_000);
-        let after_block = world.congestion_cached(chain).unwrap();
+        let after_block = world.congestion(chain).unwrap();
         assert_eq!(after_block.depth, 0);
-        assert_eq!(after_block, world.congestion(chain).unwrap());
+        assert_eq!(after_block, world.congestion_uncached(chain).unwrap());
     }
 
     #[test]
@@ -1136,14 +1309,14 @@ mod tests {
                 vec![ac3_chain::OutPoint::new(TxId(ac3_crypto::Hash256::digest(&[tag])), 0)];
             world.submit(chain, kp.transfer(input, vec![], fee)).unwrap();
         }
-        assert_eq!(world.marginal_fee_cached(chain).unwrap(), Some(7));
+        assert_eq!(world.marginal_fee(chain).unwrap(), Some(7));
         // Cached replay at the same (clock, revision).
-        assert_eq!(world.marginal_fee_cached(chain).unwrap(), Some(7));
+        assert_eq!(world.marginal_fee(chain).unwrap(), Some(7));
         // A higher bid displaces the marginal rank; the revision refreshes
         // the memo.
         let input = vec![ac3_chain::OutPoint::new(TxId(ac3_crypto::Hash256::digest(&[4u8])), 0)];
         world.submit(chain, kp.transfer(input, vec![], 8)).unwrap();
-        assert_eq!(world.marginal_fee_cached(chain).unwrap(), Some(8));
+        assert_eq!(world.marginal_fee(chain).unwrap(), Some(8));
     }
 
     #[test]

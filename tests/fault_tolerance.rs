@@ -121,16 +121,49 @@ fn settlement_outage_swap_wakes_after_the_window_closes_and_commits() {
     );
 }
 
-/// The witness chain becoming unreachable *between* deployment and the
-/// decision submission is the one partition the protocol cannot ride out
-/// within the run: no participant can reach the witness, so the machine
-/// parks the swap with no decision. Both deployments stay locked — assets
-/// are delayed, never conflicting, and the atomicity audit still passes.
+/// Regression: the witness chain unreachable at decision time used to park
+/// the swap immediately — one failed authorize submission and the machine
+/// gave up, even if the partition healed moments later. The machine now
+/// retries the authorize call once per block interval until the wait cap,
+/// so an outage that ends inside the cap converts the park into a *late
+/// commit*: the decision lands after the partition heals and both edges
+/// redeem.
 #[test]
-fn witness_unreachable_at_decision_time_parks_the_swap_without_conflict() {
+fn witness_unreachable_at_decision_time_retries_into_a_late_commit() {
+    let cfg = ProtocolConfig { wait_cap_deltas: 64, ..protocol_cfg() };
+    let outage = OutageWindow { from: 6_000, until: 60_000 };
+    let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
+    s.world.schedule_outage(s.witness_chain, outage).unwrap();
+    let machine = Ac3wn::new(cfg).machine(s.graph.clone(), s.witness_chain);
+    let batch = Scheduler::default().run(
+        &mut s.world,
+        &mut s.participants,
+        vec![(SwapId(0), Box::new(machine))],
+    );
+
+    let report = batch.report_for(SwapId(0)).expect("retrying is graceful, not an error");
+    assert_eq!(report.decision, Some(true), "the healed partition admits a late commit");
+    assert_eq!(report.verdict(), AtomicityVerdict::AllRedeemed);
+    assert!(
+        batch.finished_at >= outage.until,
+        "finished at {} — the decision cannot predate the partition healing at {}",
+        batch.finished_at,
+        outage.until
+    );
+}
+
+/// A witness partition that *outlives* the wait cap is the one outage the
+/// protocol cannot ride out within the run: every authorize retry fails
+/// until the cap expires, so the machine parks the swap with no decision.
+/// Both deployments stay locked — assets are delayed, never conflicting,
+/// and the atomicity audit still passes.
+#[test]
+fn witness_unreachable_past_the_wait_cap_parks_the_swap_without_conflict() {
     let cfg = ProtocolConfig { wait_cap_deltas: 64, ..protocol_cfg() };
     let mut s = two_party_scenario(50, 80, &ScenarioConfig::default());
-    s.world.schedule_outage(s.witness_chain, OutageWindow { from: 6_000, until: 60_000 }).unwrap();
+    // wait_cap = 64 Δ = 64 s; an outage lasting past start + cap from every
+    // retry deadline keeps the witness dark for the machine's whole run.
+    s.world.schedule_outage(s.witness_chain, OutageWindow { from: 6_000, until: 600_000 }).unwrap();
     let machine = Ac3wn::new(cfg).machine(s.graph.clone(), s.witness_chain);
     let batch = Scheduler::default().run(
         &mut s.world,
