@@ -21,7 +21,10 @@
 
 use crate::protocol::{ProtocolError, SwapReport};
 use ac3_chain::{Address, ChainId, Timestamp, TxId};
-use ac3_sim::{ChainApi, DirectApi, NetworkedApi, ParticipantSet, World, WorldError};
+use ac3_sim::{
+    AuditApi, AuditScope, ChainApi, DirectApi, NetworkedApi, ParticipantSet, World, WorldError,
+};
+use std::sync::OnceLock;
 
 /// The observable state of an in-flight swap after one [`SwapMachine::poll`].
 #[derive(Debug)]
@@ -120,22 +123,76 @@ pub fn drive(
     }
 }
 
+/// Whether the `AC3_FOOTPRINT_AUDIT` environment variable asks for the
+/// footprint-audit sanitizer (see [`ac3_sim::audit`]): any value other
+/// than empty or `0` enables it. Read once per process — the scheduler
+/// captures it at construction, so a test can still force either setting
+/// through `Scheduler::with_footprint_audit`.
+pub fn footprint_audit_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("AC3_FOOTPRINT_AUDIT").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    })
+}
+
 /// Poll a machine against `world` through the appropriate [`ChainApi`]
 /// implementation: the message-routed [`NetworkedApi`] when a network
 /// profile is attached ([`World::attach_network`]), the synchronous
 /// [`DirectApi`] otherwise. Every driver loop — [`drive`] and both
 /// scheduler paths — polls through here, so attaching a network reroutes
-/// an entire batch without touching machine code.
+/// an entire batch without touching machine code. Audits the poll when the
+/// `AC3_FOOTPRINT_AUDIT` environment variable is set.
 pub fn poll_machine(
     machine: &mut dyn SwapMachine,
     world: &mut World,
     participants: &mut ParticipantSet,
 ) -> Result<Step, ProtocolError> {
-    if world.network_attached() {
-        machine.poll(&mut NetworkedApi::new(world), participants)
-    } else {
-        machine.poll(&mut DirectApi::new(world), participants)
+    poll_machine_audited(machine, world, participants, footprint_audit_enabled(), None)
+}
+
+/// [`poll_machine`] with the footprint-audit sanitizer made explicit.
+///
+/// With `audit` set, the poll runs behind an [`AuditApi`] scoped to the
+/// machine's declared [`SwapMachine::footprint`], and the participant set
+/// audits actor lookups for the duration of the poll: touching any chain
+/// or actor outside the footprint panics with the machine's identity
+/// (`id`, when the caller knows it), its current phase, and the offending
+/// chain or actor. The wrapper is stateless pass-through otherwise, so an
+/// audited poll that does not panic is bitwise identical to an unaudited
+/// one.
+pub fn poll_machine_audited(
+    machine: &mut dyn SwapMachine,
+    world: &mut World,
+    participants: &mut ParticipantSet,
+    audit: bool,
+    id: Option<u64>,
+) -> Result<Step, ProtocolError> {
+    if !audit {
+        return if world.network_attached() {
+            machine.poll(&mut NetworkedApi::new(world), participants)
+        } else {
+            machine.poll(&mut DirectApi::new(world), participants)
+        };
     }
+    let footprint = machine.footprint();
+    let label = match id {
+        Some(id) => format!("machine {id}"),
+        None => "machine".to_string(),
+    };
+    let scope = AuditScope::new(
+        label,
+        machine.phase_name().to_string(),
+        &footprint.chains,
+        &footprint.actors,
+    );
+    participants.begin_audit(scope.clone());
+    let result = if world.network_attached() {
+        machine.poll(&mut AuditApi::new(&mut NetworkedApi::new(world), &scope), participants)
+    } else {
+        machine.poll(&mut AuditApi::new(&mut DirectApi::new(world), &scope), participants)
+    };
+    participants.end_audit();
+    result
 }
 
 /// Whether a transaction is buried under at least `depth` canonical blocks.

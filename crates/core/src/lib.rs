@@ -56,6 +56,7 @@ pub mod analysis;
 pub mod attack;
 pub mod audit;
 pub mod campaign;
+pub mod campaign_run;
 pub mod driver;
 pub mod evidence;
 pub mod fee;
@@ -73,9 +74,10 @@ pub use ac3wn::{Ac3wn, Ac3wnMachine};
 pub use attack::{execute_fork_attack, ForkAttackConfig, ForkAttackReport};
 pub use audit::AtomicityVerdict;
 pub use campaign::{
-    build_campaign, run_campaign, Campaign, CampaignConfig, CampaignEvent, CampaignPlan,
-    CampaignReport, CampaignRng, CampaignSpace, ProtocolLane, WitnessBond,
+    Campaign, CampaignConfig, CampaignEvent, CampaignPlan, CampaignReport, CampaignRng,
+    CampaignSpace, ProtocolLane, WitnessBond,
 };
+pub use campaign_run::{build_campaign, run_campaign};
 pub use driver::{drive, MachineFootprint, Step, SwapMachine};
 pub use evidence::{
     validate_tx, validate_with_all, ValidationCost, ValidationReport, ValidationStrategy,

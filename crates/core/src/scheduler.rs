@@ -68,13 +68,27 @@ pub struct Scheduler {
     /// synchronous [`ac3_sim::DirectApi`]. Results remain bitwise
     /// deterministic at any worker count either way.
     pub network: Option<NetworkProfile>,
+    /// Run every machine poll behind the footprint-audit sanitizer
+    /// ([`ac3_sim::AuditApi`]): touching a chain or actor outside the
+    /// machine's declared [`MachineFootprint`] panics with the machine id,
+    /// phase and offending resource instead of silently aliasing state the
+    /// serial path happens to have in reach. Defaults to the
+    /// `AC3_FOOTPRINT_AUDIT` environment variable
+    /// ([`crate::driver::footprint_audit_enabled`]); audited runs that
+    /// don't panic are bitwise identical to unaudited ones.
+    pub audit: bool,
 }
 
 impl Default for Scheduler {
     fn default() -> Self {
         // One simulated day — far beyond any protocol wait cap, so the
         // budget only triggers on genuine livelock.
-        Scheduler { max_ms: 86_400_000, workers: 1, network: None }
+        Scheduler {
+            max_ms: 86_400_000,
+            workers: 1,
+            network: None,
+            audit: crate::driver::footprint_audit_enabled(),
+        }
     }
 }
 
@@ -262,7 +276,7 @@ impl Slot {
 impl Scheduler {
     /// A scheduler with the given simulated-time budget.
     pub fn new(max_ms: u64) -> Self {
-        Scheduler { max_ms, workers: 1, network: None }
+        Scheduler { max_ms, ..Scheduler::default() }
     }
 
     /// This scheduler with its worker-thread count set (see
@@ -276,6 +290,13 @@ impl Scheduler {
     /// [`Scheduler::network`]).
     pub fn with_network(mut self, profile: NetworkProfile) -> Self {
         self.network = Some(profile);
+        self
+    }
+
+    /// This scheduler with the footprint-audit sanitizer forced on or off
+    /// (see [`Scheduler::audit`]), overriding the environment default.
+    pub fn with_footprint_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -418,7 +439,13 @@ impl Scheduler {
                 }
                 let SlotMachine::Live(machine) = &mut slot.machine else { unreachable!() };
                 world.set_fee_attribution(Some(slot.id));
-                match crate::driver::poll_machine(machine.as_mut(), world, participants) {
+                match crate::driver::poll_machine_audited(
+                    machine.as_mut(),
+                    world,
+                    participants,
+                    self.audit,
+                    Some(slot.id.0),
+                ) {
                     Ok(Step::Done(report)) => slot.done = Some(Ok(*report)),
                     Ok(Step::Waiting { not_before }) => slot.not_before = not_before,
                     Err(e) => slot.done = Some(Err(e)),
@@ -509,7 +536,7 @@ impl Scheduler {
         let footprints: Vec<MachineFootprint> =
             machines.iter().map(|(_, m)| m.footprint()).collect();
         if footprints.iter().flat_map(|f| f.chains.iter()).any(|c| world.chain(*c).is_err()) {
-            let serial = Scheduler { max_ms: self.max_ms, workers: 1, network: self.network };
+            let serial = Scheduler { workers: 1, ..self.clone() };
             return serial.run(world, participants, machines);
         }
         let components = partition_batch(&footprints);
@@ -537,7 +564,12 @@ impl Scheduler {
                     ParSlot { index: i, id, machine, not_before: started_at, done: None }
                 })
                 .collect();
-            tasks.push(ShardTask { world: shard_world, participants: shard_participants, slots });
+            tasks.push(ShardTask {
+                world: shard_world,
+                participants: shard_participants,
+                slots,
+                audit: self.audit,
+            });
         }
 
         let mut ticks = 0u64;
@@ -649,6 +681,9 @@ struct ShardTask {
     world: World,
     participants: ParticipantSet,
     slots: Vec<ParSlot>,
+    /// Whether polls run behind the footprint-audit sanitizer (see
+    /// [`Scheduler::audit`]).
+    audit: bool,
 }
 
 impl ShardTask {
@@ -665,10 +700,12 @@ impl ShardTask {
                 continue;
             }
             self.world.set_fee_attribution(Some(slot.id));
-            match crate::driver::poll_machine(
+            match crate::driver::poll_machine_audited(
                 slot.machine.as_mut(),
                 &mut self.world,
                 &mut self.participants,
+                self.audit,
+                Some(slot.id.0),
             ) {
                 Ok(Step::Done(report)) => slot.done = Some(Ok(*report)),
                 Ok(Step::Waiting { not_before }) => slot.not_before = not_before,

@@ -1,0 +1,199 @@
+//! Regression tests for the footprint-audit sanitizer: a machine that
+//! touches a chain or actor outside its declared [`MachineFootprint`] must
+//! panic with full attribution (machine id, phase, offending resource), a
+//! machine that stays inside its declaration must run exactly as without
+//! the audit, and — the determinism contract — an audited batch that does
+//! not panic must be bitwise identical to an unaudited one at every worker
+//! count.
+
+use ac3_chain::ChainId;
+use ac3_chain::ChainParams;
+use ac3_core::driver::{MachineFootprint, Step};
+use ac3_core::scenario::{clustered_swaps_scenario, MultiSwapScenario, ScenarioConfig};
+use ac3_core::{
+    Ac3tw, Ac3wn, Herlihy, HerlihyMulti, ProtocolConfig, ProtocolError, Scheduler, SwapMachine,
+};
+use ac3_sim::{ChainApi, ParticipantSet, SwapId, World};
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A machine that declares one chain but reads another — the exact
+/// under-declaration the shard partitioner would otherwise only catch when
+/// the shard split happens to separate the two chains.
+struct RogueChainReader {
+    declared: ChainId,
+    hidden: ChainId,
+}
+
+impl SwapMachine for RogueChainReader {
+    fn poll(
+        &mut self,
+        world: &mut dyn ChainApi,
+        _participants: &mut ParticipantSet,
+    ) -> Result<Step, ProtocolError> {
+        // In-footprint and unscoped reads are fine under audit.
+        let _ = world.now();
+        let _ = world.is_reachable(self.declared);
+        // Out-of-footprint read: panics when the audit is on.
+        let _ = world.chain(self.hidden);
+        Err(ProtocolError::World("rogue read survived the audit".to_string()))
+    }
+
+    fn phase_name(&self) -> &'static str {
+        "probe"
+    }
+
+    fn footprint(&self) -> MachineFootprint {
+        MachineFootprint { chains: vec![self.declared], actors: Vec::new() }
+    }
+}
+
+/// A machine that declares no actors but resolves one by name.
+struct RogueActorReader {
+    declared: ChainId,
+}
+
+impl SwapMachine for RogueActorReader {
+    fn poll(
+        &mut self,
+        _world: &mut dyn ChainApi,
+        participants: &mut ParticipantSet,
+    ) -> Result<Step, ProtocolError> {
+        let _ = participants.get("bob");
+        Err(ProtocolError::World("rogue lookup survived the audit".to_string()))
+    }
+
+    fn phase_name(&self) -> &'static str {
+        "sign"
+    }
+
+    fn footprint(&self) -> MachineFootprint {
+        MachineFootprint { chains: vec![self.declared], actors: Vec::new() }
+    }
+}
+
+fn two_chain_world() -> (World, ChainId, ChainId, ParticipantSet) {
+    let mut world = World::new();
+    let mut participants = ParticipantSet::new();
+    participants.add("alice");
+    participants.add("bob");
+    let a = world.add_chain(ChainParams::default(), &[]);
+    let b = world.add_chain(ChainParams::default(), &[]);
+    (world, a, b, participants)
+}
+
+#[test]
+fn out_of_footprint_chain_access_panics_with_attribution() {
+    let (mut world, a, b, mut participants) = two_chain_world();
+    let machine = RogueChainReader { declared: a, hidden: b };
+    let scheduler = Scheduler::default().with_workers(1).with_footprint_audit(true);
+    let panic = catch_unwind(AssertUnwindSafe(|| {
+        scheduler.run(&mut world, &mut participants, vec![(SwapId(7), Box::new(machine))])
+    }))
+    .expect_err("the audited rogue read must panic");
+    let message = panic.downcast_ref::<String>().expect("audit panics carry a String");
+    assert!(message.contains("footprint audit"), "got: {message}");
+    assert!(message.contains("machine 7"), "machine id missing: {message}");
+    assert!(message.contains("phase probe"), "phase missing: {message}");
+    assert!(message.contains(&b.to_string()), "offending chain missing: {message}");
+}
+
+#[test]
+fn out_of_footprint_actor_access_panics_with_attribution() {
+    let (mut world, a, _b, mut participants) = two_chain_world();
+    let machine = RogueActorReader { declared: a };
+    let scheduler = Scheduler::default().with_workers(1).with_footprint_audit(true);
+    let panic = catch_unwind(AssertUnwindSafe(|| {
+        scheduler.run(&mut world, &mut participants, vec![(SwapId(3), Box::new(machine))])
+    }))
+    .expect_err("the audited rogue lookup must panic");
+    let message = panic.downcast_ref::<String>().expect("audit panics carry a String");
+    assert!(message.contains("footprint audit"), "got: {message}");
+    assert!(message.contains("machine 3"), "machine id missing: {message}");
+    assert!(message.contains("phase sign"), "phase missing: {message}");
+    assert!(message.contains("actor bob"), "actor name missing: {message}");
+}
+
+#[test]
+fn in_footprint_accesses_pass_the_audit() {
+    // Same rogue reader, but with the "hidden" chain declared: no panic,
+    // and the machine's own error comes back through the batch untouched.
+    let (mut world, a, b, mut participants) = two_chain_world();
+    let machine = RogueChainReader { declared: a, hidden: a };
+    let _ = b;
+    let scheduler = Scheduler::default().with_workers(1).with_footprint_audit(true);
+    let batch = scheduler.run(&mut world, &mut participants, vec![(SwapId(0), Box::new(machine))]);
+    assert_eq!(batch.failed(), 1, "the machine's own error is reported, not a panic");
+}
+
+fn protocol_cfg() -> ProtocolConfig {
+    ProtocolConfig { witness_depth: 3, deployment_depth: 3, ..Default::default() }
+}
+
+fn mixed_machines(s: &MultiSwapScenario) -> Vec<(SwapId, Box<dyn SwapMachine>)> {
+    let ac3wn = Ac3wn::new(protocol_cfg());
+    let ac3tw = Ac3tw::new(protocol_cfg());
+    let herlihy = Herlihy::new(protocol_cfg());
+    let herlihy_multi = HerlihyMulti::new(protocol_cfg());
+    s.swaps
+        .iter()
+        .enumerate()
+        .map(|(i, swap)| {
+            let machine: Box<dyn SwapMachine> = match i % 4 {
+                0 => Box::new(ac3wn.machine(swap.graph.clone(), swap.witness)),
+                1 => Box::new(ac3tw.machine(swap.graph.clone())),
+                2 => Box::new(herlihy.machine(swap.graph.clone()).expect("two-party has a leader")),
+                _ => Box::new(herlihy_multi.machine(swap.graph.clone()).expect("valid graph")),
+            };
+            (swap.id, machine)
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct Fingerprint {
+    outcomes: Vec<(u64, String)>,
+    ticks: u64,
+    fees: String,
+}
+
+/// Run the standard clustered mixed-protocol batch and fingerprint it.
+fn fingerprint(workers: usize, audit: bool) -> String {
+    let mut s = clustered_swaps_scenario(3, 4, 2, &ScenarioConfig::default());
+    let machines = mixed_machines(&s);
+    let batch = Scheduler::default().with_workers(workers).with_footprint_audit(audit).run(
+        &mut s.world,
+        &mut s.participants,
+        machines,
+    );
+    assert_eq!(batch.failed(), 0, "workers={workers} audit={audit}: no swap may error");
+    let outcomes = batch
+        .outcomes
+        .iter()
+        .map(|o| {
+            let result = match &o.result {
+                Ok(report) => serde_json::to_string(report).unwrap(),
+                Err(e) => format!("{e:?}"),
+            };
+            (o.id.0, result)
+        })
+        .collect();
+    let fp = Fingerprint {
+        outcomes,
+        ticks: batch.ticks,
+        fees: serde_json::to_string(&s.world.fees).unwrap(),
+    };
+    serde_json::to_string(&fp).unwrap()
+}
+
+/// The sanitizer's zero-interference contract: every protocol machine in
+/// the mixed batch passes the audit, and the audited run is bitwise
+/// identical to the unaudited one — serially and sharded.
+#[test]
+fn audited_batch_is_bitwise_identical_to_unaudited() {
+    for workers in [1, 2] {
+        let plain = fingerprint(workers, false);
+        let audited = fingerprint(workers, true);
+        assert_eq!(plain, audited, "workers={workers}: audit changed the batch output");
+    }
+}

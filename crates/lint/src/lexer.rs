@@ -1,0 +1,428 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! `ac3-lint` ships no parser dependency (the workspace vendors its own
+//! third-party code and `syn` is deliberately absent), so this module
+//! implements the minimal token stream the rule engine needs: identifiers,
+//! punctuation, the `::` path separator, and opaque literal markers — with
+//! comments, string literals (including raw/byte strings with arbitrary
+//! `#` fences), char literals and lifetimes correctly skipped so a banned
+//! name inside a doc comment or a format string never produces a finding.
+//!
+//! Line comments are additionally scanned for *waivers* of the form
+//! `// lint: <tag>-ok(<reason>)`, the inline justification mechanism rules
+//! can opt into (e.g. `// lint: ordered-ok(keys re-sorted before hashing)`).
+
+/// One lexical token, with literal contents erased.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// The `::` path separator.
+    PathSep,
+    /// A single punctuation character (`.`, `{`, `(`, `#`, …).
+    Punct(char),
+    /// Any string, byte-string, raw-string or char literal.
+    Str,
+    /// A numeric literal.
+    Num,
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-indexed line number.
+    pub line: u32,
+}
+
+/// An inline justification parsed from a `// lint: <tag>-ok(<reason>)`
+/// comment. A waiver suppresses findings of the matching rule on its own
+/// line and the line immediately below (so a justification can sit above
+/// the statement it excuses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-indexed line the comment appears on.
+    pub line: u32,
+    /// The waiver tag (`ordered` for `ordered-ok(..)`).
+    pub tag: String,
+    /// The justification text inside the parentheses (may be empty, which
+    /// rules treat as an invalid waiver).
+    pub reason: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literal contents stripped.
+    pub tokens: Vec<Spanned>,
+    /// Inline waivers found in line comments.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Lex `source` into a token stream plus its inline waivers.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                if let Some(waiver) = parse_waiver(&comment, line) {
+                    out.waivers.push(waiver);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nested per Rust's grammar.
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i = skip_string(&chars, i, &mut line);
+                out.tokens.push(Spanned { tok: Tok::Str, line: start_line });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = chars.get(i + 1).copied();
+                let is_lifetime = match next {
+                    Some(n) if n == '_' || n.is_alphabetic() => {
+                        // `'a'` is a char literal; `'a` followed by anything
+                        // but a closing quote is a lifetime.
+                        let mut j = i + 1;
+                        while j < chars.len() && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+                            j += 1;
+                        }
+                        chars.get(j) != Some(&'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1;
+                    while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                } else {
+                    let start_line = line;
+                    i += 1;
+                    while i < chars.len() {
+                        if chars[i] == '\\' {
+                            i += 2;
+                        } else if chars[i] == '\'' {
+                            i += 1;
+                            break;
+                        } else {
+                            if chars[i] == '\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    out.tokens.push(Spanned { tok: Tok::Str, line: start_line });
+                }
+            }
+            ':' if chars.get(i + 1) == Some(&':') => {
+                out.tokens.push(Spanned { tok: Tok::PathSep, line });
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start_line = line;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Spanned { tok: Tok::Num, line: start_line });
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let start = i;
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                let is_raw_prefix = matches!(ident.as_str(), "r" | "b" | "rb" | "br");
+                if is_raw_prefix && matches!(chars.get(i), Some(&'"') | Some(&'#')) {
+                    let start_line = line;
+                    if ident.contains('r') {
+                        i = skip_raw_string(&chars, i, &mut line);
+                    } else if chars.get(i) == Some(&'"') {
+                        i = skip_string(&chars, i, &mut line);
+                    } else {
+                        // `b#` is not a string start after all; emit the ident.
+                        out.tokens.push(Spanned { tok: Tok::Ident(ident), line: start_line });
+                        continue;
+                    }
+                    out.tokens.push(Spanned { tok: Tok::Str, line: start_line });
+                } else {
+                    out.tokens.push(Spanned { tok: Tok::Ident(ident), line });
+                }
+            }
+            c => {
+                out.tokens.push(Spanned { tok: Tok::Punct(c), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(chars[i], '"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Skip a raw string body starting at the `#`-fence or the opening quote
+/// (the `r`/`br` prefix has already been consumed); returns the index one
+/// past the closing quote + fence.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i; // Not actually a raw string; nothing sensible to do.
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parse a `lint: <tag>-ok(<reason>)` waiver out of one line comment.
+fn parse_waiver(comment: &str, line: u32) -> Option<Waiver> {
+    let rest = comment.split("lint:").nth(1)?.trim_start();
+    let open = rest.find('(')?;
+    let tag_part = rest[..open].trim();
+    let tag = tag_part.strip_suffix("-ok")?.to_string();
+    let close = rest[open..].find(')').map(|p| open + p)?;
+    let reason = rest[open + 1..close].trim().to_string();
+    Some(Waiver { line, tag, reason })
+}
+
+/// Strip `#[cfg(test)]` items (typically `mod tests { … }`) from a token
+/// stream: test code legitimately constructs `World`s, reads wall clocks in
+/// harness plumbing, and iterates scratch maps, so the source-level
+/// invariants apply to shipped code only.
+pub fn strip_cfg_test(tokens: Vec<Spanned>) -> Vec<Spanned> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            // Skip this attribute, any further attributes, then one item.
+            i = skip_attr(&tokens, i);
+            while matches!(tokens.get(i).map(|s| &s.tok), Some(Tok::Punct('#'))) {
+                i = skip_attr(&tokens, i);
+            }
+            i = skip_item(&tokens, i);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether the token at `i` starts a `#[cfg(test)]` attribute.
+fn is_cfg_test_attr(tokens: &[Spanned], i: usize) -> bool {
+    let kinds: Vec<&Tok> = tokens[i..].iter().take(7).map(|s| &s.tok).collect();
+    matches!(
+        kinds.as_slice(),
+        [Tok::Punct('#'), Tok::Punct('['), Tok::Ident(cfg), Tok::Punct('('), Tok::Ident(test), Tok::Punct(')'), Tok::Punct(']')]
+            if cfg == "cfg" && test == "test"
+    )
+}
+
+/// Skip a `#[…]` attribute starting at the `#`; returns the index one past
+/// the closing `]`.
+fn skip_attr(tokens: &[Spanned], mut i: usize) -> usize {
+    debug_assert!(matches!(tokens[i].tok, Tok::Punct('#')));
+    i += 1; // '#'
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip one item: everything up to the first `;` at brace depth zero, or a
+/// balanced `{ … }` block, whichever comes first.
+fn skip_item(tokens: &[Spanned], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // SystemTime in a comment
+            /* Instant::now() in /* a nested */ block */
+            let s = "thread_rng inside a string";
+            let r = r#"OsRng inside a raw "string""#;
+            let c = 'W';
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "SystemTime" || i == "Instant" || i == "thread_rng"));
+        assert!(!ids.iter().any(|i| i == "OsRng"));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        // The lexer must not treat `'a>(…` as a char literal and swallow
+        // the parameter list.
+        assert!(ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let lexed = lex("std::time::Instant");
+        let kinds: Vec<&Tok> = lexed.tokens.iter().map(|s| &s.tok).collect();
+        assert_eq!(kinds.len(), 5);
+        assert!(matches!(kinds[1], Tok::PathSep));
+        assert!(matches!(kinds[3], Tok::PathSep));
+    }
+
+    #[test]
+    fn waivers_parse_tag_and_reason() {
+        let lexed = lex("map.iter(); // lint: ordered-ok(collected into a BTreeMap below)\n");
+        assert_eq!(lexed.waivers.len(), 1);
+        assert_eq!(lexed.waivers[0].tag, "ordered");
+        assert_eq!(lexed.waivers[0].reason, "collected into a BTreeMap below");
+        assert_eq!(lexed.waivers[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_stripped() {
+        let src = "
+            fn shipped() {}
+            #[cfg(test)]
+            mod tests {
+                use ac3_sim::World;
+                fn t() { let w = World::new(); }
+            }
+            fn also_shipped() {}
+        ";
+        let lexed = lex(src);
+        let stripped = strip_cfg_test(lexed.tokens);
+        let ids: Vec<&str> = stripped
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&"shipped"));
+        assert!(ids.contains(&"also_shipped"));
+        assert!(!ids.contains(&"World"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\none\";\nlet target = 3;";
+        let lexed = lex(src);
+        let target =
+            lexed.tokens.iter().find(|s| matches!(&s.tok, Tok::Ident(t) if t == "target")).unwrap();
+        assert_eq!(target.line, 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! The `ac3-lint` binary: machine-check the workspace invariants.
+//!
+//! ```text
+//! ac3-lint [--check] [--config lint.toml] [--root DIR] [--json PATH|-]
+//! ```
+//!
+//! * `--check`   exit non-zero when any finding survives (CI mode).
+//! * `--config`  path to the rule configuration (default `lint.toml`,
+//!   resolved against `--root`).
+//! * `--root`    workspace root to scan (default: the current directory —
+//!   `cargo run -p ac3-lint` runs from the workspace root).
+//! * `--json`    write the machine-readable report to a file (`-` for
+//!   stdout).
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/config/IO error.
+
+#![forbid(unsafe_code)]
+
+use ac3_lint::{run, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(v),
+                None => return usage("--json needs a path (or `-` for stdout)"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "ac3-lint: workspace invariant linter\n\
+                     usage: ac3-lint [--check] [--config lint.toml] [--root DIR] [--json PATH|-]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ac3-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ac3-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ac3-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "ac3-lint: {} file(s) scanned, {} rule(s) run, {} finding(s)",
+        report.files_scanned,
+        report.rules_run.len(),
+        report.findings.len()
+    );
+
+    if let Some(path) = json_path {
+        let json = report.to_json();
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("ac3-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if check && !report.is_clean() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ac3-lint: {msg} (see --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,116 @@
+//! Findings and their renderings (human text and machine-readable JSON).
+
+use std::fmt;
+
+/// One rule violation, attributed to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: u32,
+    /// The rule that fired (e.g. `wall-clock`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(rule: &str, file: &str, line: u32, message: String) -> Self {
+        Finding { file: file.to_string(), line, rule: rule.to_string(), message }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A whole lint run: findings plus coverage counters.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files lexed.
+    pub files_scanned: usize,
+    /// Rules that ran, in execution order.
+    pub rules_run: Vec<String>,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render as a JSON document (hand-rolled: the linter is
+    /// dependency-free by design, and the schema is flat).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"rules\": [");
+        for (i, rule) in self.rules_run.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(rule));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(&f.rule),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let report = Report {
+            findings: vec![Finding::new("no-unsafe", "a/b.rs", 3, "uses \"unsafe\"".into())],
+            files_scanned: 2,
+            rules_run: vec!["no-unsafe".into()],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"finding_count\": 1"));
+        assert!(json.contains("\\\"unsafe\\\""));
+        assert!(json.contains("\"files_scanned\": 2"));
+    }
+}

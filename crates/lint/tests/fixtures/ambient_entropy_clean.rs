@@ -1,0 +1,6 @@
+//! Fixture: entropy confined to the allow-listed seeded constructor.
+
+pub fn from_seed(seed: u64) -> u64 {
+    let mut rng = thread_rng();
+    rng.next() ^ seed
+}

@@ -1,0 +1,10 @@
+//! Fixture: ambient entropy outside an allow-listed constructor.
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next()
+}
+
+pub fn seed_os() -> u64 {
+    OsRng.next_u64()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a protocol module reaching around the ChainApi seam.
+
+use ac3_sim::World;
+
+pub fn poke(world: &mut World) {
+    world.advance(1_000);
+}

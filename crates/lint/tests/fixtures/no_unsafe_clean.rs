@@ -1,0 +1,6 @@
+//! Fixture: a clean crate root.
+#![forbid(unsafe_code)]
+
+pub fn safe() -> u8 {
+    0
+}

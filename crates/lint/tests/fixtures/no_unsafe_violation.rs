@@ -1,0 +1,5 @@
+//! Fixture: an unsafe block in a crate root missing the forbid attribute.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

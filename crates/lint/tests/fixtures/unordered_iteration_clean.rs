@@ -1,0 +1,24 @@
+//! Fixture: justified hash iteration and ordered structures.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Index {
+    lookup: HashMap<String, u64>,
+    ordered: BTreeMap<String, u64>,
+}
+
+impl Index {
+    pub fn checksum(&self) -> u64 {
+        let mut keys: Vec<&String> = Vec::new();
+        // lint: ordered-ok(keys are collected and sorted before hashing)
+        for k in self.lookup.keys() {
+            keys.push(k);
+        }
+        keys.sort();
+        keys.len() as u64
+    }
+
+    pub fn first(&self) -> Option<u64> {
+        self.ordered.values().next().copied()
+    }
+}

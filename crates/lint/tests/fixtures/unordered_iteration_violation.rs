@@ -1,0 +1,25 @@
+//! Fixture: hash-container iteration without justification.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Scores {
+    table: HashMap<String, u64>,
+}
+
+impl Scores {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for v in self.table.values() {
+            sum += v;
+        }
+        sum
+    }
+}
+
+pub fn drain_all() {
+    let mut pending = HashSet::new();
+    pending.insert(1u32);
+    for item in pending {
+        drop(item);
+    }
+}

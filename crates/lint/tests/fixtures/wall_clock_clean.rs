@@ -1,0 +1,10 @@
+//! Fixture: `Instant` as an enum variant is not the wall clock.
+
+pub enum SealPolicy {
+    Instant,
+    Delayed(u64),
+}
+
+pub fn pick() -> SealPolicy {
+    SealPolicy::Instant
+}

@@ -1,0 +1,11 @@
+//! Fixture: names the wall clock both ways the rule detects.
+
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    let start = Instant::now();
+    drop(start);
+    7
+}

@@ -1,0 +1,255 @@
+//! The footprint-audit sanitizer: a pass-through [`ChainApi`] wrapper that
+//! panics — loudly, with attribution — when a machine touches a chain or
+//! signs with an actor outside its declared
+//! [`MachineFootprint`](ChainApi)-equivalent scope.
+//!
+//! The parallel scheduler's entire correctness argument rests on declared
+//! footprints being *conservative*: a machine that reaches beyond its
+//! footprint aliases state another shard owns. Under the sharded path an
+//! under-declared chain surfaces as a hard `UnknownChain` error, but the
+//! serial reference path (`workers: 1`) hands every machine the whole
+//! world, so the same bug passes silently — until someone bumps the worker
+//! count. [`AuditApi`] closes that gap: enabled via the
+//! `AC3_FOOTPRINT_AUDIT=1` environment variable (or
+//! `Scheduler::with_footprint_audit` in `ac3-core`), it interposes on every
+//! chain-addressed call and every [`ParticipantSet`] actor lookup and
+//! panics with the machine id, its current phase, and the out-of-scope
+//! chain or actor.
+//!
+//! **Determinism.** The wrapper holds no state of its own — no counters,
+//! no RNG, no clocks — and forwards every call verbatim, so an audited run
+//! that does not panic is bitwise identical to an unaudited one. The CI
+//! determinism matrix runs an `AC3_FOOTPRINT_AUDIT=1` leg to pin exactly
+//! that.
+//!
+//! [`ParticipantSet`]: crate::participant::ParticipantSet
+
+use crate::api::ChainApi;
+use crate::faults::OutageWindow;
+use crate::metrics::EventKind;
+use crate::world::{ChainCongestion, WorldError};
+use ac3_chain::{
+    Address, Amount, BlockHash, Blockchain, ChainId, ContractId, Timestamp, Transaction, TxId,
+};
+use ac3_contracts::{ChainAnchor, TxInclusionEvidence};
+
+/// The declared scope one machine poll is audited against: identity for
+/// attribution, plus the chains and actors its footprint allows.
+#[derive(Debug, Clone)]
+pub struct AuditScope {
+    /// Who is being audited (e.g. `"machine 3"`), for the panic message.
+    pub machine: String,
+    /// The machine's current phase (its `phase_name()`), for the panic
+    /// message.
+    pub phase: String,
+    /// Chains the footprint declares, sorted for reproducible messages.
+    chains: Vec<ChainId>,
+    /// Actor addresses the footprint declares, sorted.
+    actors: Vec<Address>,
+}
+
+impl AuditScope {
+    /// A scope for `machine` in `phase`, allowing exactly the given chains
+    /// and actors.
+    pub fn new(machine: String, phase: String, chains: &[ChainId], actors: &[Address]) -> Self {
+        let mut chains = chains.to_vec();
+        chains.sort();
+        chains.dedup();
+        let mut actors = actors.to_vec();
+        actors.sort();
+        actors.dedup();
+        AuditScope { machine, phase, chains, actors }
+    }
+
+    /// Panic unless `chain` is inside the declared footprint.
+    pub fn check_chain(&self, chain: ChainId) {
+        if self.chains.binary_search(&chain).is_err() {
+            panic!(
+                "footprint audit: {} (phase {}) touched chain {} outside its declared \
+                 footprint {:?}",
+                self.machine, self.phase, chain, self.chains
+            );
+        }
+    }
+
+    /// Panic unless `address` is inside the declared footprint. `name` is
+    /// the participant's registry name, for the message.
+    pub fn check_actor(&self, address: Address, name: &str) {
+        if self.actors.binary_search(&address).is_err() {
+            panic!(
+                "footprint audit: {} (phase {}) accessed actor {name} ({address}) outside \
+                 its declared footprint ({} declared actor(s))",
+                self.machine,
+                self.phase,
+                self.actors.len()
+            );
+        }
+    }
+}
+
+/// A [`ChainApi`] decorator enforcing an [`AuditScope`]: every
+/// chain-addressed call checks the chain against the declared footprint
+/// before forwarding; scope-free calls (clock reads, billing probes,
+/// timeline records) forward untouched.
+pub struct AuditApi<'a> {
+    inner: &'a mut dyn ChainApi,
+    scope: &'a AuditScope,
+}
+
+impl<'a> AuditApi<'a> {
+    /// Wrap `inner`, auditing every chain-addressed call against `scope`.
+    pub fn new(inner: &'a mut dyn ChainApi, scope: &'a AuditScope) -> Self {
+        AuditApi { inner, scope }
+    }
+}
+
+impl ChainApi for AuditApi<'_> {
+    fn now(&self) -> Timestamp {
+        self.inner.now()
+    }
+
+    fn delta_ms(&self) -> u64 {
+        self.inner.delta_ms()
+    }
+
+    fn min_block_interval_ms(&self) -> u64 {
+        self.inner.min_block_interval_ms()
+    }
+
+    fn is_reachable(&self, chain: ChainId) -> bool {
+        self.scope.check_chain(chain);
+        self.inner.is_reachable(chain)
+    }
+
+    fn chain(&self, chain: ChainId) -> Result<&Blockchain, WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.chain(chain)
+    }
+
+    fn anchor(&self, chain: ChainId) -> Result<ChainAnchor, WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.anchor(chain)
+    }
+
+    fn tx_evidence_since(
+        &self,
+        chain: ChainId,
+        anchor: &ChainAnchor,
+        txid: TxId,
+    ) -> Result<TxInclusionEvidence, WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.tx_evidence_since(chain, anchor, txid)
+    }
+
+    fn contract_state(&self, chain: ChainId, contract: ContractId) -> Option<(String, u64)> {
+        self.scope.check_chain(chain);
+        self.inner.contract_state(chain, contract)
+    }
+
+    fn is_billed(&self, txid: &TxId) -> bool {
+        self.inner.is_billed(txid)
+    }
+
+    fn tx_in_flight(&self, chain: ChainId, txid: &TxId) -> bool {
+        self.scope.check_chain(chain);
+        self.inner.tx_in_flight(chain, txid)
+    }
+
+    fn congestion(&mut self, chain: ChainId) -> Result<ChainCongestion, WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.congestion(chain)
+    }
+
+    fn marginal_fee(&mut self, chain: ChainId) -> Result<Option<Amount>, WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.marginal_fee(chain)
+    }
+
+    fn submit(&mut self, chain: ChainId, tx: Transaction) -> Result<TxId, WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.submit(chain, tx)
+    }
+
+    fn replace_tx(
+        &mut self,
+        chain: ChainId,
+        old: TxId,
+        tx: Transaction,
+    ) -> Result<TxId, WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.replace_tx(chain, old, tx)
+    }
+
+    fn record(&mut self, at: Timestamp, kind: EventKind) {
+        self.inner.record(at, kind);
+    }
+
+    fn schedule_outage(&mut self, chain: ChainId, window: OutageWindow) -> Result<(), WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.schedule_outage(chain, window)
+    }
+
+    fn inject_fork(
+        &mut self,
+        chain: ChainId,
+        fork_depth: u64,
+        length: u64,
+    ) -> Result<Vec<BlockHash>, WorldError> {
+        self.scope.check_chain(chain);
+        self.inner.inject_fork(chain, fork_depth, length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use ac3_chain::ChainParams;
+
+    fn scoped_world() -> (World, ChainId, ChainId) {
+        let mut world = World::new();
+        let a = world.add_chain(ChainParams::test("a"), &[]);
+        let b = world.add_chain(ChainParams::test("b"), &[]);
+        (world, a, b)
+    }
+
+    #[test]
+    fn in_scope_calls_pass_through() {
+        let (mut world, a, _) = scoped_world();
+        let scope = AuditScope::new("machine 0".into(), "lock".into(), &[a], &[]);
+        let mut api = AuditApi::new(&mut world, &scope);
+        assert!(api.is_reachable(a));
+        assert!(api.chain(a).is_ok());
+        assert!(api.anchor(a).is_ok());
+        assert!(api.congestion(a).is_ok());
+    }
+
+    #[test]
+    fn out_of_scope_chain_panics_with_attribution() {
+        let (mut world, a, b) = scoped_world();
+        let scope = AuditScope::new("machine 7".into(), "redeem".into(), &[a], &[]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let api = AuditApi::new(&mut world, &scope);
+            let _ = api.chain(b);
+        }))
+        .expect_err("audit must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("machine 7"), "message names the machine: {msg}");
+        assert!(msg.contains("redeem"), "message names the phase: {msg}");
+        assert!(msg.contains(&format!("{b}")), "message names the chain: {msg}");
+    }
+
+    #[test]
+    fn actor_check_is_order_insensitive() {
+        let alice = Address::from(ac3_crypto::KeyPair::from_seed(b"alice").public());
+        let bob = Address::from(ac3_crypto::KeyPair::from_seed(b"bob").public());
+        let carol = Address::from(ac3_crypto::KeyPair::from_seed(b"carol").public());
+        let scope = AuditScope::new("m".into(), "p".into(), &[], &[bob, alice]);
+        scope.check_actor(alice, "alice");
+        scope.check_actor(bob, "bob");
+        let err = std::panic::catch_unwind(|| scope.check_actor(carol, "carol"))
+            .expect_err("undeclared actor panics");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("carol"), "message names the actor: {msg}");
+    }
+}

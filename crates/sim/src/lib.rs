@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod audit;
 pub mod faults;
 pub mod metrics;
 pub mod network;
@@ -22,6 +23,7 @@ pub mod participant;
 pub mod world;
 
 pub use api::{ChainApi, DirectApi, NetworkedApi};
+pub use audit::{AuditApi, AuditScope};
 pub use faults::{Fault, FaultPlan, OutageWindow};
 pub use metrics::{
     EventKind, FeeKind, FeeLedger, LatencyStats, SubTransactionRecord, SwapId, Timeline,

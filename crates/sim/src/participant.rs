@@ -7,6 +7,7 @@
 //! contract on time due to a crash failure ... might end up losing her
 //! assets").
 
+use crate::audit::AuditScope;
 use ac3_chain::{Address, ChainId, Timestamp, TxBuilder};
 use ac3_crypto::KeyPair;
 use serde::{Deserialize, Serialize};
@@ -103,12 +104,38 @@ impl Participant {
 #[derive(Debug, Default)]
 pub struct ParticipantSet {
     participants: BTreeMap<String, Participant>,
+    /// Active footprint-audit scope: while set (the driver brackets each
+    /// audited machine poll with [`ParticipantSet::begin_audit`] /
+    /// [`ParticipantSet::end_audit`]), every single-participant lookup
+    /// panics if the resolved actor is outside the scope. Deliberately not
+    /// part of the set's value semantics: [`ParticipantSet::split_off`] and
+    /// [`ParticipantSet::absorb`] ignore it.
+    audit: Option<AuditScope>,
 }
 
 impl ParticipantSet {
     /// An empty set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Start auditing lookups against `scope` (see [`AuditScope`]); every
+    /// `get`/`by_address` family call until [`ParticipantSet::end_audit`]
+    /// panics if it resolves to an undeclared actor.
+    pub fn begin_audit(&mut self, scope: AuditScope) {
+        self.audit = Some(scope);
+    }
+
+    /// Stop auditing lookups.
+    pub fn end_audit(&mut self) {
+        self.audit = None;
+    }
+
+    /// Panic if the audit scope is active and does not declare `p`.
+    fn check_audit(&self, p: &Participant) {
+        if let Some(scope) = &self.audit {
+            scope.check_actor(p.address(), &p.name);
+        }
     }
 
     /// Add a participant by name, returning its address.
@@ -121,11 +148,18 @@ impl ParticipantSet {
 
     /// Borrow a participant.
     pub fn get(&self, name: &str) -> Option<&Participant> {
-        self.participants.get(name)
+        let p = self.participants.get(name);
+        if let Some(p) = p {
+            self.check_audit(p);
+        }
+        p
     }
 
     /// Mutably borrow a participant.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Participant> {
+        if let Some(p) = self.participants.get(name) {
+            self.check_audit(p);
+        }
         self.participants.get_mut(name)
     }
 
@@ -136,11 +170,18 @@ impl ParticipantSet {
 
     /// Find the participant owning `address`.
     pub fn by_address(&self, address: &Address) -> Option<&Participant> {
-        self.participants.values().find(|p| p.address() == *address)
+        let p = self.participants.values().find(|p| p.address() == *address);
+        if let Some(p) = p {
+            self.check_audit(p);
+        }
+        p
     }
 
     /// Mutably find the participant owning `address`.
     pub fn by_address_mut(&mut self, address: &Address) -> Option<&mut Participant> {
+        if let Some(p) = self.participants.values().find(|p| p.address() == *address) {
+            self.check_audit(p);
+        }
         self.participants.values_mut().find(|p| p.address() == *address)
     }
 
